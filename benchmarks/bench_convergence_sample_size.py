@@ -1,0 +1,58 @@
+"""Convergence study — Section 3.1's sample-size claims.
+
+"A sample of about ten randomly selected pages usually includes most of
+these variants"; "[6] report that mapping rules converge after the
+analysis of about 5 pages."
+
+Expected shape: extraction F1 on held-out pages rises steeply from a
+1-page sample (candidate rules are too specific) and converges close to
+1.0 by roughly five pages.
+"""
+
+from repro.evaluation.convergence import convergence_study
+from repro.evaluation.tables import format_table
+
+from conftest import emit
+
+COMPONENTS = ["runtime", "director", "aka", "language", "genres"]
+SAMPLE_SIZES = (1, 2, 3, 5, 8, 10)
+SEEDS = tuple(range(6))
+
+
+def run_study(pages):
+    return convergence_study(
+        pages, COMPONENTS, sample_sizes=SAMPLE_SIZES, seeds=SEEDS
+    )
+
+
+def test_convergence_with_sample_size(benchmark, movie_cluster):
+    points = benchmark.pedantic(
+        run_study, args=(movie_cluster,), rounds=1, iterations=1
+    )
+
+    f1_by_size = {p.sample_size: p.mean_f1 for p in points}
+    # Monotone-ish rise and convergence by ~5 pages, per the paper.
+    assert f1_by_size[1] < f1_by_size[5]
+    assert f1_by_size[5] > 0.85
+    assert f1_by_size[10] >= f1_by_size[2]
+    assert f1_by_size[10] > 0.9
+
+    rows = [
+        [
+            str(p.sample_size),
+            f"{p.mean_f1:.3f}",
+            f"{p.mean_precision:.3f}",
+            f"{p.mean_recall:.3f}",
+            f"{p.mean_refinements:.1f}",
+        ]
+        for p in points
+    ]
+    emit(
+        "Convergence - extraction quality vs working-sample size "
+        f"({len(SEEDS)} seeds, components: {', '.join(COMPONENTS)})",
+        format_table(
+            ["sample size", "mean F1", "mean P", "mean R", "mean refinements"],
+            rows,
+            align_right=[0, 1, 2, 3, 4],
+        ),
+    )

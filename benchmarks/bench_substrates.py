@@ -1,0 +1,53 @@
+"""Substrate micro-benchmarks: HTML parsing and XPath evaluation.
+
+Not a paper exhibit, but the fixed costs every experiment pays; tracked
+so regressions in the from-scratch substrates are visible.
+"""
+
+import statistics
+
+from repro.html import parse_html
+from repro.xpath import compile_xpath, select
+
+from conftest import emit
+
+CONTEXTUAL = (
+    'BODY//TD/text()[normalize-space(preceding::text()'
+    '[normalize-space(.) != ""][1]) = "Runtime:"]'
+)
+
+
+def test_parse_movie_page(benchmark, paper_sample):
+    html = paper_sample[0].html
+    doc = benchmark(parse_html, html)
+    assert doc.document_element.find_first("BODY") is not None
+
+
+def test_xpath_compile(benchmark):
+    # Bypass the engine cache to measure a real compile.
+    from repro.xpath.parser import parse_xpath
+
+    ast = benchmark(parse_xpath, CONTEXTUAL)
+    assert str(ast)
+
+
+def test_xpath_positional_select(benchmark, paper_sample):
+    root = paper_sample[0].root_element
+    expr = "BODY[1]/DIV[2]/TABLE[1]/TR[6]/TD[1]/text()[1]"
+    nodes = benchmark(select, root, expr)
+    assert [n.data.strip() for n in nodes] == ["108 min"]
+
+
+def test_xpath_contextual_select(benchmark, paper_sample):
+    root = paper_sample[0].root_element
+    nodes = benchmark(select, root, CONTEXTUAL)
+    assert [n.data.strip() for n in nodes] == ["108 min"]
+
+
+def test_parse_throughput_summary(paper_sample):
+    sizes = [len(page.html) for page in paper_sample]
+    emit(
+        "Substrates - input sizes",
+        f"paper-sample page sizes: {sizes} bytes "
+        f"(median {statistics.median(sizes):.0f})",
+    )

@@ -1,0 +1,44 @@
+"""Table 1 — candidate rule checking for component "runtime".
+
+Paper rows (4-page working sample):
+
+    ./title/tt0095159/  108 min
+    ./title/tt0071853/  91 min
+    ./title/tt0074103/  The Wing and the Thigh (International: English title)
+    ./title/tt0102059/  -
+
+The benchmark measures one full candidate-checking pass (rule applied
+to every sample page plus outcome classification).
+"""
+
+from repro.core.builder import MappingRuleBuilder
+from repro.core.checking import check_rule, render_check_table
+
+from conftest import emit
+
+PAPER_ROWS = [
+    "108 min",
+    "91 min",
+    "The Wing and the Thigh (International: English title)",
+    "-",
+]
+
+
+def make_candidate(paper_sample, oracle):
+    builder = MappingRuleBuilder(paper_sample, oracle, seed=1)
+    selection = oracle.select_value(paper_sample[0], "runtime")
+    return builder.candidate_from_selection("runtime", selection)
+
+
+def test_table1_candidate_rule_checking(benchmark, paper_sample, oracle):
+    candidate = make_candidate(paper_sample, oracle)
+
+    report = benchmark(check_rule, candidate, paper_sample, oracle)
+
+    measured = [row.display_value for row in report.rows]
+    assert measured == PAPER_ROWS
+    assert not report.is_valid  # rows c and d are negative examples
+    emit(
+        "Table 1 - candidate rule checking for component 'runtime'",
+        render_check_table(report),
+    )

@@ -1,0 +1,43 @@
+"""Benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's per-experiment index) and *prints* the regenerated rows, so
+``pytest benchmarks/ --benchmark-only -s`` shows the paper-vs-measured
+material that EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.oracle import ScriptedOracle
+from repro.sites.imdb import ImdbOptions, generate_imdb_site, make_paper_sample
+
+
+@pytest.fixture(scope="session")
+def paper_sample():
+    return make_paper_sample()
+
+
+@pytest.fixture(scope="session")
+def movie_cluster():
+    site = generate_imdb_site(options=ImdbOptions(n_pages=30, seed=7))
+    return site.pages_with_hint("imdb-movies")
+
+
+@pytest.fixture(scope="session")
+def oracle():
+    return ScriptedOracle()
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled block (visible with ``-s``)."""
+    print(f"\n=== {title} ===")
+    print(body)

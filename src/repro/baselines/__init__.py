@@ -1,0 +1,36 @@
+"""Baseline wrapper-induction systems (Section 6, related work).
+
+The paper positions Retrozilla against fully automatic grammar-inference
+systems and classic wrapper induction.  To reproduce that comparison we
+implement simplified but faithful versions of each family:
+
+* :mod:`repro.baselines.roadrunner` — RoadRunner [6]: "complex
+  algorithms iteratively compute a common grammar for documents of a
+  given cluster by comparing them"; implemented as a recursive
+  align-and-generalise over DOM trees producing a template with data
+  slots, optionals and repetitions;
+* :mod:`repro.baselines.exalg` — EXALG [1]: equivalence classes of
+  tokens with identical occurrence vectors across pages form the
+  template; everything else is data;
+* :mod:`repro.baselines.lr_wrapper` — Kushmerick's LR wrapper [10]:
+  per-component left/right string delimiters learned from labelled
+  examples.
+
+The automatic systems extract *every* varying chunk — the comparison
+benchmark quantifies the paper's flexibility argument: "there is no
+means of deciding which components must be extracted ... leading to
+documents containing data that do not interest some classes of
+end-users".
+"""
+
+from repro.baselines.roadrunner import RoadRunnerWrapper, TemplateNode
+from repro.baselines.exalg import ExalgWrapper
+from repro.baselines.lr_wrapper import LRWrapper, LRRule
+
+__all__ = [
+    "RoadRunnerWrapper",
+    "TemplateNode",
+    "ExalgWrapper",
+    "LRWrapper",
+    "LRRule",
+]

@@ -1,0 +1,97 @@
+"""An EXALG-style automatic wrapper (equivalence classes of tokens).
+
+EXALG [1] detects the page template by finding *large and frequently
+occurring equivalence classes* (LFEQs): sets of tokens that occur with
+identical frequency vectors across the input pages.  Tokens in big
+equivalence classes are template; text not explained by the template is
+extracted as data.
+
+Simplifications kept honest to the idea:
+
+* tokens are (ancestor-tag-path, word) pairs — this stands in for
+  EXALG's "differentiation" of tokens by their HTML context;
+* an equivalence class is *template* when its tokens occur exactly once
+  per page in every page (the dominant LFEQ case for page-level
+  templates) and the class has at least ``min_class_size`` members;
+* extraction returns, per page, every maximal run of non-template words
+  inside one text node — the "data chunks".
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.dom.node import Text
+from repro.dom.traversal import iter_text_nodes, tag_path
+from repro.sites.page import WebPage
+
+_TOKEN_RE = re.compile(r"\S+")
+
+
+def _tokens_of(page: WebPage) -> list[tuple[tuple[str, ...], str]]:
+    tokens: list[tuple[tuple[str, ...], str]] = []
+    for text in iter_text_nodes(page.root_element, skip_whitespace=True):
+        path = tag_path(text.parent) if text.parent is not None else ()
+        for word in _TOKEN_RE.findall(text.data):
+            tokens.append((path, word))
+    return tokens
+
+
+@dataclass
+class ExalgWrapper:
+    """Automatic wrapper from token equivalence classes.
+
+    Attributes:
+        template_tokens: the (path, word) tokens classified as template.
+    """
+
+    template_tokens: frozenset
+
+    @classmethod
+    def induce(
+        cls, pages: Sequence[WebPage], min_class_size: int = 2
+    ) -> "ExalgWrapper":
+        """Build the template from the pages' token occurrence vectors."""
+        if not pages:
+            raise ValueError("cannot induce a wrapper from zero pages")
+        vectors: dict[tuple, tuple[int, ...]] = {}
+        counts_per_page = [Counter(_tokens_of(page)) for page in pages]
+        all_tokens = set()
+        for counter in counts_per_page:
+            all_tokens.update(counter)
+        for token in all_tokens:
+            vectors[token] = tuple(counter.get(token, 0) for counter in counts_per_page)
+
+        by_vector: dict[tuple[int, ...], list] = defaultdict(list)
+        for token, vector in vectors.items():
+            by_vector[vector].append(token)
+
+        template: set = set()
+        ones = tuple(1 for _ in pages)
+        for vector, members in by_vector.items():
+            if vector == ones and len(members) >= min_class_size:
+                template.update(members)
+        return cls(template_tokens=frozenset(template))
+
+    def extract(self, page: WebPage) -> list[str]:
+        """Data chunks: maximal non-template word runs per text node."""
+        chunks: list[str] = []
+        for text in iter_text_nodes(page.root_element, skip_whitespace=True):
+            path = tag_path(text.parent) if text.parent is not None else ()
+            run: list[str] = []
+            for word in _TOKEN_RE.findall(text.data):
+                if (path, word) in self.template_tokens:
+                    if run:
+                        chunks.append(" ".join(run))
+                        run = []
+                else:
+                    run.append(word)
+            if run:
+                chunks.append(" ".join(run))
+        return chunks
+
+    def template_size(self) -> int:
+        return len(self.template_tokens)

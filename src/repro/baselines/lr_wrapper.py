@@ -1,0 +1,131 @@
+"""Kushmerick-style LR (left-right delimiter) wrapper induction.
+
+The classic supervised wrapper class [10]: for every attribute, learn a
+*left delimiter* and a *right delimiter* such that each attribute value
+on a page is the string between an occurrence of the left delimiter and
+the next occurrence of the right delimiter, in the raw HTML.
+
+Induction (per component):
+
+* collect the contexts of every labelled value occurrence in the
+  training pages' HTML;
+* the left delimiter is the longest common *suffix* of the preceding
+  contexts; the right delimiter the longest common *prefix* of the
+  following contexts;
+* delimiters are clipped to ``max_delimiter`` characters (long
+  delimiters over-fit page-specific content).
+
+This is a *targeted, supervised* baseline like Retrozilla (it knows
+which components to extract), but string-level rather than tree-level:
+the comparison benchmark shows where character delimiters break
+(position shifts inside identical markup, values embedded in running
+text).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.sites.page import WebPage
+
+
+@dataclass(frozen=True)
+class LRRule:
+    """Learned delimiters for one component."""
+
+    component: str
+    left: str
+    right: str
+
+    def extract(self, html: str) -> list[str]:
+        """All delimiter-bounded values in ``html``, in order."""
+        if not self.left or not self.right:
+            return []
+        values: list[str] = []
+        position = 0
+        while True:
+            start = html.find(self.left, position)
+            if start < 0:
+                break
+            value_start = start + len(self.left)
+            end = html.find(self.right, value_start)
+            if end < 0:
+                break
+            values.append(" ".join(html[value_start:end].split()))
+            position = end
+        return values
+
+
+def _common_suffix(strings: Sequence[str]) -> str:
+    if not strings:
+        return ""
+    shortest = min(len(s) for s in strings)
+    suffix_len = 0
+    while suffix_len < shortest:
+        char = strings[0][-(suffix_len + 1)]
+        if all(s[-(suffix_len + 1)] == char for s in strings):
+            suffix_len += 1
+        else:
+            break
+    return strings[0][len(strings[0]) - suffix_len :] if suffix_len else ""
+
+
+def _common_prefix(strings: Sequence[str]) -> str:
+    if not strings:
+        return ""
+    shortest = min(len(s) for s in strings)
+    prefix_len = 0
+    while prefix_len < shortest:
+        char = strings[0][prefix_len]
+        if all(s[prefix_len] == char for s in strings):
+            prefix_len += 1
+        else:
+            break
+    return strings[0][:prefix_len]
+
+
+class LRWrapper:
+    """A set of LR rules, one per targeted component."""
+
+    def __init__(self, rules: dict[str, LRRule]):
+        self.rules = rules
+
+    @classmethod
+    def induce(
+        cls,
+        pages: Sequence[WebPage],
+        component_names: Sequence[str],
+        context: int = 60,
+        max_delimiter: int = 40,
+    ) -> "LRWrapper":
+        """Learn delimiters from ``pages``' ground-truth labels.
+
+        Components whose values cannot be found verbatim in the HTML of
+        any training page get an empty (never-matching) rule.
+        """
+        rules: dict[str, LRRule] = {}
+        for name in component_names:
+            lefts: list[str] = []
+            rights: list[str] = []
+            for page in pages:
+                values = page.expected_values(name) or []
+                for value in values:
+                    index = page.html.find(value)
+                    if index < 0:
+                        continue
+                    lefts.append(page.html[max(0, index - context) : index])
+                    rights.append(page.html[index + len(value) : index + len(value) + context])
+            left = _common_suffix(lefts)[-max_delimiter:]
+            right = _common_prefix(rights)[:max_delimiter]
+            rules[name] = LRRule(component=name, left=left, right=right)
+        return cls(rules)
+
+    def extract(self, page: WebPage) -> dict[str, list[str]]:
+        """Component name -> extracted values for ``page``."""
+        return {
+            name: rule.extract(page.html) for name, rule in self.rules.items()
+        }
+
+    def rule_for(self, component_name: str) -> Optional[LRRule]:
+        return self.rules.get(component_name)

@@ -1,0 +1,369 @@
+"""A RoadRunner-style automatic wrapper (align & generalise).
+
+RoadRunner [6] infers a union-free regular expression common to the
+pages of a cluster by pairwise comparison: matching template tokens
+stay, mismatching text becomes ``#PCDATA`` data fields, and structural
+mismatches are generalised into optionals and iterators.
+
+This implementation performs the same induction over DOM trees instead
+of token streams (simpler, and our substrate is the DOM anyway):
+
+* two text nodes with different content generalise to a :class:`DataSlot`;
+* element children are aligned by tag with an LCS alignment; unmatched
+  subtrees become *optional*;
+* runs of same-tag siblings with compatible structure collapse into a
+  *repetition* whose body is the generalisation of the run's elements.
+
+The resulting :class:`TemplateNode` tree is the inferred grammar; its
+``extract`` walks a new page and returns every data-slot value — the
+"all varying chunks of the HTML source code" behaviour the paper
+contrasts with targeted extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.dom.node import Comment, Document, Element, Node, Text
+from repro.sites.page import WebPage
+
+
+# --------------------------------------------------------------------- #
+# Template model
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class TemplateNode:
+    """A node of the inferred template grammar.
+
+    kind is one of:
+
+    * ``"element"`` — fixed tag with child templates;
+    * ``"text"`` — constant template text;
+    * ``"data"`` — a ``#PCDATA`` slot (varying text);
+    * ``"repetition"`` — one body template matched one-or-more times;
+    * ``"optional"`` — a sub-template matched zero-or-one time.
+    """
+
+    kind: str
+    tag: str = ""
+    text: str = ""
+    children: list["TemplateNode"] = field(default_factory=list)
+    slot_id: int = -1
+
+    def render(self, depth: int = 0) -> str:
+        """Human-readable grammar rendering (for docs and debugging)."""
+        pad = "  " * depth
+        if self.kind == "text":
+            return f"{pad}{self.text!r}"
+        if self.kind == "data":
+            return f"{pad}#PCDATA[{self.slot_id}]"
+        if self.kind == "repetition":
+            inner = "\n".join(c.render(depth + 1) for c in self.children)
+            return f"{pad}( ... )+\n{inner}"
+        if self.kind == "optional":
+            inner = "\n".join(c.render(depth + 1) for c in self.children)
+            return f"{pad}( ... )?\n{inner}"
+        inner = "\n".join(c.render(depth + 1) for c in self.children)
+        header = f"{pad}<{self.tag}>"
+        return f"{header}\n{inner}" if inner else header
+
+
+def _norm(text: str) -> str:
+    return " ".join(text.split())
+
+
+# --------------------------------------------------------------------- #
+# Induction
+# --------------------------------------------------------------------- #
+
+
+class RoadRunnerWrapper:
+    """Automatic wrapper induced from a cluster's pages.
+
+    Usage:
+        >>> wrapper = RoadRunnerWrapper.induce(pages)     # doctest: +SKIP
+        >>> chunks = wrapper.extract(new_page)            # doctest: +SKIP
+    """
+
+    def __init__(self, template: TemplateNode):
+        self.template = template
+        self._slot_counter = 0
+
+    # -- induction ---------------------------------------------------------#
+
+    @classmethod
+    def induce(cls, pages: Sequence[WebPage]) -> "RoadRunnerWrapper":
+        """Infer a template by folding the pages' DOMs pairwise."""
+        if not pages:
+            raise ValueError("cannot induce a wrapper from zero pages")
+        template = _tree_to_template(pages[0].root_element)
+        for page in pages[1:]:
+            template = _merge(template, _tree_to_template(page.root_element))
+        _number_slots(template, iter(range(10_000)))
+        return cls(template)
+
+    # -- extraction ----------------------------------------------------------#
+
+    def extract(self, page: WebPage) -> list[str]:
+        """All data-slot values found on ``page``, in document order."""
+        chunks: list[str] = []
+        _extract(self.template, page.root_element, chunks)
+        return [chunk for chunk in chunks if chunk]
+
+    def slot_count(self) -> int:
+        return _count_slots(self.template)
+
+
+# -- tree -> initial template ------------------------------------------- #
+
+
+def _tree_to_template(node: Node) -> TemplateNode:
+    if isinstance(node, Text):
+        return TemplateNode(kind="text", text=_norm(node.data))
+    if isinstance(node, Element):
+        children = [
+            _tree_to_template(child)
+            for child in node.children
+            if not isinstance(child, Comment)
+            and not (isinstance(child, Text) and child.is_whitespace())
+        ]
+        return TemplateNode(kind="element", tag=node.tag, children=children)
+    raise TypeError(f"unsupported node {type(node).__name__}")
+
+
+# -- merge (align & generalise) ------------------------------------------ #
+
+
+def _merge(a: TemplateNode, b: TemplateNode) -> TemplateNode:
+    if a.kind == "text" and b.kind == "text":
+        if a.text == b.text:
+            return a
+        return TemplateNode(kind="data")
+    if a.kind == "data" and b.kind in ("text", "data"):
+        return a
+    if b.kind == "data" and a.kind == "text":
+        return b
+    if a.kind == "element" and b.kind == "element" and a.tag == b.tag:
+        return TemplateNode(
+            kind="element", tag=a.tag, children=_merge_children(a.children, b.children)
+        )
+    if a.kind == "repetition" and _compatible(a.children[0], b):
+        a.children[0] = _merge(a.children[0], b)
+        return a
+    if b.kind == "repetition" and _compatible(b.children[0], a):
+        b.children[0] = _merge(b.children[0], a)
+        return b
+    if a.kind == "optional" and _compatible(a.children[0], b):
+        return TemplateNode(kind="optional", children=[_merge(a.children[0], b)])
+    if b.kind == "optional" and _compatible(a, b.children[0]):
+        return TemplateNode(kind="optional", children=[_merge(a, b.children[0])])
+    # Irreconcilable structures: give up locally with a data slot so the
+    # grammar stays union-free (RoadRunner would backtrack; collapsing
+    # to a field is the standard simplification).
+    return TemplateNode(kind="data")
+
+
+def _compatible(a: TemplateNode, b: TemplateNode) -> bool:
+    if a.kind == "element" and b.kind == "element":
+        return a.tag == b.tag
+    if a.kind in ("text", "data") and b.kind in ("text", "data"):
+        return True
+    if a.kind == "repetition":
+        return _compatible(a.children[0], b)
+    if b.kind == "repetition":
+        return _compatible(a, b.children[0])
+    if a.kind == "optional":
+        return _compatible(a.children[0], b)
+    if b.kind == "optional":
+        return _compatible(a, b.children[0])
+    return a.kind == b.kind
+
+
+def _signature(node: TemplateNode) -> str:
+    if node.kind == "element":
+        return f"<{node.tag}>"
+    if node.kind in ("text", "data"):
+        return "#text"
+    if node.kind in ("repetition", "optional"):
+        return _signature(node.children[0])
+    return node.kind
+
+
+def _merge_children(
+    left: list[TemplateNode], right: list[TemplateNode]
+) -> list[TemplateNode]:
+    """Align two child lists: LCS on signatures, then generalise.
+
+    Unmatched runs become optional; the result is post-processed to
+    collapse adjacent same-signature element repeats into repetitions.
+    """
+    sig_left = [_signature(child) for child in left]
+    sig_right = [_signature(child) for child in right]
+    # LCS table.
+    table = [[0] * (len(right) + 1) for _ in range(len(left) + 1)]
+    for i in range(len(left) - 1, -1, -1):
+        for j in range(len(right) - 1, -1, -1):
+            if sig_left[i] == sig_right[j]:
+                table[i][j] = table[i + 1][j + 1] + 1
+            else:
+                table[i][j] = max(table[i + 1][j], table[i][j + 1])
+    merged: list[TemplateNode] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if sig_left[i] == sig_right[j]:
+            merged.append(_merge(left[i], right[j]))
+            i += 1
+            j += 1
+        elif table[i + 1][j] >= table[i][j + 1]:
+            merged.append(_make_optional(left[i]))
+            i += 1
+        else:
+            merged.append(_make_optional(right[j]))
+            j += 1
+    for rest in left[i:]:
+        merged.append(_make_optional(rest))
+    for rest in right[j:]:
+        merged.append(_make_optional(rest))
+    return _fold_repetitions(merged)
+
+
+def _make_optional(node: TemplateNode) -> TemplateNode:
+    if node.kind in ("optional", "repetition"):
+        return node
+    return TemplateNode(kind="optional", children=[node])
+
+
+def _fold_repetitions(children: list[TemplateNode]) -> list[TemplateNode]:
+    """Collapse adjacent same-tag element templates into a repetition.
+
+    This is the "iterator" generalisation: a run of <TR> templates (some
+    possibly optional) becomes ``(<TR> ...)+``.  A run is folded only
+    when there is *evidence of a varying count* — at least one member is
+    optional (it was unmatched in some page) or already a repetition —
+    or when the run is long (>= 4), so that two adjacent paragraphs with
+    different roles are not collapsed into one iterator.
+    """
+    folded: list[TemplateNode] = []
+    index = 0
+    while index < len(children):
+        current = children[index]
+        signature = _signature(current)
+        run_end = index
+        while (
+            run_end + 1 < len(children)
+            and signature.startswith("<")
+            and _signature(children[run_end + 1]) == signature
+        ):
+            run_end += 1
+        run = children[index : run_end + 1]
+        varying = any(n.kind in ("optional", "repetition") for n in run)
+        if run_end > index and not varying and len(run) < 4:
+            run_end = index  # fixed-count short run: keep members distinct
+        if run_end > index:
+            body: Optional[TemplateNode] = None
+            for k in range(index, run_end + 1):
+                inner = children[k]
+                while inner.kind in ("optional", "repetition"):
+                    inner = inner.children[0]
+                body = inner if body is None else _merge(body, inner)
+            folded.append(TemplateNode(kind="repetition", children=[body]))
+            index = run_end + 1
+        else:
+            folded.append(current)
+            index += 1
+    return folded
+
+
+def _number_slots(node: TemplateNode, counter) -> None:
+    if node.kind == "data" and node.slot_id < 0:
+        node.slot_id = next(counter)
+    for child in node.children:
+        _number_slots(child, counter)
+
+
+def _count_slots(node: TemplateNode) -> int:
+    own = 1 if node.kind == "data" else 0
+    return own + sum(_count_slots(child) for child in node.children)
+
+
+# -- extraction ------------------------------------------------------------ #
+
+
+def _content_children(node: Element) -> list[Node]:
+    return [
+        child
+        for child in node.children
+        if not isinstance(child, Comment)
+        and not (isinstance(child, Text) and child.is_whitespace())
+    ]
+
+
+def _extract(template: TemplateNode, node: Node, out: list[str]) -> bool:
+    """Match ``template`` against ``node``; append slot values to ``out``.
+
+    Returns True when the match succeeded (optionals absorb failures).
+    """
+    if template.kind == "data":
+        if isinstance(node, Text):
+            out.append(_norm(node.data))
+            return True
+        if isinstance(node, Element):
+            out.append(_norm(node.text_content()))
+            return True
+        return False
+    if template.kind == "text":
+        return isinstance(node, Text) and _norm(node.data) == template.text
+    if template.kind == "element":
+        if not isinstance(node, Element) or node.tag != template.tag:
+            return False
+        _extract_children(template.children, _content_children(node), out)
+        return True
+    if template.kind in ("optional", "repetition"):
+        return _extract(template.children[0], node, out)
+    return False
+
+
+def _extract_children(
+    templates: list[TemplateNode], nodes: list[Node], out: list[str]
+) -> None:
+    """Greedy left-to-right assignment of child nodes to child templates."""
+    node_index = 0
+    for template in templates:
+        if template.kind == "repetition":
+            body = template.children[0]
+            matched_any = False
+            while node_index < len(nodes):
+                checkpoint = len(out)
+                if _node_matches(body, nodes[node_index]):
+                    _extract(body, nodes[node_index], out)
+                    node_index += 1
+                    matched_any = True
+                else:
+                    del out[checkpoint:]
+                    break
+            continue
+        if template.kind == "optional":
+            body = template.children[0]
+            if node_index < len(nodes) and _node_matches(body, nodes[node_index]):
+                _extract(body, nodes[node_index], out)
+                node_index += 1
+            continue
+        if node_index < len(nodes) and _node_matches(template, nodes[node_index]):
+            _extract(template, nodes[node_index], out)
+            node_index += 1
+        # A mandatory mismatch: skip the template (lenient extraction).
+
+
+def _node_matches(template: TemplateNode, node: Node) -> bool:
+    if template.kind == "element":
+        return isinstance(node, Element) and node.tag == template.tag
+    if template.kind == "text":
+        return isinstance(node, Text) and _norm(node.data) == template.text
+    if template.kind == "data":
+        return isinstance(node, (Text, Element))
+    if template.kind in ("optional", "repetition"):
+        return _node_matches(template.children[0], node)
+    return False

@@ -1,0 +1,220 @@
+"""Command-line interface: the ``retrozilla`` tool.
+
+Subcommands mirror the Figure-1 pipeline:
+
+* ``demo``        — run the paper's worked example end to end
+                    (Table 1 -> refinement -> Table 3 -> Figure 5 XML);
+* ``generate``    — write a synthetic site to a directory as HTML files;
+* ``cluster``     — cluster a directory of HTML files and print groups;
+* ``build``       — build mapping rules for a cluster interactively
+                    (console oracle) and save the repository;
+* ``extract``     — apply a saved repository to HTML files and emit the
+                    XML document (and optionally the XML Schema).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.clustering.cluster import PageClusterer
+from repro.core.builder import MappingRuleBuilder
+from repro.core.oracle import InteractiveOracle, ScriptedOracle
+from repro.core.repository import RuleRepository
+from repro.extraction.extractor import ExtractionProcessor
+from repro.extraction.schema import generate_xml_schema
+from repro.extraction.xml_writer import write_cluster_xml
+from repro.sites.imdb import generate_imdb_site, make_paper_sample
+from repro.sites.news import generate_news_site
+from repro.sites.page import WebPage
+from repro.sites.shop import generate_shop_site
+from repro.sites.stocks import generate_stocks_site
+
+
+def _load_pages(directory: Path) -> list[WebPage]:
+    """Read ``*.html`` files from a directory as pages (URL = file URI)."""
+    pages: list[WebPage] = []
+    for path in sorted(directory.glob("*.html")):
+        pages.append(WebPage(url=path.as_uri(), html=path.read_text(encoding="utf-8")))
+    return pages
+
+
+def _save_site(site, directory: Path) -> int:
+    directory.mkdir(parents=True, exist_ok=True)
+    count = 0
+    for index, page in enumerate(site):
+        name = f"{page.cluster_hint or 'page'}-{index:04d}.html"
+        (directory / name).write_text(page.html, encoding="utf-8")
+        count += 1
+    return count
+
+
+# ----------------------------------------------------------------------- #
+# Subcommand implementations
+# ----------------------------------------------------------------------- #
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core.checking import check_rule, render_check_table
+
+    sample = make_paper_sample()
+    oracle = ScriptedOracle()
+    builder = MappingRuleBuilder(
+        sample, oracle, cluster_name="imdb-movies", seed=args.seed
+    )
+    selection = oracle.select_value(sample[0], "runtime")
+    candidate = builder.candidate_from_selection("runtime", selection)
+    print("Candidate rule (from one positive example):")
+    print(candidate.describe())
+    print()
+    print("Table 1 - candidate rule checking:")
+    print(render_check_table(check_rule(candidate, sample, oracle)))
+    print()
+    rule, report, trace = builder.engine.refine(candidate, sample)
+    print(f"Refinement strategies applied: {trace.strategies_used}")
+    print()
+    print("Table 3 - rule checking after rule refinement:")
+    print(render_check_table(report))
+    print()
+    builder.repository.record("imdb-movies", rule)
+    processor = ExtractionProcessor(builder.repository, "imdb-movies")
+    print("Figure 5 - generated XML document:")
+    print(write_cluster_xml(processor.extract(sample), builder.repository))
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    generators = {
+        "imdb": lambda: generate_imdb_site(
+            n_movies=args.pages, n_actors=args.pages // 3,
+            n_search=args.pages // 5, seed=args.seed,
+        ),
+        "shop": lambda: generate_shop_site(args.pages, seed=args.seed),
+        "news": lambda: generate_news_site(args.pages, seed=args.seed),
+        "stocks": lambda: generate_stocks_site(min(args.pages, 24), seed=args.seed),
+    }
+    if args.family not in generators:
+        print(f"unknown site family {args.family!r}", file=sys.stderr)
+        return 2
+    count = _save_site(generators[args.family](), Path(args.output))
+    print(f"wrote {count} page(s) to {args.output}")
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    pages = _load_pages(Path(args.directory))
+    if not pages:
+        print("no *.html files found", file=sys.stderr)
+        return 2
+    result = PageClusterer().cluster(pages)
+    for cluster in result.clusters:
+        print(f"{cluster.name}  ({len(cluster)} page(s))")
+        for url in cluster.urls()[: args.show]:
+            print(f"  {url}")
+        if len(cluster) > args.show:
+            print(f"  ... and {len(cluster) - args.show} more")
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    pages = _load_pages(Path(args.directory))
+    if not pages:
+        print("no *.html files found", file=sys.stderr)
+        return 2
+    sample = pages[: args.sample_size]
+    oracle = InteractiveOracle()
+    repository = (
+        RuleRepository.load(args.repository)
+        if Path(args.repository).exists()
+        else RuleRepository()
+    )
+    builder = MappingRuleBuilder(
+        sample, oracle, repository=repository, cluster_name=args.cluster
+    )
+    report = builder.build_all(args.components)
+    print(report.summary())
+    repository.save(args.repository)
+    print(f"repository saved to {args.repository}")
+    return 0 if not report.failed_components else 1
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    pages = _load_pages(Path(args.directory))
+    repository = RuleRepository.load(args.repository)
+    processor = ExtractionProcessor(repository, args.cluster)
+    result = processor.extract(pages)
+    xml = write_cluster_xml(result, repository)
+    if args.output:
+        Path(args.output).write_text(xml, encoding="utf-8")
+        print(f"XML written to {args.output}")
+    else:
+        print(xml)
+    if args.schema:
+        schema = generate_xml_schema(repository, args.cluster)
+        Path(args.schema).write_text(schema, encoding="utf-8")
+        print(f"XML Schema written to {args.schema}")
+    if result.failures:
+        print(f"{len(result.failures)} extraction failure(s) detected:",
+              file=sys.stderr)
+        for failure in result.failures[:10]:
+            print(f"  {failure}", file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------- #
+# Parser
+# ----------------------------------------------------------------------- #
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="retrozilla",
+        description="Semi-automated extraction of targeted data from web pages "
+        "(Estiévenart et al., ICDE Workshops 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the paper's worked example")
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=cmd_demo)
+
+    generate = sub.add_parser("generate", help="write a synthetic site to disk")
+    generate.add_argument("family", choices=["imdb", "shop", "news", "stocks"])
+    generate.add_argument("output")
+    generate.add_argument("--pages", type=int, default=30)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=cmd_generate)
+
+    cluster = sub.add_parser("cluster", help="cluster a directory of HTML files")
+    cluster.add_argument("directory")
+    cluster.add_argument("--show", type=int, default=5)
+    cluster.set_defaults(func=cmd_cluster)
+
+    build = sub.add_parser("build", help="build rules interactively")
+    build.add_argument("directory")
+    build.add_argument("components", nargs="+")
+    build.add_argument("--cluster", default="cluster")
+    build.add_argument("--repository", default="rules.json")
+    build.add_argument("--sample-size", type=int, default=10)
+    build.set_defaults(func=cmd_build)
+
+    extract = sub.add_parser("extract", help="apply saved rules, emit XML")
+    extract.add_argument("directory")
+    extract.add_argument("--cluster", default="cluster")
+    extract.add_argument("--repository", default="rules.json")
+    extract.add_argument("--output", default="")
+    extract.add_argument("--schema", default="")
+    extract.set_defaults(func=cmd_extract)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,91 @@
+"""Per-page features used by the clustering heuristics.
+
+Each feature corresponds to a technique the paper cites (Section 2.1):
+"simple analysis of URLs [7], [20] ... tags periodicity [7], keywords
+frequency [22]".
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from urllib.parse import urlparse
+
+from repro.dom.traversal import iter_text_nodes, tag_path_profile, tag_sequence
+from repro.sites.page import WebPage
+
+_NUMBER_RE = re.compile(r"\d+")
+_WORD_RE = re.compile(r"[a-zA-Z][a-zA-Z'-]+")
+
+#: High-frequency words carrying no concept signal.
+_STOPWORDS = frozenset(
+    """a an and are as at be but by for from has have in is it its of on or
+    that the this to was were will with all after more one two new"""
+    .split()
+)
+
+
+def url_signature(url: str) -> str:
+    """A URL pattern with volatile parts masked.
+
+    ``http://imdb.example.org/title/tt1000004/`` and
+    ``.../title/tt1000017/`` share the signature
+    ``imdb.example.org/title/*/`` — the URL-analysis heuristic of
+    [7]/[20]: pages produced by the same server template share a URL
+    shape.
+
+    >>> url_signature("http://x.org/title/tt123/")
+    'x.org/title/*/'
+    """
+    parsed = urlparse(url)
+    segments = [s for s in parsed.path.split("/")]
+    masked: list[str] = []
+    for segment in segments:
+        if not segment:
+            masked.append("")
+            continue
+        if _NUMBER_RE.search(segment):
+            masked.append("*")
+        else:
+            masked.append(segment)
+    path = "/".join(masked)
+    query = "?*" if parsed.query else ""
+    return f"{parsed.netloc}{path}{query}"
+
+
+def keyword_profile(page: WebPage, limit: int = 30) -> Counter:
+    """Frequency counter of the page's most telling words.
+
+    The "keywords frequency" heuristic [22]: pages featuring instances
+    of the same concept share template vocabulary (the constant labels
+    — "Runtime:", "Directed by:" — dominate, because data values vary
+    across pages while labels repeat across the cluster).
+    """
+    counter: Counter = Counter()
+    for text in iter_text_nodes(page.root_element, skip_whitespace=True):
+        for word in _WORD_RE.findall(text.data.lower()):
+            if word not in _STOPWORDS and len(word) > 2:
+                counter[word] += 1
+    if limit and len(counter) > limit:
+        return Counter(dict(counter.most_common(limit)))
+    return counter
+
+
+def tag_profile(page: WebPage) -> Counter:
+    """Tag-frequency counter (coarse layout fingerprint)."""
+    return Counter(tag_sequence(page.root_element))
+
+
+def path_profile(page: WebPage) -> Counter:
+    """Root-to-element tag-path multiset (fine layout fingerprint).
+
+    Two pages rendered from the same template share most of their tag
+    paths even when optional blocks differ — this is the "close HTML
+    structure" membership criterion.
+    """
+    return Counter(tag_path_profile(page.root_element))
+
+
+def page_tag_sequence(page: WebPage) -> list[str]:
+    """The DFS tag sequence (input to periodicity/sequence similarity)."""
+    return tag_sequence(page.root_element)

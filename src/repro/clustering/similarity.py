@@ -1,0 +1,77 @@
+"""Similarity measures between page fingerprints.
+
+Small, dependency-free implementations; :mod:`repro.clustering.cluster`
+combines them into the paper's membership test.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+
+def cosine_similarity(a: Counter, b: Counter) -> float:
+    """Cosine of two frequency vectors (0.0 when either is empty)."""
+    if not a or not b:
+        return 0.0
+    dot = sum(count * b.get(key, 0) for key, count in a.items())
+    norm_a = math.sqrt(sum(count * count for count in a.values()))
+    norm_b = math.sqrt(sum(count * count for count in b.values()))
+    if norm_a == 0 or norm_b == 0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+def jaccard_similarity(a: Counter, b: Counter) -> float:
+    """Multiset Jaccard: |a ∩ b| / |a ∪ b| over counted elements."""
+    if not a and not b:
+        return 1.0
+    keys = set(a) | set(b)
+    intersection = sum(min(a.get(k, 0), b.get(k, 0)) for k in keys)
+    union = sum(max(a.get(k, 0), b.get(k, 0)) for k in keys)
+    if union == 0:
+        return 1.0
+    return intersection / union
+
+
+def tag_sequence_similarity(a: Sequence[str], b: Sequence[str]) -> float:
+    """Normalised longest-common-subsequence similarity of tag sequences.
+
+    ``2 * LCS(a, b) / (len(a) + len(b))`` — 1.0 for identical layouts,
+    tolerant of optional blocks (which delete a contiguous run of tags).
+    To bound cost on big pages the sequences are downsampled to at most
+    400 events before the quadratic LCS.
+    """
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    a, b = _downsample(a, 400), _downsample(b, 400)
+    previous = [0] * (len(b) + 1)
+    for tag_a in a:
+        current = [0]
+        for j, tag_b in enumerate(b, start=1):
+            if tag_a == tag_b:
+                current.append(previous[j - 1] + 1)
+            else:
+                current.append(max(previous[j], current[-1]))
+        previous = current
+    lcs = previous[-1]
+    return 2.0 * lcs / (len(a) + len(b))
+
+
+def _downsample(sequence: Sequence[str], limit: int) -> Sequence[str]:
+    if len(sequence) <= limit:
+        return sequence
+    step = len(sequence) / limit
+    return [sequence[int(i * step)] for i in range(limit)]
+
+
+def structure_similarity(paths_a: Counter, paths_b: Counter) -> float:
+    """Similarity of root-to-element tag-path multisets (Jaccard).
+
+    The primary "close HTML structure" measure: robust to text changes,
+    sensitive to layout changes.
+    """
+    return jaccard_similarity(paths_a, paths_b)

@@ -1,0 +1,231 @@
+"""The semi-automated rule-building scenario of Figure 3.
+
+For each component of interest the driver performs:
+
+1. **Candidate rule building** (Section 3.2) — a component value is
+   selected in one (randomly chosen) page of the working sample; its
+   precise XPath becomes the location, the user-given name the
+   interpretation, and the remaining properties take their defaults:
+   ``mandatory``, ``single-valued``, and ``text`` (or ``mixed`` when
+   the selected node is not a simple text node).
+2. **Rule checking** (Section 3.3) — the candidate is applied to every
+   page of the sample.
+3. **Rule refinement** (Section 3.4) — negative examples are resolved
+   one at a time by :class:`repro.core.refinement.RefinementEngine`.
+4. **Rule recording** (Section 3.5) — a validated rule goes into the
+   :class:`repro.core.repository.RuleRepository`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.dom.node import Element, Text
+from repro.errors import RefinementError
+from repro.core.checking import CheckReport, check_rule, render_check_table
+from repro.core.component import Format, PageComponent
+from repro.core.oracle import Oracle, Selection
+from repro.core.refinement import RefinementEngine, RefinementTrace
+from repro.core.repository import RuleRepository
+from repro.core.rule import MappingRule
+from repro.core.xpath_builder import build_precise_xpath
+from repro.sites.page import WebPage
+
+
+@dataclass
+class BuildOutcome:
+    """Everything the builder produced for one component."""
+
+    component_name: str
+    rule: Optional[MappingRule]
+    report: Optional[CheckReport]
+    trace: RefinementTrace
+    recorded: bool
+
+    @property
+    def succeeded(self) -> bool:
+        return self.recorded
+
+
+@dataclass
+class BuildReport:
+    """Summary of a whole build session over several components."""
+
+    outcomes: list[BuildOutcome] = field(default_factory=list)
+
+    @property
+    def recorded_rules(self) -> list[MappingRule]:
+        return [o.rule for o in self.outcomes if o.recorded and o.rule is not None]
+
+    @property
+    def failed_components(self) -> list[str]:
+        return [o.component_name for o in self.outcomes if not o.recorded]
+
+    def summary(self) -> str:
+        lines = []
+        for outcome in self.outcomes:
+            status = "recorded" if outcome.recorded else "FAILED"
+            refinements = len(outcome.trace.steps)
+            lines.append(
+                f"{outcome.component_name:<20} {status:<9} "
+                f"({refinements} refinement(s): "
+                f"{', '.join(outcome.trace.strategies_used) or 'none'})"
+            )
+        return "\n".join(lines)
+
+
+class MappingRuleBuilder:
+    """Drives the Figure-3 scenario for a working sample.
+
+    Args:
+        sample: the working sample pages (Section 3.1 suggests ~10).
+        oracle: the human-operator stand-in.
+        repository: where validated rules are recorded.
+        cluster_name: the page cluster these rules address.
+        seed: RNG seed for the "randomly chosen" candidate page.
+        prefer_contextual: refinement strategy preference (ablation).
+    """
+
+    def __init__(
+        self,
+        sample: Sequence[WebPage],
+        oracle: Oracle,
+        repository: Optional[RuleRepository] = None,
+        cluster_name: str = "cluster",
+        seed: Optional[int] = None,
+        prefer_contextual: bool = True,
+        enable_contextual: bool = True,
+        max_iterations: int = 25,
+    ) -> None:
+        if not sample:
+            raise ValueError("working sample must not be empty")
+        self.sample = list(sample)
+        self.oracle = oracle
+        self.repository = repository if repository is not None else RuleRepository()
+        self.cluster_name = cluster_name
+        self._rng = random.Random(seed)
+        self.engine = RefinementEngine(
+            oracle,
+            max_iterations=max_iterations,
+            prefer_contextual=prefer_contextual,
+            enable_contextual=enable_contextual,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Candidate rule building (Section 3.2)
+    # ------------------------------------------------------------------ #
+
+    def build_candidate(self, component_name: str) -> MappingRule:
+        """Candidate rule from a selection in one random sample page.
+
+        Properties follow Section 3.2 exactly: location and name come
+        from selection and interpretation; optionality and multiplicity
+        default to ``mandatory`` / ``single-valued``; format is ``text``
+        iff the selected value is a simple text node.
+
+        Raises:
+            RefinementError: when no sample page yields a selection.
+        """
+        pages = self.sample[:]
+        self._rng.shuffle(pages)
+        for page in pages:
+            selection = self.oracle.select_value(page, component_name)
+            if selection is None:
+                continue
+            return self.candidate_from_selection(component_name, selection)
+        raise RefinementError(
+            f"component {component_name!r} could not be selected in any "
+            "page of the working sample"
+        )
+
+    def candidate_from_selection(
+        self, component_name: str, selection: Selection
+    ) -> MappingRule:
+        """Deterministic candidate construction from an explicit selection."""
+        node = selection.first
+        component = PageComponent(name=component_name)
+        if isinstance(node, Element):
+            component = component.as_mixed()
+        location = build_precise_xpath(node)
+        return MappingRule(component=component, locations=(location,))
+
+    # ------------------------------------------------------------------ #
+    # Whole scenario per component (Figure 3)
+    # ------------------------------------------------------------------ #
+
+    def build_rule(self, component_name: str) -> BuildOutcome:
+        """Candidate -> check -> refine -> record, for one component."""
+        try:
+            candidate = self.build_candidate(component_name)
+        except RefinementError:
+            return BuildOutcome(
+                component_name=component_name,
+                rule=None,
+                report=None,
+                trace=RefinementTrace(),
+                recorded=False,
+            )
+        rule, report, trace = self.engine.refine(candidate, self.sample)
+        recorded = report.is_valid
+        if recorded:
+            self.repository.record(self.cluster_name, rule)
+        return BuildOutcome(
+            component_name=component_name,
+            rule=rule,
+            report=report,
+            trace=trace,
+            recorded=recorded,
+        )
+
+    def build_all(self, component_names: Sequence[str]) -> BuildReport:
+        """Run the scenario for every component of interest."""
+        report = BuildReport()
+        for name in component_names:
+            report.outcomes.append(self.build_rule(name))
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Semi-automated error recovery (Section 7)
+    # ------------------------------------------------------------------ #
+
+    def repair_rule(
+        self,
+        rule: MappingRule,
+        failing_pages: Sequence[WebPage],
+    ) -> BuildOutcome:
+        """Repair a rule that failed on pages outside the original sample.
+
+        Section 7 sketches this workflow: "a failure in a rule could be
+        automatically detected when a mandatory component cannot be
+        found in one page ...  When such a failure is detected, the rule
+        should be refined manually from the negative examples."  The
+        failing pages join the working sample (each one "is likely to
+        enhance the quality and the accuracy of the mapping rules",
+        Section 3.1) and the refinement loop re-runs; a repaired rule
+        replaces the recorded one.
+        """
+        extended = list(self.sample)
+        for page in failing_pages:
+            if page not in extended:
+                extended.append(page)
+        repaired, report, trace = self.engine.refine(rule, extended)
+        recorded = report.is_valid
+        if recorded:
+            self.repository.record(self.cluster_name, repaired)
+        return BuildOutcome(
+            component_name=rule.name,
+            rule=repaired,
+            report=report,
+            trace=trace,
+            recorded=recorded,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Convenience: the Table-1 view for any rule
+    # ------------------------------------------------------------------ #
+
+    def check_table(self, rule: MappingRule) -> str:
+        """Render the tabular check view (Section 3.3 / Table 1)."""
+        return render_check_table(check_rule(rule, self.sample, self.oracle))

@@ -1,0 +1,204 @@
+"""Rule checking: apply a candidate rule across the working sample.
+
+Section 3.3: "The candidate rule is applied on the successive pages of
+the working sample to check whether it can retrieve the pertinent
+component values in all of them.  This checking is carried out by means
+of visual inspection in a tabular view."
+
+:func:`check_rule` produces that table programmatically and classifies
+every row, so the refinement engine knows *which* negative-example
+situation of Section 3.4 it is facing:
+
+* ``WRONG_VALUE`` — "the value matched by the candidate rule is an
+  unwanted value" (Table 1, row c);
+* ``VOID`` — "the candidate rule cannot match any value" (row d);
+* ``INCOMPLETE`` — "the value matched ... is incomplete" (mixed format);
+* ``NEEDS_MULTIVALUED`` — "the value appears to be multivalued";
+* ``UNEXPECTED_PRESENT`` — a value matched on a page where the
+  component is absent (optionality/shift problem);
+* ``VOID_ABSENT`` — void on a page where the component is genuinely
+  absent (consistent once the rule is ``optional``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Sequence
+
+from repro.core.oracle import Oracle
+from repro.core.rule import MappingRule, MatchResult, normalize_value
+from repro.core.component import Multiplicity, Optionality
+from repro.sites.page import WebPage
+
+
+class CheckOutcome(Enum):
+    CORRECT = "correct"
+    WRONG_VALUE = "wrong-value"
+    VOID = "void"
+    VOID_ABSENT = "void-absent"
+    UNEXPECTED_PRESENT = "unexpected-present"
+    INCOMPLETE = "incomplete"
+    NEEDS_MULTIVALUED = "needs-multivalued"
+
+    @property
+    def is_problem(self) -> bool:
+        return self not in (CheckOutcome.CORRECT, CheckOutcome.VOID_ABSENT)
+
+
+@dataclass(frozen=True)
+class CheckRow:
+    """One row of the Table-1 view: a page and what the rule matched."""
+
+    page: WebPage
+    outcome: CheckOutcome
+    matched: tuple[str, ...]
+    expected: Optional[tuple[str, ...]]
+
+    @property
+    def display_value(self) -> str:
+        """The 'Component value' cell: '-' for void, like Table 1 row d."""
+        if not self.matched:
+            return "-"
+        return "; ".join(self.matched)
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """All rows plus the verdict used by the Figure-3 exit test."""
+
+    rule: MappingRule
+    rows: tuple[CheckRow, ...]
+
+    @property
+    def is_valid(self) -> bool:
+        """"Rule for C is OK" — no row is a problem."""
+        return all(not row.outcome.is_problem for row in self.rows)
+
+    @property
+    def problems(self) -> list[CheckRow]:
+        return [row for row in self.rows if row.outcome.is_problem]
+
+    @property
+    def correct_count(self) -> int:
+        return sum(1 for row in self.rows if not row.outcome.is_problem)
+
+    def first_problem(self) -> Optional[CheckRow]:
+        """Refinement handles "each negative example ... one at a time"."""
+        problems = self.problems
+        return problems[0] if problems else None
+
+
+def classify_row(
+    rule: MappingRule,
+    page: WebPage,
+    match: MatchResult,
+    expected: Optional[list[str]],
+) -> CheckOutcome:
+    """Classify one page's match against the oracle's expectation."""
+    matched = [normalize_value(text) for text in match.texts]
+    if expected is None:
+        # No ground truth: only structural self-checks are possible
+        # (Section 7: failure detected "when the extraction of a
+        # single-valued text component returns more than one node").
+        if not matched:
+            if rule.component.optionality is Optionality.OPTIONAL:
+                return CheckOutcome.VOID_ABSENT
+            return CheckOutcome.VOID
+        if (
+            rule.component.multiplicity is Multiplicity.SINGLE_VALUED
+            and len(matched) > 1
+        ):
+            return CheckOutcome.NEEDS_MULTIVALUED
+        return CheckOutcome.CORRECT
+    expected_norm = [normalize_value(text) for text in expected]
+    if not expected_norm:
+        if matched:
+            return CheckOutcome.UNEXPECTED_PRESENT
+        if rule.component.optionality is Optionality.OPTIONAL:
+            return CheckOutcome.VOID_ABSENT
+        # Void result, component genuinely absent, but the rule still
+        # claims the component is mandatory: the rule must be refined.
+        return CheckOutcome.VOID
+    if not matched:
+        return CheckOutcome.VOID
+    if matched == expected_norm:
+        if (
+            len(matched) > 1
+            and rule.component.multiplicity is Multiplicity.SINGLE_VALUED
+        ):
+            return CheckOutcome.NEEDS_MULTIVALUED
+        return CheckOutcome.CORRECT
+    if len(expected_norm) > 1 and matched == expected_norm[: len(matched)]:
+        # Matched a proper prefix of a repetition: the component is
+        # multivalued and the location must be broadened (this also
+        # covers an already-multivalued rule whose broadening was
+        # deduced on a page with fewer instances).
+        return CheckOutcome.NEEDS_MULTIVALUED
+    if len(matched) == len(expected_norm) and all(
+        m != e and m in e for m, e in zip(matched, expected_norm)
+    ):
+        # Matched values are proper fragments of the expected ones: the
+        # value mixes text and markup on this page.
+        return CheckOutcome.INCOMPLETE
+    return CheckOutcome.WRONG_VALUE
+
+
+def check_rule(
+    rule: MappingRule,
+    sample: Sequence[WebPage],
+    oracle: Oracle,
+) -> CheckReport:
+    """Apply ``rule`` to every page of ``sample`` and classify each row."""
+    rows: list[CheckRow] = []
+    for page in sample:
+        match = rule.apply(page.root_element)
+        expected = oracle.expected_texts(page, rule.name)
+        if expected is None:
+            # Interactive oracles judge instead of providing expectations.
+            outcome = classify_row(rule, page, match, None)
+            if outcome is CheckOutcome.CORRECT and match.texts:
+                if not oracle.judge(page, rule.name, list(match.texts)):
+                    outcome = CheckOutcome.WRONG_VALUE
+        else:
+            outcome = classify_row(rule, page, match, expected)
+        rows.append(
+            CheckRow(
+                page=page,
+                outcome=outcome,
+                matched=tuple(normalize_value(t) for t in match.texts),
+                expected=tuple(expected) if expected is not None else None,
+            )
+        )
+    return CheckReport(rule=rule, rows=tuple(rows))
+
+
+def render_check_table(report: CheckReport, uri_width: int = 28) -> str:
+    """Render the report as the paper's Table 1.
+
+    >>> # produces:
+    >>> # Page URI                      | Component value
+    >>> # ------------------------------+----------------
+    >>> # ./title/tt0095159/            | 108 min
+    >>> # ./title/tt0102059/            | -
+    """
+    header_left = "Page URI"
+    lines = [
+        f"{header_left:<{uri_width}} | Component value",
+        "-" * uri_width + "-+-" + "-" * 16,
+    ]
+    for row in report.rows:
+        uri = _short_uri(row.page.url)
+        flag = "" if not row.outcome.is_problem else f"   <-- {row.outcome.value}"
+        lines.append(f"{uri:<{uri_width}} | {row.display_value}{flag}")
+    return "\n".join(lines)
+
+
+def _short_uri(url: str) -> str:
+    """Shorten 'http://host/path' to './path' as the paper's tables do."""
+    for scheme in ("http://", "https://"):
+        if url.startswith(scheme):
+            rest = url[len(scheme) :]
+            slash = rest.find("/")
+            return "." + rest[slash:] if slash >= 0 else url
+    return url

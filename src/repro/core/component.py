@@ -1,0 +1,127 @@
+"""Page components and their model-independent properties.
+
+Section 2.2 of the paper: "An information unit identified in a page is
+called a *page component*.  Semantically speaking, a page component is
+an interesting attribute of the main concept featured in the pages of a
+given cluster (e.g., the runtime of a movie)."
+
+The first four properties (name, optionality, multiplicity, format) are
+model-independent — "they could be reused for the same purpose with
+non-HTML documents" — and follow the paper's EBNF (Section 2.3)::
+
+    name         ::= [a-zA-Z]([a-zA-Z] | [-_] | [0-9])*
+    optionality  ::= 'optional' | 'mandatory'
+    multiplicity ::= 'single-valued' | 'multivalued'
+    format       ::= 'text' | 'mixed'
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from repro.errors import InvalidComponentNameError
+
+_NAME_RE = re.compile(r"^[a-zA-Z][a-zA-Z_\-0-9]*$")
+
+
+class Optionality(Enum):
+    """Whether the component may be missing in some pages of the cluster."""
+
+    MANDATORY = "mandatory"
+    OPTIONAL = "optional"
+
+
+class Multiplicity(Enum):
+    """Whether one or several consecutive instances can appear in a page."""
+
+    SINGLE_VALUED = "single-valued"
+    MULTIVALUED = "multivalued"
+
+
+class Format(Enum):
+    """``TEXT``: a simple text node; ``MIXED``: text and formatting tags."""
+
+    TEXT = "text"
+    MIXED = "mixed"
+
+
+def validate_component_name(name: str) -> str:
+    """Validate ``name`` against the paper's EBNF grammar and return it.
+
+    Raises:
+        InvalidComponentNameError: when the name is empty, starts with a
+            non-letter, or contains characters outside letters, digits,
+            ``-`` and ``_``.
+
+    Example:
+        >>> validate_component_name("runtime")
+        'runtime'
+        >>> validate_component_name("users-opinion2")
+        'users-opinion2'
+    """
+    if not isinstance(name, str) or not _NAME_RE.match(name or ""):
+        raise InvalidComponentNameError(
+            f"invalid component name {name!r}: must match "
+            "[a-zA-Z]([a-zA-Z]|[-_]|[0-9])*"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class PageComponent:
+    """A page component's model-independent properties.
+
+    The location property lives on :class:`repro.core.rule.MappingRule`,
+    which pairs a component with where to find it ("while a page
+    component is linked to a cluster, each of its instances in the pages
+    of the cluster are called *component values*").
+
+    Attributes:
+        name: unique identifying name (paper EBNF enforced).
+        optionality: may the component be missing in some pages?
+        multiplicity: can several consecutive instances appear?
+        format: pure text value or text mixed with markup?
+    """
+
+    name: str
+    optionality: Optionality = Optionality.MANDATORY
+    multiplicity: Multiplicity = Multiplicity.SINGLE_VALUED
+    format: Format = Format.TEXT
+
+    def __post_init__(self) -> None:
+        validate_component_name(self.name)
+
+    # -- refinement helpers (return modified copies) --------------------- #
+
+    def as_optional(self) -> "PageComponent":
+        """Copy with optionality set to ``optional`` (Section 3.4)."""
+        return replace(self, optionality=Optionality.OPTIONAL)
+
+    def as_multivalued(self) -> "PageComponent":
+        """Copy with multiplicity set to ``multivalued`` (Section 3.4)."""
+        return replace(self, multiplicity=Multiplicity.MULTIVALUED)
+
+    def as_mixed(self) -> "PageComponent":
+        """Copy with format set to ``mixed`` (Section 3.4)."""
+        return replace(self, format=Format.MIXED)
+
+    # -- (de)serialisation ----------------------------------------------- #
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "optionality": self.optionality.value,
+            "multiplicity": self.multiplicity.value,
+            "format": self.format.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PageComponent":
+        return cls(
+            name=data["name"],
+            optionality=Optionality(data.get("optionality", "mandatory")),
+            multiplicity=Multiplicity(data.get("multiplicity", "single-valued")),
+            format=Format(data.get("format", "text")),
+        )

@@ -1,0 +1,185 @@
+"""The human operator abstraction.
+
+The approach is *semi-automated*: "mapping rules are based on both user
+intervention and automatic computing" (Table 4).  The user contributes
+two inputs (Section 3.2):
+
+* **selection** — pointing at a component value in a rendered page;
+* **interpretation** — naming the component.
+
+and one judgement: visually inspecting the check table (Section 3.3).
+
+:class:`Oracle` captures exactly that interface.  Two implementations:
+
+* :class:`ScriptedOracle` answers from the synthetic pages' ground
+  truth — this is what benchmarks and tests use, replacing the human
+  with a reproducible stand-in;
+* :class:`InteractiveOracle` asks a real human on the console — the
+  offline equivalent of the Retrozilla control panel.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.dom.node import Element, Node, Text
+from repro.dom.traversal import iter_elements, iter_text_nodes
+from repro.errors import OracleError
+from repro.core.rule import normalize_value
+from repro.sites.page import WebPage
+
+
+@dataclass(frozen=True)
+class Selection:
+    """A user selection: the DOM nodes of one component value instance.
+
+    ``nodes`` holds one node per *instance* — a single text node for an
+    ordinary value, a single element for a mixed value, several nodes
+    when the user highlights a multivalued component's instances.
+    """
+
+    page: WebPage
+    nodes: tuple[Node, ...]
+
+    @property
+    def first(self) -> Node:
+        return self.nodes[0]
+
+    @property
+    def last(self) -> Node:
+        return self.nodes[-1]
+
+    @property
+    def is_multiple(self) -> bool:
+        return len(self.nodes) > 1
+
+
+class Oracle(ABC):
+    """What the library needs from the human operator."""
+
+    @abstractmethod
+    def select_value(self, page: WebPage, component_name: str) -> Optional[Selection]:
+        """Point at the component's value(s) in ``page``.
+
+        Returns ``None`` when the component has no value on this page
+        (the selection step then has to be retried on another page).
+        """
+
+    @abstractmethod
+    def expected_texts(self, page: WebPage, component_name: str) -> Optional[list[str]]:
+        """The values the component *should* yield on ``page``.
+
+        ``[]`` means "component absent here"; ``None`` means the oracle
+        cannot tell (an interactive user judges rows instead).
+        """
+
+    def judge(self, page: WebPage, component_name: str, matched: list[str]) -> bool:
+        """Is the matched value list correct for this page?
+
+        Default implementation compares against :meth:`expected_texts`
+        after whitespace normalisation.
+        """
+        expected = self.expected_texts(page, component_name)
+        if expected is None:
+            raise OracleError(
+                f"oracle cannot judge {component_name!r} on {page.url}"
+            )
+        return [normalize_value(v) for v in matched] == [
+            normalize_value(v) for v in expected
+        ]
+
+
+class ScriptedOracle(Oracle):
+    """Answers selection/judgement queries from page ground truth.
+
+    Selection works like a user's click: for each expected value the
+    oracle finds the *smallest* DOM node whose normalised content equals
+    the value — a text node when the value is pure text, an element when
+    it spans markup (which the candidate-rule builder then records as a
+    ``mixed`` component, cf. Section 3.2).
+    """
+
+    def select_value(self, page: WebPage, component_name: str) -> Optional[Selection]:
+        expected = page.expected_values(component_name)
+        if not expected:
+            return None
+        nodes: list[Node] = []
+        for value in expected:
+            node = self._locate(page, value)
+            if node is None:
+                raise OracleError(
+                    f"ground truth value {value!r} for {component_name!r} "
+                    f"not found in {page.url}"
+                )
+            nodes.append(node)
+        return Selection(page=page, nodes=tuple(nodes))
+
+    def expected_texts(self, page: WebPage, component_name: str) -> Optional[list[str]]:
+        values = page.expected_values(component_name)
+        if values is None:
+            return None
+        return [normalize_value(v) for v in values]
+
+    def _locate(self, page: WebPage, value: str) -> Optional[Node]:
+        wanted = normalize_value(value)
+        # Selection mimics a click in the rendered page: BODY only.
+        root = page.root_element.find_first("BODY") or page.root_element
+        for text in iter_text_nodes(root, skip_whitespace=True):
+            if normalize_value(text.data) == wanted:
+                return text
+        # The value spans several text nodes: find the smallest element
+        # whose whole content is the value.
+        best: Optional[Element] = None
+        best_size = float("inf")
+        for element in iter_elements(root):
+            if normalize_value(element.text_content()) == wanted:
+                size = sum(1 for _ in element.self_and_descendants())
+                if size < best_size:
+                    best, best_size = element, size
+        return best
+
+
+class InteractiveOracle(Oracle):
+    """Console-driven oracle: the offline Retrozilla control panel.
+
+    Selection is by value text: the user is shown the page URL and types
+    the exact visible string of the component value (or presses Enter if
+    the component is absent).  Judgement shows the matched values and
+    asks y/n — the "visual inspection in a tabular view" of Section 3.3.
+
+    Args:
+        input_fn / print_fn: injectable I/O for testing.
+    """
+
+    def __init__(
+        self,
+        input_fn: Optional[Callable[[str], str]] = None,
+        print_fn: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        # Bind lazily so test harnesses that replace builtins.input after
+        # import still take effect.
+        self._input = input_fn if input_fn is not None else (lambda p: input(p))
+        self._print = print_fn if print_fn is not None else print
+
+    def select_value(self, page: WebPage, component_name: str) -> Optional[Selection]:
+        self._print(f"-- select value of {component_name!r} in {page.url}")
+        answer = self._input("visible value text (empty if absent): ").strip()
+        if not answer:
+            return None
+        wanted = normalize_value(answer)
+        scope = page.root_element.find_first("BODY") or page.root_element
+        for text in iter_text_nodes(scope, skip_whitespace=True):
+            if wanted in normalize_value(text.data):
+                return Selection(page=page, nodes=(text,))
+        self._print(f"!! text {answer!r} not found in page")
+        return None
+
+    def expected_texts(self, page: WebPage, component_name: str) -> Optional[list[str]]:
+        return None  # interactive users judge rows instead
+
+    def judge(self, page: WebPage, component_name: str, matched: list[str]) -> bool:
+        self._print(f"-- {page.url}: {component_name!r} matched {matched!r}")
+        answer = self._input("correct? [y/n] ").strip().lower()
+        return answer.startswith("y")

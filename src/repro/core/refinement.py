@@ -1,0 +1,434 @@
+"""Rule refinement: turning a too-specific candidate into a valid rule.
+
+Section 3.4: "Generated from one positive example, a candidate rule is
+frequently too specific to locate the expected component values in all
+the pages of the working sample. ... we enter an iterative process
+during which the candidate rule is refined, each negative example being
+handled one at a time."
+
+The engine implements the paper's strategies and applies them according
+to the outcome class of the failing row:
+
+===================  ====================================================
+Outcome              Strategy order
+===================  ====================================================
+WRONG_VALUE / VOID   1. contextual information (constant anchor string),
+                     2. alternative path from the failing page
+UNEXPECTED_PRESENT   optionality := optional, then contextual rewrite so
+                     the anchor predicate rejects the intruding value
+VOID_ABSENT          optionality := optional
+INCOMPLETE           format := mixed, location re-targeted to the value's
+                     enclosing element
+NEEDS_MULTIVALUED    multiplicity := multivalued; repetitive tag deduced
+                     from first/last instance XPaths; position predicate
+                     broadened
+===================  ====================================================
+
+Every attempt is recorded in a :class:`RefinementTrace`, which examples,
+tests and the Figure-3/Figure-4 benchmarks introspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.dom.node import Element, Node, Text
+from repro.errors import RefinementError, RuleError
+from repro.core.checking import (
+    CheckOutcome,
+    CheckReport,
+    CheckRow,
+    check_rule,
+)
+from repro.core.oracle import Oracle, Selection
+from repro.core.rule import MappingRule, normalize_value
+from repro.core.xpath_builder import (
+    broaden_multiplicity,
+    build_contextual_xpath,
+    build_precise_xpath,
+    deduce_repetitive_tag,
+    nearest_following_label,
+    nearest_preceding_label,
+)
+from repro.sites.page import WebPage
+
+
+@dataclass(frozen=True)
+class RefinementStep:
+    """One applied strategy: what changed and why."""
+
+    strategy: str
+    page_url: str
+    outcome: CheckOutcome
+    before: MappingRule
+    after: MappingRule
+
+    def describe(self) -> str:
+        return (
+            f"[{self.strategy}] on {self.page_url} ({self.outcome.value}): "
+            f"{self.before.primary_location} -> {self.after.locations}"
+        )
+
+
+@dataclass
+class RefinementTrace:
+    """The audit log of one refinement run."""
+
+    steps: list[RefinementStep] = field(default_factory=list)
+    iterations: int = 0
+
+    def record(self, step: RefinementStep) -> None:
+        self.steps.append(step)
+
+    @property
+    def strategies_used(self) -> list[str]:
+        return [step.strategy for step in self.steps]
+
+
+class RefinementEngine:
+    """Iteratively refines a candidate rule against a working sample.
+
+    Args:
+        oracle: supplies selections in failing pages and judgements.
+        max_iterations: safety bound on the refine/check loop; the loop
+            otherwise runs until the check table is clean (Figure 3).
+        prefer_contextual: try the contextual-information strategy
+            before falling back to alternative paths (the ablation
+            benchmark flips this).
+    """
+
+    def __init__(
+        self,
+        oracle: Oracle,
+        max_iterations: int = 25,
+        prefer_contextual: bool = True,
+        enable_contextual: bool = True,
+    ) -> None:
+        self.oracle = oracle
+        self.max_iterations = max_iterations
+        self.prefer_contextual = prefer_contextual
+        self.enable_contextual = enable_contextual
+
+    # ------------------------------------------------------------------ #
+    # Main loop (Figure 3's inner cycle)
+    # ------------------------------------------------------------------ #
+
+    def refine(
+        self,
+        candidate: MappingRule,
+        sample: Sequence[WebPage],
+    ) -> tuple[MappingRule, CheckReport, RefinementTrace]:
+        """Refine ``candidate`` until it checks clean on ``sample``.
+
+        Returns the final rule, its final check report, and the trace.
+        The final report may still contain problems when no strategy
+        applies within ``max_iterations`` — callers inspect
+        ``report.is_valid`` (rule recording only happens on success).
+        """
+        trace = RefinementTrace()
+        rule = candidate
+        report = check_rule(rule, sample, self.oracle)
+        while not report.is_valid and trace.iterations < self.max_iterations:
+            trace.iterations += 1
+            problem = report.first_problem()
+            assert problem is not None
+            refined = self._apply_strategy(rule, problem, sample, trace)
+            if refined is None or refined == rule:
+                break  # no applicable strategy: give up, report problems
+            rule = refined
+            report = check_rule(rule, sample, self.oracle)
+        return rule, report, trace
+
+    # ------------------------------------------------------------------ #
+    # Strategy dispatch
+    # ------------------------------------------------------------------ #
+
+    def _apply_strategy(
+        self,
+        rule: MappingRule,
+        problem: CheckRow,
+        sample: Sequence[WebPage],
+        trace: RefinementTrace,
+    ) -> Optional[MappingRule]:
+        outcome = problem.outcome
+        if outcome is CheckOutcome.VOID and problem.expected == ():
+            return self._record(
+                trace, "optionality", rule,
+                rule.with_component(rule.component.as_optional()), problem,
+            )
+        if outcome is CheckOutcome.NEEDS_MULTIVALUED:
+            return self._refine_multivalued(rule, problem, trace)
+        if outcome is CheckOutcome.INCOMPLETE:
+            return self._refine_mixed(rule, problem, trace)
+        if outcome is CheckOutcome.UNEXPECTED_PRESENT:
+            refined = rule.with_component(rule.component.as_optional())
+            contextual = self._refine_contextual(refined, problem, sample, trace)
+            if contextual is not None:
+                return contextual
+            return self._record(trace, "optionality", rule, refined, problem)
+        if outcome in (CheckOutcome.WRONG_VALUE, CheckOutcome.VOID):
+            if self.prefer_contextual:
+                refined = self._refine_contextual(rule, problem, sample, trace)
+                if refined is not None:
+                    return refined
+                return self._refine_alternative(rule, problem, trace)
+            refined = self._refine_alternative(rule, problem, trace)
+            if refined is not None:
+                return refined
+            return self._refine_contextual(rule, problem, sample, trace)
+        return None
+
+    def _record(
+        self,
+        trace: RefinementTrace,
+        strategy: str,
+        before: MappingRule,
+        after: MappingRule,
+        problem: CheckRow,
+    ) -> MappingRule:
+        trace.record(
+            RefinementStep(
+                strategy=strategy,
+                page_url=problem.page.url,
+                outcome=problem.outcome,
+                before=before,
+                after=after,
+            )
+        )
+        return after
+
+    # ------------------------------------------------------------------ #
+    # Strategy: adding contextual information (Section 3.4, Figure 4)
+    # ------------------------------------------------------------------ #
+
+    def _refine_contextual(
+        self,
+        rule: MappingRule,
+        problem: CheckRow,
+        sample: Sequence[WebPage],
+        trace: RefinementTrace,
+    ) -> Optional[MappingRule]:
+        """Rewrite the primary location around a constant anchor label.
+
+        The anchor is the nearest non-whitespace text that precedes (or
+        follows) the true value, and it must be *constant*: the same
+        string in every sample page where the component is present.
+
+        For a multivalued component the anchor applies to the repetitive
+        *container* (the list or table holding the consecutive
+        instances) rather than to each value, because only the first
+        instance directly follows the label.
+        """
+        if not self.enable_contextual:
+            return None  # positional-only ablation mode
+        selections = [
+            selection
+            for selection in (
+                self.oracle.select_value(page, rule.name) for page in sample
+            )
+            if selection is not None
+        ]
+        if not selections:
+            return None
+        multi = next((s for s in selections if s.is_multiple), None)
+        if multi is not None:
+            location = self._container_location(selections, multi)
+        else:
+            location = self._value_location(selections)
+        if location is None or location in rule.locations:
+            return None  # nothing constant, or already tried
+        refined = rule.with_primary_location(location)
+        return self._record(trace, "contextual", rule, refined, problem)
+
+    def _value_location(self, selections: Sequence[Selection]) -> Optional[str]:
+        """Per-value anchoring: single-instance components."""
+        nodes = [selection.first for selection in selections]
+        before = [nearest_preceding_label(node) for node in nodes]
+        if _constant(before):
+            return build_contextual_xpath(nodes[0], before[0], side="before")
+        after = [nearest_following_label(node) for node in nodes]
+        if _constant(after):
+            return build_contextual_xpath(nodes[0], after[0], side="after")
+        return None
+
+    def _container_location(
+        self, selections: Sequence[Selection], multi: Selection
+    ) -> Optional[str]:
+        """Container anchoring: multivalued components."""
+        from repro.core.xpath_builder import (
+            ancestor_with_tag,
+            build_contextual_container_xpath,
+            common_ancestor,
+        )
+
+        container = common_ancestor(multi.first, multi.last)
+        if container is None or not hasattr(container, "tag"):
+            return None
+        references: list[Node] = []
+        for selection in selections:
+            if selection.is_multiple:
+                ref = common_ancestor(selection.first, selection.last)
+            else:
+                ref = ancestor_with_tag(selection.first, container.tag)
+            if ref is None:
+                return None
+            references.append(ref)
+        before = [nearest_preceding_label(ref) for ref in references]
+        try:
+            if _constant(before):
+                return build_contextual_container_xpath(
+                    multi.first, multi.last, before[0], side="before"
+                )
+            after = [nearest_following_label(ref) for ref in references]
+            if _constant(after):
+                return build_contextual_container_xpath(
+                    multi.first, multi.last, after[0], side="after"
+                )
+        except RuleError:
+            return None
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Strategy: optional / multivalued / mixed property changes
+    # ------------------------------------------------------------------ #
+
+    def _refine_multivalued(
+        self,
+        rule: MappingRule,
+        problem: CheckRow,
+        trace: RefinementTrace,
+    ) -> Optional[MappingRule]:
+        """Declare multivalued and broaden the repetitive tag's position.
+
+        "The repetitive tag is automatically deduced by the comparison
+        of the XPath expressions locating the first and the last
+        instances of the multivalued component."
+        """
+        selection = self.oracle.select_value(problem.page, rule.name)
+        if selection is None:
+            return None
+        refined_component = rule.component.as_multivalued()
+        if not selection.is_multiple:
+            # Only one instance on this page; property change suffices.
+            refined = rule.with_component(refined_component)
+            return self._record(trace, "multivalued", rule, refined, problem)
+        first_xpath = build_precise_xpath(selection.first)
+        last_xpath = build_precise_xpath(selection.last)
+        try:
+            repetitive = deduce_repetitive_tag(first_xpath, last_xpath)
+            broadened = broaden_multiplicity(first_xpath, repetitive)
+        except RuleError:
+            return None
+        refined = rule.with_component(refined_component).with_primary_location(
+            broadened
+        )
+        return self._record(trace, "multivalued", rule, refined, problem)
+
+    def _refine_mixed(
+        self,
+        rule: MappingRule,
+        problem: CheckRow,
+        trace: RefinementTrace,
+    ) -> Optional[MappingRule]:
+        """Set format := mixed and re-target the enclosing element.
+
+        "The problem lies in the fact that the expected value is
+        composed of a single text node in some pages and of text nodes
+        and HTML tags in other pages.  To fix that, the format property
+        is set to mixed."
+        """
+        selection = self.oracle.select_value(problem.page, rule.name)
+        if selection is None:
+            return None
+        node = selection.first
+        target: Node
+        if isinstance(node, Element):
+            target = node
+        elif node.parent is not None:
+            target = node.parent
+        else:
+            return None
+        try:
+            location = build_precise_xpath(target)
+        except RuleError:
+            return None
+        refined = rule.with_component(rule.component.as_mixed()).with_primary_location(
+            location
+        )
+        return self._record(trace, "mixed-format", rule, refined, problem)
+
+    # ------------------------------------------------------------------ #
+    # Strategy: adding an alternative path (Section 3.4, last resort)
+    # ------------------------------------------------------------------ #
+
+    def _refine_alternative(
+        self,
+        rule: MappingRule,
+        problem: CheckRow,
+        trace: RefinementTrace,
+    ) -> Optional[MappingRule]:
+        """Append a precise XPath selected in the failing page.
+
+        "A component value is selected in a page where it could not be
+        located to produce a new XPath expression that is appended to
+        the mapping rule."
+        """
+        selection = self.oracle.select_value(problem.page, rule.name)
+        if selection is None:
+            return None
+        location = self._page_local_location(selection)
+        if location is None or location in rule.locations:
+            try:
+                location = build_precise_xpath(selection.first)
+            except RuleError:
+                return None
+        if location in rule.locations:
+            return None  # already tried; avoid oscillating swaps
+        if problem.outcome is CheckOutcome.VOID:
+            # The paper's formulation: the new expression "is appended
+            # to the mapping rule".
+            refined = rule.with_alternative(location)
+        elif problem.outcome is CheckOutcome.WRONG_VALUE:
+            # Appending cannot help here: locations are tried in order
+            # and the current primary already matches (a wrong value) on
+            # this page.  Promote the new path to primary instead; the
+            # demoted location keeps covering the pages it was right on.
+            refined = rule.with_locations((location, *rule.locations))
+        else:
+            return None
+        if refined == rule:
+            return None
+        return self._record(trace, "alternative-path", rule, refined, problem)
+
+    def _page_local_location(self, selection: Selection) -> Optional[str]:
+        """A contextual location anchored on the failing page itself.
+
+        When the cluster contains sub-layouts with *different* labels
+        for the same component (e.g. a renamed "Length:" after wrapper
+        drift), no anchor is constant across the whole sample — but the
+        failing page's own label still beats a brittle positional path
+        as the alternative location.  Anchors make the alternative
+        cover the failing page's whole sub-layout, not just pages with
+        identical positions.
+        """
+        if not self.enable_contextual:
+            return None
+        node = selection.first
+        label = nearest_preceding_label(node)
+        if label:
+            return build_contextual_xpath(node, label, side="before")
+        label = nearest_following_label(node)
+        if label:
+            return build_contextual_xpath(node, label, side="after")
+        return None
+
+
+def _constant(labels: Sequence[Optional[str]]) -> bool:
+    """True when at least one label exists and all are equal/non-None."""
+    if not labels:
+        return False
+    first = labels[0]
+    if first is None:
+        return False
+    return all(label == first for label in labels)

@@ -1,0 +1,378 @@
+"""XPath generation and rewriting for mapping rules.
+
+Three families of operations, matching Sections 3.2 and 3.4 of the paper:
+
+* **precise XPath generation** — from a selected DOM node, produce "an
+  XPath where each HTML element is associated with its parent-relative
+  position, leading to the focused value"
+  (``BODY[1]/DIV[2]/TABLE[3]/TR[1]/TD[3]/.../text()[1]``);
+* **contextual rewriting** — "remove the position information where the
+  shift occurs and add contextual information in terms of a constant
+  character string that always visually appears before (or after) the
+  targeted value", with the tree "traversed according to a Depth First
+  Search";
+* **multiplicity broadening** — "the position predicate associated to
+  the repetitive tag is broadened in order to select consecutive
+  component values", the repetitive tag being "automatically deduced by
+  the comparison of the XPath expressions locating the first and the
+  last instances".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dom.node import Element, Node, Text
+from repro.errors import RuleError, XPathSyntaxError
+from repro.xpath.ast import (
+    BinaryOp,
+    FunctionCall,
+    LocationPath,
+    NameTest,
+    NumberLiteral,
+    Step,
+)
+from repro.xpath.parser import parse_xpath
+
+# --------------------------------------------------------------------- #
+# Precise (positional) XPath generation — Section 3.2
+# --------------------------------------------------------------------- #
+
+
+def build_precise_xpath(node: Node) -> str:
+    """Precise positional XPath from the page's HTML element to ``node``.
+
+    The returned expression is relative to the ``HTML`` document element
+    (so it starts with ``BODY[1]/...`` like the paper's examples) and
+    pins every step with its parent-relative position.
+
+    Args:
+        node: a :class:`Text` or :class:`Element` inside a parsed page.
+
+    Raises:
+        RuleError: when the node is detached or outside an HTML element.
+
+    Example:
+        >>> from repro.html import parse_html
+        >>> from repro.dom.traversal import find_text_node
+        >>> doc = parse_html("<body><div></div><div><p>v</p></div></body>")
+        >>> build_precise_xpath(find_text_node(doc, "v"))
+        'BODY[1]/DIV[2]/P[1]/text()[1]'
+    """
+    steps: list[str] = []
+    current: Optional[Node] = node
+    if isinstance(node, Text):
+        steps.append(f"text()[{node.position_among_text_siblings()}]")
+        current = node.parent
+    while isinstance(current, Element) and current.tag != "HTML":
+        steps.append(f"{current.tag}[{current.position_among_same_tag()}]")
+        current = current.parent
+    if not isinstance(current, Element) or current.tag != "HTML":
+        raise RuleError("node is not attached under an HTML element")
+    if not steps:
+        raise RuleError("cannot build an XPath for the HTML element itself")
+    return "/".join(reversed(steps))
+
+
+def ancestor_tag_chain(node: Node) -> list[str]:
+    """Tags from BODY (exclusive) down to the node's parent element."""
+    tags: list[str] = []
+    current = node.parent if isinstance(node, Text) else node
+    while isinstance(current, Element) and current.tag not in ("HTML", "BODY"):
+        tags.append(current.tag)
+        current = current.parent
+    return list(reversed(tags))
+
+
+# --------------------------------------------------------------------- #
+# Contextual (anchor-based) XPaths — Section 3.4, first strategy
+# --------------------------------------------------------------------- #
+
+
+def xpath_string_literal(value: str) -> str:
+    """Render ``value`` as an XPath string literal.
+
+    XPath 1.0 has no escape mechanism inside literals; values containing
+    both quote kinds are assembled with ``concat()``.
+    """
+    if '"' not in value:
+        return f'"{value}"'
+    if "'" not in value:
+        return f"'{value}'"
+    # Both quote kinds present: assemble with concat().  A separator
+    # literal is emitted between consecutive chunks even when the first
+    # chunk is empty (value starting with a double quote).
+    parts: list[str] = []
+    for index, chunk in enumerate(value.split('"')):
+        if index:
+            parts.append("'\"'")
+        if chunk:
+            parts.append(f'"{chunk}"')
+    if len(parts) == 1:
+        return parts[0]
+    return f"concat({', '.join(parts)})"
+
+
+def nearest_preceding_label(node: Node) -> Optional[str]:
+    """Nearest non-whitespace text before ``node`` in DFS order.
+
+    This implements the paper's notion of "a constant character string
+    that always visually appears before the targeted value": the label
+    a reader sees immediately before the value.
+    """
+    for candidate in node.preceding():
+        if isinstance(candidate, Text) and not candidate.is_whitespace():
+            return " ".join(candidate.data.split())
+    return None
+
+
+def nearest_following_label(node: Node) -> Optional[str]:
+    """Nearest non-whitespace text after ``node`` in DFS order."""
+    for candidate in node.following():
+        if isinstance(candidate, Text) and not candidate.is_whitespace():
+            return " ".join(candidate.data.split())
+    return None
+
+
+def build_contextual_xpath(
+    value_node: Node,
+    anchor: str,
+    side: str = "before",
+    tag_suffix_length: int = 1,
+    use_contains: bool = False,
+) -> str:
+    """Anchor-based XPath for ``value_node``.
+
+    Replaces the brittle positional spine with a structural tail (the
+    last ``tag_suffix_length`` ancestor tags, unindexed) plus a
+    predicate requiring the nearest preceding (or following)
+    non-whitespace text to match ``anchor``.
+
+    Example output::
+
+        BODY//TD/text()[normalize-space(preceding::text()
+            [normalize-space(.) != ""][1]) = "Runtime:"]
+
+    Args:
+        value_node: the text node (or element) holding the value.
+        anchor: the constant label string.
+        side: ``"before"`` or ``"after"`` — where the anchor sits.
+        tag_suffix_length: how many unindexed ancestor tags to keep for
+            structural context.
+        use_contains: match with ``contains()`` instead of equality
+            (for labels with variable suffixes).
+    """
+    if side not in ("before", "after"):
+        raise ValueError(f"side must be 'before' or 'after', not {side!r}")
+    chain = ancestor_tag_chain(value_node)
+    suffix = "/".join(chain[-tag_suffix_length:]) if chain else "*"
+    axis = "preceding" if side == "before" else "following"
+    literal = xpath_string_literal(" ".join(anchor.split()))
+    nearest = f'{axis}::text()[normalize-space(.) != ""][1]'
+    if use_contains:
+        predicate = f"contains(normalize-space({nearest}), {literal})"
+    else:
+        predicate = f"normalize-space({nearest}) = {literal}"
+    leaf = "text()" if isinstance(value_node, Text) else value_node.tag  # type: ignore[union-attr]
+    return f"BODY//{suffix}/{leaf}[{predicate}]"
+
+
+def common_ancestor(a: Node, b: Node) -> Optional[Node]:
+    """Lowest common ancestor of two nodes of the same tree."""
+    ancestors_a = [a, *a.ancestors()]
+    seen = {id(node) for node in ancestors_a}
+    node: Optional[Node] = b
+    while node is not None:
+        if id(node) in seen:
+            return node
+        node = node.parent
+    return None
+
+
+def ancestor_with_tag(node: Node, tag: str) -> Optional[Element]:
+    """Nearest ancestor element with the given tag (or ``None``)."""
+    wanted = tag.upper()
+    current = node.parent
+    while isinstance(current, Element):
+        if current.tag == wanted:
+            return current
+        current = current.parent
+    return None
+
+
+def build_contextual_container_xpath(
+    first_value: Node,
+    last_value: Node,
+    anchor: str,
+    side: str = "before",
+) -> str:
+    """Anchor-based XPath for a *multivalued* component.
+
+    A multivalued component's instances are "consecutive pieces of
+    information of the same type" (Section 3.4) living under one
+    repetitive container (the ``<UL>`` of a list, the ``<TABLE>`` of
+    rows).  Anchoring each value individually cannot work — only the
+    first instance directly follows the constant label.  Instead the
+    *container* is anchored and the repetitive step below it loses its
+    position predicate::
+
+        BODY//UL[normalize-space(preceding::text()
+            [normalize-space(.) != ""][1]) = "Features"]/LI/text()[1]
+
+    Args:
+        first_value / last_value: nodes of the first and last instances
+            (as selected by the user); their lowest common ancestor is
+            the container.
+        anchor: the constant label preceding (or following) the
+            container.
+        side: ``"before"`` or ``"after"``.
+
+    Raises:
+        RuleError: when the two nodes share no ancestor below BODY.
+    """
+    if side not in ("before", "after"):
+        raise ValueError(f"side must be 'before' or 'after', not {side!r}")
+    container = common_ancestor(first_value, last_value)
+    if not isinstance(container, Element) or container.tag in ("HTML", "BODY"):
+        raise RuleError("multivalued instances share no container element")
+    # Steps from the container down to the first value, positions kept
+    # except on the repetitive step (the container's direct child).
+    steps: list[str] = []
+    current: Optional[Node] = first_value
+    if isinstance(first_value, Text):
+        steps.append(f"text()[{first_value.position_among_text_siblings()}]")
+        current = first_value.parent
+    while isinstance(current, Element) and current is not container:
+        steps.append(f"{current.tag}[{current.position_among_same_tag()}]")
+        current = current.parent
+    if current is not container:
+        raise RuleError("value node is not inside the deduced container")
+    if not steps:
+        raise RuleError("the selected value is the container itself")
+    # The last collected step is the container's child: the repetitive
+    # element; drop its position predicate.
+    repetitive = steps[-1]
+    steps[-1] = repetitive.split("[", 1)[0]
+    axis = "preceding" if side == "before" else "following"
+    literal = xpath_string_literal(" ".join(anchor.split()))
+    nearest = f'{axis}::text()[normalize-space(.) != ""][1]'
+    predicate = f"normalize-space({nearest}) = {literal}"
+    tail = "/".join(reversed(steps))
+    return f"BODY//{container.tag}[{predicate}]/{tail}"
+
+
+# --------------------------------------------------------------------- #
+# Multiplicity broadening — Section 3.4
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class RepetitiveStep:
+    """The step identified as repetitive between two instance XPaths."""
+
+    index: int          # step index within the location path
+    tag: str            # e.g. "TR" — "the repetitive element is undoubtedly <TR>"
+    first_position: int  # position of the first instance (e.g. 2 for TR[2])
+    last_position: int   # position of the last instance (e.g. 17 for TR[17])
+
+
+def _positional_steps(expression: str) -> tuple[LocationPath, list[Step]]:
+    ast = parse_xpath(expression)
+    if not isinstance(ast, LocationPath):
+        raise RuleError(f"not a location path: {expression!r}")
+    return ast, list(ast.steps)
+
+
+def _step_position(step: Step) -> Optional[int]:
+    """The integer position a step pins, when its predicate is ``[n]``."""
+    if len(step.predicates) != 1:
+        return None
+    predicate = step.predicates[0]
+    if isinstance(predicate, NumberLiteral) and predicate.value == int(predicate.value):
+        return int(predicate.value)
+    return None
+
+
+def deduce_repetitive_tag(first_xpath: str, last_xpath: str) -> RepetitiveStep:
+    """Deduce the repetitive tag from first/last instance XPaths.
+
+    "For example, if rows e and f in Table 2 lead to the first and the
+    last values of a multivalued component, the repetitive element is
+    undoubtedly <TR>" — the two paths must be identical except for one
+    step's position predicate.
+
+    Raises:
+        RuleError: when the paths differ structurally, or in more or
+            fewer than exactly one position.
+    """
+    _, first_steps = _positional_steps(first_xpath)
+    _, last_steps = _positional_steps(last_xpath)
+    if len(first_steps) != len(last_steps):
+        raise RuleError("instance XPaths have different lengths")
+    found: Optional[RepetitiveStep] = None
+    for index, (a, b) in enumerate(zip(first_steps, last_steps)):
+        if a.axis != b.axis or str(a.node_test) != str(b.node_test):
+            raise RuleError(
+                f"instance XPaths diverge structurally at step {index}: "
+                f"{a} vs {b}"
+            )
+        if a == b:
+            continue
+        pos_a, pos_b = _step_position(a), _step_position(b)
+        if pos_a is None or pos_b is None:
+            raise RuleError(f"non-positional difference at step {index}: {a} vs {b}")
+        if found is not None:
+            raise RuleError("instance XPaths differ at more than one step")
+        if not isinstance(a.node_test, NameTest):
+            raise RuleError(f"repetitive step {a} is not an element step")
+        found = RepetitiveStep(
+            index=index,
+            tag=a.node_test.name,
+            first_position=min(pos_a, pos_b),
+            last_position=max(pos_a, pos_b),
+        )
+    if found is None:
+        raise RuleError("instance XPaths are identical; nothing repetitive")
+    return found
+
+
+def broaden_multiplicity(
+    expression: str,
+    repetitive: RepetitiveStep,
+    open_ended: bool = True,
+) -> str:
+    """Broaden the repetitive step's position predicate.
+
+    ``TR[2]`` becomes ``TR[position()>=2]`` (Table 2, row d shows the
+    ``position()>=1`` form).  With ``open_ended=False`` the range is
+    closed with the last observed position, which is safer when
+    unrelated rows follow the repetition.
+    """
+    path, steps = _positional_steps(expression)
+    if repetitive.index >= len(steps):
+        raise RuleError("repetitive step index out of range")
+    step = steps[repetitive.index]
+    lower = BinaryOp(
+        ">=", FunctionCall("position"), NumberLiteral(float(repetitive.first_position))
+    )
+    if open_ended:
+        predicate = lower
+    else:
+        upper = BinaryOp(
+            "<=",
+            FunctionCall("position"),
+            NumberLiteral(float(repetitive.last_position)),
+        )
+        predicate = BinaryOp("and", lower, upper)
+    steps[repetitive.index] = step.with_predicates((predicate,))
+    return str(LocationPath(path.absolute, tuple(steps)))
+
+
+def strip_position_at(expression: str, step_index: int) -> str:
+    """Remove the position predicate of one step (used by refinements)."""
+    path, steps = _positional_steps(expression)
+    if step_index >= len(steps):
+        raise RuleError("step index out of range")
+    steps[step_index] = steps[step_index].with_predicates(())
+    return str(LocationPath(path.absolute, tuple(steps)))

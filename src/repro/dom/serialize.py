@@ -1,0 +1,164 @@
+"""Serialisation of DOM trees back to HTML or XML text.
+
+Two serialisers are provided:
+
+* :func:`to_html` — writes browser-flavoured HTML (void elements such as
+  ``<BR>`` are not closed, text is escaped minimally);
+* :func:`to_xml` — writes well-formed XML (every element closed, full
+  escaping), used by the extraction processor when emitting *mixed*
+  component values, whose content is "a list of text nodes separated by
+  HTML tags" (Section 7 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dom.node import Comment, Document, Element, Node, Text
+
+#: Elements that never have content and are serialised without an end tag.
+VOID_ELEMENTS: frozenset[str] = frozenset(
+    {
+        "AREA",
+        "BASE",
+        "BR",
+        "COL",
+        "EMBED",
+        "HR",
+        "IMG",
+        "INPUT",
+        "LINK",
+        "META",
+        "PARAM",
+        "SOURCE",
+        "TRACK",
+        "WBR",
+    }
+)
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for inclusion in markup."""
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(value: str) -> str:
+    """Escape an attribute value for inclusion in a double-quoted literal."""
+    return escape_text(value).replace('"', "&quot;")
+
+
+def _open_tag(element: Element, lowercase: bool) -> str:
+    tag = element.tag.lower() if lowercase else element.tag
+    parts = [tag]
+    for name, value in element.attributes.items():
+        parts.append(f'{name}="{escape_attribute(value)}"')
+    return "<" + " ".join(parts) + ">"
+
+
+def to_html(node: Node, lowercase_tags: bool = True) -> str:
+    """Serialise ``node`` (and its subtree) as HTML text.
+
+    Args:
+        node: any DOM node; documents serialise their children.
+        lowercase_tags: emit ``<body>`` rather than ``<BODY>``.  The DOM
+            stores canonical upper-case names; most real HTML is written
+            in lower case, so that is the default.
+    """
+    out: list[str] = []
+    _write_html(node, out, lowercase_tags)
+    return "".join(out)
+
+
+def _write_html(node: Node, out: list[str], lowercase: bool) -> None:
+    if isinstance(node, Document):
+        for child in node.children:
+            _write_html(child, out, lowercase)
+        return
+    if isinstance(node, Text):
+        out.append(escape_text(node.data))
+        return
+    if isinstance(node, Comment):
+        out.append(f"<!--{node.data}-->")
+        return
+    if isinstance(node, Element):
+        out.append(_open_tag(node, lowercase))
+        if node.tag in VOID_ELEMENTS:
+            return
+        for child in node.children:
+            _write_html(child, out, lowercase)
+        tag = node.tag.lower() if lowercase else node.tag
+        out.append(f"</{tag}>")
+        return
+    raise TypeError(f"cannot serialise node of type {type(node).__name__}")
+
+
+def to_xml(node: Node, lowercase_tags: bool = False) -> str:
+    """Serialise ``node`` as well-formed XML (all elements closed)."""
+    out: list[str] = []
+    _write_xml(node, out, lowercase_tags)
+    return "".join(out)
+
+
+def _write_xml(node: Node, out: list[str], lowercase: bool) -> None:
+    if isinstance(node, Document):
+        for child in node.children:
+            _write_xml(child, out, lowercase)
+        return
+    if isinstance(node, Text):
+        out.append(escape_text(node.data))
+        return
+    if isinstance(node, Comment):
+        out.append(f"<!--{node.data}-->")
+        return
+    if isinstance(node, Element):
+        tag = node.tag.lower() if lowercase else node.tag
+        attrs = "".join(
+            f' {name}="{escape_attribute(value)}"'
+            for name, value in node.attributes.items()
+        )
+        if not node.children:
+            out.append(f"<{tag}{attrs}/>")
+            return
+        out.append(f"<{tag}{attrs}>")
+        for child in node.children:
+            _write_xml(child, out, lowercase)
+        out.append(f"</{tag}>")
+        return
+    raise TypeError(f"cannot serialise node of type {type(node).__name__}")
+
+
+def pretty_html(node: Node, indent: str = "  ", lowercase_tags: bool = True) -> str:
+    """Indented HTML rendering for debugging and examples.
+
+    Text nodes are stripped; whitespace-only text is dropped.  Do not use
+    the output for re-parsing round-trips where exact whitespace matters.
+    """
+    lines: list[str] = []
+
+    def write(current: Node, depth: int) -> None:
+        pad = indent * depth
+        if isinstance(current, Document):
+            for child in current.children:
+                write(child, depth)
+            return
+        if isinstance(current, Text):
+            stripped = current.data.strip()
+            if stripped:
+                lines.append(pad + escape_text(stripped))
+            return
+        if isinstance(current, Comment):
+            lines.append(f"{pad}<!--{current.data}-->")
+            return
+        if isinstance(current, Element):
+            lines.append(pad + _open_tag(current, lowercase_tags))
+            if current.tag in VOID_ELEMENTS:
+                return
+            for child in current.children:
+                write(child, depth + 1)
+            tag = current.tag.lower() if lowercase_tags else current.tag
+            lines.append(f"{pad}</{tag}>")
+            return
+        raise TypeError(f"cannot serialise node of type {type(current).__name__}")
+
+    write(node, 0)
+    return "\n".join(lines)

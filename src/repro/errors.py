@@ -1,0 +1,98 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  Subsystem-specific errors
+derive from intermediate classes (``HtmlParseError``, ``XPathError``, ...)
+to allow finer-grained handling.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class HtmlParseError(ReproError):
+    """Raised for unrecoverable HTML parsing problems.
+
+    The parser is tolerant by design (it mimics browser error recovery),
+    so this is only raised for conditions that make building a tree
+    impossible, such as a non-string input.
+    """
+
+
+class XPathError(ReproError):
+    """Base class for XPath engine errors."""
+
+
+class XPathSyntaxError(XPathError):
+    """Raised when an XPath expression cannot be parsed.
+
+    Attributes:
+        expression: the offending XPath source text.
+        position: character offset at which parsing failed.
+    """
+
+    def __init__(self, message: str, expression: str = "", position: int = -1):
+        super().__init__(message)
+        self.expression = expression
+        self.position = position
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.expression:
+            pointer = ""
+            if self.position >= 0:
+                pointer = f" at offset {self.position}"
+            return f"{base}{pointer} in {self.expression!r}"
+        return base
+
+
+class XPathEvaluationError(XPathError):
+    """Raised when a syntactically valid expression cannot be evaluated."""
+
+
+class XPathTypeError(XPathEvaluationError):
+    """Raised when an XPath operand has the wrong type for an operation."""
+
+
+class RuleError(ReproError):
+    """Base class for mapping-rule errors."""
+
+
+class InvalidComponentNameError(RuleError):
+    """Raised when a component name violates the paper's EBNF grammar.
+
+    The grammar (Section 2.3) is::
+
+        name ::= [a-zA-Z]([a-zA-Z] | [-_] | [0-9])*
+    """
+
+
+class RuleValidationError(RuleError):
+    """Raised when a mapping rule is structurally invalid."""
+
+
+class RepositoryError(ReproError):
+    """Raised for rule-repository persistence problems."""
+
+
+class RefinementError(ReproError):
+    """Raised when no refinement strategy can fix a failing candidate rule."""
+
+
+class ExtractionError(ReproError):
+    """Raised when the extraction processor cannot apply a rule."""
+
+
+class ClusteringError(ReproError):
+    """Raised for page-clustering failures (e.g. empty site)."""
+
+
+class OracleError(ReproError):
+    """Raised when an oracle cannot answer a selection/judgement request."""
+
+
+class SiteGenerationError(ReproError):
+    """Raised when a synthetic site generator receives invalid parameters."""

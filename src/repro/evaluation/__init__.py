@@ -1,0 +1,44 @@
+"""Evaluation: metrics, experiments, and the paper's qualitative audit.
+
+* :mod:`repro.evaluation.metrics` — per-component precision / recall /
+  F1 of extracted values against ground truth;
+* :mod:`repro.evaluation.convergence` — accuracy vs working-sample size
+  (Section 3.1's "rules converge after the analysis of about 5 pages");
+* :mod:`repro.evaluation.experiments` — the drift-resilience study, the
+  nesting-depth ablation (Section 7), and the baseline comparison
+  (Section 6);
+* :mod:`repro.evaluation.features_audit` — the Table-4 feature audit,
+  computed from the implementation instead of asserted;
+* :mod:`repro.evaluation.tables` — fixed-width table rendering shared
+  by benchmarks and examples.
+"""
+
+from repro.evaluation.metrics import (
+    ComponentScore,
+    EvaluationSummary,
+    evaluate_extraction,
+    score_values,
+)
+from repro.evaluation.convergence import ConvergencePoint, convergence_study
+from repro.evaluation.features_audit import FeatureAudit, audit_features
+from repro.evaluation.tables import format_table
+from repro.evaluation.experiments import (
+    baseline_comparison,
+    drift_resilience_study,
+    nesting_depth_study,
+)
+
+__all__ = [
+    "ComponentScore",
+    "EvaluationSummary",
+    "evaluate_extraction",
+    "score_values",
+    "convergence_study",
+    "ConvergencePoint",
+    "audit_features",
+    "FeatureAudit",
+    "format_table",
+    "baseline_comparison",
+    "drift_resilience_study",
+    "nesting_depth_study",
+]

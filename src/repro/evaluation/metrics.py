@@ -1,0 +1,170 @@
+"""Extraction quality metrics.
+
+Values are compared after whitespace normalisation.  Multisets are used
+(an extractor that returns a correct value twice is penalised on
+precision), and per-component scores aggregate micro-averaged across
+pages.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.core.rule import normalize_value
+from repro.extraction.extractor import ExtractionResult
+from repro.sites.page import WebPage
+
+
+@dataclass
+class ComponentScore:
+    """Micro-averaged precision/recall/F1 for one component."""
+
+    component: str
+    true_positives: int = 0
+    extracted_total: int = 0
+    expected_total: int = 0
+
+    @property
+    def precision(self) -> float:
+        if self.extracted_total == 0:
+            return 1.0 if self.expected_total == 0 else 0.0
+        return self.true_positives / self.extracted_total
+
+    @property
+    def recall(self) -> float:
+        if self.expected_total == 0:
+            return 1.0
+        return self.true_positives / self.expected_total
+
+    @property
+    def f1(self) -> float:
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+    def add(self, expected: Sequence[str], extracted: Sequence[str]) -> None:
+        """Accumulate one page's values (multiset overlap)."""
+        expected_counts = Counter(normalize_value(v) for v in expected)
+        extracted_counts = Counter(normalize_value(v) for v in extracted)
+        overlap = sum((expected_counts & extracted_counts).values())
+        self.true_positives += overlap
+        self.extracted_total += sum(extracted_counts.values())
+        self.expected_total += sum(expected_counts.values())
+
+
+@dataclass
+class EvaluationSummary:
+    """Scores for all components plus micro/macro aggregates."""
+
+    scores: dict[str, ComponentScore] = field(default_factory=dict)
+
+    def score(self, component: str) -> ComponentScore:
+        if component not in self.scores:
+            self.scores[component] = ComponentScore(component)
+        return self.scores[component]
+
+    @property
+    def macro_f1(self) -> float:
+        if not self.scores:
+            return 0.0
+        return sum(score.f1 for score in self.scores.values()) / len(self.scores)
+
+    @property
+    def micro_f1(self) -> float:
+        total = ComponentScore("__micro__")
+        for score in self.scores.values():
+            total.true_positives += score.true_positives
+            total.extracted_total += score.extracted_total
+            total.expected_total += score.expected_total
+        return total.f1
+
+    @property
+    def micro_precision(self) -> float:
+        tp = sum(s.true_positives for s in self.scores.values())
+        ex = sum(s.extracted_total for s in self.scores.values())
+        if ex == 0:
+            return 1.0 if all(s.expected_total == 0 for s in self.scores.values()) else 0.0
+        return tp / ex
+
+    @property
+    def micro_recall(self) -> float:
+        tp = sum(s.true_positives for s in self.scores.values())
+        expected = sum(s.expected_total for s in self.scores.values())
+        if expected == 0:
+            return 1.0
+        return tp / expected
+
+    def rows(self) -> list[list[str]]:
+        """Table rows: component, P, R, F1 (for the report tables)."""
+        out = [
+            [
+                name,
+                f"{score.precision:.3f}",
+                f"{score.recall:.3f}",
+                f"{score.f1:.3f}",
+            ]
+            for name, score in sorted(self.scores.items())
+        ]
+        out.append(
+            [
+                "micro-avg",
+                f"{self.micro_precision:.3f}",
+                f"{self.micro_recall:.3f}",
+                f"{self.micro_f1:.3f}",
+            ]
+        )
+        return out
+
+
+def score_values(
+    component: str,
+    pairs: Iterable[tuple[Sequence[str], Sequence[str]]],
+) -> ComponentScore:
+    """Score (expected, extracted) pairs for one component."""
+    score = ComponentScore(component)
+    for expected, extracted in pairs:
+        score.add(expected, extracted)
+    return score
+
+
+def evaluate_extraction(
+    result: ExtractionResult,
+    pages: Sequence[WebPage],
+    component_names: Optional[Sequence[str]] = None,
+) -> EvaluationSummary:
+    """Score an extraction run against the pages' ground truth.
+
+    Args:
+        result: extractor output (pages in the same order as ``pages``).
+        pages: the ground-truth-bearing pages.
+        component_names: restrict scoring to these components; default
+            is every component present in the extraction output.
+    """
+    summary = EvaluationSummary()
+    by_url = {page.url: page for page in pages}
+    for extracted_page in result.pages:
+        page = by_url.get(extracted_page.url)
+        if page is None:
+            continue
+        names = component_names or list(extracted_page.values)
+        for name in names:
+            expected = page.expected_values(name)
+            if expected is None:
+                continue
+            summary.score(name).add(expected, extracted_page.get(name))
+    return summary
+
+
+def untargeted_scores(
+    targeted_values: Sequence[str],
+    extracted_chunks: Sequence[str],
+) -> tuple[float, float, float]:
+    """(precision, recall, F1) of an *untargeted* extractor's chunks
+    against the targeted value set — used to compare RoadRunner/EXALG
+    output ("all varying chunks") to what the user actually wanted."""
+    score = ComponentScore("__untargeted__")
+    score.add(targeted_values, extracted_chunks)
+    return score.precision, score.recall, score.f1

@@ -1,0 +1,152 @@
+"""One-shot reproduction report.
+
+Runs every experiment of the reproduction (the four tables, the
+quantified studies) and renders a single markdown report — the
+generator behind EXPERIMENTS.md's measured numbers.  Intended for
+regenerating the record after changes:
+
+    python -m repro.evaluation.report > report.md
+
+Sizes are parameterisable so CI can run a quick pass and a nightly can
+run the full one.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+from repro.core.builder import MappingRuleBuilder
+from repro.core.checking import check_rule, render_check_table
+from repro.core.oracle import ScriptedOracle
+from repro.core.repository import RuleRepository
+from repro.extraction.extractor import ExtractionProcessor
+from repro.extraction.xml_writer import write_cluster_xml
+from repro.evaluation.convergence import convergence_study
+from repro.evaluation.experiments import (
+    baseline_comparison,
+    drift_resilience_study,
+    nesting_depth_study,
+)
+from repro.evaluation.features_audit import audit_features
+from repro.evaluation.tables import format_table
+from repro.sites.imdb import ImdbOptions, generate_imdb_site, make_paper_sample
+
+
+@dataclass
+class ReportOptions:
+    """Experiment sizes (defaults match EXPERIMENTS.md)."""
+
+    cluster_pages: int = 30
+    convergence_seeds: int = 6
+    comparison_pages: int = 30
+    drift_pages: int = 24
+    depth_pages: int = 24
+    seed: int = 7
+
+
+def generate_report(options: ReportOptions | None = None) -> str:
+    """Run all experiments and return the markdown report."""
+    options = options or ReportOptions()
+    out = io.StringIO()
+
+    def section(title: str) -> None:
+        out.write(f"\n## {title}\n\n")
+
+    out.write("# Reproduction report — Estiévenart et al., ICDE WS 2006\n")
+
+    # -- Tables 1 and 3 ------------------------------------------------- #
+    sample = make_paper_sample()
+    oracle = ScriptedOracle()
+    repository = RuleRepository()
+    builder = MappingRuleBuilder(
+        sample, oracle, repository=repository,
+        cluster_name="imdb-movies", seed=1,
+    )
+    candidate = builder.candidate_from_selection(
+        "runtime", oracle.select_value(sample[0], "runtime")
+    )
+    section("Table 1 — candidate rule checking")
+    out.write("```\n" + render_check_table(
+        check_rule(candidate, sample, oracle)) + "\n```\n")
+
+    rule, report, trace = builder.engine.refine(candidate, sample)
+    section("Table 3 — after refinement")
+    out.write(f"strategies: {trace.strategies_used}\n\n")
+    out.write("```\n" + render_check_table(report) + "\n```\n")
+
+    # -- Figure 5 --------------------------------------------------------- #
+    repository.record("imdb-movies", rule)
+    processor = ExtractionProcessor(repository, "imdb-movies")
+    section("Figure 5 — generated XML")
+    out.write("```xml\n" + write_cluster_xml(
+        processor.extract(sample), repository) + "\n```\n")
+
+    # -- Table 4 ------------------------------------------------------------#
+    section("Table 4 — feature audit")
+    audit = audit_features(n_pages=12, seed=21)
+    out.write("```\n" + format_table(
+        ["Feature", "Value", "Verified", "Argumentation"],
+        [row.row() for row in audit.rows],
+    ) + "\n```\n")
+
+    # -- Convergence --------------------------------------------------------#
+    section("Convergence — F1 vs working-sample size")
+    site = generate_imdb_site(
+        options=ImdbOptions(n_pages=options.cluster_pages, seed=options.seed)
+    )
+    pages = site.pages_with_hint("imdb-movies")
+    points = convergence_study(
+        pages,
+        ["runtime", "director", "aka", "language", "genres"],
+        sample_sizes=(1, 2, 3, 5, 8, 10),
+        seeds=tuple(range(options.convergence_seeds)),
+    )
+    out.write("```\n" + format_table(
+        ["sample size", "mean F1", "mean P", "mean R", "mean refinements"],
+        [
+            [str(p.sample_size), f"{p.mean_f1:.3f}", f"{p.mean_precision:.3f}",
+             f"{p.mean_recall:.3f}", f"{p.mean_refinements:.1f}"]
+            for p in points
+        ],
+        align_right=[0, 1, 2, 3, 4],
+    ) + "\n```\n")
+
+    # -- Baselines ------------------------------------------------------------#
+    section("Baseline comparison — targeted extraction")
+    results = baseline_comparison(n_pages=options.comparison_pages,
+                                  seed=11, train_size=10)
+    out.write("```\n" + format_table(
+        ["system", "precision", "recall", "F1", "note"],
+        [r.row() for r in results],
+        align_right=[1, 2, 3],
+    ) + "\n```\n")
+
+    # -- Drift ------------------------------------------------------------------#
+    section("Resilience — F1 before/after wrapper drift")
+    drift = drift_resilience_study(n_pages=options.drift_pages, seed=5)
+    out.write("```\n" + format_table(
+        ["rule style", "F1 before drift", "F1 after drift"],
+        [d.row() for d in drift],
+        align_right=[1, 2],
+    ) + "\n```\n")
+
+    # -- Depth ---------------------------------------------------------------- #
+    section("Ablation — F1 vs structural granularity")
+    depth = nesting_depth_study(n_pages=options.depth_pages, seed=9)
+    out.write("```\n" + format_table(
+        ["depth", "micro-F1", "rules built"],
+        [d.row() for d in depth],
+        align_right=[0, 1],
+    ) + "\n```\n")
+
+    return out.getvalue()
+
+
+def main() -> int:  # pragma: no cover - thin CLI shim
+    print(generate_report())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Fixed-width table rendering shared by benchmarks and examples.
+
+The benchmark harness prints the same rows the paper's tables report;
+this module provides the single formatting routine they share so the
+output stays uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+    align_right: Optional[Sequence[int]] = None,
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    Args:
+        headers: column headers.
+        rows: row cells (converted with ``str``).
+        title: optional title line above the table.
+        align_right: indices of right-aligned (numeric) columns.
+
+    Example:
+        >>> print(format_table(["a", "b"], [["1", "22"]]))
+        a | b
+        --+---
+        1 | 22
+    """
+    right = set(align_right or ())
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        rendered = []
+        for index, width in enumerate(widths):
+            cell = cells[index] if index < len(cells) else ""
+            if index in right:
+                rendered.append(cell.rjust(width))
+            else:
+                rendered.append(cell.ljust(width))
+        return " | ".join(rendered).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)

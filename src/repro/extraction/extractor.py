@@ -1,0 +1,150 @@
+"""Rule interpretation over cluster pages.
+
+The extraction processor "relies on the mapping rules stored in the rule
+repository to extract the targeted data from the HTML pages of the
+corresponding cluster" (Section 4).  It also performs the semi-automatic
+failure detection sketched in Section 7: "a failure in a rule could be
+automatically detected when a mandatory component cannot be found in one
+page or when the extraction of a single-valued text component returns
+more than one node."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import ExtractionError
+from repro.core.component import Multiplicity, Optionality
+from repro.core.repository import RuleRepository
+from repro.core.rule import ComponentValue, MappingRule
+from repro.extraction.postprocess import PostProcessor
+from repro.sites.page import WebPage
+
+
+@dataclass(frozen=True)
+class ExtractionFailure:
+    """A detected rule failure on one page (Section 7)."""
+
+    page_url: str
+    component_name: str
+    reason: str  # "mandatory-missing" | "single-valued-multiple"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.component_name} on {self.page_url}: {self.reason}"
+
+
+@dataclass
+class ExtractedPage:
+    """All component values extracted from one page."""
+
+    url: str
+    values: dict[str, list[str]] = field(default_factory=dict)
+    raw_values: dict[str, list[ComponentValue]] = field(default_factory=dict)
+
+    def get(self, component_name: str) -> list[str]:
+        return self.values.get(component_name, [])
+
+    def first(self, component_name: str) -> Optional[str]:
+        values = self.get(component_name)
+        return values[0] if values else None
+
+
+@dataclass
+class ExtractionResult:
+    """Extraction output for a whole cluster."""
+
+    cluster: str
+    pages: list[ExtractedPage] = field(default_factory=list)
+    failures: list[ExtractionFailure] = field(default_factory=list)
+
+    @property
+    def page_count(self) -> int:
+        return len(self.pages)
+
+    def values_of(self, component_name: str) -> list[str]:
+        """All values of a component across pages, in page order."""
+        collected: list[str] = []
+        for page in self.pages:
+            collected.extend(page.get(component_name))
+        return collected
+
+    def failure_pages(self) -> set[str]:
+        return {failure.page_url for failure in self.failures}
+
+
+class ExtractionProcessor:
+    """Applies a cluster's recorded rules to pages.
+
+    Args:
+        repository: the rule repository (Section 3.5).
+        cluster: which cluster's rules to interpret.
+        postprocessor: optional value clean-up chains.
+
+    Raises:
+        ExtractionError: when the cluster has no recorded rules.
+    """
+
+    def __init__(
+        self,
+        repository: RuleRepository,
+        cluster: str,
+        postprocessor: Optional[PostProcessor] = None,
+    ) -> None:
+        rules = repository.rules(cluster) if cluster in repository.clusters() else []
+        if not rules:
+            raise ExtractionError(f"no rules recorded for cluster {cluster!r}")
+        self.repository = repository
+        self.cluster = cluster
+        self.rules: list[MappingRule] = rules
+        self.postprocessor = postprocessor
+
+    # ------------------------------------------------------------------ #
+
+    def extract_page(
+        self, page: WebPage, failures: Optional[list[ExtractionFailure]] = None
+    ) -> ExtractedPage:
+        """Apply every rule of the cluster to one page."""
+        extracted = ExtractedPage(url=page.url)
+        for rule in self.rules:
+            match = rule.apply(page.root_element)
+            self._detect_failures(page, rule, len(match.values), failures)
+            texts = [value.text for value in match.values]
+            if self.postprocessor is not None:
+                texts = self.postprocessor.apply_all(rule.name, texts)
+            extracted.values[rule.name] = texts
+            extracted.raw_values[rule.name] = list(match.values)
+        return extracted
+
+    def extract(self, pages: Iterable[WebPage]) -> ExtractionResult:
+        """Apply the cluster's rules to every page."""
+        result = ExtractionResult(cluster=self.cluster)
+        for page in pages:
+            result.pages.append(self.extract_page(page, result.failures))
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def _detect_failures(
+        self,
+        page: WebPage,
+        rule: MappingRule,
+        value_count: int,
+        failures: Optional[list[ExtractionFailure]],
+    ) -> None:
+        if failures is None:
+            return
+        if (
+            value_count == 0
+            and rule.component.optionality is Optionality.MANDATORY
+        ):
+            failures.append(
+                ExtractionFailure(page.url, rule.name, "mandatory-missing")
+            )
+        elif (
+            value_count > 1
+            and rule.component.multiplicity is Multiplicity.SINGLE_VALUED
+        ):
+            failures.append(
+                ExtractionFailure(page.url, rule.name, "single-valued-multiple")
+            )

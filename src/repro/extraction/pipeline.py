@@ -1,0 +1,142 @@
+"""The Figure-1 end-to-end pipeline.
+
+(1) clustering, (2) semantic analysis (rule building), (3) extraction
+towards XML — wired together over a :class:`repro.sites.WebSite`.
+The clustering step is pluggable: callers may pass precomputed clusters
+(e.g. from :mod:`repro.clustering`) or let the pipeline compute them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.builder import BuildReport, MappingRuleBuilder
+from repro.core.oracle import Oracle
+from repro.core.repository import RuleRepository
+from repro.extraction.extractor import ExtractionProcessor, ExtractionResult
+from repro.extraction.postprocess import PostProcessor
+from repro.extraction.schema import generate_xml_schema
+from repro.extraction.xml_writer import write_cluster_xml
+from repro.sites.page import WebPage
+from repro.sites.site import WebSite
+
+
+@dataclass
+class PipelineResult:
+    """Everything one pipeline run produced for one cluster."""
+
+    cluster: str
+    build_report: BuildReport
+    extraction: ExtractionResult
+    xml: str
+    schema: str
+    repository: RuleRepository
+
+
+class ExtractionPipeline:
+    """Cluster pages -> mapping rules -> XML document + XML Schema.
+
+    Args:
+        oracle: the human-operator stand-in used for rule building.
+        sample_size: working-sample size (Section 3.1: about ten).
+        seed: sampling/candidate-page RNG seed.
+        postprocessor: optional value clean-up applied at extraction.
+    """
+
+    def __init__(
+        self,
+        oracle: Oracle,
+        sample_size: int = 10,
+        seed: Optional[int] = 0,
+        postprocessor: Optional[PostProcessor] = None,
+    ) -> None:
+        self.oracle = oracle
+        self.sample_size = sample_size
+        self.seed = seed
+        self.postprocessor = postprocessor
+
+    def run_cluster(
+        self,
+        cluster_name: str,
+        pages: Sequence[WebPage],
+        component_names: Sequence[str],
+        repository: Optional[RuleRepository] = None,
+        sample: Optional[Sequence[WebPage]] = None,
+    ) -> PipelineResult:
+        """Run steps (2) and (3) for one page cluster.
+
+        Args:
+            cluster_name: name of the cluster (becomes the XML root).
+            pages: all pages of the cluster.
+            component_names: the components of interest — the approach
+                "allows to address only the pieces of information that
+                are of interest to the user" (Section 1).
+            repository: reuse an existing repository (rules accumulate).
+            sample: explicit working sample; defaults to a seeded random
+                sample of ``sample_size`` pages.
+        """
+        if sample is None:
+            sample = self._default_sample(pages)
+        repository = repository if repository is not None else RuleRepository()
+        builder = MappingRuleBuilder(
+            sample,
+            self.oracle,
+            repository=repository,
+            cluster_name=cluster_name,
+            seed=self.seed,
+        )
+        build_report = builder.build_all(component_names)
+        processor = ExtractionProcessor(
+            repository, cluster_name, postprocessor=self.postprocessor
+        )
+        extraction = processor.extract(pages)
+        xml = write_cluster_xml(extraction, repository)
+        schema = generate_xml_schema(repository, cluster_name)
+        return PipelineResult(
+            cluster=cluster_name,
+            build_report=build_report,
+            extraction=extraction,
+            xml=xml,
+            schema=schema,
+            repository=repository,
+        )
+
+    def run_site(
+        self,
+        site: WebSite,
+        components_by_cluster: dict[str, Sequence[str]],
+        clusters: Optional[dict[str, list[WebPage]]] = None,
+    ) -> dict[str, PipelineResult]:
+        """Run the full Figure-1 pipeline over a site.
+
+        Args:
+            site: the web site.
+            components_by_cluster: cluster name -> components of
+                interest.  Clusters without an entry are skipped — not
+                every cluster interests every user.
+            clusters: precomputed clusters (name -> pages); when absent
+                the site generator's own hints partition the pages.
+        """
+        if clusters is None:
+            clusters = {}
+            for page in site:
+                clusters.setdefault(page.cluster_hint or "unlabelled", []).append(page)
+        results: dict[str, PipelineResult] = {}
+        repository = RuleRepository()
+        for cluster_name, component_names in components_by_cluster.items():
+            pages = clusters.get(cluster_name, [])
+            if not pages:
+                continue
+            results[cluster_name] = self.run_cluster(
+                cluster_name, pages, component_names, repository=repository
+            )
+        return results
+
+    def _default_sample(self, pages: Sequence[WebPage]) -> list[WebPage]:
+        import random
+
+        pool = list(pages)
+        if len(pool) <= self.sample_size:
+            return pool
+        return random.Random(self.seed).sample(pool, self.sample_size)

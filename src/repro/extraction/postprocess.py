@@ -1,0 +1,123 @@
+"""Value post-processing.
+
+"XPath expressions always select full nodes.  That feature does not
+allow a part only of a text node to be extracted.  Consequently, the
+extracted data will sometimes require post processing in order to
+remove their noisy parts" (Section 2.3).  Section 7 proposes "using
+regular expressions ... to finely select the component values within a
+text node"; this module implements that extension.
+
+A :class:`PostProcessor` maps component names to value-transform
+functions and is applied by the extraction processor after rule
+application, so mapping rules stay purely locational.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Optional
+
+ValueTransform = Callable[[str], str]
+
+
+def strip_suffix(suffix: str) -> ValueTransform:
+    """Remove a literal suffix: ``strip_suffix(" min")("108 min") == "108"``."""
+
+    def transform(value: str) -> str:
+        if value.endswith(suffix):
+            return value[: -len(suffix)].rstrip()
+        return value
+
+    return transform
+
+
+def strip_prefix(prefix: str) -> ValueTransform:
+    """Remove a literal prefix from the value."""
+
+    def transform(value: str) -> str:
+        if value.startswith(prefix):
+            return value[len(prefix) :].lstrip()
+        return value
+
+    return transform
+
+
+def regex_extractor(pattern: str, group: int = 1) -> ValueTransform:
+    """Keep only the ``group``-th capture of ``pattern``.
+
+    The Section-7 extension: "Using regular expressions would allow to
+    finely select the component values within a text node".  When the
+    pattern does not match, the value passes through unchanged (rules
+    should degrade gracefully on unexpected pages).
+
+    Example:
+        >>> regex_extractor(r"(\\d+) min")("108 min")
+        '108'
+    """
+    compiled = re.compile(pattern)
+
+    def transform(value: str) -> str:
+        match = compiled.search(value)
+        if match is None:
+            return value
+        return match.group(group)
+
+    return transform
+
+
+def split_list(separator: str = ",") -> Callable[[str], list[str]]:
+    """Split "a comma-separated list of values of a multivalued
+    component" (Section 7) into individual values."""
+
+    def transform(value: str) -> list[str]:
+        return [part.strip() for part in value.split(separator) if part.strip()]
+
+    return transform
+
+
+class PostProcessor:
+    """Per-component value transforms applied after extraction.
+
+    Example:
+        >>> post = PostProcessor()
+        >>> post.register("runtime", regex_extractor(r"(\\d+) min"))
+        >>> post.apply("runtime", "108 min")
+        '108'
+        >>> post.apply("country", "USA")  # unregistered: unchanged
+        'USA'
+    """
+
+    def __init__(self) -> None:
+        self._transforms: dict[str, list[ValueTransform]] = {}
+        self._splitters: dict[str, Callable[[str], list[str]]] = {}
+
+    def register(self, component_name: str, transform: ValueTransform) -> None:
+        """Append a transform to the component's chain."""
+        self._transforms.setdefault(component_name, []).append(transform)
+
+    def register_splitter(
+        self, component_name: str, splitter: Callable[[str], list[str]]
+    ) -> None:
+        """Register a one-value-to-many splitter (comma-separated lists)."""
+        self._splitters[component_name] = splitter
+
+    def apply(self, component_name: str, value: str) -> str:
+        """Run the component's transform chain over ``value``."""
+        for transform in self._transforms.get(component_name, []):
+            value = transform(value)
+        return value
+
+    def apply_all(self, component_name: str, values: list[str]) -> list[str]:
+        """Transform every value, then expand registered splitters."""
+        transformed = [self.apply(component_name, value) for value in values]
+        splitter = self._splitters.get(component_name)
+        if splitter is None:
+            return transformed
+        expanded: list[str] = []
+        for value in transformed:
+            expanded.extend(splitter(value))
+        return expanded
+
+    def components(self) -> list[str]:
+        names = set(self._transforms) | set(self._splitters)
+        return sorted(names)

@@ -1,0 +1,135 @@
+"""XML Schema generation (Section 4).
+
+"First, it uses the information contained in the rule repository to
+generate a data structure in the form of an XML Schema document.  To be
+more precise, the name property of a mapping rule becomes the name of an
+XML Schema element, while the optionality and multiplicity properties
+are transformed into cardinality constraints in the target structure."
+
+The mapping:
+
+=====================  ==========================
+Rule property          XSD cardinality
+=====================  ==========================
+optional               ``minOccurs="0"``
+mandatory              ``minOccurs="1"``
+single-valued          ``maxOccurs="1"``
+multivalued            ``maxOccurs="unbounded"``
+=====================  ==========================
+
+Aggregations become intermediate complex types; mixed-format components
+become ``mixed="true"`` complex types with ``xs:any`` inline content.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.component import Format, Multiplicity, Optionality
+from repro.core.repository import Aggregation, RuleRepository
+from repro.core.rule import MappingRule
+from repro.extraction.xml_writer import _aggregation_plan, page_element_name
+
+
+def _cardinality(rule: MappingRule) -> str:
+    min_occurs = "0" if rule.component.optionality is Optionality.OPTIONAL else "1"
+    max_occurs = (
+        "unbounded"
+        if rule.component.multiplicity is Multiplicity.MULTIVALUED
+        else "1"
+    )
+    return f'minOccurs="{min_occurs}" maxOccurs="{max_occurs}"'
+
+
+def _leaf_element(rule: MappingRule, pad: str) -> list[str]:
+    if rule.component.format is Format.MIXED:
+        return [
+            f'{pad}<xs:element name="{rule.name}" {_cardinality(rule)}>',
+            f'{pad}  <xs:complexType mixed="true">',
+            f'{pad}    <xs:sequence>',
+            f'{pad}      <xs:any minOccurs="0" maxOccurs="unbounded" '
+            'processContents="skip"/>',
+            f"{pad}    </xs:sequence>",
+            f"{pad}  </xs:complexType>",
+            f"{pad}</xs:element>",
+        ]
+    return [
+        f'{pad}<xs:element name="{rule.name}" type="xs:string" '
+        f"{_cardinality(rule)}/>"
+    ]
+
+
+def generate_xml_schema(
+    repository: RuleRepository,
+    cluster: str,
+    indent: str = "  ",
+) -> str:
+    """XSD text for a cluster's recorded rules and aggregations.
+
+    The document validates the output of
+    :func:`repro.extraction.xml_writer.write_cluster_xml` for the same
+    repository.
+    """
+    rules = {rule.name: rule for rule in repository.rules(cluster)}
+    aggregations = repository.aggregations(cluster)
+    plan = _aggregation_plan(list(rules), aggregations)
+    child = page_element_name(cluster)
+
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        '<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema" '
+        'elementFormDefault="qualified">',
+        f'{indent}<xs:element name="{cluster}">',
+        f"{indent * 2}<xs:complexType>",
+        f"{indent * 3}<xs:sequence>",
+        f'{indent * 4}<xs:element name="{child}" minOccurs="0" '
+        'maxOccurs="unbounded">',
+        f"{indent * 5}<xs:complexType>",
+        f"{indent * 6}<xs:sequence>",
+    ]
+    lines.extend(_plan_elements(plan, rules, indent, 7))
+    lines.extend(
+        [
+            f"{indent * 6}</xs:sequence>",
+            f'{indent * 6}<xs:attribute name="uri" type="xs:anyURI" '
+            'use="required"/>',
+            f"{indent * 5}</xs:complexType>",
+            f"{indent * 4}</xs:element>",
+            f"{indent * 3}</xs:sequence>",
+            f"{indent * 2}</xs:complexType>",
+            f"{indent}</xs:element>",
+            "</xs:schema>",
+        ]
+    )
+    return "\n".join(lines)
+
+
+def _plan_elements(
+    plan: Sequence[tuple[str, Optional[list]]],
+    rules: dict[str, MappingRule],
+    indent: str,
+    depth: int,
+) -> list[str]:
+    pad = indent * depth
+    lines: list[str] = []
+    for name, members in plan:
+        if members is None:
+            rule = rules.get(name)
+            if rule is None:
+                lines.append(
+                    f'{pad}<xs:element name="{name}" type="xs:string" '
+                    'minOccurs="0" maxOccurs="1"/>'
+                )
+            else:
+                lines.extend(_leaf_element(rule, pad))
+            continue
+        # Aggregations are optional containers: they appear only when a
+        # member has content on the page.
+        lines.append(f'{pad}<xs:element name="{name}" minOccurs="0" maxOccurs="1">')
+        lines.append(f"{pad}{indent}<xs:complexType>")
+        lines.append(f"{pad}{indent * 2}<xs:sequence>")
+        lines.extend(_plan_elements(members, rules, indent, depth + 3))
+        lines.append(f"{pad}{indent * 2}</xs:sequence>")
+        lines.append(f"{pad}{indent}</xs:complexType>")
+        lines.append(f"{pad}</xs:element>")
+    return lines

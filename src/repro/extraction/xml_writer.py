@@ -1,0 +1,149 @@
+"""The three-level XML document of Figure 5, with optional aggregation.
+
+Default structure::
+
+    <imdb-movies>
+      <imdb-movie uri="http://imdb.com/title/tt0095159/">
+        <runtime>108 min</runtime>
+      </imdb-movie>
+      ...
+    </imdb-movies>
+
+"If this three-level structure does not fit the user's view of the
+data, it can be transformed by iterative aggregation of the component
+elements into a richer tree structure" (Section 4) — aggregations
+recorded in the repository group leaf elements under intermediate ones
+(``users-opinion`` around ``comments`` and ``rating``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.repository import Aggregation, RuleRepository
+from repro.core.rule import ComponentValue
+from repro.dom.serialize import escape_attribute, escape_text
+from repro.extraction.extractor import ExtractedPage, ExtractionResult
+
+
+def page_element_name(cluster: str) -> str:
+    """Singular element name for a page: ``imdb-movies`` -> ``imdb-movie``.
+
+    Falls back to ``<cluster>-page`` when no plural ``s`` is present.
+    """
+    if cluster.endswith("s") and len(cluster) > 1:
+        return cluster[:-1]
+    return f"{cluster}-page"
+
+
+def _aggregation_plan(
+    component_names: Sequence[str],
+    aggregations: Sequence[Aggregation],
+) -> list[tuple[str, list]]:
+    """Top-level order of leaf components and aggregation groups.
+
+    Returns a list of ``(name, members)`` where ``members`` is ``None``
+    for a leaf component and a nested plan for an aggregation.  Members
+    already claimed by an aggregation disappear from the top level;
+    later aggregations may nest earlier ones ("iterative aggregation").
+    """
+    by_name = {aggregation.name: aggregation for aggregation in aggregations}
+    claimed: set[str] = set()
+    for aggregation in aggregations:
+        claimed.update(aggregation.members)
+
+    def expand(name: str) -> tuple[str, Optional[list]]:
+        aggregation = by_name.get(name)
+        if aggregation is None:
+            return (name, None)
+        return (name, [expand(member) for member in aggregation.members])
+
+    plan: list[tuple[str, Optional[list]]] = []
+    for name in component_names:
+        if name in claimed:
+            continue
+        plan.append(expand(name))
+    for aggregation in aggregations:
+        if aggregation.name not in claimed:
+            plan.append(expand(aggregation.name))
+    return plan
+
+
+def write_cluster_xml(
+    result: ExtractionResult,
+    repository: Optional[RuleRepository] = None,
+    indent: str = "  ",
+    encoding: str = "ISO-8859-1",
+    include_markup: bool = False,
+) -> str:
+    """Serialise an extraction result as the Figure-5 XML document.
+
+    Args:
+        result: output of :class:`ExtractionProcessor.extract`.
+        repository: when given, its recorded aggregations shape the
+            nested structure; otherwise the flat three-level default.
+        indent: indentation unit.
+        encoding: declared encoding (the paper's example uses
+            ISO-8859-1); the returned string itself is a ``str``.
+        include_markup: emit mixed values with their inline markup
+            instead of text content only.
+    """
+    aggregations: Sequence[Aggregation] = ()
+    component_order: list[str] = []
+    if result.pages:
+        component_order = list(result.pages[0].values)
+    if repository is not None and result.cluster in repository.clusters():
+        aggregations = repository.aggregations(result.cluster)
+        component_order = repository.component_names(result.cluster)
+    plan = _aggregation_plan(component_order, aggregations)
+
+    lines: list[str] = [f'<?xml version="1.0" encoding="{encoding}"?>']
+    lines.append(f"<{result.cluster}>")
+    child = page_element_name(result.cluster)
+    for page in result.pages:
+        lines.append(f'{indent}<{child} uri="{escape_attribute(page.url)}">')
+        _write_plan(lines, plan, page, indent, 2, include_markup)
+        lines.append(f"{indent}</{child}>")
+    lines.append(f"</{result.cluster}>")
+    return "\n".join(lines)
+
+
+def _write_plan(
+    lines: list[str],
+    plan: Sequence[tuple[str, Optional[list]]],
+    page: ExtractedPage,
+    indent: str,
+    depth: int,
+    include_markup: bool,
+) -> None:
+    pad = indent * depth
+    for name, members in plan:
+        if members is None:
+            values = page.get(name)
+            raw = page.raw_values.get(name, [])
+            for index, value in enumerate(values):
+                if include_markup and index < len(raw):
+                    content = raw[index].as_xml()
+                else:
+                    content = escape_text(value)
+                lines.append(f"{pad}<{name}>{content}</{name}>")
+            continue
+        # Aggregation: emit the group element only when any member has
+        # content on this page.
+        if not _plan_has_content(members, page):
+            continue
+        lines.append(f"{pad}<{name}>")
+        _write_plan(lines, members, page, indent, depth + 1, include_markup)
+        lines.append(f"{pad}</{name}>")
+
+
+def _plan_has_content(
+    plan: Sequence[tuple[str, Optional[list]]], page: ExtractedPage
+) -> bool:
+    for name, members in plan:
+        if members is None:
+            if page.get(name):
+                return True
+        elif _plan_has_content(members, page):
+            return True
+    return False

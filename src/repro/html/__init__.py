@@ -1,0 +1,39 @@
+"""A tolerant HTML parser producing :mod:`repro.dom` trees.
+
+The paper's tool relies on Mozilla's "internal DOM representation of
+loaded HTML documents, *whatever their syntactical quality*" (Section 5).
+This package plays that role: a streaming tokenizer plus a tree builder
+with browser-style error recovery (void elements, implied end tags for
+``<p>``/``<li>``/``<tr>``/``<td>`` and friends, silently dropped stray end
+tags, entity decoding).
+
+Example:
+    >>> from repro.html import parse_html
+    >>> doc = parse_html("<html><body><p>Hi<p>There")
+    >>> [el.tag for el in doc.document_element.find_all("P")]
+    ['P', 'P']
+"""
+
+from repro.html.entities import decode_entities
+from repro.html.parser import parse_html
+from repro.html.tokenizer import (
+    CommentToken,
+    DoctypeToken,
+    EndTagToken,
+    StartTagToken,
+    TextToken,
+    Token,
+    tokenize,
+)
+
+__all__ = [
+    "parse_html",
+    "tokenize",
+    "decode_entities",
+    "Token",
+    "StartTagToken",
+    "EndTagToken",
+    "TextToken",
+    "CommentToken",
+    "DoctypeToken",
+]

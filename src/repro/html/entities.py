@@ -1,0 +1,163 @@
+"""HTML character-reference decoding.
+
+Supports the named entities that appear in real data-intensive pages
+(the full HTML 4 Latin-1 set plus common symbol entities) and numeric
+references in decimal (``&#233;``) and hexadecimal (``&#xE9;``) form.
+
+Unknown references are left verbatim, which is what browsers do for
+strings like ``&nosuchthing;`` — important for pages that contain raw
+ampersands in data values (e.g. movie titles such as "Fast & Furious").
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Named entity table (name -> replacement character).
+NAMED_ENTITIES: dict[str, str] = {
+    # Core markup entities
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+    "nbsp": " ",
+    # Latin-1 letters frequently seen in names/titles
+    "agrave": "à",
+    "aacute": "á",
+    "acirc": "â",
+    "atilde": "ã",
+    "auml": "ä",
+    "aring": "å",
+    "aelig": "æ",
+    "ccedil": "ç",
+    "egrave": "è",
+    "eacute": "é",
+    "ecirc": "ê",
+    "euml": "ë",
+    "igrave": "ì",
+    "iacute": "í",
+    "icirc": "î",
+    "iuml": "ï",
+    "ntilde": "ñ",
+    "ograve": "ò",
+    "oacute": "ó",
+    "ocirc": "ô",
+    "otilde": "õ",
+    "ouml": "ö",
+    "oslash": "ø",
+    "ugrave": "ù",
+    "uacute": "ú",
+    "ucirc": "û",
+    "uuml": "ü",
+    "yacute": "ý",
+    "yuml": "ÿ",
+    "Agrave": "À",
+    "Aacute": "Á",
+    "Acirc": "Â",
+    "Atilde": "Ã",
+    "Auml": "Ä",
+    "Aring": "Å",
+    "AElig": "Æ",
+    "Ccedil": "Ç",
+    "Egrave": "È",
+    "Eacute": "É",
+    "Ecirc": "Ê",
+    "Euml": "Ë",
+    "Igrave": "Ì",
+    "Iacute": "Í",
+    "Icirc": "Î",
+    "Iuml": "Ï",
+    "Ntilde": "Ñ",
+    "Ograve": "Ò",
+    "Oacute": "Ó",
+    "Ocirc": "Ô",
+    "Otilde": "Õ",
+    "Ouml": "Ö",
+    "Oslash": "Ø",
+    "Ugrave": "Ù",
+    "Uacute": "Ú",
+    "Ucirc": "Û",
+    "Uuml": "Ü",
+    "szlig": "ß",
+    # Punctuation and symbols
+    "copy": "©",
+    "reg": "®",
+    "trade": "™",
+    "deg": "°",
+    "plusmn": "±",
+    "middot": "·",
+    "laquo": "«",
+    "raquo": "»",
+    "ldquo": "“",
+    "rdquo": "”",
+    "lsquo": "‘",
+    "rsquo": "’",
+    "ndash": "–",
+    "mdash": "—",
+    "hellip": "…",
+    "bull": "•",
+    "dagger": "†",
+    "sect": "§",
+    "para": "¶",
+    "euro": "€",
+    "pound": "£",
+    "yen": "¥",
+    "cent": "¢",
+    "curren": "¤",
+    "frac12": "½",
+    "frac14": "¼",
+    "frac34": "¾",
+    "sup1": "¹",
+    "sup2": "²",
+    "sup3": "³",
+    "times": "×",
+    "divide": "÷",
+    "micro": "µ",
+    "iexcl": "¡",
+    "iquest": "¿",
+    "star": "☆",
+    "starf": "★",
+    "rarr": "→",
+    "larr": "←",
+}
+
+_ENTITY_RE = re.compile(
+    r"&(?:#[xX]([0-9a-fA-F]{1,6})|#([0-9]{1,7})|([a-zA-Z][a-zA-Z0-9]{1,31}));"
+)
+
+
+def _replace(match: re.Match[str]) -> str:
+    hex_digits, dec_digits, name = match.groups()
+    if hex_digits is not None:
+        return _codepoint(int(hex_digits, 16), match.group(0))
+    if dec_digits is not None:
+        return _codepoint(int(dec_digits, 10), match.group(0))
+    return NAMED_ENTITIES.get(name, match.group(0))
+
+
+def _codepoint(value: int, raw: str) -> str:
+    if 0 < value <= 0x10FFFF and not (0xD800 <= value <= 0xDFFF):
+        return chr(value)
+    return raw
+
+
+def decode_entities(text: str) -> str:
+    """Decode character references in ``text``.
+
+    >>> decode_entities("Tom &amp; Jerry &#8212; 7&frac12; min")
+    'Tom & Jerry — 7½ min'
+    """
+    if "&" not in text:
+        return text
+    return _ENTITY_RE.sub(_replace, text)
+
+
+def encode_entities(text: str) -> str:
+    """Minimal inverse of :func:`decode_entities` for markup safety."""
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )

@@ -1,0 +1,205 @@
+"""Streaming HTML tokenizer.
+
+Splits HTML source into start tags, end tags, text, comments and
+doctypes.  The tokenizer never fails on malformed input; anything it
+cannot interpret as markup is emitted as text, mirroring browser
+behaviour (a bare ``<`` followed by a non-letter is literal text).
+
+Raw-text elements (``<script>``, ``<style>``, ``<textarea>``, ``<title>``)
+swallow their content up to the matching end tag, so embedded ``<`` and
+``&`` do not confuse the tree builder.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.errors import HtmlParseError
+from repro.html.entities import decode_entities
+
+
+@dataclass
+class StartTagToken:
+    """``<tag attr="v">`` — ``self_closing`` records a trailing ``/``."""
+
+    tag: str
+    attributes: dict[str, str] = field(default_factory=dict)
+    self_closing: bool = False
+
+
+@dataclass
+class EndTagToken:
+    """``</tag>``"""
+
+    tag: str
+
+
+@dataclass
+class TextToken:
+    """Character data between tags, with entities already decoded."""
+
+    data: str
+
+
+@dataclass
+class CommentToken:
+    """``<!-- ... -->``"""
+
+    data: str
+
+
+@dataclass
+class DoctypeToken:
+    """``<!DOCTYPE ...>`` — content kept verbatim, unused by the builder."""
+
+    data: str
+
+
+Token = Union[StartTagToken, EndTagToken, TextToken, CommentToken, DoctypeToken]
+
+#: Elements whose content is raw text up to the matching end tag.
+#: SCRIPT/STYLE content is truly raw; TITLE/TEXTAREA are RCDATA, i.e.
+#: character references inside them are still decoded.
+RAWTEXT_ELEMENTS: frozenset[str] = frozenset({"SCRIPT", "STYLE", "TEXTAREA", "TITLE"})
+RCDATA_ELEMENTS: frozenset[str] = frozenset({"TEXTAREA", "TITLE"})
+
+_TAG_NAME_RE = re.compile(r"[a-zA-Z][a-zA-Z0-9:_-]*")
+_ATTR_RE = re.compile(
+    r"""\s*([^\s=/>"'][^\s=/>]*)           # attribute name
+        (?:\s*=\s*
+            (?:"([^"]*)"                   # double-quoted value
+              |'([^']*)'                   # single-quoted value
+              |([^\s>]*)                   # unquoted value
+            )
+        )?""",
+    re.VERBOSE,
+)
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield tokens for ``source``.
+
+    Raises:
+        HtmlParseError: when ``source`` is not a string.
+    """
+    if not isinstance(source, str):
+        raise HtmlParseError(f"expected str, got {type(source).__name__}")
+
+    pos = 0
+    length = len(source)
+    rawtext_until: str | None = None
+
+    while pos < length:
+        if rawtext_until is not None:
+            decode = rawtext_until in RCDATA_ELEMENTS
+            end_re = re.compile(rf"</{rawtext_until}\s*>", re.IGNORECASE)
+            match = end_re.search(source, pos)
+            if match is None:
+                # Unterminated raw text: everything remaining is content.
+                if pos < length:
+                    data = source[pos:]
+                    yield TextToken(decode_entities(data) if decode else data)
+                return
+            if match.start() > pos:
+                data = source[pos : match.start()]
+                yield TextToken(decode_entities(data) if decode else data)
+            yield EndTagToken(rawtext_until.upper())
+            pos = match.end()
+            rawtext_until = None
+            continue
+
+        lt = source.find("<", pos)
+        if lt == -1:
+            yield TextToken(decode_entities(source[pos:]))
+            return
+        if lt > pos:
+            yield TextToken(decode_entities(source[pos:lt]))
+            pos = lt
+
+        # pos is now at '<'
+        if source.startswith("<!--", pos):
+            end = source.find("-->", pos + 4)
+            if end == -1:
+                yield CommentToken(source[pos + 4 :])
+                return
+            yield CommentToken(source[pos + 4 : end])
+            pos = end + 3
+            continue
+
+        if source.startswith("<!", pos):
+            end = source.find(">", pos + 2)
+            if end == -1:
+                yield TextToken(source[pos:])
+                return
+            yield DoctypeToken(source[pos + 2 : end].strip())
+            pos = end + 1
+            continue
+
+        if source.startswith("</", pos):
+            name_match = _TAG_NAME_RE.match(source, pos + 2)
+            if name_match is None:
+                # "</" not followed by a name: literal text (browser rule
+                # actually drops it as a bogus comment; text is close enough
+                # and lossless).
+                gt = source.find(">", pos)
+                pos = length if gt == -1 else gt + 1
+                continue
+            gt = source.find(">", name_match.end())
+            if gt == -1:
+                return
+            yield EndTagToken(name_match.group(0).upper())
+            pos = gt + 1
+            continue
+
+        name_match = _TAG_NAME_RE.match(source, pos + 1)
+        if name_match is None:
+            # A lone '<' that does not open a tag: literal text.
+            yield TextToken("<")
+            pos += 1
+            continue
+
+        tag = name_match.group(0).upper()
+        attrs, after_attrs, self_closing = _scan_attributes(source, name_match.end())
+        yield StartTagToken(tag, attrs, self_closing)
+        pos = after_attrs
+        if tag in RAWTEXT_ELEMENTS and not self_closing:
+            rawtext_until = tag
+    return
+
+
+def _scan_attributes(source: str, pos: int) -> tuple[dict[str, str], int, bool]:
+    """Parse attributes from ``pos`` up to (and past) the closing ``>``.
+
+    Returns (attributes, position after '>', self_closing flag).
+    Unterminated tags consume to end of input.
+    """
+    attrs: dict[str, str] = {}
+    length = len(source)
+    self_closing = False
+    while pos < length:
+        # Skip whitespace.
+        while pos < length and source[pos] in " \t\r\n\f":
+            pos += 1
+        if pos >= length:
+            return attrs, length, self_closing
+        char = source[pos]
+        if char == ">":
+            return attrs, pos + 1, self_closing
+        if char == "/":
+            pos += 1
+            if pos < length and source[pos] == ">":
+                return attrs, pos + 1, True
+            self_closing = False
+            continue
+        match = _ATTR_RE.match(source, pos)
+        if match is None or match.end() == pos:
+            pos += 1  # skip stray character
+            continue
+        name = match.group(1).lower()
+        value = match.group(2) or match.group(3) or match.group(4) or ""
+        if name not in attrs:
+            attrs[name] = decode_entities(value)
+        pos = match.end()
+    return attrs, length, self_closing

@@ -1,0 +1,600 @@
+"""The `imdb-movies` page-cluster generator (the paper's running example).
+
+Reproduces the paper's worked artifacts exactly:
+
+* :func:`make_paper_sample` builds the four working-sample pages of
+  Tables 1 and 3 (URIs ``./title/tt0095159/`` ... ``./title/tt0102059/``)
+  such that the candidate rule selected on the first page matches
+  ``108 min`` / ``91 min`` / ``The Wing and the Thigh (International:
+  English title)`` / *void* — the exact rows of Table 1 — and, after
+  contextual refinement on the constant ``Runtime:`` label (Figure 4),
+  ``108 min`` / ``91 min`` / ``104 min`` / ``84 min`` — Table 3.
+
+* :func:`generate_imdb_site` scales the cluster to arbitrarily many
+  pages with seeded structural discrepancies of every class the paper
+  refines against: optional components that shift positions (photo row,
+  "Also Known As:", "Language:"), multivalued components (genres, cast),
+  mixed-format values (plot/comment paragraphs with inline markup), and
+  an optional *style-B* layout whose label and row structure differ
+  (exercising the alternative-path strategy).  It can also generate the
+  site's other clusters (actor pages, search pages) for the clustering
+  experiments, and a *drifted* variant of the movie layout for the
+  resilience benchmark.
+
+Page anatomy (movie cluster)::
+
+    BODY
+      DIV[1] header (site navigation, constant)
+      DIV[2] content
+        TABLE[1] layout rows:
+          TR[1] title row:      H1 title + SPAN year
+          TR[2] rating row:     SPAN rating + SPAN votes
+          TR[3] photo row       (optional -> later rows shift!)
+          TR[.] director row
+          TR[.] writer row
+          TR[.] [style-B only: certification row, image only]
+          TR[.] details row:    <B>label</B> value <BR> pairs
+                                ([Also Known As:], Runtime:/Length:,
+                                 Country:, [Language:])
+          TR[.] [promo row, image only, no-photo pages]
+        DIV[1]  plot  (P, sometimes with <I> inside -> mixed)
+        UL[1]   genres (LI*)
+        DIV[2]  cast (TABLE with TH header row + TR rows)
+        DIV[3]  comments (P, sometimes with <B> inside -> mixed)
+      DIV[3] footer (constant)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SiteGenerationError
+from repro.sites.page import WebPage
+from repro.sites.site import WebSite
+
+DOMAIN = "imdb.example.org"
+
+#: URIs of the paper's four working-sample pages (Tables 1 and 3).
+PAPER_SAMPLE_IDS = ("tt0095159", "tt0071853", "tt0074103", "tt0102059")
+
+# ----------------------------------------------------------------------- #
+# Deterministic data pools
+# ----------------------------------------------------------------------- #
+
+_TITLE_HEADS = [
+    "The Last", "A Perfect", "Midnight", "The Silent", "Broken", "Golden",
+    "The Hidden", "Crimson", "The Glass", "Winter", "The Iron", "Electric",
+    "The Paper", "Savage", "The Velvet", "Hollow", "The Burning", "Distant",
+    "The Final", "Shattered",
+]
+_TITLE_TAILS = [
+    "Harbor", "Witness", "Garden", "Empire", "Mirror", "Station", "Promise",
+    "Horizon", "Letter", "Kingdom", "Voyage", "Orchard", "Signal", "Currents",
+    "Labyrinth", "Meridian", "Sonata", "Frontier", "Archive", "Cipher",
+]
+_FIRST_NAMES = [
+    "Ava", "Bruno", "Clara", "Diego", "Elena", "Felix", "Greta", "Hugo",
+    "Iris", "Jonas", "Karla", "Leo", "Mona", "Nils", "Olga", "Pavel",
+    "Quinn", "Rosa", "Stefan", "Tilda",
+]
+_LAST_NAMES = [
+    "Andersson", "Bellini", "Castellan", "Dupont", "Eriksen", "Fontaine",
+    "Gruber", "Hartmann", "Ivanov", "Jansen", "Kowalski", "Lindqvist",
+    "Moreau", "Novak", "Olsen", "Petrov", "Quirino", "Rossi", "Sandoval",
+    "Takacs",
+]
+_COUNTRIES = [
+    "USA", "UK", "France", "Germany", "Italy", "Spain", "Sweden", "Japan",
+    "Canada", "Belgium", "USA/UK", "France/Italy",
+]
+_LANGUAGES = [
+    "English", "French", "German", "Italian", "Spanish", "Swedish",
+    "Japanese", "English/French", "English/Italian/Russian",
+]
+_GENRES = [
+    "Action", "Adventure", "Comedy", "Crime", "Drama", "Fantasy", "Horror",
+    "Mystery", "Romance", "Sci-Fi", "Thriller", "Western",
+]
+_PLOT_SENTENCES = [
+    "A reluctant detective returns to the town that made him famous.",
+    "Two strangers swap letters across a closing border.",
+    "An aging pianist rehearses one final concert.",
+    "A cartographer discovers a village missing from every map.",
+    "The harvest fails and the valley turns on its own.",
+    "A night train carries a secret nobody claims.",
+    "An archivist finds her own photograph in a century-old file.",
+    "The lighthouse keeper counts ships that never arrive.",
+]
+_COMMENTS = [
+    "A slow burn that rewards patience.",
+    "Beautifully shot, unevenly paced.",
+    "The ending divides audiences to this day.",
+    "A minor classic of its decade.",
+    "Career-best work from the whole cast.",
+    "Falls apart in the third act but worth the ride.",
+]
+_CHARACTERS = [
+    "the Inspector", "Marta", "Old Samuel", "the Courier", "Dr. Lenz",
+    "the Twin", "Sister Agnes", "Mr. Voss", "the Stranger", "Captain Ilse",
+]
+
+
+# ----------------------------------------------------------------------- #
+# Page model
+# ----------------------------------------------------------------------- #
+
+
+@dataclass
+class MovieRecord:
+    """All data and layout switches for one movie page."""
+
+    movie_id: str
+    title: str
+    year: int
+    rating: str
+    votes: str
+    director: str
+    writer: str
+    runtime_minutes: int
+    country: str
+    language: Optional[str]       # None = no Language pair (optional comp.)
+    aka: Optional[str]            # None = no "Also Known As:" pair
+    plot_parts: tuple[str, ...]   # >1 part => <I> inline markup (mixed)
+    comment_parts: tuple[str, ...]
+    genres: tuple[str, ...]
+    actors: tuple[str, ...]
+    characters: tuple[str, ...]
+    has_photo: bool = True
+    has_promo_row: bool = False   # image-only row after the details row
+    style_b: bool = False         # "Length:" label + certification row
+    drift: bool = False           # structural drift of the same record
+    comma_genres: bool = False    # genres in one comma-separated text node
+
+    @property
+    def url(self) -> str:
+        return f"http://{DOMAIN}/title/{self.movie_id}/"
+
+    @property
+    def runtime_label(self) -> str:
+        """Style-B pages use "Length:"; drifted sites rename it too —
+        the label change is the drift class that defeats even
+        contextual anchors (Table 4: resilience is "No")."""
+        return "Length:" if (self.style_b or self.drift) else "Runtime:"
+
+    @property
+    def runtime_text(self) -> str:
+        return f"{self.runtime_minutes} min"
+
+
+def _ground_truth(record: MovieRecord) -> dict[str, list[str]]:
+    truth: dict[str, list[str]] = {
+        "title": [record.title],
+        "year": [f"({record.year})"],
+        "rating": [record.rating],
+        "votes": [f"({record.votes} votes)"],
+        "director": [record.director],
+        "writer": [record.writer],
+        "runtime": [record.runtime_text],
+        "country": [record.country],
+        "language": [record.language] if record.language else [],
+        "aka": [record.aka] if record.aka else [],
+        "plot": [" ".join(record.plot_parts)],
+        "comment": [" ".join(record.comment_parts)],
+        "genres": list(record.genres),
+        # Comma layout: the locatable component value is the single text
+        # node; post-processing splits it back into the genre list.
+        "genres-line": (
+            [", ".join(record.genres)] if record.comma_genres else []
+        ),
+        "actors": list(record.actors),
+        "characters": list(record.characters),
+    }
+    return truth
+
+
+def render_movie_page(record: MovieRecord) -> WebPage:
+    """Render a movie record to HTML with its layout switches applied."""
+    rows: list[str] = []
+    rows.append(
+        '<tr><td colspan="2"><h1>%s <span class="year">(%d)</span></h1></td></tr>'
+        % (record.title, record.year)
+    )
+    rows.append(
+        '<tr><td><b>User Rating:</b> <span class="rating">%s</span> '
+        '<span class="votes">(%s votes)</span></td></tr>'
+        % (record.rating, record.votes)
+    )
+    if record.has_photo:
+        rows.append(
+            '<tr><td class="photo"><img src="/images/%s.jpg" alt="poster"></td></tr>'
+            % record.movie_id
+        )
+    rows.append(
+        '<tr><td><b>Directed by:</b> <a href="/name/d-%s/">%s</a></td></tr>'
+        % (record.movie_id, record.director)
+    )
+    rows.append(
+        '<tr><td><b>Written by:</b> <a href="/name/w-%s/">%s</a></td></tr>'
+        % (record.movie_id, record.writer)
+    )
+    if record.style_b or record.drift:
+        # Certification row: image-only cell inserted before the details
+        # row — shifts positions without adding text content.
+        rows.append(
+            '<tr><td class="cert"><img src="/images/cert.gif" alt="rated"></td></tr>'
+        )
+    rows.append(_details_row(record))
+    if record.has_promo_row:
+        rows.append(
+            '<tr><td class="promo"><img src="/images/promo.gif" alt=""></td></tr>'
+        )
+
+    plot_html = _mixed_paragraph(record.plot_parts, "i")
+    comment_html = _mixed_paragraph(record.comment_parts, "b")
+    if record.comma_genres:
+        # Section-7 case: "the text node actually includes a
+        # comma-separated list of values of a multivalued component".
+        genres_block = (
+            '<ul class="genres"><li><b>Genres:</b> %s</li></ul>'
+            % ", ".join(record.genres)
+        )
+    else:
+        genres_block = (
+            '<ul class="genres">%s</ul>'
+            % "".join(f"<li>{genre}</li>" for genre in record.genres)
+        )
+    cast_rows = "".join(
+        '<tr><td><a href="/name/a-%s-%d/">%s</a></td><td>%s</td></tr>'
+        % (record.movie_id, index, actor, character)
+        for index, (actor, character) in enumerate(
+            zip(record.actors, record.characters)
+        )
+    )
+
+    html = f"""<html>
+<head><title>{record.title} ({record.year})</title></head>
+<body>
+<div class="header"><a href="/">IMDb</a> | <a href="/search">Search</a> | <a href="/top">Top 250</a></div>
+<div class="content">
+<table class="layout">
+{chr(10).join(rows)}
+</table>
+<div class="plot"><h3>Plot Summary</h3>{plot_html}</div>
+{genres_block}
+<div class="cast"><h3>Cast</h3>
+<table class="cast">
+<tr><th>Actor</th><th>Character</th></tr>
+{cast_rows}
+</table>
+</div>
+<div class="comments"><h3>User Comments</h3>{comment_html}</div>
+</div>
+<div class="footer">Copyright &copy; 2006 example reproduction. All data is synthetic.</div>
+</body>
+</html>"""
+    return WebPage(
+        url=record.url,
+        html=html,
+        ground_truth=_ground_truth(record),
+        cluster_hint="imdb-movies",
+    )
+
+
+def _details_row(record: MovieRecord) -> str:
+    """The Figure-4 details cell: <B>label</B> value <BR> pairs, written
+    tightly so value text nodes are the cell's only text children."""
+    pairs: list[str] = []
+    if record.aka:
+        pairs.append(f"<b>Also Known As:</b> {record.aka}<br>")
+    pairs.append(f"<b>{record.runtime_label}</b> {record.runtime_text}<br>")
+    if record.drift and record.language:
+        # Drifted layout swaps the Country/Language order (labels kept).
+        pairs.append(f"<b>Language:</b> {record.language}<br>")
+        pairs.append(f"<b>Country:</b> {record.country}<br>")
+    else:
+        pairs.append(f"<b>Country:</b> {record.country}<br>")
+        if record.language:
+            pairs.append(f"<b>Language:</b> {record.language}<br>")
+    return f'<tr><td class="details">{"".join(pairs)}</td></tr>'
+
+
+def _mixed_paragraph(parts: tuple[str, ...], tag: str) -> str:
+    """A paragraph that is pure text (one part) or mixed (several)."""
+    if len(parts) == 1:
+        return f"<p>{parts[0]}</p>"
+    pieces = [
+        f"<{tag}>{part}</{tag}>" if index % 2 == 1 else part
+        for index, part in enumerate(parts)
+    ]
+    return f"<p>{' '.join(pieces)}</p>"
+
+
+# ----------------------------------------------------------------------- #
+# The paper's exact working sample (Tables 1 and 3, Figures 2 and 4)
+# ----------------------------------------------------------------------- #
+
+
+def make_paper_sample() -> list[WebPage]:
+    """The four pages of the paper's working sample.
+
+    Engineered so a candidate rule selected on the first page reproduces
+    Table 1 exactly, and the contextually refined rule Table 3:
+
+    ========================  ======================  ===========
+    URI                       candidate match         refined
+    ========================  ======================  ===========
+    ./title/tt0095159/        108 min                 108 min
+    ./title/tt0071853/        91 min                  91 min
+    ./title/tt0074103/        The Wing and the Thigh  104 min
+                              (International: ...)
+    ./title/tt0102059/        -                       84 min
+    ========================  ======================  ===========
+    """
+    records = [
+        MovieRecord(
+            movie_id="tt0095159",
+            title="The Last Harbor",
+            year=1988,
+            rating="7.9/10",
+            votes="1,204",
+            director="Jonas Lindqvist",
+            writer="Mona Fontaine",
+            runtime_minutes=108,
+            country="USA/UK",
+            language="English/Italian/Russian",
+            aka=None,
+            plot_parts=(_PLOT_SENTENCES[0],),
+            comment_parts=(_COMMENTS[0],),
+            genres=("Drama", "Mystery"),
+            actors=("Ava Andersson", "Hugo Moreau", "Greta Novak"),
+            characters=("the Inspector", "Mr. Voss", "Sister Agnes"),
+            has_photo=True,
+        ),
+        MovieRecord(
+            movie_id="tt0071853",
+            title="Midnight Empire",
+            year=1974,
+            rating="8.2/10",
+            votes="3,551",
+            director="Elena Petrov",
+            writer="Felix Gruber",
+            runtime_minutes=91,
+            country="UK",
+            language="English",
+            aka=None,
+            plot_parts=(_PLOT_SENTENCES[1],),
+            comment_parts=(_COMMENTS[1],),
+            genres=("Comedy", "Adventure"),
+            actors=("Leo Rossi", "Karla Jansen"),
+            characters=("the Courier", "Marta"),
+            has_photo=True,
+        ),
+        MovieRecord(
+            movie_id="tt0074103",
+            title="L'aile ou la cuisse",
+            year=1976,
+            rating="7.1/10",
+            votes="2,118",
+            director="Pavel Dupont",
+            writer="Rosa Castellan",
+            runtime_minutes=104,
+            country="France",
+            language=None,
+            aka="The Wing and the Thigh (International: English title)",
+            plot_parts=(_PLOT_SENTENCES[2],),
+            comment_parts=(_COMMENTS[2],),
+            genres=("Comedy",),
+            actors=("Nils Takacs", "Olga Eriksen", "Stefan Bellini"),
+            characters=("Old Samuel", "Dr. Lenz", "the Twin"),
+            has_photo=True,
+        ),
+        MovieRecord(
+            movie_id="tt0102059",
+            title="The Paper Kingdom",
+            year=1991,
+            rating="6.8/10",
+            votes="842",
+            director="Iris Sandoval",
+            writer="Diego Hartmann",
+            runtime_minutes=84,
+            country="USA",
+            language=None,
+            aka=None,
+            plot_parts=(_PLOT_SENTENCES[3],),
+            comment_parts=(_COMMENTS[3],),
+            genres=("Thriller", "Crime"),
+            actors=("Tilda Ivanov",),
+            characters=("Captain Ilse",),
+            has_photo=False,       # photo row absent: details row shifts up
+            has_promo_row=True,    # image-only row sits where the details
+                                   # row is on the other pages -> void match
+        ),
+    ]
+    pages = [render_movie_page(record) for record in records]
+    # The paper prints imdb.com URIs; keep them verbatim for the tables.
+    for page, movie_id in zip(pages, PAPER_SAMPLE_IDS):
+        page.url = f"http://imdb.com/title/{movie_id}/"
+    return pages
+
+
+# ----------------------------------------------------------------------- #
+# Scalable cluster generation
+# ----------------------------------------------------------------------- #
+
+
+@dataclass
+class ImdbOptions:
+    """Knobs for the synthetic `imdb-movies` cluster.
+
+    Probabilities control the structural-discrepancy classes; the
+    defaults roughly match the paper sample's variety.
+    """
+
+    n_pages: int = 50
+    seed: int = 0
+    p_photo: float = 0.85
+    p_aka: float = 0.30
+    p_language: float = 0.80
+    p_promo: float = 0.15
+    p_mixed_plot: float = 0.35
+    p_mixed_comment: float = 0.30
+    max_genres: int = 4
+    max_actors: int = 6
+    style_b_fraction: float = 0.0   # pages using the "Length:" layout
+    drift: bool = False             # structural drift of every page
+    comma_genres: bool = False      # genres as ONE comma-separated text
+                                    # node (the Section-7 case needing
+                                    # post-processing to split values)
+
+
+def _make_record(rng: random.Random, index: int, options: ImdbOptions) -> MovieRecord:
+    title = f"{rng.choice(_TITLE_HEADS)} {rng.choice(_TITLE_TAILS)}"
+    n_genres = rng.randint(1, options.max_genres)
+    n_actors = rng.randint(1, options.max_actors)
+    n_plot = 3 if rng.random() < options.p_mixed_plot else 1
+    n_comment = 3 if rng.random() < options.p_mixed_comment else 1
+    language = (
+        rng.choice(_LANGUAGES) if rng.random() < options.p_language else None
+    )
+    aka = None
+    if rng.random() < options.p_aka:
+        aka = f"{rng.choice(_TITLE_HEADS)} {rng.choice(_TITLE_TAILS)} (working title)"
+    return MovieRecord(
+        movie_id=f"tt{1000000 + index:07d}",
+        title=title,
+        year=rng.randint(1950, 2005),
+        rating=f"{rng.randint(10, 99) / 10:.1f}/10",
+        votes=f"{rng.randint(1, 9)},{rng.randint(100, 999)}",
+        director=f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}",
+        writer=f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}",
+        runtime_minutes=rng.randint(62, 199),
+        country=rng.choice(_COUNTRIES),
+        language=language,
+        aka=aka,
+        plot_parts=tuple(rng.sample(_PLOT_SENTENCES, n_plot)),
+        comment_parts=tuple(rng.sample(_COMMENTS, n_comment)),
+        genres=tuple(rng.sample(_GENRES, n_genres)),
+        actors=tuple(
+            f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
+            for _ in range(n_actors)
+        ),
+        characters=tuple(rng.sample(_CHARACTERS, n_actors)),
+        has_photo=rng.random() < options.p_photo,
+        has_promo_row=rng.random() < options.p_promo,
+        style_b=rng.random() < options.style_b_fraction,
+        drift=options.drift,
+        comma_genres=options.comma_genres,
+    )
+
+
+def generate_movie_cluster(options: ImdbOptions) -> list[WebPage]:
+    """Generate ``options.n_pages`` movie pages deterministically."""
+    if options.n_pages < 0:
+        raise SiteGenerationError("n_pages must be non-negative")
+    if options.max_actors > len(_CHARACTERS):
+        raise SiteGenerationError(
+            f"max_actors must be <= {len(_CHARACTERS)} (character pool size)"
+        )
+    rng = random.Random(options.seed)
+    return [
+        render_movie_page(_make_record(rng, index, options))
+        for index in range(options.n_pages)
+    ]
+
+
+# ----------------------------------------------------------------------- #
+# Other clusters of the same site (for the clustering experiments)
+# ----------------------------------------------------------------------- #
+
+
+def render_actor_page(rng: random.Random, index: int) -> WebPage:
+    """An `imdb-actors` page: a biography plus a filmography list."""
+    name = f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
+    born = rng.randint(1920, 1985)
+    n_films = rng.randint(3, 10)
+    films = [
+        (f"{rng.choice(_TITLE_HEADS)} {rng.choice(_TITLE_TAILS)}",
+         rng.randint(1950, 2005))
+        for _ in range(n_films)
+    ]
+    film_items = "".join(
+        f'<li><a href="/title/x{index}-{i}/">{title}</a> ({year})</li>'
+        for i, (title, year) in enumerate(films)
+    )
+    html = f"""<html>
+<head><title>{name} - biography</title></head>
+<body>
+<div class="header"><a href="/">IMDb</a> | <a href="/search">Search</a> | <a href="/top">Top 250</a></div>
+<div class="bio">
+<h1>{name}</h1>
+<p><b>Born:</b> {born}</p>
+<h3>Filmography</h3>
+<ol class="films">{film_items}</ol>
+</div>
+<div class="footer">Copyright &copy; 2006 example reproduction. All data is synthetic.</div>
+</body>
+</html>"""
+    return WebPage(
+        url=f"http://{DOMAIN}/name/nm{2000000 + index:07d}/",
+        html=html,
+        ground_truth={
+            "actor-name": [name],
+            "born": [str(born)],
+            "film-titles": [title for title, _ in films],
+        },
+        cluster_hint="imdb-actors",
+    )
+
+
+def render_search_page(rng: random.Random, index: int) -> WebPage:
+    """An `imdb-search` results page: a flat result table."""
+    query = rng.choice(_TITLE_TAILS).lower()
+    n_results = rng.randint(2, 12)
+    rows = "".join(
+        '<tr><td><a href="/title/s%d-%d/">%s %s</a></td><td>%d</td></tr>'
+        % (index, i, rng.choice(_TITLE_HEADS), rng.choice(_TITLE_TAILS),
+           rng.randint(1950, 2005))
+        for i in range(n_results)
+    )
+    html = f"""<html>
+<head><title>Search: {query}</title></head>
+<body>
+<div class="header"><a href="/">IMDb</a> | <a href="/search">Search</a> | <a href="/top">Top 250</a></div>
+<div class="results">
+<h2>Results for "{query}"</h2>
+<table class="results">
+<tr><th>Title</th><th>Year</th></tr>
+{rows}
+</table>
+</div>
+<div class="footer">Copyright &copy; 2006 example reproduction. All data is synthetic.</div>
+</body>
+</html>"""
+    return WebPage(
+        url=f"http://{DOMAIN}/find?q={query}&page={index}",
+        html=html,
+        ground_truth={},
+        cluster_hint="imdb-search",
+    )
+
+
+def generate_imdb_site(
+    n_movies: int = 50,
+    n_actors: int = 0,
+    n_search: int = 0,
+    seed: int = 0,
+    options: Optional[ImdbOptions] = None,
+) -> WebSite:
+    """A whole synthetic IMDb-like site with up to three page clusters."""
+    movie_options = options or ImdbOptions(n_pages=n_movies, seed=seed)
+    site = WebSite(DOMAIN)
+    for page in generate_movie_cluster(movie_options):
+        site.add_page(page)
+    rng = random.Random(seed + 1)
+    for index in range(n_actors):
+        site.add_page(render_actor_page(rng, index))
+    for index in range(n_search):
+        site.add_page(render_search_page(rng, index))
+    return site

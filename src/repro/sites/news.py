@@ -1,0 +1,114 @@
+"""A news-article cluster (heterogeneous-integration motivation).
+
+Exercises the "data integration" application of mapping rules (Section
+1): two visually different sub-layouts of the same conceptual article
+page, so rules need alternative paths or anchors to cover both.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sites.page import WebPage
+from repro.sites.site import WebSite
+
+DOMAIN = "news.example.org"
+
+_SECTIONS = ["World", "Economy", "Science", "Culture", "Sport"]
+_HEADLINE_PARTS = [
+    "Council approves", "Markets react to", "Study questions",
+    "Region prepares for", "Experts split over", "Museum unveils",
+    "Port reopens after", "Vote delayed on",
+]
+_SUBJECTS = [
+    "new water plan", "rail expansion", "harvest forecast",
+    "coastal survey", "budget draft", "language archive",
+    "winter schedule", "tax reform",
+]
+_BYLINES = [
+    "Ana Duarte", "Piet Vermeer", "Sofia Lindgren", "Marek Dvorak",
+    "Lucia Romano", "Jens Aaby",
+]
+_PARAGRAPHS = [
+    "Officials confirmed the decision after a lengthy session.",
+    "Local groups welcomed the announcement with caution.",
+    "Figures released this week show a mixed picture.",
+    "The proposal now moves to a second reading.",
+    "Observers expect further statements in the coming days.",
+    "Funding details remain under discussion.",
+]
+
+
+@dataclass
+class ArticleRecord:
+    article_id: str
+    section: str
+    headline: str
+    byline: str
+    date: str
+    paragraphs: tuple[str, ...]
+    layout_b: bool  # alternate sub-layout: byline in a footer box
+
+
+def _render(record: ArticleRecord) -> WebPage:
+    body_paragraphs = "".join(f"<p>{p}</p>" for p in record.paragraphs)
+    if record.layout_b:
+        meta = f'<div class="meta-b"><span class="date">{record.date}</span></div>'
+        byline_html = (
+            f'<div class="authorbox"><b>Reported by:</b> '
+            f'<span class="byline">{record.byline}</span></div>'
+        )
+        article = f"""<div class="article-b">
+<h2 class="headline">{record.headline}</h2>
+{meta}
+<div class="body">{body_paragraphs}</div>
+{byline_html}
+</div>"""
+    else:
+        article = f"""<div class="article">
+<h2 class="headline">{record.headline}</h2>
+<div class="meta"><b>By:</b> <span class="byline">{record.byline}</span> &mdash; <span class="date">{record.date}</span></div>
+<div class="body">{body_paragraphs}</div>
+</div>"""
+    html = f"""<html>
+<head><title>{record.headline} | {DOMAIN}</title></head>
+<body>
+<div class="masthead"><a href="/">The Example Courier</a> / <span class="section">{record.section}</span></div>
+{article}
+<div class="footer">Synthetic newsroom.</div>
+</body>
+</html>"""
+    truth = {
+        "headline": [record.headline],
+        "byline": [record.byline],
+        "date": [record.date],
+        "section": [record.section],
+        "paragraphs": list(record.paragraphs),
+    }
+    return WebPage(
+        url=f"http://{DOMAIN}/{record.section.lower()}/{record.article_id}.html",
+        html=html,
+        ground_truth=truth,
+        cluster_hint="news-articles",
+    )
+
+
+def generate_news_site(
+    n_articles: int = 30, seed: int = 0, layout_b_fraction: float = 0.4
+) -> WebSite:
+    """Deterministic article cluster with two sub-layouts."""
+    rng = random.Random(seed)
+    site = WebSite(DOMAIN)
+    for index in range(n_articles):
+        record = ArticleRecord(
+            article_id=f"a{20000 + index}",
+            section=rng.choice(_SECTIONS),
+            headline=f"{rng.choice(_HEADLINE_PARTS)} {rng.choice(_SUBJECTS)}",
+            byline=rng.choice(_BYLINES),
+            date=f"2006-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
+            paragraphs=tuple(rng.sample(_PARAGRAPHS, rng.randint(2, 5))),
+            layout_b=rng.random() < layout_b_fraction,
+        )
+        site.add_page(_render(record))
+    return site

@@ -1,0 +1,69 @@
+"""The page model: HTML source, parsed DOM, and optional ground truth.
+
+A :class:`WebPage` is what the rest of the library consumes — the
+clustering subsystem reads its structure, the rule builder selects
+nodes in it, the extractor applies rules to it.  Synthetic pages also
+carry *ground truth* (component name → expected values), which powers
+the scripted oracle and the evaluation metrics; pages scraped from
+elsewhere simply leave it empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Optional
+
+from repro.dom.node import Document, Element
+from repro.html.parser import parse_html
+
+
+@dataclass
+class WebPage:
+    """One web page of a site.
+
+    Attributes:
+        url: the page URI (stamped into XML exports, Figure 5).
+        html: raw HTML source.
+        ground_truth: component name -> list of expected string values
+            for this page (empty list = component absent).  Only
+            synthetic pages populate this.
+        cluster_hint: the generator's own cluster label, used to score
+            clustering output — never read by the clustering algorithms.
+    """
+
+    url: str
+    html: str
+    ground_truth: dict[str, list[str]] = field(default_factory=dict)
+    cluster_hint: str = ""
+
+    @cached_property
+    def document(self) -> Document:
+        """The parsed DOM (parsed lazily, cached per page)."""
+        return parse_html(self.html, url=self.url)
+
+    @property
+    def root_element(self) -> Element:
+        """The ``HTML`` element — the context node for mapping-rule XPaths.
+
+        The parser guarantees Document > HTML > BODY on any input, so
+        paper-style locations (``BODY[1]/DIV[2]/...``) evaluate directly
+        against this node.
+        """
+        element = self.document.document_element
+        if element is None:  # pragma: no cover - parser guarantees HTML
+            raise ValueError(f"page {self.url} has no document element")
+        return element
+
+    def expected_values(self, component_name: str) -> Optional[list[str]]:
+        """Ground-truth values for a component, or ``None`` if unknown."""
+        if component_name not in self.ground_truth:
+            return None
+        return list(self.ground_truth[component_name])
+
+    def invalidate_parse_cache(self) -> None:
+        """Drop the cached DOM (used after mutating ``html`` in tests)."""
+        self.__dict__.pop("document", None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WebPage({self.url!r}, {len(self.html)} bytes)"

@@ -1,0 +1,114 @@
+"""An e-commerce product-page cluster ("concurrent prices" motivation).
+
+The paper motivates mapping rules with "the monitoring of Web data such
+as concurrent prices" (Section 7).  This generator produces product
+detail pages with the discrepancy classes a price-monitoring wrapper
+must survive: optional sale banners that shift the price block, optional
+specification rows, and multivalued feature lists.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sites.page import WebPage
+from repro.sites.site import WebSite
+
+DOMAIN = "shop.example.org"
+
+_ADJECTIVES = [
+    "Compact", "Deluxe", "Portable", "Wireless", "Ergonomic", "Classic",
+    "Professional", "Ultra", "Eco", "Smart",
+]
+_NOUNS = [
+    "Blender", "Keyboard", "Backpack", "Headphones", "Lamp", "Kettle",
+    "Monitor", "Chair", "Camera", "Speaker",
+]
+_BRANDS = ["Nordwind", "Atelier K", "Blueline", "Vektor", "Primo", "Ostra"]
+_FEATURES = [
+    "2-year warranty", "Free shipping", "Recycled materials",
+    "Energy label A+", "Tool-free assembly", "Splash resistant",
+    "Quick-charge support", "Made in EU",
+]
+
+
+@dataclass
+class ProductRecord:
+    product_id: str
+    name: str
+    brand: str
+    price: str             # e.g. "129.99 EUR"
+    old_price: Optional[str]  # present only on sale pages
+    stock: str
+    features: tuple[str, ...]
+    has_banner: bool       # promotional banner shifts the price block
+
+
+def _render(record: ProductRecord) -> WebPage:
+    banner = (
+        '<div class="banner"><img src="/img/sale.gif" alt="sale"></div>'
+        if record.has_banner
+        else ""
+    )
+    old_price = (
+        f'<tr><td><b>Old price:</b> <s>{record.old_price}</s></td></tr>'
+        if record.old_price
+        else ""
+    )
+    features = "".join(f"<li>{feature}</li>" for feature in record.features)
+    html = f"""<html>
+<head><title>{record.name} - {DOMAIN}</title></head>
+<body>
+<div class="nav"><a href="/">Home</a> &gt; <a href="/catalog">Catalog</a></div>
+{banner}
+<div class="product">
+<h1>{record.name}</h1>
+<table class="buy">
+<tr><td><b>Brand:</b> <a href="/brand/{record.brand.replace(' ', '-')}/">{record.brand}</a></td></tr>
+{old_price}
+<tr><td><b>Price:</b> <span class="price">{record.price}</span></td></tr>
+<tr><td><b>Availability:</b> {record.stock}</td></tr>
+</table>
+<h3>Features</h3>
+<ul class="features">{features}</ul>
+</div>
+<div class="footer">All offers synthetic.</div>
+</body>
+</html>"""
+    truth = {
+        "product-name": [record.name],
+        "brand": [record.brand],
+        "price": [record.price],
+        "old-price": [record.old_price] if record.old_price else [],
+        "availability": [record.stock],
+        "features": list(record.features),
+    }
+    return WebPage(
+        url=f"http://{DOMAIN}/product/{record.product_id}/",
+        html=html,
+        ground_truth=truth,
+        cluster_hint="shop-products",
+    )
+
+
+def generate_shop_site(n_products: int = 30, seed: int = 0) -> WebSite:
+    """Deterministic product cluster with optional sale/banner variants."""
+    rng = random.Random(seed)
+    site = WebSite(DOMAIN)
+    for index in range(n_products):
+        price_value = rng.randint(900, 49900) / 100
+        on_sale = rng.random() < 0.35
+        record = ProductRecord(
+            product_id=f"p{10000 + index}",
+            name=f"{rng.choice(_ADJECTIVES)} {rng.choice(_NOUNS)} {rng.randint(100, 999)}",
+            brand=rng.choice(_BRANDS),
+            price=f"{price_value:.2f} EUR",
+            old_price=f"{price_value * 1.25:.2f} EUR" if on_sale else None,
+            stock=rng.choice(["In stock", "2-3 days", "Back-ordered"]),
+            features=tuple(rng.sample(_FEATURES, rng.randint(1, 5))),
+            has_banner=rng.random() < 0.3,
+        )
+        site.add_page(_render(record))
+    return site

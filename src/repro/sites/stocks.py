@@ -1,0 +1,113 @@
+"""A stock-quote cluster ("stock rankings" monitoring motivation).
+
+Small, frequently refreshed pages: one quote block per page plus a
+multivalued intraday table — the "extraction of a stock value" agile
+use case of Section 7 where "only a few simple components need to be
+defined".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sites.page import WebPage
+from repro.sites.site import WebSite
+
+DOMAIN = "quotes.example.org"
+
+_TICKERS = [
+    ("NWD", "Nordwind AG"),
+    ("ATK", "Atelier K SA"),
+    ("BLU", "Blueline NV"),
+    ("VKT", "Vektor Industries"),
+    ("PRM", "Primo Group"),
+    ("OST", "Ostra Holdings"),
+    ("EXC", "Example Courier Media"),
+    ("IMB", "Imdb Example Movies"),
+]
+
+
+@dataclass
+class QuoteRecord:
+    ticker: str
+    company: str
+    price: str
+    change: str
+    volume: str
+    intraday: tuple[tuple[str, str], ...]  # (time, price) rows
+    has_alert: bool
+
+
+def _render(record: QuoteRecord) -> WebPage:
+    alert = (
+        '<div class="alert"><img src="/img/alert.gif" alt="trading alert"></div>'
+        if record.has_alert
+        else ""
+    )
+    intraday_rows = "".join(
+        f"<tr><td>{time}</td><td>{price}</td></tr>"
+        for time, price in record.intraday
+    )
+    html = f"""<html>
+<head><title>{record.ticker} quote</title></head>
+<body>
+<div class="topbar"><a href="/">Quotes</a> | <a href="/indices">Indices</a></div>
+{alert}
+<div class="quote">
+<h1>{record.company} <span class="ticker">({record.ticker})</span></h1>
+<table class="quote">
+<tr><td><b>Last:</b> <span class="last">{record.price}</span></td></tr>
+<tr><td><b>Change:</b> <span class="change">{record.change}</span></td></tr>
+<tr><td><b>Volume:</b> {record.volume}</td></tr>
+</table>
+<h3>Intraday</h3>
+<table class="intraday">
+<tr><th>Time</th><th>Price</th></tr>
+{intraday_rows}
+</table>
+</div>
+<div class="footer">Delayed synthetic data.</div>
+</body>
+</html>"""
+    truth = {
+        "company": [record.company],
+        "ticker": [f"({record.ticker})"],
+        "last-price": [record.price],
+        "change": [record.change],
+        "volume": [record.volume],
+        "intraday-prices": [price for _, price in record.intraday],
+    }
+    return WebPage(
+        url=f"http://{DOMAIN}/quote/{record.ticker}",
+        html=html,
+        ground_truth=truth,
+        cluster_hint="stock-quotes",
+    )
+
+
+def generate_stocks_site(n_quotes: int = 8, seed: int = 0) -> WebSite:
+    """One page per ticker, deterministic given the seed."""
+    rng = random.Random(seed)
+    site = WebSite(DOMAIN)
+    for index in range(n_quotes):
+        ticker, company = _TICKERS[index % len(_TICKERS)]
+        if index >= len(_TICKERS):
+            ticker = f"{ticker}{index // len(_TICKERS)}"
+        base = rng.randint(1000, 30000) / 100
+        change = rng.randint(-300, 300) / 100
+        intraday = tuple(
+            (f"{9 + i}:00", f"{base + rng.randint(-200, 200) / 100:.2f}")
+            for i in range(rng.randint(3, 7))
+        )
+        record = QuoteRecord(
+            ticker=ticker,
+            company=company,
+            price=f"{base:.2f}",
+            change=f"{change:+.2f}%",
+            volume=f"{rng.randint(10, 900)},{rng.randint(100, 999)}",
+            intraday=intraday,
+            has_alert=rng.random() < 0.25,
+        )
+        site.add_page(_render(record))
+    return site

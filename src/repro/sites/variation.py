@@ -1,0 +1,165 @@
+"""Structural-variation utilities and parametrised cluster families.
+
+Two tools for the paper's robustness claims:
+
+* :func:`generate_depth_cluster` — a cluster family parametrised by
+  *structural granularity*, for the Section-7 ablation: "Retrozilla is
+  empirically more effective on fine-grained HTML structures (i.e.,
+  highly nested documents) rather than on poorly structured (i.e.,
+  relatively flat) documents."  Depth 0 renders field values as bare
+  ``<BR>``-separated text with no labels (nothing to anchor on); each
+  level adds labels, then per-field rows, then dedicated label/value
+  cells.
+
+* :func:`drift_site` — regenerates an imdb cluster with the wrapper
+  *drifted* (an extra certification row before the details row, and the
+  Country/Language pair order swapped) while keeping the same data, for
+  the resilience study behind Table 4's "Resilience/adaptiveness: No".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import SiteGenerationError
+from repro.sites.imdb import ImdbOptions, generate_imdb_site
+from repro.sites.page import WebPage
+from repro.sites.site import WebSite
+
+DEPTH_DOMAIN = "depth.example.org"
+
+#: Maximum granularity level implemented by the depth family.
+MAX_DEPTH = 3
+
+_NAMES = [
+    "Ada Vella", "Bo Lindt", "Cy Marek", "Dea Fons", "Eli Rahn",
+    "Fay Osten", "Gus Pavic", "Hanna Juhl",
+]
+_COUNTRIES = ["USA", "France", "Italy", "Japan", "Sweden", "Spain"]
+_LANGUAGES = ["English", "French", "Italian", "Japanese", "Swedish"]
+
+
+@dataclass
+class DepthRecord:
+    page_id: int
+    runtime: str
+    aka: Optional[str]     # the optional field producing position shifts
+    country: str
+    language: str
+    director: str
+
+    def fields(self) -> list[tuple[str, str]]:
+        """(label, value) pairs in page order; the AKA pair is optional."""
+        pairs = [("Runtime:", self.runtime)]
+        if self.aka is not None:
+            pairs.append(("Also Known As:", self.aka))
+        pairs.extend(
+            [
+                ("Country:", self.country),
+                ("Language:", self.language),
+                ("Directed by:", self.director),
+            ]
+        )
+        return pairs
+
+
+def _truth(record: DepthRecord) -> dict[str, list[str]]:
+    return {
+        "runtime": [record.runtime],
+        "aka": [record.aka] if record.aka is not None else [],
+        "country": [record.country],
+        "language": [record.language],
+        "director": [record.director],
+    }
+
+
+def _render_depth_page(record: DepthRecord, depth: int) -> WebPage:
+    pairs = record.fields()
+    if depth <= 0:
+        # Flat and unlabelled: values only, one cell, <BR>-separated.
+        body = "<br>".join(value for _, value in pairs)
+        block = f'<table><tr><td class="blob">{body}</td></tr></table>'
+    elif depth == 1:
+        # Labels, still one cell (the Figure-4 shape).
+        body = "".join(f"<b>{label}</b> {value}<br>" for label, value in pairs)
+        block = f'<table><tr><td class="details">{body}</td></tr></table>'
+    elif depth == 2:
+        # One row per field.
+        rows = "".join(
+            f"<tr><td><b>{label}</b> {value}</td></tr>" for label, value in pairs
+        )
+        block = f'<table class="fields">{rows}</table>'
+    else:
+        # Dedicated label and value cells, nested per-field tables.
+        rows = "".join(
+            "<tr><td class=\"label\"><b>%s</b></td>"
+            "<td class=\"value\"><table><tr><td>%s</td></tr></table></td></tr>"
+            % (label, value)
+            for label, value in pairs
+        )
+        block = f'<table class="fields">{rows}</table>'
+    html = f"""<html>
+<head><title>Record {record.page_id}</title></head>
+<body>
+<div class="nav"><a href="/">Depth family</a></div>
+<div class="record">
+<h1>Record {record.page_id}</h1>
+{block}
+</div>
+<div class="footer">synthetic</div>
+</body>
+</html>"""
+    return WebPage(
+        url=f"http://{DEPTH_DOMAIN}/d{depth}/r{record.page_id}/",
+        html=html,
+        ground_truth=_truth(record),
+        cluster_hint=f"depth-{depth}",
+    )
+
+
+def generate_depth_cluster(
+    depth: int,
+    n_pages: int = 30,
+    seed: int = 0,
+    p_optional: float = 0.5,
+) -> list[WebPage]:
+    """Cluster of ``n_pages`` at structural granularity ``depth`` (0-3).
+
+    Raises:
+        SiteGenerationError: for a depth outside 0..MAX_DEPTH.
+    """
+    if not 0 <= depth <= MAX_DEPTH:
+        raise SiteGenerationError(f"depth must be in 0..{MAX_DEPTH}, got {depth}")
+    rng = random.Random(seed)
+    pages: list[WebPage] = []
+    for index in range(n_pages):
+        record = DepthRecord(
+            page_id=index,
+            runtime=f"{rng.randint(60, 200)} min",
+            aka=(
+                f"Working Title {rng.randint(100, 999)}"
+                if rng.random() < p_optional
+                else None
+            ),
+            country=rng.choice(_COUNTRIES),
+            language=rng.choice(_LANGUAGES),
+            director=rng.choice(_NAMES),
+        )
+        pages.append(_render_depth_page(record, depth))
+    return pages
+
+
+#: Component names of the depth family (all ground-truth backed).
+DEPTH_COMPONENTS = ("runtime", "aka", "country", "language", "director")
+
+
+def drift_site(options: ImdbOptions) -> WebSite:
+    """The same imdb cluster as ``options``, after wrapper drift.
+
+    Data (movie records) is identical because the RNG seed is shared;
+    only the layout changes — exactly the "changes over time" that the
+    paper says "are not automatically detected" (Table 4).
+    """
+    return generate_imdb_site(options=replace(options, drift=True))

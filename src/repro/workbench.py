@@ -1,0 +1,236 @@
+"""The Retrozilla workbench: a session API standing in for the GUI.
+
+Section 5 describes the tool: sample pages loaded in browser tabs
+(square 1 of Figure 6), a selection dialog producing a candidate rule
+(square 2), a check table for visual validation (square 3), and a
+control panel for refinement and recording that "permanently displays
+on the fly the values matched by the mapping rule" (square 4).
+
+:class:`WorkbenchSession` reproduces that interaction model
+programmatically: tabs are the working sample, ``select`` +
+``interpret`` build the candidate, ``check_table`` renders square 3,
+``refine`` runs the strategy engine, ``record`` persists the rule.
+Every action appends to a transcript so the session can be replayed or
+displayed (the Figure-6 benchmark prints one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.dom.node import Node, Text
+from repro.dom.traversal import find_text_node
+from repro.errors import OracleError, RuleError
+from repro.core.builder import MappingRuleBuilder
+from repro.core.checking import CheckReport, check_rule, render_check_table
+from repro.core.oracle import Oracle, ScriptedOracle, Selection
+from repro.core.refinement import RefinementTrace
+from repro.core.repository import RuleRepository
+from repro.core.rule import MappingRule
+from repro.sites.page import WebPage
+
+
+@dataclass
+class TranscriptEntry:
+    action: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.action}] {self.detail}"
+
+
+@dataclass
+class WorkbenchSession:
+    """One Retrozilla session over a working sample.
+
+    Args:
+        sample: the pages open "in tabs".
+        oracle: judgement provider for check tables; defaults to the
+            scripted oracle (ground truth), which is what an attentive
+            human would conclude by visual inspection.
+        cluster_name: cluster the session addresses.
+    """
+
+    sample: Sequence[WebPage]
+    oracle: Oracle = field(default_factory=ScriptedOracle)
+    cluster_name: str = "cluster"
+    repository: RuleRepository = field(default_factory=RuleRepository)
+    transcript: list[TranscriptEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.sample:
+            raise ValueError("a session needs at least one tab/page")
+        self._builder = MappingRuleBuilder(
+            self.sample,
+            self.oracle,
+            repository=self.repository,
+            cluster_name=self.cluster_name,
+            seed=0,
+        )
+        self._current_rule: Optional[MappingRule] = None
+        self._current_trace: Optional[RefinementTrace] = None
+        self._log("open", f"{len(self.sample)} page(s) loaded in tabs")
+
+    # -- square 1: tabs -------------------------------------------------- #
+
+    @property
+    def tabs(self) -> list[str]:
+        return [page.url for page in self.sample]
+
+    def page(self, tab_index: int) -> WebPage:
+        return self.sample[tab_index]
+
+    # -- square 2: selection + interpretation ----------------------------- #
+
+    def select(self, tab_index: int, visible_text: str) -> Node:
+        """Point at a value by its visible text in one tab.
+
+        Raises:
+            RuleError: when the text is not visible on that page.
+        """
+        page = self.page(tab_index)
+        # Only BODY content is visible in a browser tab; never select
+        # inside <head>.
+        scope = page.root_element.find_first("BODY") or page.root_element
+        node = find_text_node(scope, visible_text)
+        if node is None:
+            raise RuleError(
+                f"text {visible_text!r} not visible in tab {tab_index} "
+                f"({page.url})"
+            )
+        self._log("select", f"{visible_text!r} in tab {tab_index}")
+        return node
+
+    def interpret(self, node: Node, component_name: str) -> MappingRule:
+        """Name the selected value; a candidate rule is computed."""
+        page = self._page_of(node)
+        selection = Selection(page=page, nodes=(node,))
+        candidate = self._builder.candidate_from_selection(
+            component_name, selection
+        )
+        self._current_rule = candidate
+        self._current_trace = None
+        self._log(
+            "interpret",
+            f"component {component_name!r} -> location "
+            f"{candidate.primary_location}",
+        )
+        return candidate
+
+    # -- square 3: check table --------------------------------------------- #
+
+    def check(self) -> CheckReport:
+        """Apply the current rule to every tab (the tabular view)."""
+        rule = self._require_rule()
+        report = check_rule(rule, self.sample, self.oracle)
+        self._log(
+            "check",
+            f"{report.correct_count}/{len(report.rows)} page(s) consistent",
+        )
+        return report
+
+    def check_table(self) -> str:
+        return render_check_table(self.check())
+
+    # -- square 4: refinement + recording ------------------------------------#
+
+    def refine(self) -> MappingRule:
+        """Run the refinement engine until the check table is clean."""
+        rule = self._require_rule()
+        refined, report, trace = self._builder.engine.refine(rule, self.sample)
+        self._current_rule = refined
+        self._current_trace = trace
+        strategies = ", ".join(trace.strategies_used) or "none needed"
+        self._log("refine", f"strategies applied: {strategies}")
+        if not report.is_valid:
+            self._log("refine", "WARNING: rule still fails on some tabs")
+        return refined
+
+    def record(self) -> MappingRule:
+        """Record the current rule in the repository (Section 3.5).
+
+        Raises:
+            RuleError: when the rule still fails on some sample page.
+        """
+        rule = self._require_rule()
+        report = check_rule(rule, self.sample, self.oracle)
+        if not report.is_valid:
+            raise RuleError(
+                f"rule for {rule.name!r} is not valid on the working sample; "
+                "refine before recording"
+            )
+        self.repository.record(self.cluster_name, rule)
+        self._log("record", f"rule for {rule.name!r} recorded")
+        return rule
+
+    def define_component(self, component_name: str, tab_index: int,
+                         visible_text: str) -> MappingRule:
+        """Convenience: select, interpret, refine and record in one call."""
+        node = self.select(tab_index, visible_text)
+        self.interpret(node, component_name)
+        self.refine()
+        return self.record()
+
+    # -- semi-automated error recovery (Section 7) -------------------------- #
+
+    def repair_component(
+        self,
+        component_name: str,
+        failing_pages: Sequence[WebPage],
+    ) -> MappingRule:
+        """Repair a recorded rule from negative examples.
+
+        The failing pages join the session's tabs (enlarging the working
+        sample) and the refinement loop re-runs; the repaired rule
+        replaces the recorded one.
+
+        Raises:
+            RuleError: when no strategy fixes the rule.
+        """
+        rule = self.repository.rule(self.cluster_name, component_name)
+        for page in failing_pages:
+            if page not in self.sample:
+                self.sample = [*self.sample, page]
+        self._builder = MappingRuleBuilder(
+            self.sample,
+            self.oracle,
+            repository=self.repository,
+            cluster_name=self.cluster_name,
+            seed=0,
+        )
+        outcome = self._builder.repair_rule(rule, failing_pages)
+        self._log(
+            "repair",
+            f"{component_name!r} with {len(failing_pages)} negative "
+            f"example(s): {'repaired' if outcome.recorded else 'FAILED'}",
+        )
+        if not outcome.recorded or outcome.rule is None:
+            raise RuleError(
+                f"rule for {component_name!r} could not be repaired from "
+                "the given negative examples"
+            )
+        self._current_rule = outcome.rule
+        return outcome.rule
+
+    # -- transcript ------------------------------------------------------------#
+
+    def render_transcript(self) -> str:
+        return "\n".join(str(entry) for entry in self.transcript)
+
+    # -- internals ---------------------------------------------------------- #
+
+    def _require_rule(self) -> MappingRule:
+        if self._current_rule is None:
+            raise RuleError("no candidate rule; select and interpret first")
+        return self._current_rule
+
+    def _page_of(self, node: Node) -> WebPage:
+        root = node.root
+        for page in self.sample:
+            if page.document is root:
+                return page
+        raise RuleError("selected node does not belong to any open tab")
+
+    def _log(self, action: str, detail: str) -> None:
+        self.transcript.append(TranscriptEntry(action, detail))

@@ -1,0 +1,47 @@
+"""An XPath 1.0 engine for :mod:`repro.dom` trees.
+
+The paper chose XPath as the *location* formalism of mapping rules
+because it "allows to select node sets in DOM trees through node path
+expressions", can "match simple leaf nodes or complex ones", can "return
+multiple nodes or void results", and supports predicates "to constrain
+or broaden their selection scope" (Section 2.3).  This package provides
+exactly that capability set, built from scratch:
+
+* a lexer and recursive-descent parser producing a typed AST
+  (:mod:`repro.xpath.lexer`, :mod:`repro.xpath.parser`);
+* an evaluator implementing 12 axes, node tests, positional and boolean
+  predicates, the XPath 1.0 core function library, unions and arithmetic
+  (:mod:`repro.xpath.evaluator`, :mod:`repro.xpath.functions`);
+* a compile cache plus convenience API (:mod:`repro.xpath.engine`).
+
+One deliberate leniency: ``contains("X")`` / ``starts-with("X")`` with a
+single argument are accepted as ``contains(., "X")`` — the paper writes
+its contextual predicates in this abbreviated style (Table 2, row b).
+
+Example:
+    >>> from repro.html import parse_html
+    >>> from repro.xpath import select
+    >>> doc = parse_html("<body><p>a</p><p>b</p></body>")
+    >>> [n.text_content() for n in select(doc.document_element, "BODY[1]/P")]
+    ['a', 'b']
+"""
+
+from repro.xpath.engine import (
+    XPath,
+    compile_xpath,
+    evaluate,
+    select,
+    select_one,
+    string_value,
+)
+from repro.xpath.evaluator import XPathContext
+
+__all__ = [
+    "XPath",
+    "compile_xpath",
+    "select",
+    "select_one",
+    "evaluate",
+    "string_value",
+    "XPathContext",
+]

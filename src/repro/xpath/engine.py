@@ -1,0 +1,104 @@
+"""Public XPath API: compiled expressions with a cache.
+
+The rule checker re-applies the same location expression to every page
+of a working sample and, later, to every page of the cluster, so
+expressions are compiled once and cached (keyed by source text).
+
+Example:
+    >>> from repro.html import parse_html
+    >>> from repro.xpath import select_one
+    >>> doc = parse_html("<body><b>Runtime:</b> 108 min</body>")
+    >>> select_one(doc.document_element, "BODY[1]/B[1]/text()[1]").data
+    'Runtime:'
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.dom.node import Node
+from repro.errors import XPathTypeError
+from repro.xpath.ast import Expr
+from repro.xpath.evaluator import Evaluator, XPathContext
+from repro.xpath.functions import node_string_value, to_string
+from repro.xpath.parser import parse_xpath
+
+_EVALUATOR = Evaluator()
+_CACHE: dict[str, "XPath"] = {}
+_CACHE_LOCK = threading.Lock()
+_CACHE_LIMIT = 4096
+
+
+class XPath:
+    """A compiled XPath expression.
+
+    Instances are immutable and shareable; obtain them through
+    :func:`compile_xpath` to benefit from the cache.
+    """
+
+    __slots__ = ("source", "ast")
+
+    def __init__(self, source: str, ast: Expr):
+        self.source = source
+        self.ast = ast
+
+    def evaluate(self, context_node: Node, variables: Optional[dict] = None):
+        """Evaluate to whatever XPath type the expression produces."""
+        context = XPathContext(context_node, 1, 1, variables or {})
+        return _EVALUATOR.evaluate(self.ast, context)
+
+    def select(self, context_node: Node, variables: Optional[dict] = None) -> list:
+        """Evaluate and require a node-set result."""
+        result = self.evaluate(context_node, variables)
+        if not isinstance(result, list):
+            raise XPathTypeError(
+                f"expression {self.source!r} returned "
+                f"{type(result).__name__}, not a node-set"
+            )
+        return result
+
+    def __str__(self) -> str:
+        return self.source
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"XPath({self.source!r})"
+
+
+def compile_xpath(expression: str) -> XPath:
+    """Compile ``expression``, reusing a cached instance when possible."""
+    cached = _CACHE.get(expression)
+    if cached is not None:
+        return cached
+    compiled = XPath(expression, parse_xpath(expression))
+    with _CACHE_LOCK:
+        if len(_CACHE) >= _CACHE_LIMIT:
+            _CACHE.clear()
+        _CACHE[expression] = compiled
+    return compiled
+
+
+def select(context_node: Node, expression: str) -> list:
+    """All nodes selected by ``expression`` from ``context_node``."""
+    return compile_xpath(expression).select(context_node)
+
+
+def select_one(context_node: Node, expression: str):
+    """First selected node in document order, or ``None``."""
+    nodes = select(context_node, expression)
+    return nodes[0] if nodes else None
+
+
+def evaluate(context_node: Node, expression: str):
+    """Evaluate ``expression``; result may be node-set/str/float/bool."""
+    return compile_xpath(expression).evaluate(context_node)
+
+
+def string_value(node) -> str:
+    """XPath string-value of a node (text content / attribute value)."""
+    return node_string_value(node)
+
+
+def evaluate_string(context_node: Node, expression: str) -> str:
+    """Evaluate and convert the result to a string (XPath ``string()``)."""
+    return to_string(evaluate(context_node, expression))

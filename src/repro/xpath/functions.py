@@ -1,0 +1,308 @@
+"""XPath 1.0 core function library.
+
+Implements the node-set, string, boolean and number functions of the
+XPath 1.0 recommendation (section 4) over the value types used by the
+evaluator: node-set (``list``), ``str``, ``float`` and ``bool``.
+
+Leniency for the paper's abbreviated predicate style (Table 2, row b
+writes ``contains("Runtime:")``): ``contains``, ``starts-with`` and
+``ends-with`` accept a single argument, which is then matched against
+the string-value of the context node.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import XPathEvaluationError, XPathTypeError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xpath.evaluator import XPathContext
+
+# --------------------------------------------------------------------- #
+# Type conversions (spec section 4.x "string()", "number()", "boolean()")
+# --------------------------------------------------------------------- #
+
+
+def node_string_value(node) -> str:
+    """The XPath string-value of any node kind."""
+    from repro.dom.node import Comment, Text
+    from repro.xpath.evaluator import AttributeNode
+
+    if isinstance(node, AttributeNode):
+        return node.value
+    if isinstance(node, (Text, Comment)):
+        return node.data
+    return node.text_content()
+
+
+def to_string(value) -> str:
+    """Convert any XPath value to a string (spec 4.2)."""
+    if isinstance(value, list):
+        if not value:
+            return ""
+        return node_string_value(value[0])
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return format_number(value)
+    if isinstance(value, str):
+        return value
+    raise XPathTypeError(f"cannot convert {type(value).__name__} to string")
+
+
+def format_number(value: float) -> str:
+    """XPath number-to-string rules: integers print without a decimal point."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def to_number(value) -> float:
+    """Convert any XPath value to a number (spec 4.4)."""
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, float):
+        return value
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError:
+            return float("nan")
+    if isinstance(value, list):
+        return to_number(to_string(value))
+    raise XPathTypeError(f"cannot convert {type(value).__name__} to number")
+
+
+def to_boolean(value) -> bool:
+    """Convert any XPath value to a boolean (spec 4.3)."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return value != 0 and not math.isnan(value)
+    if isinstance(value, str):
+        return len(value) > 0
+    if isinstance(value, list):
+        return len(value) > 0
+    raise XPathTypeError(f"cannot convert {type(value).__name__} to boolean")
+
+
+# --------------------------------------------------------------------- #
+# Function implementations.  Each receives (context, evaluated args).
+# --------------------------------------------------------------------- #
+
+
+def _context_string(context: "XPathContext") -> str:
+    return node_string_value(context.node)
+
+
+def _fn_last(context, args):
+    return float(context.size)
+
+
+def _fn_position(context, args):
+    return float(context.position)
+
+
+def _fn_count(context, args):
+    (node_set,) = args
+    if not isinstance(node_set, list):
+        raise XPathTypeError("count() requires a node-set")
+    return float(len(node_set))
+
+
+def _fn_name(context, args):
+    from repro.dom.node import Element
+    from repro.xpath.evaluator import AttributeNode
+
+    if args:
+        node_set = args[0]
+        if not isinstance(node_set, list):
+            raise XPathTypeError("name() requires a node-set")
+        if not node_set:
+            return ""
+        node = node_set[0]
+    else:
+        node = context.node
+    if isinstance(node, Element):
+        return node.tag
+    if isinstance(node, AttributeNode):
+        return node.name
+    return ""
+
+
+def _fn_string(context, args):
+    if not args:
+        return _context_string(context)
+    return to_string(args[0])
+
+
+def _fn_concat(context, args):
+    if len(args) < 2:
+        raise XPathEvaluationError("concat() requires at least two arguments")
+    return "".join(to_string(a) for a in args)
+
+
+def _two_string_args(context, args, name):
+    """Resolve the lenient 1-arg form: f(x) means f(., x)."""
+    if len(args) == 1:
+        return _context_string(context), to_string(args[0])
+    if len(args) == 2:
+        return to_string(args[0]), to_string(args[1])
+    raise XPathEvaluationError(f"{name}() takes one or two arguments")
+
+
+def _fn_starts_with(context, args):
+    haystack, needle = _two_string_args(context, args, "starts-with")
+    return haystack.startswith(needle)
+
+
+def _fn_ends_with(context, args):
+    haystack, needle = _two_string_args(context, args, "ends-with")
+    return haystack.endswith(needle)
+
+
+def _fn_contains(context, args):
+    haystack, needle = _two_string_args(context, args, "contains")
+    return needle in haystack
+
+
+def _fn_substring_before(context, args):
+    haystack, needle = _two_string_args(context, args, "substring-before")
+    index = haystack.find(needle)
+    return "" if index < 0 else haystack[:index]
+
+
+def _fn_substring_after(context, args):
+    haystack, needle = _two_string_args(context, args, "substring-after")
+    index = haystack.find(needle)
+    return "" if index < 0 else haystack[index + len(needle) :]
+
+
+def _fn_substring(context, args):
+    if len(args) not in (2, 3):
+        raise XPathEvaluationError("substring() takes two or three arguments")
+    text = to_string(args[0])
+    start = to_number(args[1])
+    if math.isnan(start):
+        return ""
+    start = round(start)
+    if len(args) == 3:
+        length = to_number(args[2])
+        if math.isnan(length):
+            return ""
+        end = start + round(length) if not math.isinf(length) else float("inf")
+    else:
+        end = float("inf")
+    # XPath positions are 1-based; build result by position filtering.
+    chars = [
+        ch
+        for position, ch in enumerate(text, start=1)
+        if position >= start and position < end
+    ]
+    return "".join(chars)
+
+
+def _fn_string_length(context, args):
+    if args:
+        return float(len(to_string(args[0])))
+    return float(len(_context_string(context)))
+
+
+def _fn_normalize_space(context, args):
+    text = to_string(args[0]) if args else _context_string(context)
+    return " ".join(text.split())
+
+
+def _fn_translate(context, args):
+    if len(args) != 3:
+        raise XPathEvaluationError("translate() takes three arguments")
+    text, source, target = (to_string(a) for a in args)
+    table: dict[int, int | None] = {}
+    for index, char in enumerate(source):
+        if ord(char) in table:
+            continue
+        table[ord(char)] = ord(target[index]) if index < len(target) else None
+    return text.translate(table)
+
+
+def _fn_boolean(context, args):
+    (value,) = args
+    return to_boolean(value)
+
+
+def _fn_not(context, args):
+    (value,) = args
+    return not to_boolean(value)
+
+
+def _fn_true(context, args):
+    return True
+
+
+def _fn_false(context, args):
+    return False
+
+
+def _fn_number(context, args):
+    if not args:
+        return to_number(_context_string(context))
+    return to_number(args[0])
+
+
+def _fn_sum(context, args):
+    (node_set,) = args
+    if not isinstance(node_set, list):
+        raise XPathTypeError("sum() requires a node-set")
+    return float(sum(to_number(node_string_value(node)) for node in node_set))
+
+
+def _fn_floor(context, args):
+    return float(math.floor(to_number(args[0])))
+
+
+def _fn_ceiling(context, args):
+    return float(math.ceil(to_number(args[0])))
+
+
+def _fn_round(context, args):
+    value = to_number(args[0])
+    if math.isnan(value) or math.isinf(value):
+        return value
+    # XPath rounds half towards positive infinity.
+    return float(math.floor(value + 0.5))
+
+
+#: Registered function table: name -> callable(context, args).
+FUNCTIONS: dict[str, Callable] = {
+    "last": _fn_last,
+    "position": _fn_position,
+    "count": _fn_count,
+    "name": _fn_name,
+    "local-name": _fn_name,
+    "string": _fn_string,
+    "concat": _fn_concat,
+    "starts-with": _fn_starts_with,
+    "ends-with": _fn_ends_with,
+    "contains": _fn_contains,
+    "substring-before": _fn_substring_before,
+    "substring-after": _fn_substring_after,
+    "substring": _fn_substring,
+    "string-length": _fn_string_length,
+    "normalize-space": _fn_normalize_space,
+    "translate": _fn_translate,
+    "boolean": _fn_boolean,
+    "not": _fn_not,
+    "true": _fn_true,
+    "false": _fn_false,
+    "number": _fn_number,
+    "sum": _fn_sum,
+    "floor": _fn_floor,
+    "ceiling": _fn_ceiling,
+    "round": _fn_round,
+}

@@ -1,0 +1,183 @@
+"""XPath 1.0 lexer.
+
+Tokenises an XPath expression string.  The grammar is mildly
+context-sensitive: ``*`` is a multiplication operator when an operand
+precedes it and a wildcard name test otherwise, and the names ``and``,
+``or``, ``div``, ``mod`` are operators exactly in operand-follows
+position (XPath 1.0 spec, section 3.7).  The lexer resolves this with
+the standard "preceding token" rule so the parser stays context-free.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+from repro.errors import XPathSyntaxError
+
+
+class TokenType(Enum):
+    NAME = "name"                  # element name / axis name / function name
+    NUMBER = "number"
+    LITERAL = "literal"            # quoted string
+    OPERATOR = "operator"          # and or div mod * + - = != <= < >= > | /  //
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    AT = "@"
+    DOT = "."
+    DOTDOT = ".."
+    AXIS_SEP = "::"
+    DOLLAR = "$"
+    EOF = "eof"
+
+
+@dataclass
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_operator(self, *values: str) -> bool:
+        return self.type is TokenType.OPERATOR and self.value in values
+
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.-]*")
+_NUMBER_RE = re.compile(r"\d+(\.\d*)?|\.\d+")
+_OPERATOR_NAMES = frozenset({"and", "or", "div", "mod"})
+
+#: Token types/values after which a NAME or ``*`` must be an operand
+#: (name test), not an operator.  Rule from XPath 1.0 section 3.7: a
+#: ``*`` or operator-name is an operator iff there IS a preceding token
+#: and it is none of ``@ :: ( [ ,`` or another operator.
+_OPERAND_EXPECTED_AFTER = {
+    TokenType.AT,
+    TokenType.AXIS_SEP,
+    TokenType.LPAREN,
+    TokenType.LBRACKET,
+    TokenType.COMMA,
+    TokenType.OPERATOR,
+}
+
+
+def tokenize_xpath(expression: str) -> list[Token]:
+    """Tokenise ``expression`` into a list ending with an EOF token.
+
+    Raises:
+        XPathSyntaxError: on an unterminated literal or illegal character.
+    """
+    tokens: list[Token] = []
+    pos = 0
+    length = len(expression)
+
+    def previous() -> Token | None:
+        return tokens[-1] if tokens else None
+
+    def operator_position() -> bool:
+        """True when the next ``*``/``and``/``or``... must be an operator."""
+        prev = previous()
+        if prev is None:
+            return False
+        return prev.type not in _OPERAND_EXPECTED_AFTER
+
+    while pos < length:
+        char = expression[pos]
+        if char in " \t\r\n":
+            pos += 1
+            continue
+        if char in "'\"":
+            end = expression.find(char, pos + 1)
+            if end == -1:
+                raise XPathSyntaxError("unterminated string literal", expression, pos)
+            tokens.append(Token(TokenType.LITERAL, expression[pos + 1 : end], pos))
+            pos = end + 1
+            continue
+        number_match = _NUMBER_RE.match(expression, pos)
+        if number_match and (char.isdigit() or (char == "." and pos + 1 < length and expression[pos + 1].isdigit())):
+            tokens.append(Token(TokenType.NUMBER, number_match.group(0), pos))
+            pos = number_match.end()
+            continue
+        if expression.startswith("..", pos):
+            tokens.append(Token(TokenType.DOTDOT, "..", pos))
+            pos += 2
+            continue
+        if char == ".":
+            tokens.append(Token(TokenType.DOT, ".", pos))
+            pos += 1
+            continue
+        if expression.startswith("::", pos):
+            tokens.append(Token(TokenType.AXIS_SEP, "::", pos))
+            pos += 2
+            continue
+        if expression.startswith("//", pos):
+            tokens.append(Token(TokenType.OPERATOR, "//", pos))
+            pos += 2
+            continue
+        if expression.startswith("!=", pos):
+            tokens.append(Token(TokenType.OPERATOR, "!=", pos))
+            pos += 2
+            continue
+        if expression.startswith("<=", pos):
+            tokens.append(Token(TokenType.OPERATOR, "<=", pos))
+            pos += 2
+            continue
+        if expression.startswith(">=", pos):
+            tokens.append(Token(TokenType.OPERATOR, ">=", pos))
+            pos += 2
+            continue
+        if char in "/|+-=<>":
+            tokens.append(Token(TokenType.OPERATOR, char, pos))
+            pos += 1
+            continue
+        if char == "*":
+            if operator_position():
+                tokens.append(Token(TokenType.OPERATOR, "*", pos))
+            else:
+                tokens.append(Token(TokenType.NAME, "*", pos))
+            pos += 1
+            continue
+        if char == "[":
+            tokens.append(Token(TokenType.LBRACKET, "[", pos))
+            pos += 1
+            continue
+        if char == "]":
+            tokens.append(Token(TokenType.RBRACKET, "]", pos))
+            pos += 1
+            continue
+        if char == "(":
+            tokens.append(Token(TokenType.LPAREN, "(", pos))
+            pos += 1
+            continue
+        if char == ")":
+            tokens.append(Token(TokenType.RPAREN, ")", pos))
+            pos += 1
+            continue
+        if char == ",":
+            tokens.append(Token(TokenType.COMMA, ",", pos))
+            pos += 1
+            continue
+        if char == "@":
+            tokens.append(Token(TokenType.AT, "@", pos))
+            pos += 1
+            continue
+        if char == "$":
+            tokens.append(Token(TokenType.DOLLAR, "$", pos))
+            pos += 1
+            continue
+        name_match = _NAME_RE.match(expression, pos)
+        if name_match:
+            name = name_match.group(0)
+            if name in _OPERATOR_NAMES and operator_position():
+                tokens.append(Token(TokenType.OPERATOR, name, pos))
+            else:
+                tokens.append(Token(TokenType.NAME, name, pos))
+            pos = name_match.end()
+            continue
+        raise XPathSyntaxError(f"illegal character {char!r}", expression, pos)
+
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens

@@ -1,0 +1,313 @@
+"""Recursive-descent parser for XPath 1.0.
+
+Grammar follows the W3C XPath 1.0 recommendation, sections 2 and 3,
+with the operator-precedence chain::
+
+    OrExpr > AndExpr > EqualityExpr > RelationalExpr
+           > AdditiveExpr > MultiplicativeExpr > UnaryExpr
+           > UnionExpr > PathExpr
+
+Abbreviations supported: ``//`` (descendant-or-self::node()), ``.``
+(self::node()), ``..`` (parent::node()), ``@name``
+(attribute::name), and bare names (child axis).
+"""
+
+from __future__ import annotations
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    BinaryOp,
+    Expr,
+    FilterPath,
+    FunctionCall,
+    LocationPath,
+    NameTest,
+    NodeTypeTest,
+    NumberLiteral,
+    Step,
+    StringLiteral,
+    UnaryMinus,
+    VariableRef,
+)
+from repro.xpath.lexer import Token, TokenType, tokenize_xpath
+
+_AXES = frozenset(
+    {
+        "ancestor",
+        "ancestor-or-self",
+        "attribute",
+        "child",
+        "descendant",
+        "descendant-or-self",
+        "following",
+        "following-sibling",
+        "parent",
+        "preceding",
+        "preceding-sibling",
+        "self",
+    }
+)
+
+_NODE_TYPES = frozenset({"text", "node", "comment", "processing-instruction"})
+
+_DESC_STEP = Step("descendant-or-self", NodeTypeTest("node"))
+
+
+class _Parser:
+    def __init__(self, expression: str) -> None:
+        self.expression = expression
+        self.tokens = tokenize_xpath(expression)
+        self.index = 0
+
+    # -- token helpers --------------------------------------------------- #
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.type is not TokenType.EOF:
+            self.index += 1
+        return token
+
+    def expect(self, token_type: TokenType) -> Token:
+        token = self.current
+        if token.type is not token_type:
+            raise XPathSyntaxError(
+                f"expected {token_type.value!r}, found {token.value!r}",
+                self.expression,
+                token.position,
+            )
+        return self.advance()
+
+    def error(self, message: str) -> XPathSyntaxError:
+        return XPathSyntaxError(message, self.expression, self.current.position)
+
+    # -- entry ------------------------------------------------------------ #
+
+    def parse(self) -> Expr:
+        expr = self.parse_or()
+        if self.current.type is not TokenType.EOF:
+            raise self.error(f"unexpected trailing token {self.current.value!r}")
+        return expr
+
+    # -- precedence chain --------------------------------------------------#
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.current.is_operator("or"):
+            self.advance()
+            left = BinaryOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_equality()
+        while self.current.is_operator("and"):
+            self.advance()
+            left = BinaryOp("and", left, self.parse_equality())
+        return left
+
+    def parse_equality(self) -> Expr:
+        left = self.parse_relational()
+        while self.current.is_operator("=", "!="):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_relational())
+        return left
+
+    def parse_relational(self) -> Expr:
+        left = self.parse_additive()
+        while self.current.is_operator("<", "<=", ">", ">="):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while self.current.is_operator("+", "-"):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while self.current.is_operator("*", "div", "mod"):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.current.is_operator("-"):
+            self.advance()
+            return UnaryMinus(self.parse_unary())
+        return self.parse_union()
+
+    def parse_union(self) -> Expr:
+        left = self.parse_path()
+        while self.current.is_operator("|"):
+            self.advance()
+            left = BinaryOp("|", left, self.parse_path())
+        return left
+
+    # -- paths -------------------------------------------------------------#
+
+    def parse_path(self) -> Expr:
+        """PathExpr ::= LocationPath | FilterExpr (('/'|'//') RelativeLocationPath)?"""
+        if self._starts_filter_expr():
+            primary = self.parse_primary()
+            predicates: list[Expr] = []
+            while self.current.type is TokenType.LBRACKET:
+                self.advance()
+                predicates.append(self.parse_or())
+                self.expect(TokenType.RBRACKET)
+            if self.current.is_operator("/", "//"):
+                descendant = self.advance().value == "//"
+                steps = self.parse_relative_steps()
+                if descendant:
+                    steps = [_DESC_STEP, *steps]
+                return FilterPath(primary, tuple(predicates), tuple(steps))
+            if predicates:
+                return FilterPath(primary, tuple(predicates))
+            return primary
+        return self.parse_location_path()
+
+    def _starts_filter_expr(self) -> bool:
+        """True when the next tokens begin a FilterExpr, not a LocationPath.
+
+        A NAME followed by ``(`` is a function call — unless the name is
+        a node-type test (``text()``), which belongs to a location path.
+        """
+        token = self.current
+        if token.type in (TokenType.NUMBER, TokenType.LITERAL, TokenType.DOLLAR):
+            return True
+        if token.type is TokenType.LPAREN:
+            return True
+        if token.type is TokenType.NAME and token.value not in _NODE_TYPES:
+            following = self.tokens[self.index + 1]
+            return following.type is TokenType.LPAREN
+        return False
+
+    def parse_location_path(self) -> LocationPath:
+        steps: list[Step] = []
+        absolute = False
+        if self.current.is_operator("/"):
+            absolute = True
+            self.advance()
+            if not self._starts_step():
+                return LocationPath(True, ())
+        elif self.current.is_operator("//"):
+            absolute = True
+            self.advance()
+            steps.append(_DESC_STEP)
+        steps.extend(self.parse_relative_steps())
+        return LocationPath(absolute, tuple(steps))
+
+    def parse_relative_steps(self) -> list[Step]:
+        steps = [self.parse_step()]
+        while self.current.is_operator("/", "//"):
+            if self.advance().value == "//":
+                steps.append(_DESC_STEP)
+            steps.append(self.parse_step())
+        return steps
+
+    def _starts_step(self) -> bool:
+        token = self.current
+        return token.type in (
+            TokenType.NAME,
+            TokenType.AT,
+            TokenType.DOT,
+            TokenType.DOTDOT,
+        )
+
+    def parse_step(self) -> Step:
+        token = self.current
+        if token.type is TokenType.DOT:
+            self.advance()
+            return Step("self", NodeTypeTest("node"))
+        if token.type is TokenType.DOTDOT:
+            self.advance()
+            return Step("parent", NodeTypeTest("node"))
+
+        axis = "child"
+        if token.type is TokenType.AT:
+            self.advance()
+            axis = "attribute"
+        elif (
+            token.type is TokenType.NAME
+            and self.tokens[self.index + 1].type is TokenType.AXIS_SEP
+        ):
+            if token.value not in _AXES:
+                raise self.error(f"unknown axis {token.value!r}")
+            axis = token.value
+            self.advance()
+            self.advance()  # '::'
+
+        node_test = self.parse_node_test()
+        predicates: list[Expr] = []
+        while self.current.type is TokenType.LBRACKET:
+            self.advance()
+            predicates.append(self.parse_or())
+            self.expect(TokenType.RBRACKET)
+        return Step(axis, node_test, tuple(predicates))
+
+    def parse_node_test(self):
+        token = self.current
+        if token.type is not TokenType.NAME:
+            raise self.error(f"expected node test, found {token.value!r}")
+        name = self.advance().value
+        if name in _NODE_TYPES and self.current.type is TokenType.LPAREN:
+            self.advance()
+            if name == "processing-instruction" and self.current.type is TokenType.LITERAL:
+                self.advance()  # target literal, accepted and ignored
+            self.expect(TokenType.RPAREN)
+            return NodeTypeTest(name)
+        return NameTest(name)
+
+    # -- primaries -----------------------------------------------------------#
+
+    def parse_primary(self) -> Expr:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return NumberLiteral(float(token.value))
+        if token.type is TokenType.LITERAL:
+            self.advance()
+            return StringLiteral(token.value)
+        if token.type is TokenType.DOLLAR:
+            self.advance()
+            name = self.expect(TokenType.NAME)
+            return VariableRef(name.value)
+        if token.type is TokenType.LPAREN:
+            self.advance()
+            inner = self.parse_or()
+            self.expect(TokenType.RPAREN)
+            return inner
+        if token.type is TokenType.NAME:
+            name = self.advance().value
+            self.expect(TokenType.LPAREN)
+            args: list[Expr] = []
+            if self.current.type is not TokenType.RPAREN:
+                args.append(self.parse_or())
+                while self.current.type is TokenType.COMMA:
+                    self.advance()
+                    args.append(self.parse_or())
+            self.expect(TokenType.RPAREN)
+            return FunctionCall(name, tuple(args))
+        raise self.error(f"unexpected token {token.value!r}")
+
+
+def parse_xpath(expression: str) -> Expr:
+    """Parse ``expression`` into an AST.
+
+    Raises:
+        XPathSyntaxError: with the failing offset, when the expression
+            is not valid XPath 1.0.
+
+    Example:
+        >>> ast = parse_xpath("BODY[1]/DIV[2]/text()[1]")
+        >>> str(ast)
+        'BODY[1]/DIV[2]/text()[1]'
+    """
+    if not isinstance(expression, str) or not expression.strip():
+        raise XPathSyntaxError("empty XPath expression", str(expression))
+    return _Parser(expression).parse()

@@ -1,0 +1,62 @@
+"""Shared fixtures: the paper's working sample, small sites, oracles."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the tests without installing the package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.oracle import ScriptedOracle
+from repro.html import parse_html
+from repro.sites.imdb import ImdbOptions, generate_imdb_site, make_paper_sample
+
+
+@pytest.fixture(scope="session")
+def paper_sample():
+    """The four pages of the paper's working sample (Tables 1/3)."""
+    return make_paper_sample()
+
+
+@pytest.fixture(scope="session")
+def imdb_site():
+    """A 24-page movie cluster with all discrepancy classes present."""
+    return generate_imdb_site(options=ImdbOptions(n_pages=24, seed=7))
+
+
+@pytest.fixture(scope="session")
+def movie_pages(imdb_site):
+    return imdb_site.pages_with_hint("imdb-movies")
+
+
+@pytest.fixture()
+def oracle():
+    return ScriptedOracle()
+
+
+@pytest.fixture()
+def simple_doc():
+    """A small document exercising tables, lists and inline markup."""
+    return parse_html(
+        """<html><head><title>T</title></head><body>
+        <div id="a"><h1>Header</h1></div>
+        <div id="b">
+          <table>
+            <tr><td><b>Runtime:</b> 108 min</td></tr>
+            <tr><td><b>Country:</b> USA</td></tr>
+          </table>
+          <ul><li>one</li><li>two</li><li>three</li></ul>
+          <p>Plain <i>styled</i> tail</p>
+        </div>
+        </body></html>"""
+    )
+
+
+@pytest.fixture()
+def simple_root(simple_doc):
+    return simple_doc.document_element

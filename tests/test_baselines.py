@@ -1,0 +1,139 @@
+"""Unit tests for the baseline wrapper-induction systems."""
+
+import pytest
+
+from repro.baselines import ExalgWrapper, LRWrapper, RoadRunnerWrapper
+from repro.sites import WebPage, generate_imdb_site
+from repro.sites.imdb import ImdbOptions
+
+
+def page(url, body, truth=None):
+    return WebPage(url=url, html=f"<html><body>{body}</body></html>",
+                   ground_truth=truth or {})
+
+
+@pytest.fixture(scope="module")
+def training_pages():
+    site = generate_imdb_site(options=ImdbOptions(n_pages=10, seed=13))
+    return site.pages_with_hint("imdb-movies")
+
+
+class TestRoadRunner:
+    def test_varying_text_becomes_slot(self):
+        a = page("http://x/1", "<p><b>Name:</b> Alice</p>")
+        b = page("http://x/2", "<p><b>Name:</b> Bob</p>")
+        wrapper = RoadRunnerWrapper.induce([a, b])
+        assert wrapper.slot_count() >= 1
+        assert wrapper.extract(page("http://x/3", "<p><b>Name:</b> Carol</p>")) == [
+            "Carol"
+        ]
+
+    def test_constant_text_is_template(self):
+        a = page("http://x/1", "<p>constant</p><p>varA</p>")
+        b = page("http://x/2", "<p>constant</p><p>varB</p>")
+        wrapper = RoadRunnerWrapper.induce([a, b])
+        chunks = wrapper.extract(a)
+        assert "constant" not in chunks
+        assert "varA" in chunks
+
+    def test_repetition_folded_and_extracted(self):
+        a = page("http://x/1", "<ul><li>a</li><li>b</li></ul>")
+        b = page("http://x/2", "<ul><li>c</li><li>d</li><li>e</li></ul>")
+        wrapper = RoadRunnerWrapper.induce([a, b])
+        longer = page("http://x/3",
+                      "<ul><li>p</li><li>q</li><li>r</li><li>s</li></ul>")
+        assert wrapper.extract(longer) == ["p", "q", "r", "s"]
+
+    def test_optional_block_tolerated(self):
+        a = page("http://x/1", "<div><img></div><p>v1</p>")
+        b = page("http://x/2", "<p>v2</p>")
+        wrapper = RoadRunnerWrapper.induce([a, b])
+        assert "v1" in wrapper.extract(a)
+        assert "v2" in wrapper.extract(b)
+
+    def test_zero_pages_rejected(self):
+        with pytest.raises(ValueError):
+            RoadRunnerWrapper.induce([])
+
+    def test_template_render_readable(self):
+        a = page("http://x/1", "<p>k</p>")
+        wrapper = RoadRunnerWrapper.induce([a])
+        assert "<HTML>" in wrapper.template.render()
+
+    def test_extracts_most_targeted_values_on_cluster(self, training_pages):
+        wrapper = RoadRunnerWrapper.induce(training_pages[:6])
+        test_page = training_pages[6]
+        chunks = wrapper.extract(test_page)
+        title = test_page.ground_truth["title"][0]
+        assert any(title in chunk for chunk in chunks)
+
+
+class TestExalg:
+    def test_template_vs_data(self):
+        a = page("http://x/1", "<p>Price: 10 EUR</p>")
+        b = page("http://x/2", "<p>Price: 25 EUR</p>")
+        wrapper = ExalgWrapper.induce([a, b])
+        chunks = wrapper.extract(a)
+        assert "10" in chunks
+        assert all("Price:" not in chunk for chunk in chunks)
+
+    def test_template_size_positive_on_cluster(self, training_pages):
+        wrapper = ExalgWrapper.induce(training_pages[:6])
+        assert wrapper.template_size() > 10
+
+    def test_tokens_differentiated_by_path(self):
+        # Same word in different contexts: one template, one data.
+        a = page("http://x/1", "<h1>Fixed</h1><p>Fixed</p>")
+        b = page("http://x/2", "<h1>Fixed</h1><p>Other</p>")
+        wrapper = ExalgWrapper.induce([a, b])
+        chunks_b = wrapper.extract(b)
+        assert "Other" in chunks_b
+
+    def test_zero_pages_rejected(self):
+        with pytest.raises(ValueError):
+            ExalgWrapper.induce([])
+
+    def test_high_recall_on_cluster(self, training_pages):
+        wrapper = ExalgWrapper.induce(training_pages[:6])
+        test_page = training_pages[7]
+        chunks = set(wrapper.extract(test_page))
+        # "min" occurs once per page in every page, so it is classified
+        # as template; the varying numeric part must be extracted.
+        runtime_number = test_page.ground_truth["runtime"][0].split()[0]
+        assert any(runtime_number in chunk for chunk in chunks)
+
+
+class TestLRWrapper:
+    def test_learns_unique_delimiters(self):
+        pages = [
+            page("http://x/1", '<b>Price:</b> <span class="p">10 EUR</span>',
+                 {"price": ["10 EUR"]}),
+            page("http://x/2", '<b>Price:</b> <span class="p">25 EUR</span>',
+                 {"price": ["25 EUR"]}),
+        ]
+        wrapper = LRWrapper.induce(pages, ["price"])
+        rule = wrapper.rule_for("price")
+        assert rule.left.endswith('"p">')
+        out = wrapper.extract(
+            page("http://x/3", '<b>Price:</b> <span class="p">99 EUR</span>')
+        )
+        assert out["price"] == ["99 EUR"]
+
+    def test_unfindable_component_gets_empty_rule(self):
+        pages = [page("http://x/1", "<p>x</p>", {"ghost": ["not-here"]})]
+        wrapper = LRWrapper.induce(pages, ["ghost"])
+        assert wrapper.extract(pages[0])["ghost"] == []
+
+    def test_runtime_delimiters_on_imdb(self, training_pages):
+        wrapper = LRWrapper.induce(training_pages[:6], ["runtime"])
+        test_page = training_pages[8]
+        out = wrapper.extract(test_page)
+        assert out["runtime"] == test_page.ground_truth["runtime"]
+
+    def test_nonunique_delimiters_mismatch(self, training_pages):
+        # Director values sit in <a> tags whose delimiters collide with
+        # navigation links: the classic LR failure mode.
+        wrapper = LRWrapper.induce(training_pages[:6], ["director"])
+        test_page = training_pages[8]
+        out = wrapper.extract(test_page)
+        assert out["director"] != test_page.ground_truth["director"]

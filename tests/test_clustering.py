@@ -1,0 +1,129 @@
+"""Unit tests for the clustering subsystem."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import ClusteringError
+from repro.clustering import (
+    PageClusterer,
+    cosine_similarity,
+    jaccard_similarity,
+    keyword_profile,
+    structure_similarity,
+    tag_sequence_similarity,
+    url_signature,
+)
+from repro.clustering.features import path_profile, tag_profile
+from repro.sites import WebPage, generate_imdb_site
+
+
+class TestUrlSignature:
+    def test_numeric_segments_masked(self):
+        assert url_signature("http://x.org/title/tt123/") == "x.org/title/*/"
+
+    def test_query_masked(self):
+        assert url_signature("http://x.org/find?q=a") == "x.org/find?*"
+
+    def test_pure_word_segments_kept(self):
+        assert url_signature("http://x.org/about/team") == "x.org/about/team"
+
+    def test_same_template_same_signature(self):
+        a = url_signature("http://x.org/name/nm0001/")
+        b = url_signature("http://x.org/name/nm9999/")
+        assert a == b
+
+
+class TestSimilarities:
+    def test_cosine_identical(self):
+        c = Counter({"a": 2, "b": 1})
+        assert cosine_similarity(c, c) == pytest.approx(1.0)
+
+    def test_cosine_orthogonal(self):
+        assert cosine_similarity(Counter("aa"), Counter("bb")) == 0.0
+
+    def test_cosine_empty(self):
+        assert cosine_similarity(Counter(), Counter("a")) == 0.0
+
+    def test_jaccard_bounds(self):
+        a, b = Counter("aab"), Counter("abc")
+        assert 0.0 < jaccard_similarity(a, b) < 1.0
+        assert jaccard_similarity(a, a) == 1.0
+        assert jaccard_similarity(Counter(), Counter()) == 1.0
+
+    def test_tag_sequence_similarity_identical(self):
+        seq = ["HTML", "BODY", "P"]
+        assert tag_sequence_similarity(seq, seq) == 1.0
+
+    def test_tag_sequence_similarity_disjoint(self):
+        assert tag_sequence_similarity(["A"], ["B"]) == 0.0
+
+    def test_tag_sequence_tolerates_optional_block(self):
+        base = ["BODY", "DIV", "TABLE", "TR", "TD", "P"]
+        with_extra = base[:2] + ["IMG"] + base[2:]
+        assert tag_sequence_similarity(base, with_extra) > 0.9
+
+    def test_empty_sequences(self):
+        assert tag_sequence_similarity([], []) == 1.0
+        assert tag_sequence_similarity([], ["A"]) == 0.0
+
+    def test_structure_similarity_same_template(self):
+        site = generate_imdb_site(n_movies=2, seed=1)
+        pages = list(site)
+        sim = structure_similarity(path_profile(pages[0]), path_profile(pages[1]))
+        assert sim > 0.6
+
+
+class TestFeatures:
+    def test_keyword_profile_picks_template_labels(self, movie_pages):
+        profile = keyword_profile(movie_pages[0])
+        assert "runtime" in profile or "directed" in profile
+
+    def test_keyword_profile_drops_stopwords(self, movie_pages):
+        profile = keyword_profile(movie_pages[0])
+        assert "the" not in profile
+
+    def test_tag_profile_counts(self, movie_pages):
+        profile = tag_profile(movie_pages[0])
+        assert profile["TD"] >= 1
+
+
+class TestClusterer:
+    def test_empty_input_raises(self):
+        with pytest.raises(ClusteringError):
+            PageClusterer().cluster([])
+
+    def test_three_cluster_site_recovered(self):
+        site = generate_imdb_site(n_movies=8, n_actors=6, n_search=4, seed=2)
+        result = PageClusterer().cluster(list(site))
+        assert result.purity() == 1.0
+        assert result.recall() == 1.0
+        assert result.sizes() == [8, 6, 4]
+
+    def test_content_only_clustering(self):
+        site = generate_imdb_site(n_movies=6, n_actors=5, seed=4)
+        result = PageClusterer(use_url_grouping=False).cluster(list(site))
+        assert result.purity() == 1.0
+
+    def test_different_domains_never_merge(self):
+        from repro.sites import generate_shop_site
+
+        movies = list(generate_imdb_site(n_movies=3, seed=1))
+        shop = list(generate_shop_site(3, seed=1))
+        result = PageClusterer(use_url_grouping=False).cluster(movies + shop)
+        for cluster in result.clusters:
+            domains = {p.url.split("/")[2] for p in cluster.pages}
+            assert len(domains) == 1
+
+    def test_cluster_of_lookup(self):
+        site = generate_imdb_site(n_movies=3, seed=1)
+        pages = list(site)
+        result = PageClusterer().cluster(pages)
+        assert result.cluster_of(pages[0]) is not None
+        outsider = WebPage(url="http://other/", html="<p></p>")
+        assert result.cluster_of(outsider) is None
+
+    def test_singleton_page(self):
+        page = WebPage(url="http://solo.org/x", html="<body><p>a</p></body>")
+        result = PageClusterer().cluster([page])
+        assert result.sizes() == [1]

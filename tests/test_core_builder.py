@@ -1,0 +1,113 @@
+"""Unit tests for the Figure-3 scenario driver."""
+
+import pytest
+
+from repro.errors import RefinementError
+from repro.core.builder import MappingRuleBuilder
+from repro.core.component import Format
+from repro.core.oracle import ScriptedOracle
+from repro.core.repository import RuleRepository
+from repro.sites.page import WebPage
+
+
+class TestCandidateBuilding:
+    def test_candidate_properties_match_section_3_2(self, paper_sample, oracle):
+        builder = MappingRuleBuilder(paper_sample, oracle, seed=0)
+        selection = oracle.select_value(paper_sample[0], "runtime")
+        candidate = builder.candidate_from_selection("runtime", selection)
+        assert candidate.component.optionality.value == "mandatory"
+        assert candidate.component.multiplicity.value == "single-valued"
+        assert candidate.component.format is Format.TEXT
+        assert candidate.primary_location == (
+            "BODY[1]/DIV[2]/TABLE[1]/TR[6]/TD[1]/text()[1]"
+        )
+
+    def test_candidate_from_element_selection_is_mixed(self, oracle):
+        page = WebPage(
+            url="http://t/",
+            html="<body><p>a <i>b</i> c</p></body>",
+            ground_truth={"plot": ["a b c"]},
+        )
+        builder = MappingRuleBuilder([page], oracle, seed=0)
+        candidate = builder.build_candidate("plot")
+        assert candidate.component.format is Format.MIXED
+
+    def test_candidate_retries_pages_until_selection(self, oracle):
+        absent = WebPage(url="http://t/1", html="<body></body>",
+                         ground_truth={"c": []})
+        present = WebPage(url="http://t/2", html="<body><p>v</p></body>",
+                          ground_truth={"c": ["v"]})
+        builder = MappingRuleBuilder([absent, present], oracle, seed=0)
+        assert builder.build_candidate("c").primary_location
+
+    def test_unselectable_component_raises(self, oracle):
+        empty = WebPage(url="http://t/1", html="<body></body>",
+                        ground_truth={"c": []})
+        builder = MappingRuleBuilder([empty], oracle, seed=0)
+        with pytest.raises(RefinementError):
+            builder.build_candidate("c")
+
+    def test_empty_sample_rejected(self, oracle):
+        with pytest.raises(ValueError):
+            MappingRuleBuilder([], oracle)
+
+
+class TestBuildRule:
+    def test_paper_scenario_end_to_end(self, paper_sample, oracle):
+        repository = RuleRepository()
+        builder = MappingRuleBuilder(
+            paper_sample, oracle, repository=repository,
+            cluster_name="imdb-movies", seed=1,
+        )
+        outcome = builder.build_rule("runtime")
+        assert outcome.recorded
+        assert outcome.report.is_valid
+        assert repository.rule("imdb-movies", "runtime") == outcome.rule
+
+    def test_unbuildable_component_not_recorded(self, oracle):
+        pages = [
+            WebPage(url="http://t/1", html="<body></body>", ground_truth={"c": []}),
+        ]
+        builder = MappingRuleBuilder(pages, oracle, seed=0)
+        outcome = builder.build_rule("c")
+        assert not outcome.recorded
+        assert outcome.rule is None
+
+    def test_build_all_summary(self, paper_sample, oracle):
+        builder = MappingRuleBuilder(paper_sample, oracle, seed=0)
+        report = builder.build_all(["runtime", "country", "title"])
+        assert report.failed_components == []
+        assert len(report.recorded_rules) == 3
+        summary = report.summary()
+        assert "runtime" in summary and "recorded" in summary
+
+    def test_check_table_renders(self, paper_sample, oracle):
+        builder = MappingRuleBuilder(paper_sample, oracle, seed=0)
+        outcome = builder.build_rule("runtime")
+        table = builder.check_table(outcome.rule)
+        assert "Page URI" in table
+
+
+class TestWholeClusterBuild:
+    COMPONENTS = [
+        "title", "year", "rating", "votes", "director", "writer",
+        "runtime", "country", "language", "aka", "plot", "comment",
+        "genres", "actors", "characters",
+    ]
+
+    def test_all_fifteen_components_build(self, movie_pages, oracle):
+        sample = movie_pages[:10]
+        builder = MappingRuleBuilder(sample, oracle, seed=3)
+        report = builder.build_all(self.COMPONENTS)
+        assert report.failed_components == []
+
+    def test_rules_generalise_to_held_out_pages(self, movie_pages, oracle):
+        from repro.core.checking import check_rule
+
+        sample = movie_pages[:10]
+        held_out = movie_pages[10:]
+        builder = MappingRuleBuilder(sample, oracle, seed=3)
+        report = builder.build_all(self.COMPONENTS)
+        for rule in report.recorded_rules:
+            check = check_rule(rule, held_out, oracle)
+            assert check.is_valid, f"{rule.name} fails on held-out pages"

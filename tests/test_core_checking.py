@@ -1,0 +1,166 @@
+"""Unit tests for rule checking and outcome classification."""
+
+import pytest
+
+from repro.core.checking import (
+    CheckOutcome,
+    check_rule,
+    classify_row,
+    render_check_table,
+    _short_uri,
+)
+from repro.core.component import Multiplicity, Optionality, PageComponent
+from repro.core.oracle import ScriptedOracle
+from repro.core.rule import MappingRule, MatchResult
+from repro.sites.page import WebPage
+
+
+def make_rule(**kwargs):
+    return MappingRule(
+        component=PageComponent("c", **kwargs), locations=("BODY//P/text()",)
+    )
+
+
+def match_of(*texts):
+    from repro.core.rule import ComponentValue
+
+    values = tuple(ComponentValue(t, ()) for t in texts)
+    return MatchResult(nodes=tuple(object() for _ in texts), values=values,
+                       location_used="x" if texts else None)
+
+
+def page_with(name, values):
+    return WebPage(url="http://t/p", html="<body></body>",
+                   ground_truth={name: values})
+
+
+class TestClassification:
+    def test_correct(self):
+        outcome = classify_row(make_rule(), page_with("c", ["v"]), match_of("v"), ["v"])
+        assert outcome is CheckOutcome.CORRECT
+
+    def test_wrong_value(self):
+        outcome = classify_row(make_rule(), page_with("c", ["v"]), match_of("w"), ["v"])
+        assert outcome is CheckOutcome.WRONG_VALUE
+
+    def test_void(self):
+        outcome = classify_row(make_rule(), page_with("c", ["v"]), match_of(), ["v"])
+        assert outcome is CheckOutcome.VOID
+
+    def test_void_absent_mandatory_is_problem(self):
+        outcome = classify_row(make_rule(), page_with("c", []), match_of(), [])
+        assert outcome is CheckOutcome.VOID
+        assert outcome.is_problem
+
+    def test_void_absent_optional_ok(self):
+        rule = make_rule(optionality=Optionality.OPTIONAL)
+        outcome = classify_row(rule, page_with("c", []), match_of(), [])
+        assert outcome is CheckOutcome.VOID_ABSENT
+        assert not outcome.is_problem
+
+    def test_unexpected_present(self):
+        outcome = classify_row(make_rule(), page_with("c", []), match_of("x"), [])
+        assert outcome is CheckOutcome.UNEXPECTED_PRESENT
+
+    def test_incomplete_fragment(self):
+        outcome = classify_row(
+            make_rule(), page_with("c", ["part one part two"]),
+            match_of("part one"), ["part one part two"],
+        )
+        assert outcome is CheckOutcome.INCOMPLETE
+
+    def test_needs_multivalued_prefix(self):
+        outcome = classify_row(
+            make_rule(), page_with("c", ["a", "b", "c"]), match_of("a"),
+            ["a", "b", "c"],
+        )
+        assert outcome is CheckOutcome.NEEDS_MULTIVALUED
+
+    def test_needs_multivalued_when_rule_already_multivalued(self):
+        rule = make_rule(multiplicity=Multiplicity.MULTIVALUED)
+        outcome = classify_row(
+            rule, page_with("c", ["a", "b"]), match_of("a"), ["a", "b"]
+        )
+        assert outcome is CheckOutcome.NEEDS_MULTIVALUED
+
+    def test_multivalued_exact_match_correct(self):
+        rule = make_rule(multiplicity=Multiplicity.MULTIVALUED)
+        outcome = classify_row(
+            rule, page_with("c", ["a", "b"]), match_of("a", "b"), ["a", "b"]
+        )
+        assert outcome is CheckOutcome.CORRECT
+
+    def test_single_valued_matching_multiple_flags_multivalued(self):
+        outcome = classify_row(
+            make_rule(), page_with("c", ["a", "b"]), match_of("a", "b"),
+            ["a", "b"],
+        )
+        assert outcome is CheckOutcome.NEEDS_MULTIVALUED
+
+    def test_unknown_truth_structural_checks_only(self):
+        assert (
+            classify_row(make_rule(), page_with("x", []), match_of("v"), None)
+            is CheckOutcome.CORRECT
+        )
+        assert (
+            classify_row(make_rule(), page_with("x", []), match_of(), None)
+            is CheckOutcome.VOID
+        )
+        assert (
+            classify_row(make_rule(), page_with("x", []), match_of("a", "b"), None)
+            is CheckOutcome.NEEDS_MULTIVALUED
+        )
+
+
+class TestCheckRule:
+    def test_paper_table1(self, paper_sample, oracle):
+        rule = MappingRule(
+            component=PageComponent("runtime"),
+            locations=("BODY[1]/DIV[2]/TABLE[1]/TR[6]/TD[1]/text()[1]",),
+        )
+        report = check_rule(rule, paper_sample, oracle)
+        assert [row.display_value for row in report.rows] == [
+            "108 min",
+            "91 min",
+            "The Wing and the Thigh (International: English title)",
+            "-",
+        ]
+        assert [row.outcome for row in report.rows] == [
+            CheckOutcome.CORRECT,
+            CheckOutcome.CORRECT,
+            CheckOutcome.WRONG_VALUE,
+            CheckOutcome.VOID,
+        ]
+        assert not report.is_valid
+        assert report.first_problem().page.url.endswith("tt0074103/")
+
+    def test_report_valid_when_clean(self, paper_sample, oracle):
+        rule = MappingRule(
+            component=PageComponent("runtime"),
+            locations=(
+                'BODY//TD/text()[normalize-space(preceding::text()'
+                '[normalize-space(.) != ""][1]) = "Runtime:"]',
+            ),
+        )
+        report = check_rule(rule, paper_sample, oracle)
+        assert report.is_valid
+        assert report.correct_count == 4
+        assert report.first_problem() is None
+
+
+class TestRendering:
+    def test_table_shape(self, paper_sample, oracle):
+        rule = MappingRule(
+            component=PageComponent("runtime"),
+            locations=("BODY[1]/DIV[2]/TABLE[1]/TR[6]/TD[1]/text()[1]",),
+        )
+        text = render_check_table(check_rule(rule, paper_sample, oracle))
+        lines = text.splitlines()
+        assert lines[0].startswith("Page URI")
+        assert "./title/tt0095159/" in text
+        assert "| -" in text  # the void row
+        assert "wrong-value" in text
+
+    def test_short_uri(self):
+        assert _short_uri("http://imdb.com/title/tt1/") == "./title/tt1/"
+        assert _short_uri("file:///x.html") == "file:///x.html"

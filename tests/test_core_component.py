@@ -1,0 +1,87 @@
+"""Unit tests for page components and the EBNF name grammar."""
+
+import pytest
+
+from repro.errors import InvalidComponentNameError
+from repro.core.component import (
+    Format,
+    Multiplicity,
+    Optionality,
+    PageComponent,
+    validate_component_name,
+)
+
+
+class TestNameGrammar:
+    @pytest.mark.parametrize(
+        "name",
+        ["runtime", "users-opinion", "aka", "Actor_Name", "r2d2", "X"],
+    )
+    def test_valid_names(self, name):
+        assert validate_component_name(name) == name
+
+    @pytest.mark.parametrize(
+        "name",
+        ["", "2fast", "-lead", "_x", "with space", "dot.name", "é", None, 42],
+    )
+    def test_invalid_names(self, name):
+        with pytest.raises(InvalidComponentNameError):
+            validate_component_name(name)
+
+    def test_component_constructor_validates(self):
+        with pytest.raises(InvalidComponentNameError):
+            PageComponent(name="9lives")
+
+
+class TestDefaults:
+    def test_candidate_defaults_match_paper(self):
+        component = PageComponent("runtime")
+        assert component.optionality is Optionality.MANDATORY
+        assert component.multiplicity is Multiplicity.SINGLE_VALUED
+        assert component.format is Format.TEXT
+
+
+class TestRefinementCopies:
+    def test_as_optional(self):
+        component = PageComponent("aka")
+        refined = component.as_optional()
+        assert refined.optionality is Optionality.OPTIONAL
+        assert component.optionality is Optionality.MANDATORY  # original intact
+
+    def test_as_multivalued(self):
+        assert (
+            PageComponent("genres").as_multivalued().multiplicity
+            is Multiplicity.MULTIVALUED
+        )
+
+    def test_as_mixed(self):
+        assert PageComponent("plot").as_mixed().format is Format.MIXED
+
+    def test_chaining(self):
+        component = PageComponent("x").as_optional().as_multivalued().as_mixed()
+        assert component.optionality is Optionality.OPTIONAL
+        assert component.multiplicity is Multiplicity.MULTIVALUED
+        assert component.format is Format.MIXED
+
+
+class TestSerde:
+    def test_roundtrip(self):
+        component = PageComponent(
+            "genres",
+            optionality=Optionality.OPTIONAL,
+            multiplicity=Multiplicity.MULTIVALUED,
+            format=Format.MIXED,
+        )
+        assert PageComponent.from_dict(component.to_dict()) == component
+
+    def test_from_dict_defaults(self):
+        component = PageComponent.from_dict({"name": "x"})
+        assert component.optionality is Optionality.MANDATORY
+
+    def test_enum_values_match_paper_ebnf(self):
+        assert Optionality.OPTIONAL.value == "optional"
+        assert Optionality.MANDATORY.value == "mandatory"
+        assert Multiplicity.SINGLE_VALUED.value == "single-valued"
+        assert Multiplicity.MULTIVALUED.value == "multivalued"
+        assert Format.TEXT.value == "text"
+        assert Format.MIXED.value == "mixed"

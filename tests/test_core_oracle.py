@@ -1,0 +1,107 @@
+"""Unit tests for the oracle implementations."""
+
+import pytest
+
+from repro.dom.node import Element, Text
+from repro.errors import OracleError
+from repro.core.oracle import InteractiveOracle, ScriptedOracle, Selection
+from repro.sites.page import WebPage
+
+
+def page(body, truth):
+    return WebPage(url="http://t/", html=f"<body>{body}</body>",
+                   ground_truth=truth)
+
+
+class TestScriptedOracle:
+    def test_selects_text_node(self):
+        oracle = ScriptedOracle()
+        selection = oracle.select_value(
+            page("<p>108 min</p>", {"runtime": ["108 min"]}), "runtime"
+        )
+        assert isinstance(selection.first, Text)
+        assert selection.first.data == "108 min"
+
+    def test_selects_smallest_element_for_spanning_value(self):
+        oracle = ScriptedOracle()
+        selection = oracle.select_value(
+            page("<div><p>a <i>b</i> c</p></div>", {"plot": ["a b c"]}), "plot"
+        )
+        assert isinstance(selection.first, Element)
+        assert selection.first.tag == "P"
+
+    def test_absent_component_returns_none(self):
+        oracle = ScriptedOracle()
+        assert oracle.select_value(page("<p>x</p>", {"aka": []}), "aka") is None
+
+    def test_unknown_component_returns_none(self):
+        oracle = ScriptedOracle()
+        assert oracle.select_value(page("<p>x</p>", {}), "nope") is None
+
+    def test_missing_value_raises(self):
+        oracle = ScriptedOracle()
+        with pytest.raises(OracleError):
+            oracle.select_value(page("<p>x</p>", {"c": ["absent!"]}), "c")
+
+    def test_multivalued_selection(self):
+        oracle = ScriptedOracle()
+        selection = oracle.select_value(
+            page("<ul><li>a</li><li>b</li></ul>", {"g": ["a", "b"]}), "g"
+        )
+        assert selection.is_multiple
+        assert selection.first.data == "a"
+        assert selection.last.data == "b"
+
+    def test_expected_texts_normalised(self):
+        oracle = ScriptedOracle()
+        p = page("<p> x  y </p>", {"c": [" x  y "]})
+        assert oracle.expected_texts(p, "c") == ["x y"]
+
+    def test_judge_compares_normalised(self):
+        oracle = ScriptedOracle()
+        p = page("<p>x</p>", {"c": ["a  b"]})
+        assert oracle.judge(p, "c", ["a b"])
+        assert not oracle.judge(p, "c", ["a", "b"])
+
+    def test_judge_without_truth_raises(self):
+        oracle = ScriptedOracle()
+        with pytest.raises(OracleError):
+            oracle.judge(page("<p>x</p>", {}), "c", ["x"])
+
+
+class TestInteractiveOracle:
+    def make(self, answers):
+        replies = iter(answers)
+        printed = []
+        oracle = InteractiveOracle(
+            input_fn=lambda prompt: next(replies),
+            print_fn=printed.append,
+        )
+        return oracle, printed
+
+    def test_selection_by_typed_text(self):
+        oracle, _ = self.make(["108 min"])
+        selection = oracle.select_value(
+            page("<p>Runtime: 108 min</p>", {}), "runtime"
+        )
+        assert selection is not None
+        assert "108 min" in selection.first.data
+
+    def test_empty_answer_means_absent(self):
+        oracle, _ = self.make([""])
+        assert oracle.select_value(page("<p>x</p>", {}), "c") is None
+
+    def test_unfindable_text_reports_and_returns_none(self):
+        oracle, printed = self.make(["not here"])
+        assert oracle.select_value(page("<p>x</p>", {}), "c") is None
+        assert any("not found" in line for line in printed)
+
+    def test_judge_yes_no(self):
+        oracle, _ = self.make(["y", "n"])
+        p = page("<p>x</p>", {})
+        assert oracle.judge(p, "c", ["x"]) is True
+        assert oracle.judge(p, "c", ["x"]) is False
+
+    def test_expected_texts_is_none(self):
+        oracle, _ = self.make([])
+        assert oracle.expected_texts(page("<p>x</p>", {}), "c") is None

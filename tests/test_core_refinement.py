@@ -1,0 +1,213 @@
+"""Unit tests for the refinement strategies on hand-crafted pages."""
+
+import pytest
+
+from repro.core.builder import MappingRuleBuilder
+from repro.core.checking import check_rule
+from repro.core.component import Format, Multiplicity, Optionality
+from repro.core.oracle import ScriptedOracle
+from repro.core.refinement import RefinementEngine
+from repro.sites.page import WebPage
+
+
+def page(url, body, truth):
+    return WebPage(url=url, html=f"<html><body>{body}</body></html>",
+                   ground_truth=truth)
+
+
+def build_and_refine(sample, component, seed=0, **engine_kwargs):
+    oracle = ScriptedOracle()
+    builder = MappingRuleBuilder(sample, oracle, seed=seed)
+    candidate = builder.candidate_from_selection(
+        component, oracle.select_value(sample[0], component)
+    )
+    engine = RefinementEngine(oracle, **engine_kwargs)
+    return engine.refine(candidate, sample)
+
+
+class TestContextualStrategy:
+    def make_sample(self):
+        # The Figure-4 situation: an optional AKA pair shifts the value.
+        a = page(
+            "http://s/a",
+            "<table><tr><td><b>Runtime:</b> 108 min<br>"
+            "<b>Country:</b> USA<br></td></tr></table>",
+            {"runtime": ["108 min"]},
+        )
+        b = page(
+            "http://s/b",
+            "<table><tr><td><b>Also Known As:</b> Alt<br>"
+            "<b>Runtime:</b> 104 min<br><b>Country:</b> France<br></td></tr></table>",
+            {"runtime": ["104 min"]},
+        )
+        return [a, b]
+
+    def test_wrong_value_fixed_by_anchor(self):
+        rule, report, trace = build_and_refine(self.make_sample(), "runtime")
+        assert report.is_valid
+        assert trace.strategies_used == ["contextual"]
+        assert "Runtime:" in rule.primary_location
+        assert "preceding::text()" in rule.primary_location
+
+    def test_trace_records_before_and_after(self):
+        _, _, trace = build_and_refine(self.make_sample(), "runtime")
+        (step,) = trace.steps
+        assert step.before.primary_location != step.after.primary_location
+        assert "contextual" in step.describe()
+
+    def test_disabled_contextual_cannot_fix_wrong_value(self):
+        rule, report, trace = build_and_refine(
+            self.make_sample(), "runtime", enable_contextual=False
+        )
+        assert not report.is_valid
+
+
+class TestOptionalityStrategy:
+    def make_sample(self):
+        a = page(
+            "http://s/a",
+            "<p><b>Tagline:</b> <span>Catchy!</span></p>",
+            {"tagline": ["Catchy!"]},
+        )
+        b = page("http://s/b", "<p>No tagline here</p>", {"tagline": []})
+        return [a, b]
+
+    def test_void_on_absent_page_sets_optional(self):
+        rule, report, trace = build_and_refine(self.make_sample(), "tagline")
+        assert report.is_valid
+        assert rule.component.optionality is Optionality.OPTIONAL
+        assert "optionality" in trace.strategies_used
+
+
+class TestUnexpectedPresentStrategy:
+    def make_sample(self):
+        # Positional path hits a different pair on the page lacking AKA.
+        a = page(
+            "http://s/a",
+            '<td class="d"><b>Also Known As:</b> Alt<br>'
+            "<b>Runtime:</b> 90 min<br></td>",
+            {"aka": ["Alt"], "runtime": ["90 min"]},
+        )
+        b = page(
+            "http://s/b",
+            '<td class="d"><b>Runtime:</b> 95 min<br></td>',
+            {"aka": [], "runtime": ["95 min"]},
+        )
+        return [a, b]
+
+    def test_optional_plus_contextual(self):
+        rule, report, trace = build_and_refine(self.make_sample(), "aka")
+        assert report.is_valid
+        assert rule.component.optionality is Optionality.OPTIONAL
+        assert "Also Known As:" in rule.primary_location
+
+
+class TestMultivaluedStrategy:
+    def make_sample(self):
+        a = page(
+            "http://s/a",
+            "<ul><li>Action</li><li>Drama</li><li>Crime</li></ul>",
+            {"genres": ["Action", "Drama", "Crime"]},
+        )
+        b = page(
+            "http://s/b",
+            "<ul><li>Comedy</li><li>Romance</li></ul>",
+            {"genres": ["Comedy", "Romance"]},
+        )
+        return [a, b]
+
+    def test_broadens_repetitive_tag(self):
+        rule, report, trace = build_and_refine(self.make_sample(), "genres")
+        assert report.is_valid
+        assert rule.component.multiplicity is Multiplicity.MULTIVALUED
+        assert "position() >= 1" in rule.primary_location
+        assert "multivalued" in trace.strategies_used
+
+    def test_single_instance_page_only_property_change(self):
+        a = page("http://s/a", "<ul><li>Only</li></ul>", {"genres": ["Only"]})
+        b = page(
+            "http://s/b",
+            "<ul><li>X</li><li>Y</li></ul>",
+            {"genres": ["X", "Y"]},
+        )
+        # Candidate from the single-instance page; the multi page forces
+        # broadening via a second refinement round.
+        rule, report, trace = build_and_refine([a, b], "genres")
+        assert report.is_valid
+        assert rule.component.multiplicity is Multiplicity.MULTIVALUED
+
+
+class TestMixedFormatStrategy:
+    def make_sample(self):
+        a = page(
+            "http://s/a",
+            '<div class="plot"><p>Pure text plot.</p></div>',
+            {"plot": ["Pure text plot."]},
+        )
+        b = page(
+            "http://s/b",
+            '<div class="plot"><p>Starts <i>then styled</i> ends.</p></div>',
+            {"plot": ["Starts then styled ends."]},
+        )
+        return [a, b]
+
+    def test_incomplete_fixed_by_mixed(self):
+        rule, report, trace = build_and_refine(self.make_sample(), "plot")
+        assert report.is_valid
+        assert rule.component.format is Format.MIXED
+        assert "mixed-format" in trace.strategies_used
+
+
+class TestAlternativePathStrategy:
+    def make_sample(self):
+        # Two sub-layouts with different labels: anchors are not
+        # constant, so only an alternative path can cover both.
+        a = page(
+            "http://s/a",
+            '<div class="m"><b>By:</b> <span>Ana</span></div><div class="x"></div>',
+            {"byline": ["Ana"]},
+        )
+        b = page(
+            "http://s/b",
+            '<div class="x"></div><div class="f"><b>Reported by:</b> '
+            "<span>Piet</span></div>",
+            {"byline": ["Piet"]},
+        )
+        return [a, b]
+
+    def test_alternative_appended(self):
+        rule, report, trace = build_and_refine(self.make_sample(), "byline")
+        assert report.is_valid
+        assert len(rule.locations) == 2
+        assert "alternative-path" in trace.strategies_used
+
+
+class TestLoopSafety:
+    def test_max_iterations_bounds_the_loop(self):
+        # Truth that exists nowhere in page b: unfixable.
+        a = page("http://s/a", "<p>val</p>", {"c": ["val"]})
+        b = page("http://s/b", "<p>other</p>", {"c": ["missing-value"]})
+        oracle = ScriptedOracle()
+        builder = MappingRuleBuilder([a, b], oracle, seed=0)
+        candidate = builder.candidate_from_selection(
+            "c", oracle.select_value(a, "c")
+        )
+        engine = RefinementEngine(oracle, max_iterations=5)
+        with pytest.raises(Exception):
+            # the oracle itself raises: ground truth not locatable
+            engine.refine(candidate, [a, b])
+
+    def test_gives_up_when_no_strategy_applies(self):
+        # Same value position, but page b's truth differs from what is
+        # there: every strategy fails, and the loop must terminate.
+        a = page("http://s/a", "<p><b>K:</b> v1</p>", {"c": ["v1"]})
+        b = page("http://s/b", "<p><b>K:</b> v2</p><p><b>K:</b> vx</p>",
+                 {"c": ["v2", "v2"]})
+        oracle = ScriptedOracle()
+        builder = MappingRuleBuilder([a, b], oracle, seed=0)
+        candidate = builder.candidate_from_selection(
+            "c", oracle.select_value(a, "c")
+        )
+        engine = RefinementEngine(oracle, max_iterations=10)
+        rule, report, trace = engine.refine(candidate, [a, b])
+        assert trace.iterations <= 10

@@ -1,0 +1,117 @@
+"""Unit tests for the rule repository and its persistence."""
+
+import pytest
+
+from repro.errors import RepositoryError
+from repro.core.component import PageComponent
+from repro.core.repository import Aggregation, RuleRepository
+from repro.core.rule import MappingRule
+
+
+def rule(name, location="BODY//P/text()"):
+    return MappingRule(component=PageComponent(name), locations=(location,))
+
+
+class TestRecording:
+    def test_record_and_fetch(self):
+        repo = RuleRepository()
+        r = rule("runtime")
+        repo.record("movies", r)
+        assert repo.rule("movies", "runtime") == r
+        assert repo.component_names("movies") == ["runtime"]
+
+    def test_rerecording_overwrites(self):
+        repo = RuleRepository()
+        repo.record("movies", rule("runtime", "BODY//P/text()"))
+        repo.record("movies", rule("runtime", "BODY//TD/text()"))
+        assert len(repo) == 1
+        assert repo.rule("movies", "runtime").primary_location == "BODY//TD/text()"
+
+    def test_clusters_isolated(self):
+        repo = RuleRepository()
+        repo.record("a", rule("x"))
+        repo.record("b", rule("x", "BODY//B/text()"))
+        assert repo.rule("a", "x") != repo.rule("b", "x")
+        assert sorted(repo.clusters()) == ["a", "b"]
+
+    def test_unknown_cluster_raises(self):
+        with pytest.raises(RepositoryError):
+            RuleRepository().rules("nope")
+
+    def test_unknown_component_raises(self):
+        repo = RuleRepository()
+        repo.record("a", rule("x"))
+        with pytest.raises(RepositoryError):
+            repo.rule("a", "y")
+
+    def test_iteration(self):
+        repo = RuleRepository()
+        repo.record("a", rule("x"))
+        repo.record("a", rule("y"))
+        assert [(c, r.name) for c, r in repo] == [("a", "x"), ("a", "y")]
+
+
+class TestAggregations:
+    def test_record_aggregation(self):
+        repo = RuleRepository()
+        repo.record("m", rule("rating"))
+        repo.record("m", rule("comment"))
+        repo.record_aggregation("m", Aggregation("users-opinion",
+                                                 ("comment", "rating")))
+        (aggregation,) = repo.aggregations("m")
+        assert aggregation.members == ("comment", "rating")
+
+    def test_aggregation_unknown_member_raises(self):
+        repo = RuleRepository()
+        repo.record("m", rule("rating"))
+        with pytest.raises(RepositoryError):
+            repo.record_aggregation("m", Aggregation("g", ("rating", "nope")))
+
+    def test_nested_aggregation_by_name(self):
+        repo = RuleRepository()
+        for name in ("a", "b", "c"):
+            repo.record("m", rule(name))
+        repo.record_aggregation("m", Aggregation("inner", ("a", "b")))
+        repo.record_aggregation("m", Aggregation("outer", ("inner", "c")))
+        assert len(repo.aggregations("m")) == 2
+
+    def test_empty_aggregation_rejected(self):
+        with pytest.raises(RepositoryError):
+            Aggregation("g", ())
+
+    def test_aggregation_name_validated(self):
+        from repro.errors import InvalidComponentNameError
+
+        with pytest.raises(InvalidComponentNameError):
+            Aggregation("9bad", ("x",))
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        repo = RuleRepository()
+        repo.record("movies", rule("runtime"))
+        repo.record("movies", rule("rating"))
+        repo.record("movies", rule("comment", "BODY//DIV[3]/P[1]"))
+        repo.record_aggregation(
+            "movies", Aggregation("users-opinion", ("comment", "rating"))
+        )
+        path = tmp_path / "rules.json"
+        repo.save(path)
+        loaded = RuleRepository.load(path)
+        assert loaded.to_dict() == repo.to_dict()
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(RepositoryError):
+            RuleRepository.load(tmp_path / "nope.json")
+
+    def test_load_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(RepositoryError):
+            RuleRepository.load(path)
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "v9.json"
+        path.write_text('{"version": 9, "clusters": {}}', encoding="utf-8")
+        with pytest.raises(RepositoryError):
+            RuleRepository.load(path)

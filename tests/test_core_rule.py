@@ -1,0 +1,142 @@
+"""Unit tests for mapping rules: application semantics and (de)serde."""
+
+import pytest
+
+from repro.errors import RuleValidationError, XPathSyntaxError
+from repro.core.component import Format, PageComponent
+from repro.core.rule import ComponentValue, MappingRule, normalize_value
+from repro.html import parse_html
+
+
+@pytest.fixture()
+def root():
+    return parse_html(
+        """<body><table>
+        <tr><td><b>Runtime:</b> 108 min</td></tr>
+        <tr><td><b>Genres:</b></td></tr>
+        </table>
+        <ul><li>Action</li><li>Drama</li></ul>
+        <p>Part one <i>styled</i> part two</p>
+        </body>"""
+    ).document_element
+
+
+def make_rule(name="runtime", locations=("BODY//TD/text()[1]",), **kwargs):
+    return MappingRule(component=PageComponent(name, **kwargs), locations=locations)
+
+
+class TestConstruction:
+    def test_requires_location(self):
+        with pytest.raises(RuleValidationError):
+            MappingRule(component=PageComponent("x"), locations=())
+
+    def test_locations_validated_eagerly(self):
+        with pytest.raises(XPathSyntaxError):
+            make_rule(locations=("BODY[",))
+
+    def test_accessors(self):
+        rule = make_rule(locations=("A", "B"))
+        assert rule.name == "runtime"
+        assert rule.primary_location == "A"
+
+
+class TestApplication:
+    def test_single_text_value(self, root):
+        rule = make_rule(locations=("BODY//TR[1]/TD[1]/text()[1]",))
+        match = rule.apply(root)
+        assert match.texts == ["108 min"]
+        assert match.location_used == rule.primary_location
+
+    def test_void_match(self, root):
+        rule = make_rule(locations=("BODY//TR[9]/TD[1]/text()[1]",))
+        match = rule.apply(root)
+        assert match.is_void
+        assert match.location_used is None
+
+    def test_alternative_path_used_when_primary_void(self, root):
+        rule = make_rule(
+            locations=("BODY//TR[9]/TD[1]/text()", "BODY//LI[1]/text()")
+        )
+        match = rule.apply(root)
+        assert match.texts == ["Action"]
+        assert match.location_used == "BODY//LI[1]/text()"
+
+    def test_primary_wins_when_it_matches(self, root):
+        rule = make_rule(
+            locations=("BODY//LI[2]/text()", "BODY//LI[1]/text()")
+        )
+        assert rule.apply(root).texts == ["Drama"]
+
+    def test_multivalued_text_one_value_per_node(self, root):
+        rule = make_rule(locations=("BODY//LI/text()",))
+        assert rule.apply(root).texts == ["Action", "Drama"]
+
+    def test_mixed_element_value(self, root):
+        rule = MappingRule(
+            component=PageComponent("plot", format=Format.MIXED),
+            locations=("BODY//P[1]",),
+        )
+        match = rule.apply(root)
+        assert match.texts == ["Part one styled part two"]
+
+    def test_mixed_text_nodes_grouped_by_parent(self, root):
+        rule = MappingRule(
+            component=PageComponent("plot", format=Format.MIXED),
+            locations=("BODY//P[1]/text()",),
+        )
+        match = rule.apply(root)
+        # Both text nodes share the <P> parent: one grouped value.
+        assert len(match.values) == 1
+        assert match.texts == ["Part one part two"]
+
+    def test_mixed_value_xml_preserves_markup(self, root):
+        rule = MappingRule(
+            component=PageComponent("plot", format=Format.MIXED),
+            locations=("BODY//P[1]",),
+        )
+        (value,) = rule.apply(root).values
+        assert "<I>styled</I>" in value.as_xml()
+
+
+class TestImmutableUpdates:
+    def test_with_alternative_appends(self):
+        rule = make_rule(locations=("A",))
+        updated = rule.with_alternative("B")
+        assert updated.locations == ("A", "B")
+        assert rule.locations == ("A",)
+
+    def test_with_alternative_dedupes(self):
+        rule = make_rule(locations=("A",))
+        assert rule.with_alternative("A") is rule
+
+    def test_with_primary_location_keeps_alternatives(self):
+        rule = make_rule(locations=("A", "B"))
+        assert rule.with_primary_location("C").locations == ("C", "B")
+
+    def test_with_component(self):
+        rule = make_rule()
+        updated = rule.with_component(rule.component.as_optional())
+        assert updated.component.optionality.value == "optional"
+
+
+class TestSerde:
+    def test_roundtrip(self):
+        rule = make_rule(locations=("A", "B"))
+        assert MappingRule.from_dict(rule.to_dict()) == rule
+
+    def test_from_dict_single_location_compat(self):
+        rule = MappingRule.from_dict({"name": "x", "location": "BODY//P"})
+        assert rule.locations == ("BODY//P",)
+
+    def test_from_dict_no_location_raises(self):
+        with pytest.raises(RuleValidationError):
+            MappingRule.from_dict({"name": "x"})
+
+    def test_describe_follows_paper_layout(self):
+        text = make_rule().describe()
+        assert text.splitlines()[0].startswith("name")
+        assert "optionality" in text and "location" in text
+
+
+def test_normalize_value():
+    assert normalize_value("  a \n\t b ") == "a b"

@@ -1,0 +1,208 @@
+"""Tests for schema-guided rule building and semi-automated repair
+(the paper's Section-7 extensions)."""
+
+import pytest
+
+from repro.errors import RuleValidationError
+from repro.core.builder import MappingRuleBuilder
+from repro.core.component import Format, Multiplicity, Optionality
+from repro.core.oracle import ScriptedOracle
+from repro.core.repository import Aggregation, RuleRepository
+from repro.core.schema_guided import (
+    ComponentSpec,
+    SchemaGuidedBuilder,
+    SchemaTemplate,
+)
+from repro.extraction.extractor import ExtractionProcessor
+from repro.extraction.schema import generate_xml_schema
+
+
+class TestComponentSpec:
+    def test_name_validated(self):
+        with pytest.raises(Exception):
+            ComponentSpec("9bad")
+
+    def test_unconstrained_spec_never_conflicts(self):
+        from repro.core.component import PageComponent
+
+        spec = ComponentSpec("x")
+        assert spec.conflicts_with(PageComponent("x").as_multivalued()) == []
+
+    def test_conflicts_reported_per_property(self):
+        from repro.core.component import PageComponent
+
+        spec = ComponentSpec(
+            "x",
+            optionality=Optionality.MANDATORY,
+            multiplicity=Multiplicity.SINGLE_VALUED,
+            format=Format.TEXT,
+        )
+        learned = (
+            PageComponent("x").as_optional().as_multivalued().as_mixed()
+        )
+        assert spec.conflicts_with(learned) == [
+            "optionality", "multiplicity", "format",
+        ]
+
+
+class TestGuidedBuild:
+    def make_builder(self, movie_pages, cluster="imdb-movies"):
+        return MappingRuleBuilder(
+            movie_pages[:10], ScriptedOracle(),
+            repository=RuleRepository(), cluster_name=cluster, seed=3,
+        )
+
+    def test_conforming_build(self, movie_pages):
+        template = SchemaTemplate(
+            cluster="imdb-movies",
+            components=[
+                ComponentSpec("runtime", optionality=Optionality.MANDATORY,
+                              multiplicity=Multiplicity.SINGLE_VALUED),
+                ComponentSpec("genres", multiplicity=Multiplicity.MULTIVALUED),
+                ComponentSpec("language", optionality=Optionality.OPTIONAL),
+            ],
+        )
+        builder = self.make_builder(movie_pages)
+        guided = SchemaGuidedBuilder(builder, template)
+        results = guided.build()
+        assert all(result.conforms for result in results)
+        assert set(builder.repository.component_names("imdb-movies")) == {
+            "runtime", "genres", "language",
+        }
+
+    def test_conflicting_declaration_detected(self, movie_pages):
+        # Declaring genres single-valued contradicts what refinement
+        # learns from the pages.
+        template = SchemaTemplate(
+            cluster="imdb-movies",
+            components=[
+                ComponentSpec("genres",
+                              multiplicity=Multiplicity.SINGLE_VALUED),
+            ],
+        )
+        guided = SchemaGuidedBuilder(self.make_builder(movie_pages), template)
+        (result,) = guided.build()
+        assert not result.conforms
+        assert result.conflicts == ["multiplicity"]
+
+    def test_aggregations_recorded_when_all_conform(self, movie_pages):
+        template = SchemaTemplate(
+            cluster="imdb-movies",
+            components=[ComponentSpec("rating"), ComponentSpec("comment")],
+            aggregations=[Aggregation("users-opinion", ("comment", "rating"))],
+        )
+        builder = self.make_builder(movie_pages)
+        guided = SchemaGuidedBuilder(builder, template)
+        results = guided.build()
+        assert all(r.conforms for r in results)
+        assert builder.repository.aggregations("imdb-movies")
+
+    def test_summary_lines(self, movie_pages):
+        template = SchemaTemplate(
+            cluster="imdb-movies", components=[ComponentSpec("runtime")]
+        )
+        guided = SchemaGuidedBuilder(self.make_builder(movie_pages), template)
+        text = guided.summary(guided.build())
+        assert "runtime" in text and "conforms" in text
+
+
+class TestXsdRoundTrip:
+    def test_template_from_generated_xsd(self, movie_pages, oracle):
+        # Build rules on one "site", export the schema, parse it back
+        # into a template, and use it to guide building on another
+        # sample of the same cluster — schema reusability and sharing.
+        repository = RuleRepository()
+        builder = MappingRuleBuilder(
+            movie_pages[:10], oracle, repository=repository,
+            cluster_name="imdb-movies", seed=3,
+        )
+        builder.build_all(["runtime", "language", "genres", "rating",
+                           "comment"])
+        repository.record_aggregation(
+            "imdb-movies", Aggregation("users-opinion", ("comment", "rating"))
+        )
+        xsd = generate_xml_schema(repository, "imdb-movies")
+
+        template = SchemaTemplate.from_xsd(xsd)
+        assert template.cluster == "imdb-movies"
+        assert set(template.component_names()) == {
+            "runtime", "language", "genres", "rating", "comment",
+        }
+        assert template.spec_for("language").optionality is Optionality.OPTIONAL
+        assert template.spec_for("genres").multiplicity is Multiplicity.MULTIVALUED
+        (aggregation,) = template.aggregations
+        assert aggregation.name == "users-opinion"
+        assert set(aggregation.members) == {"comment", "rating"}
+
+    def test_guided_build_from_shared_schema(self, movie_pages, oracle):
+        repository = RuleRepository()
+        builder = MappingRuleBuilder(
+            movie_pages[:10], oracle, repository=repository,
+            cluster_name="imdb-movies", seed=3,
+        )
+        builder.build_all(["runtime", "language"])
+        xsd = generate_xml_schema(repository, "imdb-movies")
+        template = SchemaTemplate.from_xsd(xsd)
+
+        fresh_builder = MappingRuleBuilder(
+            movie_pages[10:20], oracle, repository=RuleRepository(),
+            cluster_name="imdb-movies", seed=9,
+        )
+        results = SchemaGuidedBuilder(fresh_builder, template).build()
+        assert all(result.conforms for result in results)
+
+    def test_malformed_xsd_rejected(self):
+        with pytest.raises(RuleValidationError):
+            SchemaTemplate.from_xsd("<xs:schema></xs:schema>")
+
+
+class TestRepairWorkflow:
+    def test_drift_failure_repaired_from_negative_examples(self, oracle):
+        from repro.sites.imdb import ImdbOptions, generate_imdb_site
+        from repro.sites.variation import drift_site
+
+        options = ImdbOptions(n_pages=12, seed=8)
+        pages = generate_imdb_site(options=options).pages_with_hint(
+            "imdb-movies"
+        )
+        builder = MappingRuleBuilder(
+            pages[:6], oracle, cluster_name="imdb-movies", seed=1
+        )
+        outcome = builder.build_rule("runtime")
+        assert outcome.recorded
+
+        # Drift: "Runtime:" renamed "Length:" — the rule now fails.
+        drifted = drift_site(options).pages_with_hint("imdb-movies")
+        processor = ExtractionProcessor(builder.repository, "imdb-movies")
+        failures = processor.extract(drifted).failures
+        assert failures
+
+        failing_pages = [
+            page for page in drifted
+            if page.url in {f.page_url for f in failures}
+        ]
+        repaired = builder.repair_rule(outcome.rule, failing_pages)
+        assert repaired.recorded
+        # The repaired rule covers BOTH layouts (old sample + drifted).
+        rerun = ExtractionProcessor(builder.repository, "imdb-movies")
+        assert not rerun.extract(drifted).failures
+        assert not rerun.extract(pages[:6]).failures
+
+    def test_repair_reports_failure_when_unfixable(self, oracle):
+        from repro.sites.page import WebPage
+
+        pages = [
+            WebPage(url="http://t/1", html="<body><p><b>K:</b> v1</p></body>",
+                    ground_truth={"c": ["v1"]}),
+        ]
+        builder = MappingRuleBuilder(pages, oracle, seed=0)
+        outcome = builder.build_rule("c")
+        bad = WebPage(url="http://t/2", html="<body><p>zzz</p></body>",
+                      ground_truth={"c": ["zzz-not-locatable-as-c"]})
+        # Oracle cannot find the truth text in the page -> repair fails
+        # loudly or reports not recorded.
+        try:
+            repaired = builder.repair_rule(outcome.rule, [bad])
+        except Exception:
+            return
+        assert not repaired.recorded

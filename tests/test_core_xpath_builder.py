@@ -1,0 +1,185 @@
+"""Unit tests for XPath generation, anchors, and broadening."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.core.xpath_builder import (
+    RepetitiveStep,
+    ancestor_tag_chain,
+    broaden_multiplicity,
+    build_contextual_xpath,
+    build_precise_xpath,
+    deduce_repetitive_tag,
+    nearest_following_label,
+    nearest_preceding_label,
+    strip_position_at,
+    xpath_string_literal,
+)
+from repro.dom.traversal import find_text_node
+from repro.html import parse_html
+from repro.xpath import select, select_one
+
+
+@pytest.fixture()
+def doc():
+    return parse_html(
+        """<body>
+        <div></div>
+        <div><table>
+        <tr><td><b>Also Known As:</b> Alt title<br><b>Runtime:</b> 104 min<br></td></tr>
+        </table></div>
+        </body>"""
+    )
+
+
+class TestPreciseXPath:
+    def test_generated_path_selects_original_node(self, doc):
+        node = find_text_node(doc, "104 min")
+        xpath = build_precise_xpath(node)
+        assert select_one(doc.document_element, xpath) is node
+
+    def test_every_step_is_indexed(self, doc):
+        node = find_text_node(doc, "104 min")
+        xpath = build_precise_xpath(node)
+        for step in xpath.split("/"):
+            assert step.endswith("]"), step
+
+    def test_starts_at_body(self, doc):
+        node = find_text_node(doc, "104 min")
+        assert build_precise_xpath(node).startswith("BODY[1]/DIV[2]/")
+
+    def test_element_target(self, doc):
+        b = doc.document_element.find_first("B")
+        xpath = build_precise_xpath(b)
+        assert xpath.endswith("B[1]")
+        assert select_one(doc.document_element, xpath) is b
+
+    def test_text_index_counts_text_siblings(self, doc):
+        node = find_text_node(doc, "104 min")
+        assert build_precise_xpath(node).endswith("text()[2]")
+
+    def test_detached_node_raises(self):
+        from repro.dom.node import Element
+
+        with pytest.raises(RuleError):
+            build_precise_xpath(Element("p"))
+
+    def test_html_element_itself_raises(self, doc):
+        with pytest.raises(RuleError):
+            build_precise_xpath(doc.document_element)
+
+
+class TestAnchors:
+    def test_nearest_preceding_label(self, doc):
+        node = find_text_node(doc, "104 min")
+        assert nearest_preceding_label(node) == "Runtime:"
+
+    def test_nearest_preceding_crosses_subtrees(self, doc):
+        node = find_text_node(doc, "Alt title")
+        assert nearest_preceding_label(node) == "Also Known As:"
+
+    def test_nearest_following_label(self, doc):
+        node = find_text_node(doc, "Alt title")
+        assert nearest_following_label(node) == "Runtime:"
+
+    def test_no_preceding_label_is_none(self):
+        doc = parse_html("<body><p>first text</p></body>")
+        node = find_text_node(doc, "first text")
+        assert nearest_preceding_label(node) is None
+
+    def test_contextual_xpath_selects_anchored_value(self, doc):
+        node = find_text_node(doc, "104 min")
+        xpath = build_contextual_xpath(node, "Runtime:")
+        assert [n.data.strip() for n in select(doc.document_element, xpath)] == [
+            "104 min"
+        ]
+
+    def test_contextual_xpath_after_side(self, doc):
+        node = find_text_node(doc, "Alt title")
+        xpath = build_contextual_xpath(node, "Runtime:", side="after")
+        matches = select(doc.document_element, xpath)
+        assert any("Alt title" in n.data for n in matches)
+
+    def test_contextual_contains_mode(self, doc):
+        node = find_text_node(doc, "104 min")
+        xpath = build_contextual_xpath(node, "Runtime", use_contains=True)
+        assert select(doc.document_element, xpath)
+
+    def test_invalid_side_raises(self, doc):
+        node = find_text_node(doc, "104 min")
+        with pytest.raises(ValueError):
+            build_contextual_xpath(node, "Runtime:", side="above")
+
+    def test_ancestor_tag_chain(self, doc):
+        node = find_text_node(doc, "104 min")
+        assert ancestor_tag_chain(node) == ["DIV", "TABLE", "TR", "TD"]
+
+
+class TestStringLiteral:
+    def test_plain(self):
+        assert xpath_string_literal("Runtime:") == '"Runtime:"'
+
+    def test_with_double_quote(self):
+        assert xpath_string_literal('say "hi"') == "'say \"hi\"'"
+
+    def test_with_both_quotes_uses_concat(self):
+        literal = xpath_string_literal("it's \"x\"")
+        assert literal.startswith("concat(")
+
+
+class TestMultiplicity:
+    def test_deduce_repetitive_tag(self):
+        first = "BODY//TABLE[1]/TR[2]/TD[2]/text()"
+        last = "BODY//TABLE[1]/TR[17]/TD[2]/text()"
+        rep = deduce_repetitive_tag(first, last)
+        assert rep.tag == "TR"
+        assert rep.first_position == 2
+        assert rep.last_position == 17
+
+    def test_deduce_identical_paths_raises(self):
+        with pytest.raises(RuleError):
+            deduce_repetitive_tag("BODY/TR[1]", "BODY/TR[1]")
+
+    def test_deduce_structural_divergence_raises(self):
+        with pytest.raises(RuleError):
+            deduce_repetitive_tag("BODY/TR[1]/TD[1]", "BODY/TR[2]/TH[1]")
+
+    def test_deduce_two_differences_raises(self):
+        with pytest.raises(RuleError):
+            deduce_repetitive_tag("BODY/TR[1]/TD[1]", "BODY/TR[2]/TD[2]")
+
+    def test_deduce_length_mismatch_raises(self):
+        with pytest.raises(RuleError):
+            deduce_repetitive_tag("BODY/TR[1]", "BODY/TR[1]/TD[1]")
+
+    def test_broaden_open_ended(self):
+        first = "BODY//TABLE[1]/TR[2]/TD[2]/text()"
+        rep = deduce_repetitive_tag(first, "BODY//TABLE[1]/TR[17]/TD[2]/text()")
+        out = broaden_multiplicity(first, rep)
+        assert "TR[position() >= 2]" in out
+
+    def test_broaden_closed_range(self):
+        first = "BODY//TABLE[1]/TR[2]/TD[2]/text()"
+        rep = deduce_repetitive_tag(first, "BODY//TABLE[1]/TR[5]/TD[2]/text()")
+        out = broaden_multiplicity(first, rep, open_ended=False)
+        assert "position() >= 2 and position() <= 5" in out
+
+    def test_broaden_index_out_of_range_raises(self):
+        rep = RepetitiveStep(index=99, tag="TR", first_position=1, last_position=2)
+        with pytest.raises(RuleError):
+            broaden_multiplicity("BODY/TR[1]", rep)
+
+    def test_broadened_path_selects_all_rows(self):
+        doc = parse_html(
+            "<body><table><tr><td>h</td></tr><tr><td>a</td></tr>"
+            "<tr><td>b</td></tr></table></body>"
+        )
+        first = "BODY//TABLE[1]/TR[2]/TD[1]/text()"
+        rep = deduce_repetitive_tag(first, "BODY//TABLE[1]/TR[3]/TD[1]/text()")
+        xpath = broaden_multiplicity(first, rep)
+        values = [n.data for n in select(doc.document_element, xpath)]
+        assert values == ["a", "b"]
+
+    def test_strip_position_at(self):
+        out = strip_position_at("BODY[1]/DIV[2]/P[1]", 2)
+        assert out == "BODY[1]/DIV[2]/P"

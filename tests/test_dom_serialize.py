@@ -1,0 +1,87 @@
+"""Unit tests for HTML/XML serialisation."""
+
+import pytest
+
+from repro.dom.node import Comment, Document, Element, Text
+from repro.dom.serialize import (
+    escape_attribute,
+    escape_text,
+    pretty_html,
+    to_html,
+    to_xml,
+)
+from repro.html import parse_html
+
+
+class TestEscaping:
+    def test_escape_text(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_escape_attribute_quotes(self):
+        assert escape_attribute('say "hi"') == "say &quot;hi&quot;"
+
+
+class TestHtml:
+    def test_simple_roundtrip(self):
+        doc = parse_html("<body><p>hello</p></body>")
+        assert to_html(doc) == "<html><body><p>hello</p></body></html>"
+
+    def test_void_elements_not_closed(self):
+        doc = parse_html("<body>a<br>b</body>")
+        assert "<br>" in to_html(doc)
+        assert "</br>" not in to_html(doc)
+
+    def test_attributes_rendered(self):
+        doc = parse_html('<body><a href="/x" class="nav">y</a></body>')
+        assert '<a href="/x" class="nav">y</a>' in to_html(doc)
+
+    def test_uppercase_option(self):
+        doc = parse_html("<body><p>x</p></body>")
+        assert "<BODY>" in to_html(doc, lowercase_tags=False)
+
+    def test_comment_preserved(self):
+        doc = parse_html("<body><!-- note --><p>x</p></body>")
+        assert "<!-- note -->" in to_html(doc)
+
+    def test_text_reescaped(self):
+        doc = parse_html("<body>5 &lt; 6 &amp; 7</body>")
+        assert "5 &lt; 6 &amp; 7" in to_html(doc)
+
+    def test_unknown_node_type_raises(self):
+        class Weird(Element):
+            pass
+
+        weird = object()  # not a Node at all
+        with pytest.raises(TypeError):
+            to_html(weird)  # type: ignore[arg-type]
+
+
+class TestXml:
+    def test_all_elements_closed(self):
+        doc = parse_html("<body>a<br>b</body>")
+        xml = to_xml(doc)
+        assert "<BR/>" in xml
+
+    def test_empty_element_self_closes(self):
+        assert to_xml(Element("unit")) == "<UNIT/>"
+
+    def test_lowercase_option(self):
+        element = Element("RUNTIME")
+        element.append_child(Text("108"))
+        assert to_xml(element, lowercase_tags=True) == "<runtime>108</runtime>"
+
+    def test_attribute_escaped(self):
+        element = Element("a", {"title": 'x "y" & z'})
+        assert 'title="x &quot;y&quot; &amp; z"' in to_xml(element)
+
+
+class TestPretty:
+    def test_indentation(self):
+        doc = parse_html("<body><div><p>x</p></div></body>")
+        lines = pretty_html(doc).splitlines()
+        assert lines[0] == "<html>"
+        assert any(line.startswith("      ") for line in lines)
+
+    def test_whitespace_only_text_dropped(self):
+        doc = parse_html("<body><div>  \n  </div></body>")
+        assert "\n\n" not in pretty_html(doc)

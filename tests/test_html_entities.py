@@ -1,0 +1,56 @@
+"""Unit tests for character-reference decoding."""
+
+from repro.html.entities import decode_entities, encode_entities
+
+
+def test_core_entities():
+    assert decode_entities("&lt;a&gt; &amp; &quot;b&quot;") == '<a> & "b"'
+
+
+def test_nbsp_decodes_to_nonbreaking_space():
+    # U+00A0, which Python's str.split() treats as whitespace, so value
+    # normalisation collapses it like any other space.
+    assert decode_entities("a&nbsp;b") == "a\xa0b"
+    assert " ".join(decode_entities("a&nbsp;b").split()) == "a b"
+
+
+def test_decimal_reference():
+    assert decode_entities("&#233;") == "é"
+
+
+def test_hex_reference_case_insensitive():
+    assert decode_entities("&#xE9;&#Xe9;") == "éé"
+
+
+def test_named_latin1():
+    assert decode_entities("Esti&eacute;venart") == "Estiévenart"
+
+
+def test_unknown_entity_left_verbatim():
+    assert decode_entities("&nosuchthing;") == "&nosuchthing;"
+
+
+def test_bare_ampersand_untouched():
+    assert decode_entities("Fast & Furious") == "Fast & Furious"
+
+
+def test_out_of_range_codepoint_left_verbatim():
+    assert decode_entities("&#1114112;") == "&#1114112;"
+
+
+def test_surrogate_codepoint_left_verbatim():
+    assert decode_entities("&#xD800;") == "&#xD800;"
+
+
+def test_mixed_text():
+    assert decode_entities("7&frac12; &mdash; ok") == "7½ — ok"
+
+
+def test_no_ampersand_fast_path():
+    text = "plain text"
+    assert decode_entities(text) is text
+
+
+def test_encode_entities_roundtrip_core():
+    original = '<a> & "b"'
+    assert decode_entities(encode_entities(original)) == original

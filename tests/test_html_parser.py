@@ -1,0 +1,177 @@
+"""Unit tests for the tolerant tree builder."""
+
+from repro.dom.node import Comment, Element, Text
+from repro.html import parse_html
+
+
+def tags(element, tag):
+    return element.find_all(tag)
+
+
+class TestCanonicalShape:
+    def test_full_page(self):
+        doc = parse_html("<html><head></head><body><p>x</p></body></html>")
+        html = doc.document_element
+        assert html.tag == "HTML"
+        assert [c.tag for c in html.child_elements()] == ["HEAD", "BODY"]
+
+    def test_fragment_gets_html_body(self):
+        doc = parse_html("<p>x</p>")
+        html = doc.document_element
+        assert html.tag == "HTML"
+        assert html.child_elements()[0].tag == "BODY"
+
+    def test_bare_text_gets_body(self):
+        doc = parse_html("just text")
+        body = doc.document_element.find_first("BODY")
+        assert body.text_content() == "just text"
+
+    def test_empty_input_still_has_body(self):
+        doc = parse_html("")
+        assert doc.document_element.find_first("BODY") is not None
+
+    def test_head_elements_routed_to_head(self):
+        doc = parse_html('<title>T</title><meta charset="x"><p>body</p>')
+        head = doc.document_element.find_first("HEAD")
+        assert head.find_first("TITLE").text_content() == "T"
+        assert head.find_first("META") is not None
+        body = doc.document_element.find_first("BODY")
+        assert body.find_first("P") is not None
+
+    def test_head_precedes_body_even_when_late(self):
+        doc = parse_html("<body><p>x</p></body>")
+        html = doc.document_element
+        assert [c.tag for c in html.child_elements()] == ["BODY"]
+
+    def test_html_attributes_merged(self):
+        doc = parse_html('<html lang="en"><body></body></html>')
+        assert doc.document_element.get_attribute("lang") == "en"
+
+    def test_url_recorded(self):
+        doc = parse_html("<p>x</p>", url="http://e/")
+        assert doc.url == "http://e/"
+
+
+class TestRecovery:
+    def test_unclosed_paragraphs(self):
+        doc = parse_html("<body><p>one<p>two</body>")
+        paragraphs = tags(doc.document_element, "P")
+        assert [p.text_content() for p in paragraphs] == ["one", "two"]
+
+    def test_unclosed_list_items(self):
+        doc = parse_html("<body><ul><li>a<li>b<li>c</ul></body>")
+        ul = doc.document_element.find_first("UL")
+        assert [li.text_content() for li in ul.child_elements()] == ["a", "b", "c"]
+
+    def test_nested_list_keeps_outer_item_open(self):
+        doc = parse_html("<body><ul><li>a<ul><li>a1</ul><li>b</ul></body>")
+        outer = doc.document_element.find_first("UL")
+        items = [c for c in outer.child_elements() if c.tag == "LI"]
+        assert len(items) == 2
+        assert items[0].find_first("UL") is not None
+
+    def test_unclosed_table_cells_and_rows(self):
+        doc = parse_html("<body><table><tr><td>a<td>b<tr><td>c</table></body>")
+        table = doc.document_element.find_first("TABLE")
+        rows = tags(table, "TR")
+        assert len(rows) == 2
+        assert [td.text_content() for td in tags(rows[0], "TD")] == ["a", "b"]
+
+    def test_new_tr_closes_open_td_and_tr(self):
+        doc = parse_html("<body><table><tr><td>x<tr><td>y</table></body>")
+        rows = tags(doc.document_element, "TR")
+        assert rows[0].parent is rows[1].parent
+
+    def test_nested_table_rows_stay_inside(self):
+        doc = parse_html(
+            "<body><table><tr><td><table><tr><td>i</table><tr><td>o</table></body>"
+        )
+        outer_rows = [
+            tr for tr in tags(doc.document_element, "TR")
+            if tr.parent.tag == "TABLE"
+        ]
+        inner = doc.document_element.find_first("TABLE").find_first("TABLE")
+        assert inner is not None
+        assert len(tags(inner, "TR")) == 1
+
+    def test_stray_end_tag_dropped(self):
+        doc = parse_html("<body><p>x</p></div></body>")
+        assert doc.document_element.find_first("P").text_content() == "x"
+
+    def test_end_tag_closes_intermediate_elements(self):
+        doc = parse_html("<body><div><b>x</div>after</body>")
+        body = doc.document_element.find_first("BODY")
+        # "after" must be a direct child of body, not of <b>.
+        direct_text = [
+            c.data for c in body.children if isinstance(c, Text)
+        ]
+        assert "after" in "".join(direct_text)
+
+    def test_inline_end_tag_cannot_escape_cell(self):
+        doc = parse_html(
+            "<body><b><table><tr><td>x</b>y</td></tr></table></body>"
+        )
+        td = doc.document_element.find_first("TD")
+        assert "y" in td.text_content()
+
+    def test_void_element_never_opens_scope(self):
+        doc = parse_html("<body><br><p>x</p></body>")
+        p = doc.document_element.find_first("P")
+        assert p.parent.tag == "BODY"
+
+    def test_end_tag_for_void_ignored(self):
+        doc = parse_html("<body>a</br>b</body>")
+        assert doc.document_element.text_content() == "ab"
+
+    def test_block_element_closes_paragraph(self):
+        doc = parse_html("<body><p>intro<table><tr><td>x</table></body>")
+        p = doc.document_element.find_first("P")
+        assert p.find_first("TABLE") is None
+
+    def test_dt_dd_close_each_other(self):
+        doc = parse_html("<body><dl><dt>t<dd>d<dt>t2</dl></body>")
+        dl = doc.document_element.find_first("DL")
+        assert [c.tag for c in dl.child_elements()] == ["DT", "DD", "DT"]
+
+    def test_options_close_each_other(self):
+        doc = parse_html(
+            "<body><select><option>a<option>b</select></body>"
+        )
+        select = doc.document_element.find_first("SELECT")
+        assert len(tags(select, "OPTION")) == 2
+
+
+class TestContent:
+    def test_adjacent_text_merged(self):
+        doc = parse_html("<body>a&amp;b</body>")
+        body = doc.document_element.find_first("BODY")
+        text_children = [c for c in body.children if isinstance(c, Text)]
+        assert len(text_children) == 1
+        assert text_children[0].data == "a&b"
+
+    def test_comments_kept_in_tree(self):
+        doc = parse_html("<body><!--x--></body>")
+        body = doc.document_element.find_first("BODY")
+        assert any(isinstance(c, Comment) for c in body.children)
+
+    def test_doctype_ignored(self):
+        doc = parse_html("<!DOCTYPE html><body>x</body>")
+        assert doc.document_element.text_content() == "x"
+
+    def test_whitespace_before_body_dropped(self):
+        doc = parse_html("\n\n  <body>x</body>")
+        body = doc.document_element.find_first("BODY")
+        assert body.text_content() == "x"
+
+    def test_script_in_head(self):
+        doc = parse_html("<script>var x=1;</script><body>y</body>")
+        head = doc.document_element.find_first("HEAD")
+        assert head is not None
+        assert head.find_first("SCRIPT").text_content() == "var x=1;"
+
+    def test_title_text_stays_in_head(self):
+        doc = parse_html("<title>The Title</title><p>content</p>")
+        head = doc.document_element.find_first("HEAD")
+        body = doc.document_element.find_first("BODY")
+        assert head.find_first("TITLE").text_content() == "The Title"
+        assert "The Title" not in body.text_content()

@@ -1,0 +1,125 @@
+"""Unit tests for the HTML tokenizer."""
+
+import pytest
+
+from repro.errors import HtmlParseError
+from repro.html.tokenizer import (
+    CommentToken,
+    DoctypeToken,
+    EndTagToken,
+    StartTagToken,
+    TextToken,
+    tokenize,
+)
+
+
+def tokens(source):
+    return list(tokenize(source))
+
+
+def test_simple_tags_and_text():
+    result = tokens("<p>hello</p>")
+    assert result == [
+        StartTagToken("P"),
+        TextToken("hello"),
+        EndTagToken("P"),
+    ]
+
+
+def test_attributes_double_quoted():
+    (tag,) = tokens('<a href="/x" class="nav">')
+    assert tag.attributes == {"href": "/x", "class": "nav"}
+
+
+def test_attributes_single_quoted_and_unquoted():
+    (tag,) = tokens("<a href='/y' rel=next>")
+    assert tag.attributes == {"href": "/y", "rel": "next"}
+
+
+def test_boolean_attribute():
+    (tag,) = tokens("<input disabled>")
+    assert tag.attributes == {"disabled": ""}
+
+
+def test_duplicate_attribute_first_wins():
+    (tag,) = tokens('<a href="/one" href="/two">')
+    assert tag.attributes["href"] == "/one"
+
+
+def test_attribute_entities_decoded():
+    (tag,) = tokens('<a title="a &amp; b">')
+    assert tag.attributes["title"] == "a & b"
+
+
+def test_self_closing_flag():
+    (tag,) = tokens("<br/>")
+    assert tag.self_closing
+
+
+def test_text_entities_decoded():
+    result = tokens("a &amp; b")
+    assert result == [TextToken("a & b")]
+
+
+def test_comment():
+    result = tokens("<!-- note -->x")
+    assert result == [CommentToken(" note "), TextToken("x")]
+
+
+def test_unterminated_comment_consumes_rest():
+    result = tokens("<!-- open forever")
+    assert result == [CommentToken(" open forever")]
+
+
+def test_doctype():
+    result = tokens("<!DOCTYPE html><p>")
+    assert result[0] == DoctypeToken("DOCTYPE html")
+
+
+def test_script_rawtext_not_tokenised():
+    result = tokens('<script>if (a<b && c>d) {}</script>')
+    assert result == [
+        StartTagToken("SCRIPT"),
+        TextToken("if (a<b && c>d) {}"),
+        EndTagToken("SCRIPT"),
+    ]
+
+
+def test_title_rcdata_decodes_entities():
+    result = tokens("<title>Tom &amp; Jerry</title>")
+    assert TextToken("Tom & Jerry") in result
+
+
+def test_unterminated_rawtext():
+    result = tokens("<style>p{}")
+    assert result == [StartTagToken("STYLE"), TextToken("p{}")]
+
+
+def test_bare_lt_is_text():
+    result = tokens("a < b")
+    assert "".join(t.data for t in result if isinstance(t, TextToken)) == "a < b"
+
+
+def test_stray_end_tag_without_name_dropped():
+    result = tokens("a</>b")
+    data = "".join(t.data for t in result if isinstance(t, TextToken))
+    assert data == "ab"
+
+
+def test_end_tag_case_normalised():
+    assert EndTagToken("DIV") in tokens("</div>")
+
+
+def test_unterminated_start_tag():
+    result = tokens("<a href='/x'")
+    assert result == [StartTagToken("A", {"href": "/x"})]
+
+
+def test_non_string_input_raises():
+    with pytest.raises(HtmlParseError):
+        list(tokenize(b"<p>"))  # type: ignore[arg-type]
+
+
+def test_crlf_whitespace_in_tag():
+    (tag,) = tokens('<a\n  href="/x"\r\n>')
+    assert tag.attributes == {"href": "/x"}

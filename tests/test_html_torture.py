@@ -1,0 +1,157 @@
+"""HTML parser torture tests: the malformed-markup patterns of real
+2006-era data-intensive sites (the paper's target input: pages parsed
+"whatever their syntactical quality")."""
+
+import pytest
+
+from repro.dom.node import Text
+from repro.html import parse_html
+
+
+def body_of(source):
+    return parse_html(source).document_element.find_first("BODY")
+
+
+class TestMisnesting:
+    def test_overlapping_inline_tags(self):
+        body = body_of("<body><b>bold <i>both</b> italic</i></body>")
+        assert body.text_content() == "bold both italic"
+
+    def test_interleaved_font_tags(self):
+        body = body_of("<body><font><b>x</font>y</b>z</body>")
+        assert "xyz" in body.text_content().replace(" ", "")
+
+    def test_deeply_unclosed_divs(self):
+        source = "<body>" + "<div>" * 30 + "deep" + "</body>"
+        body = body_of(source)
+        assert "deep" in body.text_content()
+
+    def test_table_inside_paragraph(self):
+        body = body_of("<body><p>before<table><tr><td>in</td></tr></table></body>")
+        table = body.find_first("TABLE")
+        assert table.parent.tag != "P"
+
+    def test_stray_close_tags_everywhere(self):
+        body = body_of("</td></tr><body></div>text</span></body></b>")
+        assert body.text_content() == "text"
+
+
+class TestAttributesTorture:
+    def test_unquoted_url_attribute(self):
+        body = body_of("<body><a href=http://x.org/a?b=1&c=2>l</a></body>")
+        link = body.find_first("A")
+        assert link.get_attribute("href") == "http://x.org/a?b=1&c=2"
+
+    def test_attribute_with_newlines(self):
+        body = body_of('<body><img\n  src="a.gif"\n  alt="x"\n></body>')
+        img = body.find_first("IMG")
+        assert img.get_attribute("src") == "a.gif"
+
+    def test_value_containing_gt(self):
+        body = body_of('<body><a title="a > b">x</a></body>')
+        assert body.find_first("A").get_attribute("title") == "a > b"
+
+    def test_empty_and_repeated_attributes(self):
+        body = body_of('<body><input disabled value="" disabled></body>')
+        field = body.find_first("INPUT")
+        assert field.get_attribute("disabled") == ""
+        assert field.get_attribute("value") == ""
+
+
+class TestLegacyConstructs:
+    def test_font_and_center_tags(self):
+        body = body_of(
+            '<body><center><font face="Arial" size=2>old web</font></center></body>'
+        )
+        assert body.find_first("CENTER") is not None
+        assert body.find_first("FONT").get_attribute("size") == "2"
+
+    def test_uppercase_markup(self):
+        body = body_of("<BODY><TABLE><TR><TD>X</TD></TR></TABLE></BODY>")
+        assert body.find_first("TD").text_content() == "X"
+
+    def test_spacer_gifs_and_nbsp_layout(self):
+        body = body_of(
+            '<body><table><tr><td>&nbsp;</td>'
+            '<td><img src="spacer.gif" width=1 height=1></td>'
+            "<td>data</td></tr></table></body>"
+        )
+        tds = body.find_all("TD")
+        assert len(tds) == 3
+        assert tds[2].text_content() == "data"
+
+    def test_marquee_blink_and_unknown_tags(self):
+        body = body_of("<body><marquee>mm</marquee><blink>bb</blink>"
+                       "<madeup attr=1>uu</madeup></body>")
+        assert body.text_content() == "mmbbuu"
+
+    def test_comment_with_markup_inside(self):
+        body = body_of("<body><!-- <table><tr> not real --><p>x</p></body>")
+        assert body.find_first("TABLE") is None
+        assert body.find_first("P").text_content() == "x"
+
+    def test_conditional_comment_ignored_as_comment(self):
+        body = body_of("<body><!--[if IE]><div>ie</div><![endif]--><p>y</p></body>")
+        assert body.find_first("DIV") is None
+
+
+class TestScriptsAndStyles:
+    def test_document_write_with_tags_in_script(self):
+        source = (
+            "<body><script>document.write('<table><tr><td>js</td></tr>');"
+            "</script><p>real</p></body>"
+        )
+        body = body_of(source)
+        assert body.find_first("TABLE") is None
+        assert body.find_first("P").text_content() == "real"
+
+    def test_style_with_selectors(self):
+        body = body_of("<body><style>p > b { color: red }</style><p>t</p></body>")
+        assert body.find_first("P").text_content() == "t"
+
+    def test_script_with_less_than_comparisons(self):
+        body = body_of("<body><script>for(i=0;i<10;i++){}</script>after</body>")
+        assert "after" in body.text_content()
+
+
+class TestEncodingsAndEntities:
+    def test_entities_in_data_values(self):
+        body = body_of("<body><td>Caf&eacute; &amp; Bar &#8212; 7&frac12;</td></body>")
+        assert body.text_content() == "Café & Bar — 7½"
+
+    def test_double_encoded_ampersand_preserved(self):
+        body = body_of("<body>&amp;eacute;</body>")
+        assert body.text_content() == "&eacute;"
+
+
+class TestStructuralGuarantee:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "",
+            "<",
+            "><",
+            "<!",
+            "<!-",
+            "</",
+            "<a",
+            "text only",
+            "<html>",
+            "</html>",
+            "<body><body><body>",
+            "\x00\x01\x02",
+            "<p>" * 100,
+        ],
+    )
+    def test_pathological_inputs_keep_invariant(self, source):
+        doc = parse_html(source)
+        html = doc.document_element
+        assert html is not None and html.tag == "HTML"
+        assert html.find_first("BODY") is not None
+
+    def test_huge_flat_document(self):
+        source = "<body>" + "".join(
+            f"<span>{i}</span>" for i in range(2000)
+        ) + "</body>"
+        body = body_of(source)
+        assert len(body.find_all("SPAN")) == 2000

@@ -1,0 +1,163 @@
+"""Integration tests: the whole Figure-1 pipeline over every site family."""
+
+import pytest
+
+from repro.core.oracle import ScriptedOracle
+from repro.core.repository import Aggregation, RuleRepository
+from repro.clustering import PageClusterer
+from repro.extraction import (
+    ExtractionPipeline,
+    ExtractionProcessor,
+    PostProcessor,
+    regex_extractor,
+)
+from repro.evaluation.metrics import evaluate_extraction
+from repro.sites import (
+    generate_imdb_site,
+    generate_news_site,
+    generate_shop_site,
+    generate_stocks_site,
+)
+
+
+class TestFigure1Pipeline:
+    """Clustering -> semantic analysis -> extraction, end to end."""
+
+    def test_full_pipeline_on_mixed_site(self):
+        site = generate_imdb_site(n_movies=14, n_actors=8, n_search=5, seed=17)
+        clustering = PageClusterer().cluster(list(site))
+        assert len(clustering.clusters) == 3
+
+        clusters = {
+            ("imdb-movies" if "/title/" in cluster.pages[0].url
+             else "imdb-actors" if "/name/" in cluster.pages[0].url
+             else "imdb-search"): cluster.pages
+            for cluster in clustering.clusters
+        }
+        # Section 3.1: the working sample "must ideally exhibit the major
+        # structural discrepancies" — pick a representative one: photo
+        # and no-photo layouts both included.
+        movies = clusters["imdb-movies"]
+        with_photo = [p for p in movies if 'class="photo"' in p.html]
+        without_photo = [p for p in movies if 'class="photo"' not in p.html]
+        sample = (with_photo[:5] + without_photo[:3]) or movies[:8]
+        pipeline = ExtractionPipeline(ScriptedOracle(), sample_size=8, seed=2)
+        results = {}
+        results["imdb-movies"] = pipeline.run_cluster(
+            "imdb-movies", movies,
+            ["title", "runtime", "director", "genres"], sample=sample,
+        )
+        results["imdb-actors"] = pipeline.run_cluster(
+            "imdb-actors", clusters["imdb-actors"],
+            ["actor-name", "born", "film-titles"],
+        )
+        movies = results["imdb-movies"]
+        assert movies.build_report.failed_components == []
+        summary = evaluate_extraction(
+            movies.extraction, clusters["imdb-movies"],
+            ["title", "runtime", "director", "genres"],
+        )
+        assert summary.micro_f1 == pytest.approx(1.0)
+        actors = results["imdb-actors"]
+        assert actors.build_report.failed_components == []
+        assert "<film-titles>" in actors.xml
+
+    @pytest.mark.parametrize(
+        "site_factory, cluster, components",
+        [
+            (
+                lambda: generate_shop_site(16, seed=4),
+                "shop-products",
+                ["product-name", "price", "old-price", "features"],
+            ),
+            (
+                lambda: generate_news_site(16, seed=4),
+                "news-articles",
+                ["headline", "byline", "date"],
+            ),
+            (
+                lambda: generate_stocks_site(10, seed=4),
+                "stock-quotes",
+                ["company", "last-price", "change", "intraday-prices"],
+            ),
+        ],
+    )
+    def test_other_families_reach_high_f1(self, site_factory, cluster, components):
+        site = site_factory()
+        pages = site.pages_with_hint(cluster)
+        pipeline = ExtractionPipeline(ScriptedOracle(), sample_size=8, seed=1)
+        result = pipeline.run_cluster(cluster, pages, components,
+                                      sample=pages[:8])
+        summary = evaluate_extraction(result.extraction, pages, components)
+        assert summary.micro_f1 > 0.95, summary.rows()
+
+
+class TestRepositoryRoundTripExtraction:
+    def test_saved_rules_extract_identically(self, movie_pages, oracle, tmp_path):
+        pipeline = ExtractionPipeline(oracle, sample_size=8, seed=5)
+        result = pipeline.run_cluster(
+            "imdb-movies", movie_pages, ["title", "runtime", "genres"],
+            sample=movie_pages[:8],
+        )
+        path = tmp_path / "repo.json"
+        result.repository.save(path)
+        loaded = RuleRepository.load(path)
+        rerun = ExtractionProcessor(loaded, "imdb-movies").extract(movie_pages)
+        assert rerun.values_of("runtime") == result.extraction.values_of("runtime")
+
+
+class TestMonitoringScenario:
+    """The Section-7 'stock value' agile use case with post-processing."""
+
+    def test_price_monitoring_with_postprocess(self):
+        site = generate_stocks_site(8, seed=2)
+        pages = site.pages_with_hint("stock-quotes")
+        post = PostProcessor()
+        post.register("change", regex_extractor(r"([+-]?\d+\.\d+)%"))
+        pipeline = ExtractionPipeline(
+            ScriptedOracle(), sample_size=6, seed=0, postprocessor=post
+        )
+        result = pipeline.run_cluster(
+            "stock-quotes", pages, ["last-price", "change"], sample=pages[:6]
+        )
+        for page in result.extraction.pages:
+            (change,) = page.get("change")
+            float(change)  # clean numeric value after postprocessing
+
+
+class TestAggregatedExport:
+    def test_users_opinion_nested_structure(self, paper_sample, oracle):
+        pipeline = ExtractionPipeline(oracle, sample_size=4, seed=0)
+        result = pipeline.run_cluster(
+            "imdb-movies", paper_sample, ["runtime", "rating", "comment"],
+            sample=paper_sample,
+        )
+        result.repository.record_aggregation(
+            "imdb-movies", Aggregation("users-opinion", ("comment", "rating"))
+        )
+        processor = ExtractionProcessor(result.repository, "imdb-movies")
+        from repro.extraction import write_cluster_xml
+
+        xml = write_cluster_xml(processor.extract(paper_sample), result.repository)
+        assert xml.index("<users-opinion>") < xml.index("<comment>")
+
+
+class TestDriftDetection:
+    """Section 7: failures are detected (not repaired) after drift."""
+
+    def test_mandatory_missing_reported_after_drift(self, oracle):
+        from repro.sites.imdb import ImdbOptions
+        from repro.sites.variation import drift_site
+
+        options = ImdbOptions(n_pages=10, seed=8)
+        site = generate_imdb_site(options=options)
+        pages = site.pages_with_hint("imdb-movies")
+        pipeline = ExtractionPipeline(oracle, sample_size=6, seed=1)
+        result = pipeline.run_cluster(
+            "imdb-movies", pages, ["runtime"], sample=pages[:6]
+        )
+        drifted = drift_site(options).pages_with_hint("imdb-movies")
+        processor = ExtractionProcessor(result.repository, "imdb-movies")
+        outcome = processor.extract(drifted)
+        assert outcome.failures, "drift must surface mandatory-missing failures"
+        assert {f.component_name for f in outcome.failures} == {"runtime"}

@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The substrates must hold up under arbitrary input:
+
+* the HTML parser never crashes and always yields the canonical
+  Document > HTML > BODY shape;
+* serialise(parse(x)) is a fixpoint after one round (idempotence);
+* a precise XPath generated for any node selects exactly that node;
+* XPath string literals round-trip through the evaluator;
+* entity encode/decode round-trips;
+* value normalisation is idempotent;
+* similarity measures stay within bounds and are symmetric.
+"""
+
+from __future__ import annotations
+
+import string
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rule import normalize_value
+from repro.core.xpath_builder import build_precise_xpath, xpath_string_literal
+from repro.clustering.similarity import (
+    cosine_similarity,
+    jaccard_similarity,
+    tag_sequence_similarity,
+)
+from repro.dom.node import Element, Text
+from repro.dom.serialize import to_html
+from repro.dom.traversal import iter_text_nodes
+from repro.html import parse_html
+from repro.html.entities import decode_entities, encode_entities
+from repro.xpath import evaluate, select
+
+# ----------------------------------------------------------------------- #
+# Strategies
+# ----------------------------------------------------------------------- #
+
+_TAGS = ["div", "p", "span", "table", "tr", "td", "ul", "li", "b", "i", "h1"]
+_text = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,:;!?'", min_size=1,
+    max_size=24,
+)
+
+
+@st.composite
+def html_fragments(draw, depth=0):
+    """Random well-formed-ish HTML fragments."""
+    if depth >= 3:
+        return draw(_text)
+    parts = draw(
+        st.lists(
+            st.one_of(
+                _text,
+                st.builds(
+                    lambda tag, inner: f"<{tag}>{inner}</{tag}>",
+                    st.sampled_from(_TAGS),
+                    html_fragments(depth=depth + 1),
+                ),
+            ),
+            min_size=0,
+            max_size=4,
+        )
+    )
+    return "".join(parts)
+
+
+_arbitrary_html = st.text(
+    alphabet=string.printable, min_size=0, max_size=200
+)
+
+
+# ----------------------------------------------------------------------- #
+# Parser robustness
+# ----------------------------------------------------------------------- #
+
+
+@given(_arbitrary_html)
+@settings(max_examples=200)
+def test_parser_never_crashes_and_guarantees_shape(source):
+    doc = parse_html(source)
+    html = doc.document_element
+    assert html is not None and html.tag == "HTML"
+    assert html.find_first("BODY") is not None
+
+
+@given(html_fragments())
+@settings(max_examples=100)
+def test_serialise_parse_fixpoint(fragment):
+    once = to_html(parse_html(fragment))
+    twice = to_html(parse_html(once))
+    assert once == twice
+
+
+@given(html_fragments())
+@settings(max_examples=100)
+def test_text_content_preserved_for_wellformed_fragments(fragment):
+    doc = parse_html(f"<body>{fragment}</body>")
+    reparsed = parse_html(to_html(doc))
+    assert doc.text_content() == reparsed.text_content()
+
+
+# ----------------------------------------------------------------------- #
+# Precise-XPath correctness: generate-then-select identity
+# ----------------------------------------------------------------------- #
+
+
+@given(html_fragments())
+@settings(max_examples=100)
+def test_precise_xpath_selects_exactly_the_selected_node(fragment):
+    doc = parse_html(f"<body>{fragment}</body>")
+    root = doc.document_element
+    for node in iter_text_nodes(root, skip_whitespace=True):
+        xpath = build_precise_xpath(node)
+        result = select(root, xpath)
+        assert result == [node], xpath
+
+
+@given(html_fragments())
+@settings(max_examples=50)
+def test_precise_xpath_for_elements(fragment):
+    doc = parse_html(f"<body>{fragment}</body>")
+    root = doc.document_element
+    body = root.find_first("BODY")
+    for node in body.descendants():
+        if isinstance(node, Element):
+            xpath = build_precise_xpath(node)
+            assert select(root, xpath) == [node]
+
+
+# ----------------------------------------------------------------------- #
+# Literals and entities
+# ----------------------------------------------------------------------- #
+
+
+@given(st.text(alphabet=string.ascii_letters + "'\" :.,", max_size=30))
+@settings(max_examples=150)
+def test_xpath_string_literal_roundtrips_through_evaluator(value):
+    doc = parse_html("<body><p>x</p></body>")
+    literal = xpath_string_literal(value)
+    assert evaluate(doc.document_element, f"string({literal})") == value
+
+
+@given(st.text(alphabet=string.printable, max_size=60))
+@settings(max_examples=150)
+def test_entity_encode_decode_roundtrip(value):
+    assert decode_entities(encode_entities(value)) == value
+
+
+# ----------------------------------------------------------------------- #
+# Normalisation and similarity invariants
+# ----------------------------------------------------------------------- #
+
+
+@given(st.text(max_size=60))
+def test_normalize_value_idempotent(value):
+    once = normalize_value(value)
+    assert normalize_value(once) == once
+
+
+@given(st.text(max_size=60))
+def test_normalize_value_no_leading_trailing_space(value):
+    normalized = normalize_value(value)
+    assert normalized == normalized.strip()
+
+
+_counters = st.dictionaries(
+    st.sampled_from(list("abcdefgh")), st.integers(1, 5), max_size=6
+).map(Counter)
+
+
+@given(_counters, _counters)
+def test_cosine_bounds_and_symmetry(a, b):
+    value = cosine_similarity(a, b)
+    assert 0.0 <= value <= 1.0 + 1e-9
+    assert abs(value - cosine_similarity(b, a)) < 1e-9
+
+
+@given(_counters, _counters)
+def test_jaccard_bounds_and_symmetry(a, b):
+    value = jaccard_similarity(a, b)
+    assert 0.0 <= value <= 1.0
+    assert jaccard_similarity(b, a) == value
+
+
+@given(_counters)
+def test_self_similarity_is_one(a):
+    expected = 1.0 if a else 0.0
+    assert abs(cosine_similarity(a, a) - expected) < 1e-9
+    assert jaccard_similarity(a, a) == 1.0
+
+
+_sequences = st.lists(st.sampled_from(["DIV", "P", "TD", "TR"]), max_size=20)
+
+
+@given(_sequences, _sequences)
+def test_tag_sequence_similarity_bounds_and_symmetry(a, b):
+    value = tag_sequence_similarity(a, b)
+    assert 0.0 <= value <= 1.0
+    assert abs(value - tag_sequence_similarity(b, a)) < 1e-9
+
+
+@given(_sequences)
+def test_tag_sequence_self_similarity(a):
+    assert tag_sequence_similarity(a, a) == 1.0

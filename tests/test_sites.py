@@ -1,0 +1,184 @@
+"""Unit tests for the synthetic site generators."""
+
+import pytest
+
+from repro.dom.traversal import iter_text_nodes
+from repro.errors import SiteGenerationError
+from repro.core.rule import normalize_value
+from repro.sites import (
+    WebPage,
+    WebSite,
+    generate_imdb_site,
+    generate_news_site,
+    generate_shop_site,
+    generate_stocks_site,
+    make_paper_sample,
+)
+from repro.sites.imdb import PAPER_SAMPLE_IDS, ImdbOptions
+from repro.sites.site import same_domain
+from repro.sites.variation import (
+    DEPTH_COMPONENTS,
+    drift_site,
+    generate_depth_cluster,
+)
+
+
+def truth_locatable(page: WebPage) -> list[str]:
+    """Ground-truth values not locatable as text or element content."""
+    from repro.core.oracle import ScriptedOracle
+
+    oracle = ScriptedOracle()
+    missing = []
+    for name, values in page.ground_truth.items():
+        for value in values:
+            if oracle._locate(page, value) is None:
+                missing.append(f"{name}={value!r}")
+    return missing
+
+
+class TestWebSite:
+    def test_add_and_fetch(self):
+        site = WebSite("x.org")
+        page = WebPage(url="http://x.org/1", html="<p>a</p>")
+        site.add_page(page)
+        assert site.fetch("http://x.org/1") is page
+        assert len(site) == 1
+
+    def test_duplicate_url_rejected(self):
+        site = WebSite("x.org")
+        site.add_page(WebPage(url="http://x.org/1", html=""))
+        with pytest.raises(SiteGenerationError):
+            site.add_page(WebPage(url="http://x.org/1", html=""))
+
+    def test_fetch_unknown_raises(self):
+        with pytest.raises(KeyError):
+            WebSite("x.org").fetch("http://x.org/nope")
+
+    def test_working_sample_deterministic(self, imdb_site):
+        a = imdb_site.working_sample(5, seed=1)
+        b = imdb_site.working_sample(5, seed=1)
+        assert [p.url for p in a] == [p.url for p in b]
+
+    def test_working_sample_size_capped(self, imdb_site):
+        pages = imdb_site.working_sample(10_000)
+        assert len(pages) == len(imdb_site)
+
+    def test_working_sample_empty_raises(self):
+        with pytest.raises(SiteGenerationError):
+            WebSite("x.org").working_sample(3)
+
+    def test_same_domain(self):
+        assert same_domain("http://a.org/x", "http://a.org/y")
+        assert not same_domain("http://a.org/x", "http://b.org/x")
+
+
+class TestPaperSample:
+    def test_uris_match_paper(self, paper_sample):
+        assert [p.url for p in paper_sample] == [
+            f"http://imdb.com/title/{i}/" for i in PAPER_SAMPLE_IDS
+        ]
+
+    def test_runtimes_match_tables(self, paper_sample):
+        runtimes = [p.ground_truth["runtime"][0] for p in paper_sample]
+        assert runtimes == ["108 min", "91 min", "104 min", "84 min"]
+
+    def test_third_page_has_the_wing_and_the_thigh_aka(self, paper_sample):
+        assert paper_sample[2].ground_truth["aka"] == [
+            "The Wing and the Thigh (International: English title)"
+        ]
+
+    def test_fourth_page_lacks_photo_and_language(self, paper_sample):
+        truth = paper_sample[3].ground_truth
+        assert truth["language"] == []
+
+    def test_all_truth_values_locatable(self, paper_sample):
+        for page in paper_sample:
+            assert truth_locatable(page) == []
+
+
+class TestImdbGenerator:
+    def test_deterministic(self):
+        a = generate_imdb_site(options=ImdbOptions(n_pages=5, seed=9))
+        b = generate_imdb_site(options=ImdbOptions(n_pages=5, seed=9))
+        assert [p.html for p in a] == [p.html for p in b]
+
+    def test_seed_changes_content(self):
+        a = generate_imdb_site(options=ImdbOptions(n_pages=5, seed=1))
+        b = generate_imdb_site(options=ImdbOptions(n_pages=5, seed=2))
+        assert [p.html for p in a] != [p.html for p in b]
+
+    def test_all_truth_values_locatable(self, movie_pages):
+        for page in movie_pages:
+            assert truth_locatable(page) == []
+
+    def test_discrepancy_classes_present(self, movie_pages):
+        has_aka = [bool(p.ground_truth["aka"]) for p in movie_pages]
+        has_lang = [bool(p.ground_truth["language"]) for p in movie_pages]
+        assert any(has_aka) and not all(has_aka)
+        assert any(has_lang) and not all(has_lang)
+
+    def test_multi_cluster_site(self):
+        site = generate_imdb_site(n_movies=4, n_actors=3, n_search=2, seed=0)
+        assert len(site.pages_with_hint("imdb-movies")) == 4
+        assert len(site.pages_with_hint("imdb-actors")) == 3
+        assert len(site.pages_with_hint("imdb-search")) == 2
+
+    def test_negative_pages_rejected(self):
+        with pytest.raises(SiteGenerationError):
+            generate_imdb_site(options=ImdbOptions(n_pages=-1))
+
+    def test_style_b_uses_length_label(self):
+        site = generate_imdb_site(
+            options=ImdbOptions(n_pages=10, seed=0, style_b_fraction=1.0)
+        )
+        for page in site:
+            assert "Length:" in page.html
+            assert "Runtime:" not in page.html
+
+
+class TestOtherFamilies:
+    @pytest.mark.parametrize(
+        "generator, hint",
+        [
+            (lambda: generate_shop_site(6, seed=1), "shop-products"),
+            (lambda: generate_news_site(6, seed=1), "news-articles"),
+            (lambda: generate_stocks_site(6, seed=1), "stock-quotes"),
+        ],
+    )
+    def test_generates_locatable_truth(self, generator, hint):
+        site = generator()
+        assert len(site) == 6
+        for page in site:
+            assert page.cluster_hint == hint
+            assert truth_locatable(page) == []
+
+    def test_news_has_two_layouts(self):
+        site = generate_news_site(20, seed=3, layout_b_fraction=0.5)
+        layouts = {('class="article-b"' in p.html) for p in site}
+        assert layouts == {True, False}
+
+
+class TestVariation:
+    def test_depth_range_enforced(self):
+        with pytest.raises(SiteGenerationError):
+            generate_depth_cluster(depth=4)
+
+    @pytest.mark.parametrize("depth", [0, 1, 2, 3])
+    def test_depth_truth_locatable(self, depth):
+        for page in generate_depth_cluster(depth, n_pages=5, seed=2):
+            assert truth_locatable(page) == []
+            for name in DEPTH_COMPONENTS:
+                assert name in page.ground_truth
+
+    def test_depth_zero_has_no_labels(self):
+        (page,) = generate_depth_cluster(0, n_pages=1, seed=0)
+        assert "Runtime:" not in page.html
+
+    def test_drift_preserves_data_changes_layout(self):
+        options = ImdbOptions(n_pages=4, seed=5)
+        before = generate_imdb_site(options=options).pages_with_hint("imdb-movies")
+        after = drift_site(options).pages_with_hint("imdb-movies")
+        for b, a in zip(before, after):
+            assert b.ground_truth["runtime"] == a.ground_truth["runtime"]
+            assert b.html != a.html
+            assert 'class="cert"' in a.html

@@ -1,0 +1,103 @@
+"""Unit tests for the workbench session (the GUI stand-in)."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.workbench import WorkbenchSession
+
+
+@pytest.fixture()
+def session(paper_sample):
+    return WorkbenchSession(list(paper_sample), cluster_name="imdb-movies")
+
+
+class TestTabs:
+    def test_tabs_are_sample_urls(self, session, paper_sample):
+        assert session.tabs == [p.url for p in paper_sample]
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            WorkbenchSession([])
+
+
+class TestSelection:
+    def test_select_finds_visible_text(self, session):
+        node = session.select(0, "108 min")
+        assert "108 min" in node.data
+
+    def test_select_missing_text_raises(self, session):
+        with pytest.raises(RuleError):
+            session.select(0, "no such visible text")
+
+    def test_interpret_builds_candidate(self, session):
+        node = session.select(0, "108 min")
+        candidate = session.interpret(node, "runtime")
+        assert candidate.primary_location.startswith("BODY[1]/")
+
+
+class TestCheckRefineRecord:
+    def test_check_requires_candidate(self, session):
+        with pytest.raises(RuleError):
+            session.check()
+
+    def test_check_table_shows_all_tabs(self, session):
+        node = session.select(0, "108 min")
+        session.interpret(node, "runtime")
+        table = session.check_table()
+        assert table.count("./title/") == 4
+
+    def test_record_rejects_invalid_rule(self, session):
+        node = session.select(0, "108 min")
+        session.interpret(node, "runtime")
+        with pytest.raises(RuleError):
+            session.record()  # candidate fails on pages c and d
+
+    def test_refine_then_record(self, session):
+        node = session.select(0, "108 min")
+        session.interpret(node, "runtime")
+        session.refine()
+        rule = session.record()
+        assert session.repository.rule("imdb-movies", "runtime") == rule
+
+    def test_define_component_one_shot(self, session):
+        rule = session.define_component("country", 1, "UK")
+        assert rule.name == "country"
+        assert session.repository.component_names("imdb-movies") == ["country"]
+
+
+class TestTranscript:
+    def test_actions_logged_in_order(self, session):
+        session.define_component("runtime", 0, "108 min")
+        actions = [e.action for e in session.transcript]
+        assert actions == ["open", "select", "interpret", "refine", "record"]
+
+    def test_render_transcript(self, session):
+        session.define_component("runtime", 0, "108 min")
+        text = session.render_transcript()
+        assert "[select] '108 min' in tab 0" in text
+        assert "[record]" in text
+
+
+class TestRepair:
+    def test_repair_component_from_negative_examples(self):
+        from repro.sites.imdb import ImdbOptions, generate_imdb_site
+        from repro.sites.variation import drift_site
+
+        options = ImdbOptions(n_pages=10, seed=8)
+        pages = generate_imdb_site(options=options).pages_with_hint(
+            "imdb-movies"
+        )
+        session = WorkbenchSession(pages[:6], cluster_name="imdb-movies")
+        session.define_component(
+            "runtime", 0, pages[0].ground_truth["runtime"][0]
+        )
+        drifted = drift_site(options).pages_with_hint("imdb-movies")
+        repaired = session.repair_component("runtime", drifted[:3])
+        assert len(repaired.locations) >= 2
+        assert any(e.action == "repair" for e in session.transcript)
+
+    def test_repair_unknown_component_raises(self, session):
+        from repro.errors import RepositoryError
+
+        with pytest.raises(RepositoryError):
+            session.repair_component("nope", [])

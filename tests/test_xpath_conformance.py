@@ -1,0 +1,147 @@
+"""XPath 1.0 conformance-style table tests.
+
+A broad parametrized sweep over the engine: each case is (expression,
+expected) evaluated against one fixed document.  Node-set expectations
+are given as lists of string-values.
+"""
+
+import math
+
+import pytest
+
+from repro.html import parse_html
+from repro.xpath import evaluate
+from repro.xpath.functions import node_string_value
+
+DOCUMENT = """<html><head><title>doc</title></head><body>
+<div id="top" class="header nav"><a href="/">home</a></div>
+<div id="mid">
+  <table class="t1">
+    <tr><th>k</th><th>v</th></tr>
+    <tr><td>a</td><td>10</td></tr>
+    <tr><td>b</td><td>20</td></tr>
+    <tr><td>c</td><td>30</td></tr>
+  </table>
+  <p class="note">alpha <b>beta</b> gamma <b>delta</b> end</p>
+  <!-- marker -->
+</div>
+<div id="bot"><span>tail</span></div>
+</body></html>"""
+
+
+@pytest.fixture(scope="module")
+def root():
+    return parse_html(DOCUMENT).document_element
+
+
+NODESET_CASES = [
+    # axes
+    ("BODY/DIV", ["home", None, "tail"]),  # string-values checked loosely
+    ("BODY/DIV[1]/A", ["home"]),
+    ("BODY//TD", ["a", "10", "b", "20", "c", "30"]),
+    ("BODY//TR[2]/TD", ["a", "10"]),
+    ("BODY//TD[1]/following-sibling::TD", ["10", "20", "30"]),
+    ("BODY//TR[last()]/TD[2]", ["30"]),
+    ("BODY//TR[TD='b']/TD[2]", ["20"]),
+    ("BODY//B[2]/preceding-sibling::B", ["beta"]),
+    ("BODY//B[1]/following-sibling::B", ["delta"]),
+    ("BODY//P/B[1]/preceding::TD", ["a", "10", "b", "20", "c", "30"]),
+    ("BODY//SPAN/preceding::B", ["beta", "delta"]),
+    ("BODY//B[1]/ancestor::DIV", [None]),
+    ("BODY//TD[.='a']/../TD[2]", ["10"]),
+    ("BODY//P/node()[2]", ["beta"]),
+    ("BODY//P/text()[1]", ["alpha "]),
+    ("BODY//DIV[@id='bot']/SPAN", ["tail"]),
+    ("BODY//DIV[@id]", [None, None, None]),
+    ("BODY//DIV[contains(@class, 'nav')]/A", ["home"]),
+    ("BODY//TR[position() > 1 and position() < 4]/TD[1]", ["a", "b"]),
+    ("BODY//TR[position() = last()]/TD[1]", ["c"]),
+    ("BODY//TD[starts-with(., '1')]", ["10"]),
+    ("BODY//TD | BODY//TH", ["k", "v", "a", "10", "b", "20", "c", "30"]),
+    ("BODY//DIV[2]/comment()", [" marker "]),
+    ("//SPAN", ["tail"]),
+    ("/HTML/BODY/DIV[3]/SPAN", ["tail"]),
+    ("BODY//*[self::TH or self::TD][1]", ["k", "a", "b", "c"]),
+    ("BODY//TR/TD[2][. > 15]", ["20", "30"]),
+]
+
+
+@pytest.mark.parametrize("expression, expected", NODESET_CASES)
+def test_nodeset_cases(root, expression, expected):
+    result = evaluate(root, expression)
+    assert isinstance(result, list), expression
+    assert len(result) == len(expected), (expression, result)
+    for node, want in zip(result, expected):
+        if want is not None:
+            assert node_string_value(node) == want, expression
+
+
+VALUE_CASES = [
+    ("count(BODY//TD)", 6.0),
+    ("count(BODY//TR) - count(BODY//TH)", 2.0),
+    ("sum(BODY//TR/TD[2])", 60.0),
+    ("sum(BODY//TD[2]) div count(BODY//TD[2])", 20.0),
+    ("string(BODY//TR[3]/TD[1])", "b"),
+    ("concat(BODY//TR[2]/TD[1], '-', BODY//TR[2]/TD[2])", "a-10"),
+    ("normalize-space(BODY//P)", "alpha beta gamma delta end"),
+    ("string-length(BODY//TR[2]/TD[1])", 1.0),
+    ("substring(string(BODY//P/B[1]), 2)", "eta"),
+    ("translate('abc', 'abc', 'xyz')", "xyz"),
+    ("boolean(BODY//TD[.='a'])", True),
+    ("boolean(BODY//TD[.='zzz'])", False),
+    ("not(BODY//NOPE)", True),
+    ("BODY//TD = 'a'", True),
+    ("BODY//TD != 'a'", True),      # existential on both sides
+    ("count(BODY//TD[. != 'a'])", 5.0),
+    ("BODY//TR/TD[2] >= 30", True),
+    ("BODY//TR/TD[2] > 30", False),
+    ("number(BODY//TR[2]/TD[2]) + 5", 15.0),
+    ("floor(10 div 3)", 3.0),
+    ("ceiling(10 div 3)", 4.0),
+    ("round(10 div 3)", 3.0),
+    ("string(1 = 1)", "true"),
+    ("string(0.5 + 0.25)", "0.75"),
+    ("name(BODY//*[@id='top'])", "DIV"),
+    ("string(BODY//DIV[1]/@class)", "header nav"),
+    ("count(BODY//DIV[1]/@*)", 2.0),
+    ("string(/HTML/HEAD/TITLE)", "doc"),
+    ("contains(string(BODY//P), 'gamma')", True),
+    ("substring-before(string(BODY//DIV[1]/@class), ' ')", "header"),
+    ("substring-after(string(BODY//DIV[1]/@class), ' ')", "nav"),
+    ("2 + 3 * 4 - 6 div 2", 11.0),
+    ("(2 + 3) * 4", 20.0),
+    ("5 mod 2", 1.0),
+    ("-5 mod 2", -1.0),
+    ("true() and 1 = 1", True),
+    ("false() or ''", False),
+    ("string(BODY//P/B[8])", ""),   # void node-set -> empty string
+    ("count(//comment()) = 1", True),
+]
+
+
+@pytest.mark.parametrize("expression, expected", VALUE_CASES)
+def test_value_cases(root, expression, expected):
+    result = evaluate(root, expression)
+    if isinstance(expected, float):
+        assert result == pytest.approx(expected), expression
+    else:
+        assert result == expected, expression
+
+
+def test_nan_propagation(root):
+    assert math.isnan(evaluate(root, "number('nope')"))
+    assert math.isnan(evaluate(root, "number('x') + 1"))
+
+
+def test_position_in_reverse_axis_counts_from_nearest(root):
+    # ancestor::*[1] is the parent, per reverse-axis semantics.
+    value = evaluate(root, "name(BODY//B[1]/ancestor::*[1])")
+    assert value == "P"
+    value = evaluate(root, "name(BODY//B[1]/ancestor::*[2])")
+    assert value == "DIV"
+
+
+def test_union_document_order(root):
+    result = evaluate(root, "BODY//SPAN | BODY//TH")
+    names = [node_string_value(node) for node in result]
+    assert names == ["k", "v", "tail"]

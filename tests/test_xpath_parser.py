@@ -1,0 +1,158 @@
+"""Unit tests for the XPath parser and AST round-tripping."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    BinaryOp,
+    FilterPath,
+    FunctionCall,
+    LocationPath,
+    NameTest,
+    NodeTypeTest,
+    NumberLiteral,
+    Step,
+    StringLiteral,
+)
+from repro.xpath.parser import parse_xpath
+
+
+class TestLocationPaths:
+    def test_relative_child_steps(self):
+        ast = parse_xpath("BODY/DIV/P")
+        assert isinstance(ast, LocationPath)
+        assert not ast.absolute
+        assert [s.node_test.name for s in ast.steps] == ["BODY", "DIV", "P"]
+        assert all(s.axis == "child" for s in ast.steps)
+
+    def test_absolute_path(self):
+        ast = parse_xpath("/HTML/BODY")
+        assert ast.absolute
+
+    def test_descendant_abbreviation(self):
+        ast = parse_xpath("BODY//TD")
+        axes = [s.axis for s in ast.steps]
+        assert axes == ["child", "descendant-or-self", "child"]
+
+    def test_leading_descendant(self):
+        ast = parse_xpath("//TD")
+        assert ast.absolute
+        assert ast.steps[0].axis == "descendant-or-self"
+
+    def test_positional_predicate(self):
+        ast = parse_xpath("TR[6]")
+        (step,) = ast.steps
+        assert step.predicates == (NumberLiteral(6.0),)
+
+    def test_multiple_predicates(self):
+        ast = parse_xpath("TD[1][2]")
+        assert len(ast.steps[0].predicates) == 2
+
+    def test_text_node_test(self):
+        ast = parse_xpath("text()")
+        assert ast.steps[0].node_test == NodeTypeTest("text")
+
+    def test_explicit_axis(self):
+        ast = parse_xpath("preceding-sibling::B[1]")
+        assert ast.steps[0].axis == "preceding-sibling"
+
+    def test_attribute_abbreviation(self):
+        ast = parse_xpath("@href")
+        assert ast.steps[0].axis == "attribute"
+        assert ast.steps[0].node_test == NameTest("href")
+
+    def test_dot_and_dotdot(self):
+        assert parse_xpath(".").steps[0].axis == "self"
+        assert parse_xpath("..").steps[0].axis == "parent"
+
+    def test_wildcard(self):
+        assert parse_xpath("*").steps[0].node_test == NameTest("*")
+
+    def test_root_only(self):
+        ast = parse_xpath("/")
+        assert ast.absolute and ast.steps == ()
+
+
+class TestExpressions:
+    def test_precedence_or_lowest(self):
+        ast = parse_xpath("1 = 2 or 3 = 4 and 5 = 6")
+        assert isinstance(ast, BinaryOp) and ast.op == "or"
+        assert isinstance(ast.right, BinaryOp) and ast.right.op == "and"
+
+    def test_arithmetic_precedence(self):
+        ast = parse_xpath("1 + 2 * 3")
+        assert ast.op == "+"
+        assert isinstance(ast.right, BinaryOp) and ast.right.op == "*"
+
+    def test_union(self):
+        ast = parse_xpath("A | B")
+        assert isinstance(ast, BinaryOp) and ast.op == "|"
+
+    def test_function_call_args(self):
+        ast = parse_xpath('contains(., "Runtime:")')
+        assert isinstance(ast, FunctionCall)
+        assert ast.name == "contains"
+        assert len(ast.args) == 2
+        assert ast.args[1] == StringLiteral("Runtime:")
+
+    def test_function_not_confused_with_node_test(self):
+        ast = parse_xpath("text()")
+        assert isinstance(ast, LocationPath)
+
+    def test_filter_with_trailing_path(self):
+        ast = parse_xpath("(//A)[1]/text()")
+        assert isinstance(ast, FilterPath)
+        assert len(ast.predicates) == 1
+        assert len(ast.steps) == 1
+
+    def test_unary_minus(self):
+        ast = parse_xpath("-1 + 2")
+        assert ast.op == "+"
+
+    def test_nested_parentheses(self):
+        ast = parse_xpath("(1 + 2) * 3")
+        assert ast.op == "*"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "a/",
+            "a[",
+            "a[1",
+            "foo(",
+            "unknownaxis::a",
+            "a b",
+            "]a",
+            "..x",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(bad)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "BODY[1]/DIV[2]/TABLE[3]/TR[1]/TD[3]/TABLE[1]/TR[6]/TD[1]/text()[1]",
+            "BODY//TR[6]/TD[1]/text()[1]",
+            "BODY//TABLE[1]/TR[position() >= 1]",
+            "BODY//TABLE[1]/TR[2]/TD[2]/text()",
+            'BODY//TD/text()[normalize-space(preceding::text()[normalize-space(.) != ""][1]) = "Runtime:"]',
+            "A | B//C",
+            "@href",
+            "..",
+            ".",
+            "//TD",
+            "count(BODY//TD) * 2 + 1",
+        ],
+    )
+    def test_str_reparses_to_same_string(self, expression):
+        first = str(parse_xpath(expression))
+        second = str(parse_xpath(first))
+        assert first == second
