@@ -9,16 +9,23 @@ Subcommands mirror the Figure-1 pipeline:
 * ``build``       — build mapping rules for a cluster interactively
                     (console oracle) and save the repository;
 * ``extract``     — apply a saved repository to HTML files and emit the
-                    XML document (and optionally the XML Schema).
+                    XML document (and optionally the XML Schema);
+* ``batch``       — serve a directory through the parallel extraction
+                    engine (router -> compiled wrappers -> sink);
+* ``serve``       — online loop: read ``{"url", "html"}`` JSON lines
+                    from stdin, write extraction records to stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import re
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.errors import HtmlParseError, RepositoryError
 from repro.clustering.cluster import PageClusterer
 from repro.core.builder import MappingRuleBuilder
 from repro.core.oracle import InteractiveOracle, ScriptedOracle
@@ -33,12 +40,52 @@ from repro.sites.shop import generate_shop_site
 from repro.sites.stocks import generate_stocks_site
 
 
+#: ``generate`` names files ``<cluster_hint>-NNNN.html`` (4+ digits —
+#: ``{index:04d}`` grows past 9999); loading recovers the hint so
+#: routers can be fitted from labelled exemplars.
+_HINTED_NAME_RE = re.compile(r"^(?P<hint>.+)-\d{4,}$")
+
+
+def _page_paths(directory: Path) -> list[Path]:
+    return sorted(directory.glob("*.html"))
+
+
+def _page_from_path(path: Path) -> WebPage:
+    """One page from one file (URL = file URI).
+
+    File names following the ``generate`` convention
+    (``<hint>-NNNN.html``) get their cluster hint restored; other
+    names load with an empty hint.
+    """
+    return WebPage(
+        url=path.resolve().as_uri(),
+        html=path.read_text(encoding="utf-8"),
+        cluster_hint=_filename_hint(path),
+    )
+
+
 def _load_pages(directory: Path) -> list[WebPage]:
-    """Read ``*.html`` files from a directory as pages (URL = file URI)."""
-    pages: list[WebPage] = []
-    for path in sorted(directory.glob("*.html")):
-        pages.append(WebPage(url=path.as_uri(), html=path.read_text(encoding="utf-8")))
-    return pages
+    """Read ``*.html`` files from a directory as pages, eagerly.
+
+    The ``batch`` command instead streams pages lazily
+    (``_page_from_path`` over ``_page_paths``) so huge directories
+    never sit in memory at once.
+    """
+    return [_page_from_path(path) for path in _page_paths(directory)]
+
+
+def _iter_pages_tolerant(paths: list[Path], unreadable: list[Path]):
+    """Lazily yield pages, skipping (and recording) unreadable files.
+
+    One mis-encoded or unreadable file must not abort a million-page
+    batch run; it is reported after the run instead.
+    """
+    for path in paths:
+        try:
+            yield _page_from_path(path)
+        except (OSError, UnicodeDecodeError) as exc:
+            print(f"skipping {path}: {exc}", file=sys.stderr)
+            unreadable.append(path)
 
 
 def _save_site(site, directory: Path) -> int:
@@ -163,6 +210,232 @@ def cmd_extract(args: argparse.Namespace) -> int:
     return 0
 
 
+def _take_per_cluster(items, hint_of, clusters, cap: int) -> dict:
+    """Up to ``cap`` items per cluster, keyed by ``hint_of(item)``.
+
+    Stops scanning early once every wanted cluster's bucket is full,
+    so lazy iterables are consumed only as far as needed.
+    """
+    wanted = set(clusters)
+    buckets: dict[str, list] = {}
+    for item in items:
+        hint = hint_of(item)
+        if hint not in wanted:
+            continue
+        bucket = buckets.setdefault(hint, [])
+        if len(bucket) < cap:
+            bucket.append(item)
+            if all(
+                len(buckets.get(cluster, [])) >= cap for cluster in wanted
+            ):
+                break
+    return buckets
+
+
+def _filename_hint(path: Path) -> str:
+    match = _HINTED_NAME_RE.match(path.stem)
+    return match.group("hint") if match else ""
+
+
+def _fit_router(
+    pages,
+    repository: RuleRepository,
+    exemplars: int,
+    threshold: float,
+):
+    """Fit a router from hint-labelled pages, one profile per cluster.
+
+    ``pages`` may be any iterable (a lazy generator included): only up
+    to ``exemplars`` pages per repository cluster are retained.
+    Returns ``None`` (→ hint routing) when no labelled exemplars match
+    any repository cluster.
+    """
+    from repro.service import ClusterRouter
+
+    by_cluster = _take_per_cluster(
+        pages, lambda page: page.cluster_hint,
+        repository.clusters(), exemplars,
+    )
+    if not by_cluster:
+        return None
+    return ClusterRouter.fit(by_cluster, threshold=threshold)
+
+
+def _fit_router_from_paths(
+    paths: list[Path],
+    repository: RuleRepository,
+    exemplars: int,
+    threshold: float,
+):
+    """Fit a router from on-disk pages, selecting by file *name* hint.
+
+    Only the selected exemplar files are ever read, so fitting over a
+    huge directory costs a name scan plus ``exemplars`` reads per
+    cluster — the rest of the corpus is left for the engine's single
+    streaming pass.
+    """
+    path_buckets = _take_per_cluster(
+        paths, _filename_hint, repository.clusters(), exemplars
+    )
+    if not path_buckets:
+        return None
+    from repro.service import ClusterRouter
+
+    return ClusterRouter.fit(
+        {
+            cluster: [_page_from_path(path) for path in cluster_paths]
+            for cluster, cluster_paths in path_buckets.items()
+        },
+        threshold=threshold,
+    )
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.service import (
+        BatchExtractionEngine,
+        JsonlSink,
+        XmlDirectorySink,
+    )
+
+    if args.jsonl and args.xml_dir:
+        print("--jsonl and --xml-dir are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    paths = _page_paths(Path(args.directory))
+    if not paths:
+        print("no *.html files found", file=sys.stderr)
+        return 2
+    try:
+        repository = RuleRepository.load(args.repository)
+    except RepositoryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    router = None
+    if args.route == "auto":
+        router = _fit_router_from_paths(
+            paths, repository, args.exemplars, args.threshold
+        )
+        if router is None:
+            print(
+                "no hint-labelled exemplar pages found; routing by hints",
+                file=sys.stderr,
+            )
+    if args.xml_dir:
+        sink = XmlDirectorySink(Path(args.xml_dir), repository)
+    elif args.jsonl:
+        sink = JsonlSink(args.jsonl)
+    else:
+        sink = JsonlSink(sys.stdout)
+    try:
+        engine = BatchExtractionEngine(
+            repository,
+            router=router,
+            workers=args.workers,
+            executor=args.executor,
+            chunk_size=args.chunk_size,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    unreadable: list[Path] = []
+    with sink:
+        # Stream lazily: pages are read (and dropped) as the engine's
+        # bounded in-flight window advances.
+        report = engine.run(_iter_pages_tolerant(paths, unreadable), sink)
+    print(report.summary(), file=sys.stderr)
+    if unreadable:
+        print(f"{len(unreadable)} unreadable file(s) skipped",
+              file=sys.stderr)
+    if args.xml_dir:
+        print(f"XML documents written to {args.xml_dir}", file=sys.stderr)
+    elif args.jsonl:
+        print(f"records written to {args.jsonl}", file=sys.stderr)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import UNROUTABLE
+
+    try:
+        repository = RuleRepository.load(args.repository)
+    except RepositoryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    router = None
+    cluster = args.cluster
+    if args.exemplars_dir:
+        exemplar_pages = _load_pages(Path(args.exemplars_dir))
+        router = _fit_router(
+            exemplar_pages, repository, args.exemplars, args.threshold
+        )
+        if router is None:
+            print(
+                "exemplar directory has no hint-labelled pages",
+                file=sys.stderr,
+            )
+            return 2
+    elif cluster:
+        if cluster not in repository.clusters():
+            print(
+                f"unknown cluster {cluster!r}; repository has: "
+                f"{', '.join(repository.clusters())}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        clusters = repository.clusters()
+        if len(clusters) == 1:
+            cluster = clusters[0]
+        else:
+            print(
+                "repository has several clusters: pass --cluster or "
+                "--exemplars-dir",
+                file=sys.stderr,
+            )
+            return 2
+    wrappers = repository.compile_all()
+    served = 0
+    stdin = args.stdin if args.stdin is not None else sys.stdin
+    stdout = args.stdout if args.stdout is not None else sys.stdout
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+            url, html = request["url"], request["html"]
+            if not isinstance(url, str) or not isinstance(html, str):
+                raise TypeError("url and html must be strings")
+            page = WebPage(url=url, html=html)
+            page.root_element  # parse eagerly so bad HTML fails here
+        except (json.JSONDecodeError, KeyError, TypeError,
+                HtmlParseError) as exc:
+            print(json.dumps({"error": str(exc)}), file=stdout, flush=True)
+            continue
+        target = router.route(page).cluster if router is not None else cluster
+        if target == UNROUTABLE or target not in wrappers:
+            print(
+                json.dumps({"url": page.url, "cluster": UNROUTABLE,
+                            "values": {}, "failures": []}),
+                file=stdout, flush=True,
+            )
+            continue
+        failures: list = []
+        extracted = wrappers[target].extract_page(page, failures)
+        print(
+            json.dumps({
+                "url": page.url,
+                "cluster": target,
+                "values": extracted.values,
+                "failures": [[f.component_name, f.reason] for f in failures],
+            }, sort_keys=True),
+            file=stdout, flush=True,
+        )
+        served += 1
+    print(f"served {served} page(s)", file=sys.stderr)
+    return 0
+
+
 # ----------------------------------------------------------------------- #
 # Parser
 # ----------------------------------------------------------------------- #
@@ -207,6 +480,43 @@ def build_parser() -> argparse.ArgumentParser:
     extract.add_argument("--output", default="")
     extract.add_argument("--schema", default="")
     extract.set_defaults(func=cmd_extract)
+
+    batch = sub.add_parser(
+        "batch",
+        help="serve a directory through the parallel extraction engine",
+    )
+    batch.add_argument("directory")
+    batch.add_argument("--repository", default="rules.json")
+    batch.add_argument("--jsonl", default="",
+                       help="write records to this JSONL file "
+                            "(default: stdout)")
+    batch.add_argument("--xml-dir", default="",
+                       help="write per-cluster Figure-5 XML documents here")
+    batch.add_argument("--workers", type=int, default=2)
+    batch.add_argument("--executor", choices=["thread", "process"],
+                       default="thread")
+    batch.add_argument("--chunk-size", type=int, default=16)
+    batch.add_argument("--route", choices=["auto", "hint"], default="auto",
+                       help="auto: fit a signature router from labelled "
+                            "exemplars; hint: trust filename hints")
+    batch.add_argument("--threshold", type=float, default=0.5,
+                       help="router confidence threshold")
+    batch.add_argument("--exemplars", type=int, default=8,
+                       help="exemplar pages per cluster for router fitting")
+    batch.set_defaults(func=cmd_batch)
+
+    serve = sub.add_parser(
+        "serve",
+        help='online loop: {"url","html"} JSON lines in, records out',
+    )
+    serve.add_argument("--repository", default="rules.json")
+    serve.add_argument("--cluster", default="",
+                       help="serve everything with this cluster's rules")
+    serve.add_argument("--exemplars-dir", default="",
+                       help="directory of hint-named pages to fit the router")
+    serve.add_argument("--threshold", type=float, default=0.5)
+    serve.add_argument("--exemplars", type=int, default=8)
+    serve.set_defaults(func=cmd_serve, stdin=None, stdout=None)
     return parser
 
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import re
 from collections import Counter
+from dataclasses import dataclass
 from urllib.parse import urlparse
 
 from repro.dom.traversal import iter_text_nodes, tag_path_profile, tag_sequence
@@ -89,3 +90,29 @@ def path_profile(page: WebPage) -> Counter:
 def page_tag_sequence(page: WebPage) -> list[str]:
     """The DFS tag sequence (input to periodicity/sequence similarity)."""
     return tag_sequence(page.root_element)
+
+
+@dataclass(frozen=True)
+class PageSignature:
+    """All clustering features of one page, bundled.
+
+    The three membership signals of Section 2.1 (URL shape, concept
+    keywords, HTML structure) travel as one value for consumers that
+    need them together — notably the service router
+    (:mod:`repro.service.router`).  Each profile still runs its own
+    DOM traversal; fusing them into a literal single walk is a
+    follow-up optimisation.
+    """
+
+    url_signature: str
+    keywords: Counter
+    paths: Counter
+
+
+def page_signature(page: WebPage, keyword_limit: int = 30) -> PageSignature:
+    """Compute the page's full clustering signature."""
+    return PageSignature(
+        url_signature=url_signature(page.url),
+        keywords=keyword_profile(page, limit=keyword_limit),
+        paths=path_profile(page),
+    )

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
-from repro.errors import RepositoryError
+from repro.errors import RepositoryError, RuleError, XPathSyntaxError
 from repro.core.component import validate_component_name
 from repro.core.rule import MappingRule
 
@@ -106,6 +106,27 @@ class RuleRepository:
     def aggregations(self, cluster: str) -> list[Aggregation]:
         return list(self._aggregations.get(cluster, []))
 
+    # -- compilation (service subsystem entry point) ----------------------- #
+
+    def compile_cluster(self, cluster: str, postprocessor=None):
+        """Compile one cluster's rules into a :class:`CompiledWrapper`.
+
+        The compiled wrapper is the deployable serving artifact: XPath
+        ASTs are pre-parsed, shared location-path prefixes are factored
+        so sibling components reuse one DOM walk, and post-processor
+        chains are pre-resolved.  See :mod:`repro.service.compiler`.
+        """
+        from repro.service.compiler import compile_wrapper
+
+        return compile_wrapper(self, cluster, postprocessor=postprocessor)
+
+    def compile_all(self, postprocessor=None) -> dict:
+        """Compile every cluster: cluster name -> :class:`CompiledWrapper`."""
+        return {
+            cluster: self.compile_cluster(cluster, postprocessor=postprocessor)
+            for cluster in self.clusters()
+        }
+
     def __len__(self) -> int:
         return sum(len(rules) for rules in self._clusters.values())
 
@@ -133,17 +154,39 @@ class RuleRepository:
 
     @classmethod
     def from_dict(cls, data: dict) -> "RuleRepository":
+        if not isinstance(data, dict):
+            raise RepositoryError(
+                f"repository payload must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
         version = data.get("version")
         if version != _FORMAT_VERSION:
             raise RepositoryError(f"unsupported repository version {version!r}")
         repository = cls()
-        for cluster, payload in data.get("clusters", {}).items():
-            for rule_data in payload.get("rules", []):
-                repository.record(cluster, MappingRule.from_dict(rule_data))
-            for agg in payload.get("aggregations", []):
-                repository.record_aggregation(
-                    cluster, Aggregation(agg["name"], tuple(agg["members"]))
-                )
+        clusters = data.get("clusters", {})
+        if not isinstance(clusters, dict):
+            raise RepositoryError("'clusters' must be a JSON object")
+        for cluster, payload in clusters.items():
+            try:
+                for rule_data in payload.get("rules", []):
+                    repository.record(cluster, MappingRule.from_dict(rule_data))
+                for agg in payload.get("aggregations", []):
+                    repository.record_aggregation(
+                        cluster, Aggregation(agg["name"], tuple(agg["members"]))
+                    )
+            except RepositoryError:
+                raise
+            except (
+                AttributeError,
+                KeyError,
+                TypeError,
+                ValueError,
+                RuleError,
+                XPathSyntaxError,
+            ) as exc:
+                raise RepositoryError(
+                    f"malformed payload for cluster {cluster!r}: {exc}"
+                ) from exc
         return repository
 
     def save(self, path: Union[str, Path]) -> None:

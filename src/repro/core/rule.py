@@ -140,12 +140,26 @@ class MappingRule:
         for location in self.locations:
             nodes = compile_xpath(location).select(context)
             if nodes:
-                return MatchResult(
-                    nodes=tuple(nodes),
-                    values=tuple(self._group_values(nodes)),
-                    location_used=location,
-                )
+                return self.match_from_nodes(nodes, location)
         return MatchResult(nodes=(), values=(), location_used=None)
+
+    def match_from_nodes(
+        self, nodes: list[Node], location: Optional[str]
+    ) -> MatchResult:
+        """Build a :class:`MatchResult` from nodes selected elsewhere.
+
+        The compiled-wrapper path (:mod:`repro.service.compiler`)
+        evaluates locations through a shared prefix trie and hands the
+        selected nodes back here, so value grouping stays identical to
+        :meth:`apply`.
+        """
+        if not nodes:
+            return MatchResult(nodes=(), values=(), location_used=None)
+        return MatchResult(
+            nodes=tuple(nodes),
+            values=tuple(self._group_values(list(nodes))),
+            location_used=location,
+        )
 
     def _group_values(self, nodes: list[Node]) -> list[ComponentValue]:
         """Group matched nodes into component values.

@@ -34,6 +34,22 @@ class ExtractionFailure:
         return f"{self.component_name} on {self.page_url}: {self.reason}"
 
 
+def classify_failure(rule: MappingRule, value_count: int) -> Optional[str]:
+    """The Section-7 failure test for one rule application.
+
+    Shared by the interactive :class:`ExtractionProcessor` and the
+    compiled-wrapper service path so both report identical failures.
+    """
+    if value_count == 0 and rule.component.optionality is Optionality.MANDATORY:
+        return "mandatory-missing"
+    if (
+        value_count > 1
+        and rule.component.multiplicity is Multiplicity.SINGLE_VALUED
+    ):
+        return "single-valued-multiple"
+    return None
+
+
 @dataclass
 class ExtractedPage:
     """All component values extracted from one page."""
@@ -134,17 +150,6 @@ class ExtractionProcessor:
     ) -> None:
         if failures is None:
             return
-        if (
-            value_count == 0
-            and rule.component.optionality is Optionality.MANDATORY
-        ):
-            failures.append(
-                ExtractionFailure(page.url, rule.name, "mandatory-missing")
-            )
-        elif (
-            value_count > 1
-            and rule.component.multiplicity is Multiplicity.SINGLE_VALUED
-        ):
-            failures.append(
-                ExtractionFailure(page.url, rule.name, "single-valued-multiple")
-            )
+        reason = classify_failure(rule, value_count)
+        if reason is not None:
+            failures.append(ExtractionFailure(page.url, rule.name, reason))

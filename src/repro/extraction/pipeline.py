@@ -8,6 +8,7 @@ The clustering step is pluggable: callers may pass precomputed clusters
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -32,6 +33,9 @@ class PipelineResult:
     xml: str
     schema: str
     repository: RuleRepository
+    #: The working sample the rules were built from — exposed so
+    #: callers can audit which pages validated the rules.
+    sample: list[WebPage] = field(default_factory=list)
 
 
 class ExtractionPipeline:
@@ -100,6 +104,7 @@ class ExtractionPipeline:
             xml=xml,
             schema=schema,
             repository=repository,
+            sample=list(sample),
         )
 
     def run_site(
@@ -134,8 +139,6 @@ class ExtractionPipeline:
         return results
 
     def _default_sample(self, pages: Sequence[WebPage]) -> list[WebPage]:
-        import random
-
         pool = list(pages)
         if len(pool) <= self.sample_size:
             return pool

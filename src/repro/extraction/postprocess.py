@@ -108,15 +108,46 @@ class PostProcessor:
         return value
 
     def apply_all(self, component_name: str, values: list[str]) -> list[str]:
-        """Transform every value, then expand registered splitters."""
-        transformed = [self.apply(component_name, value) for value in values]
+        """Transform every value, then expand registered splitters.
+
+        Delegates to :meth:`resolve` so the sequential path and the
+        compiled-wrapper service path share one chain implementation
+        (byte-identity between them depends on it).
+        """
+        chain = self.resolve(component_name)
+        if chain is None:
+            return list(values)
+        return chain(values)
+
+    def resolve(
+        self, component_name: str
+    ) -> Optional[Callable[[list[str]], list[str]]]:
+        """Bind the component's chain into one reusable callable.
+
+        Returns ``None`` when the component has neither transforms nor
+        a splitter, so hot paths (the compiled wrappers of
+        :mod:`repro.service.compiler`) can skip the per-value dict
+        lookups of :meth:`apply_all` entirely.  The returned chain is
+        behaviourally identical to ``apply_all(component_name, ...)``
+        at resolve time; transforms registered later are not seen.
+        """
+        transforms = tuple(self._transforms.get(component_name, ()))
         splitter = self._splitters.get(component_name)
-        if splitter is None:
-            return transformed
-        expanded: list[str] = []
-        for value in transformed:
-            expanded.extend(splitter(value))
-        return expanded
+        if not transforms and splitter is None:
+            return None
+
+        def chain(values: list[str]) -> list[str]:
+            transformed = list(values)
+            for transform in transforms:
+                transformed = [transform(value) for value in transformed]
+            if splitter is None:
+                return transformed
+            expanded: list[str] = []
+            for value in transformed:
+                expanded.extend(splitter(value))
+            return expanded
+
+        return chain
 
     def components(self) -> list[str]:
         names = set(self._transforms) | set(self._splitters)

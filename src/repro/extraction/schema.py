@@ -28,7 +28,7 @@ from typing import Optional, Sequence
 from repro.core.component import Format, Multiplicity, Optionality
 from repro.core.repository import Aggregation, RuleRepository
 from repro.core.rule import MappingRule
-from repro.extraction.xml_writer import _aggregation_plan, page_element_name
+from repro.extraction.xml_writer import aggregation_plan, page_element_name
 
 
 def _cardinality(rule: MappingRule) -> str:
@@ -72,7 +72,7 @@ def generate_xml_schema(
     """
     rules = {rule.name: rule for rule in repository.rules(cluster)}
     aggregations = repository.aggregations(cluster)
-    plan = _aggregation_plan(list(rules), aggregations)
+    plan = aggregation_plan(list(rules), aggregations)
     child = page_element_name(cluster)
 
     lines = [

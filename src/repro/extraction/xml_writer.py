@@ -36,7 +36,7 @@ def page_element_name(cluster: str) -> str:
     return f"{cluster}-page"
 
 
-def _aggregation_plan(
+def aggregation_plan(
     component_names: Sequence[str],
     aggregations: Sequence[Aggregation],
 ) -> list[tuple[str, list]]:
@@ -95,17 +95,53 @@ def write_cluster_xml(
     if repository is not None and result.cluster in repository.clusters():
         aggregations = repository.aggregations(result.cluster)
         component_order = repository.component_names(result.cluster)
-    plan = _aggregation_plan(component_order, aggregations)
+    plan = aggregation_plan(component_order, aggregations)
 
     lines: list[str] = [f'<?xml version="1.0" encoding="{encoding}"?>']
     lines.append(f"<{result.cluster}>")
     child = page_element_name(result.cluster)
     for page in result.pages:
-        lines.append(f'{indent}<{child} uri="{escape_attribute(page.url)}">')
-        _write_plan(lines, plan, page, indent, 2, include_markup)
-        lines.append(f"{indent}</{child}>")
+        lines.extend(
+            render_page_xml(page, plan, child, indent=indent,
+                            include_markup=include_markup)
+        )
     lines.append(f"</{result.cluster}>")
     return "\n".join(lines)
+
+
+def cluster_plan(
+    repository: RuleRepository, cluster: str
+) -> list[tuple[str, Optional[list]]]:
+    """The aggregation plan for one repository cluster.
+
+    Public entry for incremental writers (the service XML sink) that
+    emit page fragments one at a time instead of a whole
+    :class:`ExtractionResult`.
+    """
+    if cluster in repository.clusters():
+        return aggregation_plan(
+            repository.component_names(cluster), repository.aggregations(cluster)
+        )
+    return []
+
+
+def render_page_xml(
+    page,
+    plan: Sequence[tuple[str, Optional[list]]],
+    child: str,
+    indent: str = "  ",
+    include_markup: bool = False,
+) -> list[str]:
+    """Serialise one page as Figure-5 XML lines (element + values).
+
+    ``page`` may be any object with ``url``, ``get(name) -> list[str]``
+    and a ``raw_values`` mapping — both :class:`ExtractedPage` and the
+    service layer's ``PageRecord`` qualify.
+    """
+    lines = [f'{indent}<{child} uri="{escape_attribute(page.url)}">']
+    _write_plan(lines, plan, page, indent, 2, include_markup)
+    lines.append(f"{indent}</{child}>")
+    return lines
 
 
 def _write_plan(

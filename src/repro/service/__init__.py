@@ -1,0 +1,49 @@
+"""The high-throughput extraction service (serving layer).
+
+The paper's Section 3.5 repository is "to be used by external agents,
+for instance by the XML extractor".  This package is that external
+agent at production scale: a validated :class:`~repro.core.repository.
+RuleRepository` is treated as a *deployable artifact* — compiled once
+(:mod:`repro.service.compiler`), routed to automatically
+(:mod:`repro.service.router`), executed in parallel over large page
+streams (:mod:`repro.service.engine`) and drained into incremental
+sinks (:mod:`repro.service.sink`) so million-page runs never hold all
+results in memory.
+
+Offline (interactive, Figure 1)          Online (this package)
+---------------------------------        -------------------------------
+cluster pages, build + validate rules    load repository -> compile wrappers
+record rules in the repository           fit router on exemplar pages
+                                         route -> extract -> sink, in parallel
+"""
+
+from repro.service.compiler import CompiledRule, CompiledWrapper, compile_wrapper
+from repro.service.engine import BatchExtractionEngine, ClusterStats, EngineReport
+from repro.service.router import ClusterProfile, ClusterRouter, RouteDecision, UNROUTABLE
+from repro.service.sink import (
+    CollectingSink,
+    JsonlSink,
+    NullSink,
+    PageRecord,
+    ResultSink,
+    XmlDirectorySink,
+)
+
+__all__ = [
+    "BatchExtractionEngine",
+    "ClusterProfile",
+    "ClusterRouter",
+    "ClusterStats",
+    "CollectingSink",
+    "CompiledRule",
+    "CompiledWrapper",
+    "EngineReport",
+    "JsonlSink",
+    "NullSink",
+    "PageRecord",
+    "ResultSink",
+    "RouteDecision",
+    "UNROUTABLE",
+    "XmlDirectorySink",
+    "compile_wrapper",
+]

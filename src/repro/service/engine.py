@@ -1,0 +1,367 @@
+"""The parallel batch extraction engine.
+
+``route -> extract -> sink`` over a page stream, with a bounded
+in-flight window so memory stays constant regardless of input size:
+
+* pages are routed to a cluster (router, or generator hints as a
+  fallback) and buffered into per-cluster chunks;
+* full chunks fan out to a ``concurrent.futures`` executor — threads
+  by default (workers share the parent's compiled wrappers and parsed
+  DOMs), processes on request (workers re-parse from HTML and compile
+  their own wrappers from the repository dict, so nothing un-pickleable
+  crosses the boundary);
+* completed chunks are drained *in submission order* into the sink, so
+  per-cluster output order is deterministic and equals input order.
+
+Every page is extracted by a :class:`~repro.service.compiler.
+CompiledWrapper`, so values are byte-identical to the sequential
+:class:`~repro.extraction.extractor.ExtractionProcessor`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.core.repository import RuleRepository
+from repro.extraction.postprocess import PostProcessor
+from repro.service.compiler import CompiledWrapper
+from repro.service.router import ClusterRouter, UNROUTABLE
+from repro.service.sink import CollectingSink, NullSink, PageRecord, ResultSink
+from repro.sites.page import WebPage
+
+#: A worker's result for one page: (url, values, failures).
+_RecordTuple = tuple[str, dict, list]
+
+
+# --------------------------------------------------------------------- #
+# Process-executor worker state
+# --------------------------------------------------------------------- #
+# Compiled wrappers hold DOM-walking closures and are rebuilt per
+# process from the repository's plain-dict form; HTML is re-parsed in
+# the worker.  Post-processing runs in the parent for process mode
+# (transform chains may be arbitrary closures).
+
+_WORKER_REPOSITORY: Optional[RuleRepository] = None
+_WORKER_WRAPPERS: Dict[str, CompiledWrapper] = {}
+
+
+def _init_process_worker(repository_data: dict) -> None:
+    global _WORKER_REPOSITORY, _WORKER_WRAPPERS
+    _WORKER_REPOSITORY = RuleRepository.from_dict(repository_data)
+    _WORKER_WRAPPERS = {}
+
+
+def _process_chunk(
+    cluster: str, payload: list[tuple[str, str]]
+) -> tuple[list[_RecordTuple], float]:
+    assert _WORKER_REPOSITORY is not None, "worker not initialised"
+    wrapper = _WORKER_WRAPPERS.get(cluster)
+    if wrapper is None:
+        wrapper = _WORKER_REPOSITORY.compile_cluster(cluster)
+        _WORKER_WRAPPERS[cluster] = wrapper
+    # Timer starts after the one-off wrapper compile so worker
+    # throughput stats reflect extraction, not warm-up.
+    started = time.perf_counter()
+    records = _extract_chunk(wrapper, [
+        WebPage(url=url, html=html) for url, html in payload
+    ])
+    return records, time.perf_counter() - started
+
+
+def _extract_chunk(
+    wrapper: CompiledWrapper, pages: list[WebPage]
+) -> list[_RecordTuple]:
+    records: list[_RecordTuple] = []
+    for page in pages:
+        failures: list = []
+        extracted = wrapper.extract_page(page, failures)
+        records.append((
+            page.url,
+            extracted.values,
+            [(f.component_name, f.reason) for f in failures],
+        ))
+    return records
+
+
+# --------------------------------------------------------------------- #
+# Reporting
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class ClusterStats:
+    """Throughput/error accounting for one served cluster."""
+
+    pages: int = 0
+    values: int = 0
+    failures: int = 0
+    chunks: int = 0
+    worker_seconds: float = 0.0
+
+    @property
+    def pages_per_second(self) -> float:
+        if self.worker_seconds <= 0:
+            return 0.0
+        return self.pages / self.worker_seconds
+
+
+#: Rejected-page URL lists keep at most this many examples, so the
+#: report stays bounded on arbitrarily long streams (counts are exact).
+URL_SAMPLE_CAP = 100
+
+
+@dataclass
+class EngineReport:
+    """Everything one engine run observed.
+
+    ``unroutable``/``skipped`` hold a bounded *sample* of URLs
+    (:data:`URL_SAMPLE_CAP`); the ``*_count`` fields are exact.
+    """
+
+    total_pages: int = 0
+    routed: Dict[str, int] = field(default_factory=dict)
+    unroutable_count: int = 0
+    unroutable: list[str] = field(default_factory=list)
+    #: Pages routed to a cluster the repository has no rules for.
+    skipped_count: int = 0
+    skipped: list[str] = field(default_factory=list)
+    per_cluster: Dict[str, ClusterStats] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def note_unroutable(self, url: str) -> None:
+        self.unroutable_count += 1
+        if len(self.unroutable) < URL_SAMPLE_CAP:
+            self.unroutable.append(url)
+
+    def note_skipped(self, url: str) -> None:
+        self.skipped_count += 1
+        if len(self.skipped) < URL_SAMPLE_CAP:
+            self.skipped.append(url)
+
+    @property
+    def pages_served(self) -> int:
+        return sum(stats.pages for stats in self.per_cluster.values())
+
+    @property
+    def pages_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.pages_served / self.wall_seconds
+
+    def summary(self) -> str:
+        lines = [
+            f"pages seen      : {self.total_pages}",
+            f"pages served    : {self.pages_served}"
+            f"  ({self.pages_per_second:.1f} pages/s wall)",
+            f"unroutable      : {self.unroutable_count}",
+            f"no-rules skipped: {self.skipped_count}",
+        ]
+        for cluster in sorted(self.per_cluster):
+            stats = self.per_cluster[cluster]
+            lines.append(
+                f"  {cluster}: {stats.pages} page(s), "
+                f"{stats.values} value(s), {stats.failures} failure(s), "
+                f"{stats.pages_per_second:.1f} pages/s worker"
+            )
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# The engine
+# --------------------------------------------------------------------- #
+
+
+class BatchExtractionEngine:
+    """Fan a page stream out over compiled wrappers.
+
+    Args:
+        repository: validated rules (Section 3.5) for every served
+            cluster.
+        router: optional :class:`ClusterRouter`; without one, pages
+            are routed by their generator ``cluster_hint``.
+        postprocessor: optional value clean-up, applied exactly as the
+            sequential processor would.
+        workers: executor pool size (≥ 1).
+        executor: ``"thread"`` (default; shares parsed DOMs) or
+            ``"process"`` (re-parses in workers; real parallelism on
+            multi-core hosts).
+        chunk_size: pages per submitted work item.
+        max_pending: in-flight chunk cap (default ``4 * workers``) —
+            the memory bound for arbitrarily long streams.
+    """
+
+    def __init__(
+        self,
+        repository: RuleRepository,
+        router: Optional[ClusterRouter] = None,
+        postprocessor: Optional[PostProcessor] = None,
+        workers: int = 2,
+        executor: str = "thread",
+        chunk_size: int = 16,
+        max_pending: Optional[int] = None,
+    ) -> None:
+        if executor not in ("thread", "process"):
+            raise ValueError(f"unknown executor kind {executor!r}")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.repository = repository
+        self.router = router
+        self.postprocessor = postprocessor
+        self.workers = workers
+        self.executor_kind = executor
+        self.chunk_size = chunk_size
+        self.max_pending = (
+            max_pending if max_pending is not None else 4 * workers
+        )
+        # Thread mode: wrappers apply post-processing in the worker.
+        # Process mode: wrappers are rebuilt per process without the
+        # (unpicklable) post-processor; the parent applies the resolved
+        # chains below as records arrive — same values either way.
+        self._wrappers: Dict[str, CompiledWrapper] = repository.compile_all(
+            postprocessor if executor == "thread" else None
+        )
+        self._parent_post: Dict[str, Dict[str, Callable]] = {}
+        if executor == "process" and postprocessor is not None:
+            for cluster in repository.clusters():
+                chains = {
+                    name: chain
+                    for name in repository.component_names(cluster)
+                    if (chain := postprocessor.resolve(name)) is not None
+                }
+                if chains:
+                    self._parent_post[cluster] = chains
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        pages: Iterable[WebPage],
+        sink: Optional[ResultSink] = None,
+    ) -> EngineReport:
+        """Route, extract and sink every page; returns the run report."""
+        sink = sink if sink is not None else NullSink()
+        report = EngineReport()
+        started = time.perf_counter()
+        executor = self._make_executor()
+        pending: deque[tuple[str, Future]] = deque()
+        buffers: Dict[str, list[WebPage]] = {}
+        try:
+            for page in pages:
+                report.total_pages += 1
+                cluster = self._route(page, report)
+                if cluster is None:
+                    continue
+                buffer = buffers.setdefault(cluster, [])
+                buffer.append(page)
+                if len(buffer) >= self.chunk_size:
+                    self._submit(executor, cluster, buffer, pending, report)
+                    buffers[cluster] = []
+                    while len(pending) >= self.max_pending:
+                        self._drain_one(pending, sink, report)
+            for cluster, buffer in buffers.items():
+                if buffer:
+                    self._submit(executor, cluster, buffer, pending, report)
+            while pending:
+                self._drain_one(pending, sink, report)
+        finally:
+            executor.shutdown(wait=True)
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    def run_collect(
+        self, pages: Iterable[WebPage]
+    ) -> tuple[EngineReport, list[PageRecord]]:
+        """Small-batch convenience: run with an in-memory sink."""
+        sink = CollectingSink()
+        report = self.run(pages, sink)
+        return report, sink.records
+
+    def clusters(self) -> list[str]:
+        """Served clusters (those with compiled wrappers)."""
+        return list(self._wrappers)
+
+    # ------------------------------------------------------------------ #
+
+    def _make_executor(self):
+        if self.executor_kind == "process":
+            return ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_process_worker,
+                initargs=(self.repository.to_dict(),),
+            )
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+    def _route(self, page: WebPage, report: EngineReport) -> Optional[str]:
+        if self.router is not None:
+            decision = self.router.route(page)
+            cluster = decision.cluster
+            if cluster == UNROUTABLE:
+                report.note_unroutable(page.url)
+                return None
+        else:
+            cluster = page.cluster_hint
+            if not cluster:
+                report.note_unroutable(page.url)
+                return None
+        if cluster not in self._wrappers:
+            report.note_skipped(page.url)
+            return None
+        report.routed[cluster] = report.routed.get(cluster, 0) + 1
+        return cluster
+
+    def _submit(
+        self,
+        executor,
+        cluster: str,
+        chunk: list[WebPage],
+        pending: deque,
+        report: EngineReport,
+    ) -> None:
+        if self.executor_kind == "process":
+            payload = [(page.url, page.html) for page in chunk]
+            future = executor.submit(_process_chunk, cluster, payload)
+        else:
+            wrapper = self._wrappers[cluster]
+            future = executor.submit(self._thread_chunk, wrapper, chunk)
+        pending.append((cluster, future))
+        stats = report.per_cluster.setdefault(cluster, ClusterStats())
+        stats.chunks += 1
+
+    @staticmethod
+    def _thread_chunk(
+        wrapper: CompiledWrapper, pages: list[WebPage]
+    ) -> tuple[list[_RecordTuple], float]:
+        started = time.perf_counter()
+        records = _extract_chunk(wrapper, pages)
+        return records, time.perf_counter() - started
+
+    def _drain_one(
+        self, pending: deque, sink: ResultSink, report: EngineReport
+    ) -> None:
+        cluster, future = pending.popleft()
+        records, seconds = future.result()
+        stats = report.per_cluster.setdefault(cluster, ClusterStats())
+        stats.worker_seconds += seconds
+        post = self._parent_post.get(cluster)
+        for url, values, failures in records:
+            if post is not None:
+                values = {
+                    name: post[name](vals) if name in post else vals
+                    for name, vals in values.items()
+                }
+            record = PageRecord(
+                url=url, cluster=cluster, values=values,
+                failures=[tuple(f) for f in failures],
+            )
+            stats.pages += 1
+            stats.values += sum(len(vals) for vals in values.values())
+            stats.failures += len(failures)
+            sink.write(record)

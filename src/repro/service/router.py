@@ -1,0 +1,168 @@
+"""Cluster routing: which wrapper should serve an incoming page?
+
+The interactive pipeline relies on ``cluster_hint`` — a label only
+synthetic generators provide.  A serving layer cannot: pages arrive
+unlabelled, so the router re-uses the paper's Section-2.1 membership
+signals (URL shape, concept keywords, HTML structure — computed via
+:func:`repro.clustering.features.page_signature`) to classify each
+page against per-cluster profiles fitted from exemplar pages.
+
+Scoring per cluster::
+
+    score = 0.55 * structure_similarity(page paths, centroid paths)
+          + 0.30 * cosine(page keywords, centroid keywords)
+          + 0.15 * [page URL signature seen in exemplars]
+
+The best-scoring cluster wins when its score clears the confidence
+threshold; everything else lands in the :data:`UNROUTABLE` bucket
+rather than being mis-served — a wrong wrapper produces silently wrong
+data, no wrapper produces an auditable gap.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.clustering.features import PageSignature, page_signature
+from repro.clustering.similarity import cosine_similarity, structure_similarity
+from repro.errors import ClusteringError
+from repro.sites.page import WebPage
+
+#: Route target for pages no profile claims confidently.
+UNROUTABLE = "unroutable"
+
+_STRUCTURE_WEIGHT = 0.55
+_KEYWORD_WEIGHT = 0.30
+_URL_WEIGHT = 0.15
+
+
+@dataclass(frozen=True)
+class ClusterProfile:
+    """Fitted signature centroid of one cluster's exemplar pages."""
+
+    name: str
+    url_signatures: frozenset
+    keywords: Counter
+    paths: Counter
+
+    def score(self, signature: PageSignature) -> float:
+        structure = structure_similarity(signature.paths, self.paths)
+        keywords = cosine_similarity(signature.keywords, self.keywords)
+        url = 1.0 if signature.url_signature in self.url_signatures else 0.0
+        return (
+            _STRUCTURE_WEIGHT * structure
+            + _KEYWORD_WEIGHT * keywords
+            + _URL_WEIGHT * url
+        )
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """Routing outcome for one page."""
+
+    cluster: str            # cluster name, or UNROUTABLE
+    confidence: float       # best profile score in [0, 1]
+    runner_up: Optional[str] = None
+    margin: float = 0.0     # best minus second-best score
+
+    @property
+    def routed(self) -> bool:
+        return self.cluster != UNROUTABLE
+
+
+def _centroid(counters: Sequence[Counter]) -> Counter:
+    """Element-wise mean of frequency vectors (float-valued Counter)."""
+    total: Counter = Counter()
+    for counter in counters:
+        total.update(counter)
+    n = len(counters)
+    return Counter({key: value / n for key, value in total.items()})
+
+
+class ClusterRouter:
+    """Routes pages to clusters by signature similarity.
+
+    Args:
+        profiles: fitted per-cluster profiles.
+        threshold: minimum best score to route; below it the page is
+            :data:`UNROUTABLE`.
+
+    Build instances with :meth:`fit`.
+    """
+
+    def __init__(
+        self, profiles: Sequence[ClusterProfile], threshold: float = 0.5
+    ) -> None:
+        if not profiles:
+            raise ClusteringError("router needs at least one cluster profile")
+        self.profiles = list(profiles)
+        self.threshold = threshold
+
+    @classmethod
+    def fit(
+        cls,
+        exemplars: Mapping[str, Sequence[WebPage]],
+        threshold: float = 0.5,
+    ) -> "ClusterRouter":
+        """Fit per-cluster profiles from labelled exemplar pages.
+
+        Args:
+            exemplars: cluster name -> a few representative pages
+                (the working sample the rules were validated on is a
+                natural choice).
+            threshold: routing confidence threshold.
+
+        Raises:
+            ClusteringError: when ``exemplars`` is empty or any cluster
+                has no pages.
+        """
+        profiles: list[ClusterProfile] = []
+        for name, pages in exemplars.items():
+            if not pages:
+                raise ClusteringError(f"cluster {name!r} has no exemplar pages")
+            signatures = [page_signature(page) for page in pages]
+            profiles.append(
+                ClusterProfile(
+                    name=name,
+                    url_signatures=frozenset(
+                        s.url_signature for s in signatures
+                    ),
+                    keywords=_centroid([s.keywords for s in signatures]),
+                    paths=_centroid([s.paths for s in signatures]),
+                )
+            )
+        return cls(profiles, threshold=threshold)
+
+    # ------------------------------------------------------------------ #
+
+    def route(self, page: WebPage) -> RouteDecision:
+        """Classify one page; below-threshold pages are unroutable."""
+        signature = page_signature(page)
+        best_name: Optional[str] = None
+        second_name: Optional[str] = None
+        best = second = 0.0
+        for profile in self.profiles:
+            score = profile.score(signature)
+            if best_name is None or score > best:
+                second, second_name = best, best_name
+                best, best_name = score, profile.name
+            elif second_name is None or score > second:
+                second, second_name = score, profile.name
+        if best_name is None or best < self.threshold:
+            return RouteDecision(UNROUTABLE, best, None, 0.0)
+        return RouteDecision(best_name, best, second_name, best - second)
+
+    def route_all(
+        self, pages: Iterable[WebPage]
+    ) -> Dict[str, list[WebPage]]:
+        """Partition pages by routed cluster (incl. the unroutable bucket)."""
+        routed: Dict[str, list[WebPage]] = {}
+        for page in pages:
+            decision = self.route(page)
+            routed.setdefault(decision.cluster, []).append(page)
+        return routed
+
+    def clusters(self) -> list[str]:
+        return [profile.name for profile in self.profiles]

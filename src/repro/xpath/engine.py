@@ -15,6 +15,7 @@ Example:
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Optional
 
 from repro.dom.node import Node
@@ -25,9 +26,11 @@ from repro.xpath.functions import node_string_value, to_string
 from repro.xpath.parser import parse_xpath
 
 _EVALUATOR = Evaluator()
-_CACHE: dict[str, "XPath"] = {}
+_CACHE: "OrderedDict[str, XPath]" = OrderedDict()
 _CACHE_LOCK = threading.Lock()
 _CACHE_LIMIT = 4096
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
 
 
 class XPath:
@@ -66,16 +69,53 @@ class XPath:
 
 
 def compile_xpath(expression: str) -> XPath:
-    """Compile ``expression``, reusing a cached instance when possible."""
-    cached = _CACHE.get(expression)
-    if cached is not None:
-        return cached
+    """Compile ``expression``, reusing a cached instance when possible.
+
+    The cache is a bounded LRU: lookups refresh recency, and inserting
+    past the limit evicts the least-recently-used entry (never the
+    whole cache).  Both reads and writes take the lock, so concurrent
+    callers always observe a consistent ``OrderedDict``; parsing itself
+    happens outside the lock (a racing duplicate parse is harmless —
+    the first recorded instance wins and is returned to everyone).
+    """
+    global _CACHE_HITS, _CACHE_MISSES
+    with _CACHE_LOCK:
+        cached = _CACHE.get(expression)
+        if cached is not None:
+            _CACHE.move_to_end(expression)
+            _CACHE_HITS += 1
+            return cached
+        _CACHE_MISSES += 1
     compiled = XPath(expression, parse_xpath(expression))
     with _CACHE_LOCK:
-        if len(_CACHE) >= _CACHE_LIMIT:
-            _CACHE.clear()
+        existing = _CACHE.get(expression)
+        if existing is not None:
+            _CACHE.move_to_end(expression)
+            return existing
         _CACHE[expression] = compiled
+        while len(_CACHE) > _CACHE_LIMIT:
+            _CACHE.popitem(last=False)
     return compiled
+
+
+def cache_stats() -> dict:
+    """Cache observability: size/limit plus hit/miss counters."""
+    with _CACHE_LOCK:
+        return {
+            "size": len(_CACHE),
+            "limit": _CACHE_LIMIT,
+            "hits": _CACHE_HITS,
+            "misses": _CACHE_MISSES,
+        }
+
+
+def clear_cache() -> None:
+    """Drop every cached expression and reset the counters (tests)."""
+    global _CACHE_HITS, _CACHE_MISSES
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        _CACHE_HITS = 0
+        _CACHE_MISSES = 0
 
 
 def select(context_node: Node, expression: str) -> list:

@@ -269,6 +269,17 @@ class Evaluator:
             return self._apply_steps(path.steps, nodes, context)
         return nodes
 
+    def apply_steps(self, steps, start: list, context: XPathContext) -> list:
+        """Public step-sequence application (document-ordered, deduped).
+
+        Applying a location path is associative over its steps:
+        ``apply_steps(p + q, start) == apply_steps(q, apply_steps(p,
+        start))`` — the compiled-wrapper prefix factoring in
+        :mod:`repro.service.compiler` relies on this to evaluate a
+        shared prefix once and continue with each rule's suffix.
+        """
+        return self._apply_steps(steps, start, context)
+
     def _apply_steps(self, steps, start: list, context: XPathContext) -> list:
         current = list(start)
         for step in steps:

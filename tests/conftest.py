@@ -39,6 +39,35 @@ def oracle():
     return ScriptedOracle()
 
 
+@pytest.fixture(scope="session")
+def service_site():
+    """A ≥500-page, three-cluster site for the serving-layer tests."""
+    return generate_imdb_site(n_movies=350, n_actors=100, n_search=50, seed=11)
+
+
+@pytest.fixture(scope="session")
+def service_repository(service_site):
+    """Rules for two of the three clusters, built offline (Figure 1)."""
+    from repro.core.builder import MappingRuleBuilder
+    from repro.core.repository import RuleRepository
+
+    movies = service_site.pages_with_hint("imdb-movies")
+    actors = service_site.pages_with_hint("imdb-actors")
+    repository = RuleRepository()
+    oracle = ScriptedOracle()
+    report = MappingRuleBuilder(
+        movies[:8], oracle, repository=repository,
+        cluster_name="imdb-movies", seed=1,
+    ).build_all(["title", "rating", "genres"])
+    assert report.failed_components == []
+    report = MappingRuleBuilder(
+        actors[:6], oracle, repository=repository,
+        cluster_name="imdb-actors", seed=1,
+    ).build_all(["actor-name", "born"])
+    assert report.failed_components == []
+    return repository
+
+
 @pytest.fixture()
 def simple_doc():
     """A small document exercising tables, lists and inline markup."""

@@ -1,5 +1,6 @@
 """Tests for the retrozilla CLI (driven through main(argv))."""
 
+import io
 import json
 
 import pytest
@@ -124,3 +125,180 @@ def test_build_interactive(tmp_path, capsys, monkeypatch):
     assert code == 0
     data = json.loads(repo_path.read_text(encoding="utf-8"))
     assert data["clusters"]["movies"]["rules"][0]["name"] == "title"
+
+
+# --------------------------------------------------------------------- #
+# The service subcommands: batch + serve
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def served_site(tmp_path):
+    """An on-disk generated site plus an offline-built repository."""
+    from repro.core.builder import MappingRuleBuilder
+    from repro.core.oracle import ScriptedOracle
+    from repro.core.repository import RuleRepository
+    from repro.sites.imdb import generate_imdb_site
+
+    site_dir = tmp_path / "site"
+    assert main([
+        "generate", "imdb", str(site_dir), "--pages", "18", "--seed", "3",
+    ]) == 0
+    # Rules must be built from ground-truth pages (the offline phase);
+    # the saved repository then serves the on-disk copies.
+    site = generate_imdb_site(n_movies=18, n_actors=6, n_search=3, seed=3)
+    repository = RuleRepository()
+    oracle = ScriptedOracle()
+    MappingRuleBuilder(
+        site.pages_with_hint("imdb-movies")[:8], oracle,
+        repository=repository, cluster_name="imdb-movies", seed=1,
+    ).build_all(["title", "rating"])
+    repo_path = tmp_path / "rules.json"
+    repository.save(repo_path)
+    return site_dir, repo_path
+
+
+def test_load_pages_restores_filename_hints(served_site):
+    from pathlib import Path
+
+    from repro.cli import _load_pages
+
+    site_dir, _ = served_site
+    pages = _load_pages(Path(site_dir))
+    hints = {page.cluster_hint for page in pages}
+    assert "imdb-movies" in hints
+
+
+def test_filename_hint_handles_large_indices(tmp_path):
+    # {index:04d} grows to 5+ digits past 9999; hints must survive.
+    from repro.cli import _filename_hint
+
+    assert _filename_hint(tmp_path / "imdb-movies-0001.html") == "imdb-movies"
+    assert _filename_hint(tmp_path / "imdb-movies-10000.html") == "imdb-movies"
+    assert _filename_hint(tmp_path / "imdb-movies-1234567.html") == "imdb-movies"
+    assert _filename_hint(tmp_path / "somepage.html") == ""
+    assert _filename_hint(tmp_path / "page-12.html") == ""
+
+
+def test_batch_jsonl(served_site, tmp_path, capsys):
+    site_dir, repo_path = served_site
+    out = tmp_path / "records.jsonl"
+    assert main([
+        "batch", str(site_dir),
+        "--repository", str(repo_path),
+        "--jsonl", str(out),
+        "--workers", "2",
+    ]) == 0
+    records = [json.loads(line) for line in
+               out.read_text(encoding="utf-8").splitlines()]
+    movies = [r for r in records if r["cluster"] == "imdb-movies"]
+    assert len(movies) == 18
+    assert all(r["values"]["title"] for r in movies)
+    err = capsys.readouterr().err
+    assert "pages served" in err
+
+
+def test_batch_xml_dir(served_site, tmp_path):
+    site_dir, repo_path = served_site
+    xml_dir = tmp_path / "xml"
+    assert main([
+        "batch", str(site_dir),
+        "--repository", str(repo_path),
+        "--xml-dir", str(xml_dir),
+    ]) == 0
+    xml = (xml_dir / "imdb-movies.xml").read_text(encoding="utf-8")
+    assert xml.count("<imdb-movie ") == 18
+    assert xml.rstrip().endswith("</imdb-movies>")
+
+
+def test_batch_hint_routing(served_site, tmp_path, capsys):
+    site_dir, repo_path = served_site
+    out = tmp_path / "records.jsonl"
+    assert main([
+        "batch", str(site_dir),
+        "--repository", str(repo_path),
+        "--jsonl", str(out),
+        "--route", "hint",
+    ]) == 0
+    records = [json.loads(line) for line in
+               out.read_text(encoding="utf-8").splitlines()]
+    assert len(records) == 18  # actors/search hints have no rules
+
+
+def test_batch_empty_directory_errors(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["batch", str(empty)]) == 2
+
+
+def test_batch_conflicting_outputs_rejected(served_site, tmp_path):
+    site_dir, repo_path = served_site
+    assert main([
+        "batch", str(site_dir), "--repository", str(repo_path),
+        "--jsonl", str(tmp_path / "a.jsonl"),
+        "--xml-dir", str(tmp_path / "x"),
+    ]) == 2
+
+
+def test_batch_skips_unreadable_file(served_site, tmp_path, capsys):
+    site_dir, repo_path = served_site
+    # A Latin-1 file that is not valid UTF-8 must be skipped, not
+    # abort the whole run.
+    (site_dir / "imdb-movies-9999.html").write_bytes(
+        b"<body>caf\xe9</body>"
+    )
+    out = tmp_path / "tolerant.jsonl"
+    assert main([
+        "batch", str(site_dir), "--repository", str(repo_path),
+        "--jsonl", str(out),
+    ]) == 0
+    err = capsys.readouterr().err
+    assert "1 unreadable file(s) skipped" in err
+    records = [json.loads(line) for line in
+               out.read_text(encoding="utf-8").splitlines()]
+    assert len([r for r in records if r["cluster"] == "imdb-movies"]) == 18
+
+
+def test_serve_stdin_loop(served_site, capsys, monkeypatch):
+    site_dir, repo_path = served_site
+    page = sorted(site_dir.glob("imdb-movies-*.html"))[0]
+    request = json.dumps({
+        "url": page.resolve().as_uri(),
+        "html": page.read_text(encoding="utf-8"),
+    })
+    bad = "{not json"
+    # html must be a string: a null must produce an error line, not a
+    # crash of the serving loop (the DOM parse is lazy otherwise).
+    unparseable = json.dumps({"url": "http://x/", "html": None})
+    monkeypatch.setattr(
+        "sys.stdin",
+        io.StringIO(request + "\n" + bad + "\n" + unparseable + "\n"),
+    )
+    assert main([
+        "serve", "--repository", str(repo_path),
+        "--cluster", "imdb-movies",
+    ]) == 0
+    out_lines = capsys.readouterr().out.strip().splitlines()
+    assert len(out_lines) == 3
+    first = json.loads(out_lines[0])
+    assert first["cluster"] == "imdb-movies"
+    assert first["values"]["title"]
+    assert "error" in json.loads(out_lines[1])
+    assert "error" in json.loads(out_lines[2])
+
+
+def test_serve_multi_cluster_requires_disambiguation(served_site, tmp_path,
+                                                     monkeypatch):
+    from repro.core.component import PageComponent
+    from repro.core.repository import RuleRepository
+    from repro.core.rule import MappingRule
+
+    _, repo_path = served_site
+    repository = RuleRepository.load(repo_path)
+    repository.record("other", MappingRule(
+        component=PageComponent("x"), locations=("BODY//P/text()",),
+    ))
+    multi = tmp_path / "multi.json"
+    repository.save(multi)
+    monkeypatch.setattr("sys.stdin", io.StringIO(""))
+    assert main(["serve", "--repository", str(multi)]) == 2

@@ -115,3 +115,72 @@ class TestPersistence:
         path.write_text('{"version": 9, "clusters": {}}', encoding="utf-8")
         with pytest.raises(RepositoryError):
             RuleRepository.load(path)
+
+    def test_nested_aggregation_roundtrip(self, tmp_path):
+        repo = RuleRepository()
+        for name in ("comment", "rating", "votes"):
+            repo.record("movies", rule(name))
+        repo.record_aggregation(
+            "movies", Aggregation("users-opinion", ("comment", "rating"))
+        )
+        # Aggregation referring to another aggregation (Section 4's
+        # "iterative aggregation").
+        repo.record_aggregation(
+            "movies", Aggregation("reception", ("users-opinion", "votes"))
+        )
+        path = tmp_path / "nested.json"
+        repo.save(path)
+        loaded = RuleRepository.load(path)
+        assert loaded.to_dict() == repo.to_dict()
+        names = [a.name for a in loaded.aggregations("movies")]
+        assert names == ["users-opinion", "reception"]
+        outer = loaded.aggregations("movies")[1]
+        assert outer.members == ("users-opinion", "votes")
+
+    def test_deeply_nested_aggregation_roundtrip(self, tmp_path):
+        repo = RuleRepository()
+        for name in ("a", "b", "c", "d"):
+            repo.record("m", rule(name))
+        repo.record_aggregation("m", Aggregation("g1", ("a", "b")))
+        repo.record_aggregation("m", Aggregation("g2", ("g1", "c")))
+        repo.record_aggregation("m", Aggregation("g3", ("g2", "d")))
+        path = tmp_path / "deep.json"
+        repo.save(path)
+        assert RuleRepository.load(path).to_dict() == repo.to_dict()
+
+    def test_load_non_object_payload_raises(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text('[1, 2, 3]', encoding="utf-8")
+        with pytest.raises(RepositoryError):
+            RuleRepository.load(path)
+
+    def test_load_non_object_clusters_raises(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text('{"version": 1, "clusters": [1]}', encoding="utf-8")
+        with pytest.raises(RepositoryError):
+            RuleRepository.load(path)
+
+    def test_load_malformed_rule_dict_raises(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text(
+            '{"version": 1, "clusters": {"m": {"rules": [{"oops": 1}]}}}',
+            encoding="utf-8",
+        )
+        with pytest.raises(RepositoryError):
+            RuleRepository.load(path)
+
+    def test_load_malformed_aggregation_raises(self, tmp_path):
+        path = tmp_path / "a.json"
+        path.write_text(
+            '{"version": 1, "clusters": {"m": '
+            '{"rules": [], "aggregations": [{"members": ["x"]}]}}}',
+            encoding="utf-8",
+        )
+        with pytest.raises(RepositoryError):
+            RuleRepository.load(path)
+
+    def test_load_missing_version_raises(self, tmp_path):
+        path = tmp_path / "nv.json"
+        path.write_text('{"clusters": {}}', encoding="utf-8")
+        with pytest.raises(RepositoryError):
+            RuleRepository.load(path)

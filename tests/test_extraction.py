@@ -201,6 +201,24 @@ class TestPipeline:
         assert "<runtime>108 min</runtime>" in result.xml
         assert "xs:schema" in result.schema
 
+    def test_result_exposes_working_sample(self, paper_sample, oracle):
+        pipeline = ExtractionPipeline(oracle, sample_size=4, seed=0)
+        result = pipeline.run_cluster(
+            "imdb-movies", paper_sample, ["runtime"], sample=paper_sample
+        )
+        assert result.sample == list(paper_sample)
+
+    def test_default_sample_exposed_and_seeded(self, movie_pages, oracle):
+        pipeline = ExtractionPipeline(oracle, sample_size=5, seed=42)
+        result = pipeline.run_cluster("imdb-movies", movie_pages, ["title"])
+        assert len(result.sample) == 5
+        assert all(page in movie_pages for page in result.sample)
+        # Same seed -> same audited sample.
+        again = ExtractionPipeline(oracle, sample_size=5, seed=42).run_cluster(
+            "imdb-movies", movie_pages, ["title"]
+        )
+        assert [p.url for p in again.sample] == [p.url for p in result.sample]
+
     def test_run_site_uses_hints(self, oracle):
         from repro.sites import generate_imdb_site
 

@@ -1,0 +1,84 @@
+"""Cluster routing from Section-2.1 signatures."""
+
+import pytest
+
+from repro.errors import ClusteringError
+from repro.clustering.features import PageSignature, page_signature
+from repro.service.router import UNROUTABLE, ClusterRouter, RouteDecision
+from repro.sites.page import WebPage
+
+
+@pytest.fixture(scope="module")
+def fitted_router(service_site):
+    exemplars = {
+        hint: service_site.pages_with_hint(hint)[:8]
+        for hint in ("imdb-movies", "imdb-actors", "imdb-search")
+    }
+    return ClusterRouter.fit(exemplars, threshold=0.5)
+
+
+class TestFitting:
+    def test_requires_profiles(self):
+        with pytest.raises(ClusteringError):
+            ClusterRouter([])
+
+    def test_requires_exemplars_per_cluster(self):
+        with pytest.raises(ClusteringError):
+            ClusterRouter.fit({"empty": []})
+
+    def test_fit_lists_clusters(self, fitted_router):
+        assert set(fitted_router.clusters()) == {
+            "imdb-movies", "imdb-actors", "imdb-search",
+        }
+
+
+class TestRouting:
+    def test_hinted_pages_route_to_hint_cluster(self, service_site,
+                                                fitted_router):
+        total = correct = 0
+        for page in service_site:
+            decision = fitted_router.route(page)
+            total += 1
+            if decision.cluster == page.cluster_hint:
+                correct += 1
+        # Acceptance: >= 95% of hinted pages land on their hint.
+        assert correct / total >= 0.95
+
+    def test_decision_reports_confidence_and_margin(self, service_site,
+                                                    fitted_router):
+        page = service_site.pages_with_hint("imdb-movies")[20]
+        decision = fitted_router.route(page)
+        assert decision.routed
+        assert decision.cluster == "imdb-movies"
+        assert 0.5 <= decision.confidence <= 1.0
+        assert decision.margin > 0.0
+        assert decision.runner_up in ("imdb-actors", "imdb-search")
+
+    def test_alien_page_is_unroutable(self, fitted_router):
+        alien = WebPage(
+            url="ftp://elsewhere.example.net/readme",
+            html="<body><pre>totally unrelated plain text dump</pre></body>",
+        )
+        decision = fitted_router.route(alien)
+        assert decision.cluster == UNROUTABLE
+        assert not decision.routed
+
+    def test_threshold_one_routes_nothing(self, service_site):
+        movies = service_site.pages_with_hint("imdb-movies")
+        router = ClusterRouter.fit({"imdb-movies": movies[:4]}, threshold=1.01)
+        assert router.route(movies[10]).cluster == UNROUTABLE
+
+    def test_route_all_partitions(self, service_site, fitted_router):
+        pages = list(service_site)[:40]
+        routed = fitted_router.route_all(pages)
+        assert sum(len(group) for group in routed.values()) == len(pages)
+
+
+class TestSignature:
+    def test_page_signature_bundles_features(self, service_site):
+        page = service_site.pages_with_hint("imdb-movies")[0]
+        signature = page_signature(page)
+        assert isinstance(signature, PageSignature)
+        assert signature.url_signature.startswith("imdb.example.org")
+        assert signature.paths
+        assert signature.keywords

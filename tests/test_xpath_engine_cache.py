@@ -1,0 +1,80 @@
+"""The compile_xpath bounded LRU cache (service-critical hot path)."""
+
+import threading
+
+import pytest
+
+from repro.xpath import engine
+from repro.xpath.engine import cache_stats, clear_cache, compile_xpath
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def test_same_instance_returned():
+    first = compile_xpath("BODY[1]/P[1]/text()")
+    second = compile_xpath("BODY[1]/P[1]/text()")
+    assert first is second
+
+
+def test_hit_miss_counters():
+    compile_xpath("P[1]")
+    compile_xpath("P[1]")
+    compile_xpath("P[2]")
+    stats = cache_stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 2
+    assert stats["size"] == 2
+
+
+def test_eviction_is_lru_not_clear(monkeypatch):
+    monkeypatch.setattr(engine, "_CACHE_LIMIT", 3)
+    a = compile_xpath("P[1]")
+    compile_xpath("P[2]")
+    compile_xpath("P[3]")
+    # Touch the oldest so it becomes most recent.
+    assert compile_xpath("P[1]") is a
+    compile_xpath("P[4]")  # must evict P[2], the LRU entry — only it
+    assert cache_stats()["size"] == 3
+    assert compile_xpath("P[1]") is a          # survived
+    assert cache_stats()["hits"] >= 2
+    before = cache_stats()["misses"]
+    compile_xpath("P[2]")                      # evicted -> recompiled
+    assert cache_stats()["misses"] == before + 1
+
+
+def test_limit_shrink_evicts_down(monkeypatch):
+    for index in range(6):
+        compile_xpath(f"P[{index + 1}]")
+    monkeypatch.setattr(engine, "_CACHE_LIMIT", 2)
+    compile_xpath("SPAN[1]")
+    assert cache_stats()["size"] <= 2
+
+
+def test_concurrent_compilation_consistent():
+    expressions = [f"DIV[{i + 1}]/P[1]/text()" for i in range(20)]
+    results: dict[int, list] = {}
+    errors: list = []
+
+    def worker(worker_id: int) -> None:
+        try:
+            results[worker_id] = [compile_xpath(e) for e in expressions * 5]
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    # Every thread observed the same compiled instance per expression.
+    canonical = results[0]
+    for worker_id, compiled in results.items():
+        for left, right in zip(canonical, compiled):
+            assert left is right
+    assert cache_stats()["size"] == 20
