@@ -7,7 +7,7 @@ so regressions in the from-scratch substrates are visible.
 import statistics
 
 from repro.html import parse_html
-from repro.xpath import compile_xpath, select
+from repro.xpath import select
 
 from conftest import emit
 

@@ -24,7 +24,6 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.dom.node import Text
 from repro.dom.traversal import iter_text_nodes, tag_path
 from repro.sites.page import WebPage
 

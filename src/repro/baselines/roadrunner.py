@@ -23,9 +23,9 @@ contrasts with targeted extraction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.dom.node import Comment, Document, Element, Node, Text
+from repro.dom.node import Comment, Element, Node, Text
 from repro.sites.page import WebPage
 
 

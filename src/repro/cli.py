@@ -13,13 +13,19 @@ Subcommands mirror the Figure-1 pipeline:
 * ``batch``       — serve a directory through the parallel extraction
                     engine (router -> compiled wrappers -> sink);
 * ``serve``       — online loop: read ``{"url", "html"}`` JSON lines
-                    from stdin, write extraction records to stdout.
+                    from stdin, write extraction records to stdout;
+* ``shard``       — multi-host batch execution in three coordinator-free
+                    steps: ``plan`` splits the corpus deterministically,
+                    ``run`` extracts one shard (JSONL + manifest),
+                    ``merge`` mergesorts shard outputs into a stream
+                    byte-identical to an unsharded ``batch`` run.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import re
 import sys
 from pathlib import Path
@@ -74,18 +80,31 @@ def _load_pages(directory: Path) -> list[WebPage]:
     return [_page_from_path(path) for path in _page_paths(directory)]
 
 
-def _iter_pages_tolerant(paths: list[Path], unreadable: list[Path]):
+def _iter_pages_tolerant(
+    paths: list[Path],
+    unreadable: list[Path],
+    positions: Optional[list[int]] = None,
+):
     """Lazily yield pages, skipping (and recording) unreadable files.
 
     One mis-encoded or unreadable file must not abort a million-page
-    batch run; it is reported after the run instead.
+    batch run; it is reported after the run instead.  When
+    ``positions`` is given, each yielded page's corpus position is
+    appended to it, so a :class:`~repro.service.shard.GlobalIndexSink`
+    can stamp records with corpus-global submission indices even when
+    skipped files leave gaps (keeping ``batch`` and ``shard run``
+    outputs index-compatible).
     """
-    for path in paths:
+    for position, path in enumerate(paths):
         try:
-            yield _page_from_path(path)
+            page = _page_from_path(path)
         except (OSError, UnicodeDecodeError) as exc:
             print(f"skipping {path}: {exc}", file=sys.stderr)
             unreadable.append(path)
+            continue
+        if positions is not None:
+            positions.append(position)
+        yield page
 
 
 def _save_site(site, directory: Path) -> int:
@@ -237,30 +256,6 @@ def _filename_hint(path: Path) -> str:
     return match.group("hint") if match else ""
 
 
-def _fit_router(
-    pages,
-    repository: RuleRepository,
-    exemplars: int,
-    threshold: float,
-):
-    """Fit a router from hint-labelled pages, one profile per cluster.
-
-    ``pages`` may be any iterable (a lazy generator included): only up
-    to ``exemplars`` pages per repository cluster are retained.
-    Returns ``None`` (→ hint routing) when no labelled exemplars match
-    any repository cluster.
-    """
-    from repro.service import ClusterRouter
-
-    by_cluster = _take_per_cluster(
-        pages, lambda page: page.cluster_hint,
-        repository.clusters(), exemplars,
-    )
-    if not by_cluster:
-        return None
-    return ClusterRouter.fit(by_cluster, threshold=threshold)
-
-
 def _fit_router_from_paths(
     paths: list[Path],
     repository: RuleRepository,
@@ -279,15 +274,25 @@ def _fit_router_from_paths(
     )
     if not path_buckets:
         return None
+    # Unreadable exemplars are skipped, like everywhere else in batch
+    # processing: one mis-encoded file must not abort the run.  Every
+    # command fits from the same path list, so routing (and therefore
+    # sharded/unsharded output) stays identical either way.
+    by_cluster: dict[str, list[WebPage]] = {}
+    for cluster, cluster_paths in path_buckets.items():
+        pages = []
+        for path in cluster_paths:
+            try:
+                pages.append(_page_from_path(path))
+            except (OSError, UnicodeDecodeError) as exc:
+                print(f"skipping exemplar {path}: {exc}", file=sys.stderr)
+        if pages:
+            by_cluster[cluster] = pages
+    if not by_cluster:
+        return None
     from repro.service import ClusterRouter
 
-    return ClusterRouter.fit(
-        {
-            cluster: [_page_from_path(path) for path in cluster_paths]
-            for cluster, cluster_paths in path_buckets.items()
-        },
-        threshold=threshold,
-    )
+    return ClusterRouter.fit(by_cluster, threshold=threshold)
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
@@ -327,21 +332,32 @@ def cmd_batch(args: argparse.Namespace) -> int:
     else:
         sink = JsonlSink(sys.stdout)
     try:
+        # ``ordered=True``: records leave in submission-index order, so
+        # this output is byte-identical to a merged ``shard`` run.
         engine = BatchExtractionEngine(
             repository,
             router=router,
             workers=args.workers,
             executor=args.executor,
             chunk_size=args.chunk_size,
+            ordered=True,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
     unreadable: list[Path] = []
+    positions: list[int] = []
     with sink:
         # Stream lazily: pages are read (and dropped) as the engine's
-        # bounded in-flight window advances.
-        report = engine.run(_iter_pages_tolerant(paths, unreadable), sink)
+        # bounded in-flight window advances.  Records are stamped with
+        # corpus positions (not engine-local indices) so output stays
+        # index-compatible with ``shard run`` when files are skipped.
+        from repro.service.shard import GlobalIndexSink
+
+        report = engine.run(
+            _iter_pages_tolerant(paths, unreadable, positions),
+            GlobalIndexSink(sink, positions),
+        )
     print(report.summary(), file=sys.stderr)
     if unreadable:
         print(f"{len(unreadable)} unreadable file(s) skipped",
@@ -351,6 +367,132 @@ def cmd_batch(args: argparse.Namespace) -> int:
     elif args.jsonl:
         print(f"records written to {args.jsonl}", file=sys.stderr)
     return 0
+
+
+# --------------------------------------------------------------------- #
+# Sharded batch execution (multi-host, coordinator-free)
+# --------------------------------------------------------------------- #
+
+
+def cmd_shard_plan(args: argparse.Namespace) -> int:
+    from repro.errors import ShardError
+    from repro.service import ShardPlanner
+
+    paths = _page_paths(Path(args.directory))
+    if not paths:
+        print("no *.html files found", file=sys.stderr)
+        return 2
+    try:
+        planner = ShardPlanner(args.shards, args.strategy)
+        plan = planner.plan([path.name for path in paths])
+    except ShardError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    plan.save(args.output)
+    sizes = ", ".join(
+        f"#{shard}={size}" for shard, size in enumerate(plan.shard_sizes())
+    )
+    print(
+        f"planned {len(paths)} page(s) into {plan.shards} "
+        f"{plan.strategy} shard(s): {sizes}"
+    )
+    print(f"plan written to {args.output}")
+    return 0
+
+
+def cmd_shard_run(args: argparse.Namespace) -> int:
+    from repro.errors import ShardError
+    from repro.service import ShardPlan, ShardWorker
+
+    directory = Path(args.directory)
+    try:
+        plan = ShardPlan.load(args.plan)
+        repository = RuleRepository.load(args.repository)
+    except (ShardError, RepositoryError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    missing = [
+        page_id for page_id in plan.page_ids
+        if not (directory / page_id).exists()
+    ]
+    if missing:
+        print(
+            f"{len(missing)} page(s) named by the plan are missing from "
+            f"{directory} (first: {missing[0]})",
+            file=sys.stderr,
+        )
+        return 2
+    router = None
+    if args.route == "auto":
+        # Fitted from the *full* corpus in plan order, so every shard
+        # (and an unsharded ``batch``) routes identically.
+        router = _fit_router_from_paths(
+            [directory / page_id for page_id in plan.page_ids],
+            repository, args.exemplars, args.threshold,
+        )
+        if router is None:
+            print(
+                "no hint-labelled exemplar pages found; routing by hints",
+                file=sys.stderr,
+            )
+    try:
+        worker = ShardWorker(
+            repository, plan, args.shard,
+            router=router,
+            workers=args.workers,
+            executor=args.executor,
+            chunk_size=args.chunk_size,
+            skip_unreadable=True,
+        )
+    except (ShardError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    manifest, report = worker.run(
+        lambda page_id: _page_from_path(directory / page_id),
+        Path(args.output_dir),
+    )
+    print(report.summary(), file=sys.stderr)
+    if manifest.unreadable:
+        print(f"{manifest.unreadable} unreadable file(s) skipped",
+              file=sys.stderr)
+    print(
+        f"shard {manifest.shard} of {manifest.shards}: "
+        f"{manifest.records} record(s) -> "
+        f"{Path(args.output_dir) / manifest.output}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_shard_merge(args: argparse.Namespace) -> int:
+    from repro.errors import ShardError
+    from repro.service import ShardMerger
+
+    merger = ShardMerger(verify_digests=not args.no_verify)
+    try:
+        report = merger.merge(
+            args.inputs, args.output if args.output else sys.stdout
+        )
+    except ShardError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(report.summary(), file=sys.stderr)
+    if args.output:
+        print(f"merged records written to {args.output}", file=sys.stderr)
+    return 0
+
+
+#: ``serve`` gives up (rather than spin) if the input stream raises
+#: this many *consecutive* decode errors without yielding a line.
+SERVE_MAX_DECODE_FAILURES = 1000
+
+
+def _serve_error(stdout, message: str, url: Optional[str] = None) -> None:
+    """One structured error record on the output stream."""
+    record: dict = {"error": message}
+    if url is not None:
+        record["url"] = url
+    print(json.dumps(record, sort_keys=True), file=stdout, flush=True)
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -364,9 +506,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     router = None
     cluster = args.cluster
     if args.exemplars_dir:
-        exemplar_pages = _load_pages(Path(args.exemplars_dir))
-        router = _fit_router(
-            exemplar_pages, repository, args.exemplars, args.threshold
+        # Only the selected exemplar files are read (a name scan plus
+        # ``exemplars`` reads per cluster), not the whole directory.
+        router = _fit_router_from_paths(
+            _page_paths(Path(args.exemplars_dir)),
+            repository, args.exemplars, args.threshold,
         )
         if router is None:
             print(
@@ -397,41 +541,87 @@ def cmd_serve(args: argparse.Namespace) -> int:
     served = 0
     stdin = args.stdin if args.stdin is not None else sys.stdin
     stdout = args.stdout if args.stdout is not None else sys.stdout
-    for line in stdin:
-        line = line.strip()
-        if not line:
-            continue
+    # Undecodable input bytes must surface as error records, not kill
+    # the loop: where the stream supports it, decode troublesome bytes
+    # to escapes (json.loads then rejects the line with a clean error).
+    reconfigure = getattr(stdin, "reconfigure", None)
+    if reconfigure is not None:
         try:
-            request = json.loads(line)
-            url, html = request["url"], request["html"]
-            if not isinstance(url, str) or not isinstance(html, str):
-                raise TypeError("url and html must be strings")
-            page = WebPage(url=url, html=html)
-            page.root_element  # parse eagerly so bad HTML fails here
-        except (json.JSONDecodeError, KeyError, TypeError,
-                HtmlParseError) as exc:
-            print(json.dumps({"error": str(exc)}), file=stdout, flush=True)
-            continue
-        target = router.route(page).cluster if router is not None else cluster
-        if target == UNROUTABLE or target not in wrappers:
+            reconfigure(errors="backslashreplace")
+        except (ValueError, OSError):  # pragma: no cover - exotic stream
+            pass
+    decode_failures = 0
+    try:
+        while True:
+            try:
+                line = stdin.readline()
+            except UnicodeDecodeError as exc:
+                _serve_error(stdout, f"undecodable input: {exc}")
+                decode_failures += 1
+                if decode_failures >= SERVE_MAX_DECODE_FAILURES:
+                    print("too many undecodable reads; giving up",
+                          file=sys.stderr)
+                    return 1
+                continue
+            decode_failures = 0  # the limit is on *consecutive* failures
+            if not line:
+                break  # EOF; a final unterminated line arrives above
+            line = line.strip()
+            if not line:
+                continue
+            url: Optional[str] = None
+            try:
+                request = json.loads(line)
+                url, html = request["url"], request["html"]
+                if not isinstance(url, str) or not isinstance(html, str):
+                    raise TypeError("url and html must be strings")
+                page = WebPage(url=url, html=html)
+                page.root_element  # parse eagerly so bad HTML fails here
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    HtmlParseError) as exc:
+                _serve_error(stdout, str(exc), url=url)
+                continue
+            target = (
+                router.route(page).cluster if router is not None else cluster
+            )
+            if target == UNROUTABLE or target not in wrappers:
+                print(
+                    json.dumps({"url": page.url, "cluster": UNROUTABLE,
+                                "values": {}, "failures": []},
+                               sort_keys=True),
+                    file=stdout, flush=True,
+                )
+                continue
+            failures: list = []
+            try:
+                extracted = wrappers[target].extract_page(page, failures)
+            except Exception as exc:
+                # One pathological page must not end an online loop.
+                _serve_error(
+                    stdout, f"{type(exc).__name__}: {exc}", url=page.url
+                )
+                continue
             print(
-                json.dumps({"url": page.url, "cluster": UNROUTABLE,
-                            "values": {}, "failures": []}),
+                json.dumps({
+                    "url": page.url,
+                    "cluster": target,
+                    "values": extracted.values,
+                    "failures": [
+                        [f.component_name, f.reason] for f in failures
+                    ],
+                }, sort_keys=True),
                 file=stdout, flush=True,
             )
-            continue
-        failures: list = []
-        extracted = wrappers[target].extract_page(page, failures)
-        print(
-            json.dumps({
-                "url": page.url,
-                "cluster": target,
-                "values": extracted.values,
-                "failures": [[f.component_name, f.reason] for f in failures],
-            }, sort_keys=True),
-            file=stdout, flush=True,
-        )
-        served += 1
+            served += 1
+    except BrokenPipeError:
+        # The consumer closed our output mid-run: stop serving cleanly.
+        # Point the real stdout at devnull so the interpreter's shutdown
+        # flush cannot raise a second time.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except (OSError, ValueError, AttributeError):
+            pass
+        print("output stream closed by consumer", file=sys.stderr)
     print(f"served {served} page(s)", file=sys.stderr)
     return 0
 
@@ -504,6 +694,56 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--exemplars", type=int, default=8,
                        help="exemplar pages per cluster for router fitting")
     batch.set_defaults(func=cmd_batch)
+
+    shard = sub.add_parser(
+        "shard",
+        help="multi-host batch execution: plan / run / merge",
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    shard_plan = shard_sub.add_parser(
+        "plan", help="split a corpus into N deterministic shards"
+    )
+    shard_plan.add_argument("directory")
+    shard_plan.add_argument("--shards", type=int, default=2)
+    shard_plan.add_argument("--strategy", choices=["hash", "range"],
+                            default="hash",
+                            help="hash: stable hash of the file name; "
+                                 "range: contiguous index ranges")
+    shard_plan.add_argument("--output", default="shard-plan.json")
+    shard_plan.set_defaults(func=cmd_shard_plan)
+
+    shard_run = shard_sub.add_parser(
+        "run", help="extract one shard (JSONL output + manifest)"
+    )
+    shard_run.add_argument("directory")
+    shard_run.add_argument("--plan", default="shard-plan.json")
+    shard_run.add_argument("--shard", type=int, required=True)
+    shard_run.add_argument("--repository", default="rules.json")
+    shard_run.add_argument("--output-dir", default="shards")
+    shard_run.add_argument("--workers", type=int, default=2)
+    shard_run.add_argument("--executor", choices=["thread", "process"],
+                           default="thread")
+    shard_run.add_argument("--chunk-size", type=int, default=16)
+    shard_run.add_argument("--route", choices=["auto", "hint"],
+                           default="auto")
+    shard_run.add_argument("--threshold", type=float, default=0.5)
+    shard_run.add_argument("--exemplars", type=int, default=8)
+    shard_run.set_defaults(func=cmd_shard_run)
+
+    shard_merge = shard_sub.add_parser(
+        "merge",
+        help="mergesort shard outputs into one deterministic stream",
+    )
+    shard_merge.add_argument(
+        "inputs", nargs="+",
+        help="shard output directories and/or manifest files",
+    )
+    shard_merge.add_argument("--output", default="",
+                             help="merged JSONL file (default: stdout)")
+    shard_merge.add_argument("--no-verify", action="store_true",
+                             help="skip shard content digest checks")
+    shard_merge.set_defaults(func=cmd_shard_merge)
 
     serve = sub.add_parser(
         "serve",

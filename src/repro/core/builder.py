@@ -22,10 +22,10 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.dom.node import Element, Text
+from repro.dom.node import Element
 from repro.errors import RefinementError
 from repro.core.checking import CheckReport, check_rule, render_check_table
-from repro.core.component import Format, PageComponent
+from repro.core.component import PageComponent
 from repro.core.oracle import Oracle, Selection
 from repro.core.refinement import RefinementEngine, RefinementTrace
 from repro.core.repository import RuleRepository

@@ -18,7 +18,7 @@ non-HTML documents" — and follow the paper's EBNF (Section 2.3)::
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
 
 from repro.errors import InvalidComponentNameError

@@ -24,7 +24,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.dom.node import Element, Node, Text
+from repro.dom.node import Element, Node
 from repro.dom.traversal import iter_elements, iter_text_nodes
 from repro.errors import OracleError
 from repro.core.rule import normalize_value

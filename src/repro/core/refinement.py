@@ -33,8 +33,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.dom.node import Element, Node, Text
-from repro.errors import RefinementError, RuleError
+from repro.dom.node import Element, Node
+from repro.errors import RuleError
 from repro.core.checking import (
     CheckOutcome,
     CheckReport,
@@ -42,7 +42,7 @@ from repro.core.checking import (
     check_rule,
 )
 from repro.core.oracle import Oracle, Selection
-from repro.core.rule import MappingRule, normalize_value
+from repro.core.rule import MappingRule
 from repro.core.xpath_builder import (
     broaden_multiplicity,
     build_contextual_xpath,

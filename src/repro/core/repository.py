@@ -17,9 +17,9 @@ Persistence is JSON on disk; the format is versioned and stable.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from typing import Iterator, Union
 
 from repro.errors import RepositoryError, RuleError, XPathSyntaxError
 from repro.core.component import validate_component_name

@@ -15,13 +15,13 @@ returns the first non-empty match.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.dom.node import Element, Node, Text
 from repro.dom.serialize import to_xml
 from repro.errors import RuleValidationError
-from repro.core.component import Format, Multiplicity, Optionality, PageComponent
+from repro.core.component import Format, PageComponent
 from repro.xpath.engine import compile_xpath
 
 

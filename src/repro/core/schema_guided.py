@@ -32,7 +32,7 @@ from repro.core.component import (
     PageComponent,
     validate_component_name,
 )
-from repro.core.repository import Aggregation, RuleRepository
+from repro.core.repository import Aggregation
 
 
 @dataclass(frozen=True)

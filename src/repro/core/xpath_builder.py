@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.dom.node import Element, Node, Text
-from repro.errors import RuleError, XPathSyntaxError
+from repro.errors import RuleError
 from repro.xpath.ast import (
     BinaryOp,
     FunctionCall,

@@ -12,7 +12,6 @@ Two serialisers are provided:
 
 from __future__ import annotations
 
-from typing import Callable
 
 from repro.dom.node import Comment, Document, Element, Node, Text
 

@@ -96,3 +96,19 @@ class OracleError(ReproError):
 
 class SiteGenerationError(ReproError):
     """Raised when a synthetic site generator receives invalid parameters."""
+
+
+class ShardError(ReproError):
+    """Base class for shard planning/execution/merge errors."""
+
+
+class ShardPlanError(ShardError):
+    """Raised for invalid shard plans (bad parameters, corrupt files)."""
+
+
+class ShardMergeError(ShardError):
+    """Raised when shard outputs cannot be merged into one stream.
+
+    Covers missing/duplicate/overlapping shards, manifest/plan
+    mismatches, digest failures, and out-of-order shard files.
+    """

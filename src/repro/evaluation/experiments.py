@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.baselines.exalg import ExalgWrapper
 from repro.baselines.lr_wrapper import LRWrapper
@@ -30,7 +30,6 @@ from repro.evaluation.metrics import (
     evaluate_extraction,
 )
 from repro.sites.imdb import ImdbOptions, generate_imdb_site
-from repro.sites.page import WebPage
 from repro.sites.variation import (
     DEPTH_COMPONENTS,
     MAX_DEPTH,

@@ -12,7 +12,7 @@ more than one node."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 from repro.errors import ExtractionError
 from repro.core.component import Multiplicity, Optionality

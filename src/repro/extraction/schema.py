@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.component import Format, Multiplicity, Optionality
-from repro.core.repository import Aggregation, RuleRepository
+from repro.core.repository import RuleRepository
 from repro.core.rule import MappingRule
 from repro.extraction.xml_writer import aggregation_plan, page_element_name
 

@@ -21,7 +21,6 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.repository import Aggregation, RuleRepository
-from repro.core.rule import ComponentValue
 from repro.dom.serialize import escape_attribute, escape_text
 from repro.extraction.extractor import ExtractedPage, ExtractionResult
 

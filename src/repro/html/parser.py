@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.dom.node import Comment, Document, Element, Node, Text
+from repro.dom.node import Comment, Document, Element, Text
 from repro.dom.serialize import VOID_ELEMENTS
 from repro.html.tokenizer import (
     CommentToken,

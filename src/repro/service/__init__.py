@@ -15,11 +15,25 @@ Offline (interactive, Figure 1)          Online (this package)
 cluster pages, build + validate rules    load repository -> compile wrappers
 record rules in the repository           fit router on exemplar pages
                                          route -> extract -> sink, in parallel
+
+A batch run scales over many hosts with no coordinator: plan the
+corpus into shards, run each shard anywhere, mergesort the outputs
+back into the unsharded byte stream (:mod:`repro.service.shard`).
 """
 
 from repro.service.compiler import CompiledRule, CompiledWrapper, compile_wrapper
 from repro.service.engine import BatchExtractionEngine, ClusterStats, EngineReport
 from repro.service.router import ClusterProfile, ClusterRouter, RouteDecision, UNROUTABLE
+from repro.service.shard import (
+    GlobalIndexSink,
+    MergeReport,
+    ShardManifest,
+    ShardMerger,
+    ShardPlan,
+    ShardPlanner,
+    ShardWorker,
+    stable_shard,
+)
 from repro.service.sink import (
     CollectingSink,
     JsonlSink,
@@ -38,12 +52,20 @@ __all__ = [
     "CompiledRule",
     "CompiledWrapper",
     "EngineReport",
+    "GlobalIndexSink",
     "JsonlSink",
+    "MergeReport",
     "NullSink",
     "PageRecord",
     "ResultSink",
     "RouteDecision",
+    "ShardManifest",
+    "ShardMerger",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardWorker",
     "UNROUTABLE",
     "XmlDirectorySink",
     "compile_wrapper",
+    "stable_shard",
 ]

@@ -16,6 +16,14 @@ in-flight window so memory stays constant regardless of input size:
 Every page is extracted by a :class:`~repro.service.compiler.
 CompiledWrapper`, so values are byte-identical to the sequential
 :class:`~repro.extraction.extractor.ExtractionProcessor`.
+
+Each page is stamped with its **submission index** — its 0-based
+position in the input stream — carried through to the emitted
+:class:`~repro.service.sink.PageRecord`.  With ``ordered=True`` the
+engine additionally releases records to the sink in strictly
+increasing submission-index order (a reorder buffer over the chunked
+drain), which is what makes a sharded run mergeable into a stream
+byte-identical to an unsharded one (:mod:`repro.service.shard`).
 """
 
 from __future__ import annotations
@@ -33,8 +41,8 @@ from repro.service.router import ClusterRouter, UNROUTABLE
 from repro.service.sink import CollectingSink, NullSink, PageRecord, ResultSink
 from repro.sites.page import WebPage
 
-#: A worker's result for one page: (url, values, failures).
-_RecordTuple = tuple[str, dict, list]
+#: A worker's result for one page: (index, url, values, failures).
+_RecordTuple = tuple[int, str, dict, list]
 
 
 # --------------------------------------------------------------------- #
@@ -56,7 +64,7 @@ def _init_process_worker(repository_data: dict) -> None:
 
 
 def _process_chunk(
-    cluster: str, payload: list[tuple[str, str]]
+    cluster: str, payload: list[tuple[int, str, str]]
 ) -> tuple[list[_RecordTuple], float]:
     assert _WORKER_REPOSITORY is not None, "worker not initialised"
     wrapper = _WORKER_WRAPPERS.get(cluster)
@@ -67,24 +75,60 @@ def _process_chunk(
     # throughput stats reflect extraction, not warm-up.
     started = time.perf_counter()
     records = _extract_chunk(wrapper, [
-        WebPage(url=url, html=html) for url, html in payload
+        (index, WebPage(url=url, html=html))
+        for index, url, html in payload
     ])
     return records, time.perf_counter() - started
 
 
 def _extract_chunk(
-    wrapper: CompiledWrapper, pages: list[WebPage]
+    wrapper: CompiledWrapper, pages: list[tuple[int, WebPage]]
 ) -> list[_RecordTuple]:
     records: list[_RecordTuple] = []
-    for page in pages:
+    for index, page in pages:
         failures: list = []
         extracted = wrapper.extract_page(page, failures)
         records.append((
+            index,
             page.url,
             extracted.values,
             [(f.component_name, f.reason) for f in failures],
         ))
     return records
+
+
+class _OrderedEmitter:
+    """Release records to a sink in global submission-index order.
+
+    The engine drains chunks in *chunk* submission order; chunks from
+    different clusters interleave, so per-record indices arrive out of
+    order.  This buffer holds completed records until every earlier
+    index has either been emitted or declared dropped (unroutable or
+    no-rules pages consume an index but produce no record).
+
+    Worst-case held-record count is bounded by the records deferred
+    behind the oldest partially-filled cluster buffer — small for
+    balanced streams, up to O(stream) for a cluster that receives its
+    last page early; held items are slim value records, never DOMs.
+    """
+
+    def __init__(self, sink: ResultSink) -> None:
+        self._sink = sink
+        self._next = 0
+        self._held: Dict[int, Optional[PageRecord]] = {}
+
+    def emit(self, index: int, record: Optional[PageRecord]) -> None:
+        """Hand over index's outcome: a record, or ``None`` if dropped."""
+        self._held[index] = record
+        while self._next in self._held:
+            released = self._held.pop(self._next)
+            self._next += 1
+            if released is not None:
+                self._sink.write(released)
+
+    @property
+    def held(self) -> int:
+        return len(self._held)
 
 
 # --------------------------------------------------------------------- #
@@ -192,6 +236,12 @@ class BatchExtractionEngine:
         chunk_size: pages per submitted work item.
         max_pending: in-flight chunk cap (default ``4 * workers``) —
             the memory bound for arbitrarily long streams.
+        ordered: release records to the sink in strictly increasing
+            submission-index order (reorder buffer over the chunked
+            drain).  Required for shard-mergeable output
+            (:mod:`repro.service.shard`); off by default because a
+            badly skewed stream can defer many (slim) records behind
+            one partially-filled cluster buffer.
     """
 
     def __init__(
@@ -203,6 +253,7 @@ class BatchExtractionEngine:
         executor: str = "thread",
         chunk_size: int = 16,
         max_pending: Optional[int] = None,
+        ordered: bool = False,
     ) -> None:
         if executor not in ("thread", "process"):
             raise ValueError(f"unknown executor kind {executor!r}")
@@ -221,6 +272,7 @@ class BatchExtractionEngine:
         self.max_pending = (
             max_pending if max_pending is not None else 4 * workers
         )
+        self.ordered = ordered
         # Thread mode: wrappers apply post-processing in the worker.
         # Process mode: wrappers are rebuilt per process without the
         # (unpicklable) post-processor; the parent applies the resolved
@@ -252,25 +304,29 @@ class BatchExtractionEngine:
         started = time.perf_counter()
         executor = self._make_executor()
         pending: deque[tuple[str, Future]] = deque()
-        buffers: Dict[str, list[WebPage]] = {}
+        buffers: Dict[str, list[tuple[int, WebPage]]] = {}
+        emitter = _OrderedEmitter(sink) if self.ordered else None
         try:
-            for page in pages:
+            for index, page in enumerate(pages):
                 report.total_pages += 1
                 cluster = self._route(page, report)
                 if cluster is None:
+                    if emitter is not None:
+                        emitter.emit(index, None)
                     continue
                 buffer = buffers.setdefault(cluster, [])
-                buffer.append(page)
+                buffer.append((index, page))
                 if len(buffer) >= self.chunk_size:
                     self._submit(executor, cluster, buffer, pending, report)
                     buffers[cluster] = []
                     while len(pending) >= self.max_pending:
-                        self._drain_one(pending, sink, report)
+                        self._drain_one(pending, sink, emitter, report)
             for cluster, buffer in buffers.items():
                 if buffer:
                     self._submit(executor, cluster, buffer, pending, report)
             while pending:
-                self._drain_one(pending, sink, report)
+                self._drain_one(pending, sink, emitter, report)
+            assert emitter is None or emitter.held == 0
         finally:
             executor.shutdown(wait=True)
         report.wall_seconds = time.perf_counter() - started
@@ -321,12 +377,12 @@ class BatchExtractionEngine:
         self,
         executor,
         cluster: str,
-        chunk: list[WebPage],
+        chunk: list[tuple[int, WebPage]],
         pending: deque,
         report: EngineReport,
     ) -> None:
         if self.executor_kind == "process":
-            payload = [(page.url, page.html) for page in chunk]
+            payload = [(index, page.url, page.html) for index, page in chunk]
             future = executor.submit(_process_chunk, cluster, payload)
         else:
             wrapper = self._wrappers[cluster]
@@ -337,21 +393,25 @@ class BatchExtractionEngine:
 
     @staticmethod
     def _thread_chunk(
-        wrapper: CompiledWrapper, pages: list[WebPage]
+        wrapper: CompiledWrapper, pages: list[tuple[int, WebPage]]
     ) -> tuple[list[_RecordTuple], float]:
         started = time.perf_counter()
         records = _extract_chunk(wrapper, pages)
         return records, time.perf_counter() - started
 
     def _drain_one(
-        self, pending: deque, sink: ResultSink, report: EngineReport
+        self,
+        pending: deque,
+        sink: ResultSink,
+        emitter: Optional[_OrderedEmitter],
+        report: EngineReport,
     ) -> None:
         cluster, future = pending.popleft()
         records, seconds = future.result()
         stats = report.per_cluster.setdefault(cluster, ClusterStats())
         stats.worker_seconds += seconds
         post = self._parent_post.get(cluster)
-        for url, values, failures in records:
+        for index, url, values, failures in records:
             if post is not None:
                 values = {
                     name: post[name](vals) if name in post else vals
@@ -360,8 +420,12 @@ class BatchExtractionEngine:
             record = PageRecord(
                 url=url, cluster=cluster, values=values,
                 failures=[tuple(f) for f in failures],
+                index=index,
             )
             stats.pages += 1
             stats.values += sum(len(vals) for vals in values.values())
             stats.failures += len(failures)
-            sink.write(record)
+            if emitter is not None:
+                emitter.emit(index, record)
+            else:
+                sink.write(record)

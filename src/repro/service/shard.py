@@ -1,0 +1,617 @@
+"""Multi-host sharded batch execution with a deterministic merge.
+
+The :class:`~repro.service.engine.BatchExtractionEngine` stamps every
+record with its **global submission index** (stream position) and, in
+``ordered`` mode, emits records in index order.  That makes scaling a
+batch run over many hosts a three-step protocol with *no coordinator
+process*:
+
+1. **plan** — :class:`ShardPlanner` splits the corpus (a sorted list
+   of page ids) into N deterministic shards, either by stable hash of
+   the page id (balanced, order-free) or by contiguous index ranges
+   (locality-friendly).  The plan is a small JSON file every host can
+   share.
+2. **run** — :class:`ShardWorker` executes one shard through an
+   ordered engine, writing a JSONL sink output plus a self-describing
+   :class:`ShardManifest` (shard id, submission-index range,
+   per-cluster stats, content digest) next to it.
+3. **merge** — :class:`ShardMerger` mergesorts any set of shard
+   outputs by global submission index into a single stream that is
+   byte-identical to an unsharded ordered run over the same corpus,
+   verifying manifests and detecting missing, duplicate and
+   overlapping shards along the way.
+
+Because every worker routes with the same deterministically fitted
+router and extracts with the same compiled wrappers, shard outputs are
+a pure partition of the unsharded output — the merge is a k-way
+mergesort, nothing more.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, IO, Iterable, Iterator, Optional, Union
+
+from repro.core.repository import RuleRepository
+from repro.errors import ShardMergeError, ShardPlanError
+from repro.extraction.postprocess import PostProcessor
+from repro.service.engine import BatchExtractionEngine, EngineReport
+from repro.service.router import ClusterRouter
+from repro.service.sink import JsonlSink, PageRecord, ResultSink
+from repro.sites.page import WebPage
+
+PLAN_FORMAT = 1
+MANIFEST_FORMAT = 1
+
+STRATEGIES = ("hash", "range")
+
+
+def stable_shard(page_id: str, shards: int) -> int:
+    """Deterministic shard for a page id (stable across hosts/runs).
+
+    Uses the first 8 bytes of SHA-256 — unlike :func:`hash`, identical
+    on every Python process regardless of ``PYTHONHASHSEED``.
+    """
+    digest = hashlib.sha256(page_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+def _corpus_digest(page_ids: list[str]) -> str:
+    hasher = hashlib.sha256()
+    for page_id in page_ids:
+        hasher.update(page_id.encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def _file_sha256(path: Path) -> str:
+    hasher = hashlib.sha256()
+    with open(path, "rb") as stream:
+        for block in iter(lambda: stream.read(1 << 16), b""):
+            hasher.update(block)
+    return hasher.hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# Planning
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class ShardPlan:
+    """A deterministic corpus split: page id -> (index, shard).
+
+    ``page_ids`` is the corpus in submission order — position *is* the
+    global submission index; ``assignments[i]`` is the shard that
+    serves index ``i``.
+    """
+
+    shards: int
+    strategy: str
+    page_ids: list[str]
+    assignments: list[int]
+
+    @property
+    def corpus_digest(self) -> str:
+        """Fingerprint of the ordered corpus (shared by manifests)."""
+        return _corpus_digest(self.page_ids)
+
+    def pages_for(self, shard: int) -> list[tuple[int, str]]:
+        """This shard's ``(global index, page id)`` pairs, index order."""
+        if not 0 <= shard < self.shards:
+            raise ShardPlanError(
+                f"shard {shard} out of range for a {self.shards}-shard plan"
+            )
+        return [
+            (index, page_id)
+            for index, page_id in enumerate(self.page_ids)
+            if self.assignments[index] == shard
+        ]
+
+    def shard_sizes(self) -> list[int]:
+        sizes = [0] * self.shards
+        for shard in self.assignments:
+            sizes[shard] += 1
+        return sizes
+
+    def to_dict(self) -> dict:
+        return {
+            "format": PLAN_FORMAT,
+            "shards": self.shards,
+            "strategy": self.strategy,
+            "corpus_digest": self.corpus_digest,
+            "page_ids": self.page_ids,
+            "assignments": self.assignments,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardPlan":
+        try:
+            plan = cls(
+                shards=data["shards"],
+                strategy=data["strategy"],
+                page_ids=list(data["page_ids"]),
+                assignments=list(data["assignments"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ShardPlanError(f"malformed shard plan: {exc}") from exc
+        if data.get("format") != PLAN_FORMAT:
+            raise ShardPlanError(
+                f"unsupported shard plan format {data.get('format')!r}"
+            )
+        if len(plan.page_ids) != len(plan.assignments):
+            raise ShardPlanError(
+                "shard plan page_ids/assignments length mismatch"
+            )
+        if plan.assignments and not all(
+            0 <= shard < plan.shards for shard in plan.assignments
+        ):
+            raise ShardPlanError("shard plan assignment out of range")
+        recorded = data.get("corpus_digest")
+        if recorded is not None and recorded != plan.corpus_digest:
+            raise ShardPlanError(
+                "shard plan corpus digest mismatch (corrupt or edited plan)"
+            )
+        return plan
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ShardPlan":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ShardPlanError(f"cannot load shard plan {path}: {exc}")
+        return cls.from_dict(data)
+
+
+class ShardPlanner:
+    """Split a corpus into N deterministic shards.
+
+    Strategies:
+
+    * ``"hash"`` — shard by stable hash of the page id.  Balanced in
+      expectation, independent of corpus order: adding pages never
+      moves existing ones between shards (mod churn aside).
+    * ``"range"`` — contiguous index ranges of near-equal size.  Best
+      locality for workers that stream neighbouring files.
+    """
+
+    def __init__(self, shards: int, strategy: str = "hash") -> None:
+        if shards < 1:
+            raise ShardPlanError("shards must be >= 1")
+        if strategy not in STRATEGIES:
+            raise ShardPlanError(
+                f"unknown shard strategy {strategy!r} "
+                f"(expected one of {', '.join(STRATEGIES)})"
+            )
+        self.shards = shards
+        self.strategy = strategy
+
+    def plan(self, page_ids: Iterable[str]) -> ShardPlan:
+        ids = list(page_ids)
+        if len(set(ids)) != len(ids):
+            raise ShardPlanError("corpus contains duplicate page ids")
+        if self.strategy == "hash":
+            assignments = [
+                stable_shard(page_id, self.shards) for page_id in ids
+            ]
+        else:
+            assignments = []
+            if ids:
+                per_shard, extra = divmod(len(ids), self.shards)
+                for shard in range(self.shards):
+                    size = per_shard + (1 if shard < extra else 0)
+                    assignments.extend([shard] * size)
+        return ShardPlan(
+            shards=self.shards, strategy=self.strategy,
+            page_ids=ids, assignments=assignments,
+        )
+
+
+# --------------------------------------------------------------------- #
+# Workers
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class ShardManifest:
+    """Self-describing metadata written next to one shard's output."""
+
+    shard: int
+    shards: int
+    strategy: str
+    corpus_digest: str
+    output: str
+    sha256: str
+    pages: int = 0
+    records: int = 0
+    index_min: Optional[int] = None
+    index_max: Optional[int] = None
+    unroutable: int = 0
+    skipped: int = 0
+    unreadable: int = 0
+    wall_seconds: float = 0.0
+    per_cluster: Dict[str, dict] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"format": MANIFEST_FORMAT, **self.__dict__}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardManifest":
+        payload = dict(data)
+        if payload.pop("format", None) != MANIFEST_FORMAT:
+            raise ShardMergeError(
+                f"unsupported shard manifest format {data.get('format')!r}"
+            )
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise ShardMergeError(f"malformed shard manifest: {exc}") from exc
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ShardManifest":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ShardMergeError(f"cannot load shard manifest {path}: {exc}")
+        return cls.from_dict(data)
+
+
+def shard_basename(shard: int) -> str:
+    return f"shard-{shard:04d}"
+
+
+class GlobalIndexSink(ResultSink):
+    """Rewrite engine-local submission indices to corpus-global ones.
+
+    The producer feeds the engine pages in global-index order while
+    appending each yielded page's global index to ``global_indices``;
+    the engine numbers pages locally 0..k-1, so the k-th record
+    drained belongs to the k-th yielded page — a positional remap.
+    Used by shard workers (plan-global indices) and by ``batch`` when
+    unreadable files are skipped (so indices stay corpus positions and
+    sharded/unsharded outputs agree).
+    """
+
+    def __init__(self, inner: ResultSink, global_indices: list[int]) -> None:
+        self.inner = inner
+        self._globals = global_indices
+
+    def write(self, record: PageRecord) -> None:
+        record.index = self._globals[record.index]
+        self.inner.write(record)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class ShardWorker:
+    """Run one shard of a plan through an ordered extraction engine.
+
+    Pages are materialised lazily through ``load_page`` so a worker
+    holds only its in-flight window in memory, exactly like ``batch``.
+    Engine parameters mirror :class:`BatchExtractionEngine`; every
+    worker of a run should use identical ones (and an identically
+    fitted router) so the shard outputs partition the unsharded output.
+    """
+
+    def __init__(
+        self,
+        repository: RuleRepository,
+        plan: ShardPlan,
+        shard: int,
+        router: Optional[ClusterRouter] = None,
+        postprocessor: Optional[PostProcessor] = None,
+        workers: int = 2,
+        executor: str = "thread",
+        chunk_size: int = 16,
+        skip_unreadable: bool = False,
+    ) -> None:
+        if not 0 <= shard < plan.shards:
+            raise ShardPlanError(
+                f"shard {shard} out of range for a {plan.shards}-shard plan"
+            )
+        self.repository = repository
+        self.plan = plan
+        self.shard = shard
+        self.skip_unreadable = skip_unreadable
+        self._unreadable = 0
+        self.engine = BatchExtractionEngine(
+            repository,
+            router=router,
+            postprocessor=postprocessor,
+            workers=workers,
+            executor=executor,
+            chunk_size=chunk_size,
+            ordered=True,
+        )
+
+    def _pages(
+        self,
+        assigned: list[tuple[int, str]],
+        load_page: Callable[[str], WebPage],
+        global_indices: list[int],
+    ) -> Iterator[WebPage]:
+        for index, page_id in assigned:
+            try:
+                page = load_page(page_id)
+            except (OSError, UnicodeDecodeError):
+                if not self.skip_unreadable:
+                    raise
+                self._unreadable += 1
+                continue
+            global_indices.append(index)
+            yield page
+
+    def run(
+        self,
+        load_page: Callable[[str], WebPage],
+        output_dir: Union[str, Path],
+    ) -> tuple[ShardManifest, EngineReport]:
+        """Extract this shard; write JSONL + manifest into ``output_dir``.
+
+        Returns the saved manifest and the engine's run report.
+        """
+        directory = Path(output_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        base = shard_basename(self.shard)
+        output_path = directory / f"{base}.jsonl"
+        assigned = self.plan.pages_for(self.shard)
+        global_indices: list[int] = []
+        self._unreadable = 0
+        started = time.perf_counter()
+        with JsonlSink(output_path) as jsonl:
+            sink = GlobalIndexSink(jsonl, global_indices)
+            report = self.engine.run(
+                self._pages(assigned, load_page, global_indices), sink
+            )
+            records = jsonl.count
+        manifest = ShardManifest(
+            shard=self.shard,
+            shards=self.plan.shards,
+            strategy=self.plan.strategy,
+            corpus_digest=self.plan.corpus_digest,
+            output=output_path.name,
+            sha256=_file_sha256(output_path),
+            pages=len(assigned),
+            records=records,
+            index_min=global_indices[0] if global_indices else None,
+            index_max=global_indices[-1] if global_indices else None,
+            unroutable=report.unroutable_count,
+            skipped=report.skipped_count,
+            unreadable=self._unreadable,
+            wall_seconds=time.perf_counter() - started,
+            per_cluster={
+                cluster: {
+                    "pages": stats.pages,
+                    "values": stats.values,
+                    "failures": stats.failures,
+                    "chunks": stats.chunks,
+                    "worker_seconds": stats.worker_seconds,
+                }
+                for cluster, stats in sorted(report.per_cluster.items())
+            },
+        )
+        manifest.save(directory / f"{base}.manifest.json")
+        return manifest, report
+
+
+# --------------------------------------------------------------------- #
+# Merging
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class MergeReport:
+    """What one merge saw: shard accounting plus aggregated stats."""
+
+    shards: int = 0
+    records: int = 0
+    unroutable: int = 0
+    skipped: int = 0
+    unreadable: int = 0
+    worker_wall_seconds: float = 0.0
+    per_cluster: Dict[str, dict] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        lines = [
+            f"shards merged   : {self.shards}",
+            f"records         : {self.records}",
+            f"unroutable      : {self.unroutable}",
+            f"no-rules skipped: {self.skipped}",
+            f"unreadable      : {self.unreadable}",
+            f"worker wall     : {self.worker_wall_seconds:.2f}s total",
+        ]
+        for cluster in sorted(self.per_cluster):
+            stats = self.per_cluster[cluster]
+            lines.append(
+                f"  {cluster}: {stats['pages']} page(s), "
+                f"{stats['values']} value(s), {stats['failures']} failure(s)"
+            )
+        return "\n".join(lines)
+
+
+class ShardMerger:
+    """Mergesort shard outputs back into one deterministic stream.
+
+    Validation before any output is written:
+
+    * every manifest must describe the same corpus (digest), shard
+      count and strategy;
+    * shard ids must be exactly ``0..shards-1`` — duplicates and gaps
+      are reported by id;
+    * each output file must match its manifest's content digest and
+      record count (disable with ``verify_digests=False`` for e.g.
+      still-compressed transports).
+
+    During the merge, global indices must be strictly increasing —
+    a repeated index means overlapping shard outputs, a backwards jump
+    within one file means a corrupt (out-of-order) shard file; both
+    abort with :class:`ShardMergeError`.  Manifest *files* may be
+    passed in any order.
+    """
+
+    def __init__(self, verify_digests: bool = True) -> None:
+        self.verify_digests = verify_digests
+
+    # -- manifest collection ------------------------------------------- #
+
+    @staticmethod
+    def discover(inputs: Iterable[Union[str, Path]]) -> list[Path]:
+        """Expand directories to their ``*.manifest.json`` files."""
+        paths: list[Path] = []
+        for item in inputs:
+            path = Path(item)
+            if path.is_dir():
+                found = sorted(path.glob("*.manifest.json"))
+                if not found:
+                    raise ShardMergeError(f"no shard manifests in {path}")
+                paths.extend(found)
+            else:
+                paths.append(path)
+        return paths
+
+    def _validate(
+        self, manifests: list[tuple[Path, ShardManifest]]
+    ) -> list[tuple[Path, ShardManifest]]:
+        if not manifests:
+            raise ShardMergeError("no shard manifests to merge")
+        _, first = manifests[0]
+        for path, manifest in manifests[1:]:
+            for attribute in ("corpus_digest", "shards", "strategy"):
+                if getattr(manifest, attribute) != getattr(first, attribute):
+                    raise ShardMergeError(
+                        f"{path}: {attribute} differs from "
+                        f"{manifests[0][0]} — outputs are from "
+                        "different runs or plans"
+                    )
+        seen: Dict[int, Path] = {}
+        for path, manifest in manifests:
+            if manifest.shard in seen:
+                raise ShardMergeError(
+                    f"duplicate shard {manifest.shard}: "
+                    f"{seen[manifest.shard]} and {path}"
+                )
+            seen[manifest.shard] = path
+        missing = sorted(set(range(first.shards)) - set(seen))
+        if missing:
+            raise ShardMergeError(
+                f"missing shard(s) {', '.join(map(str, missing))} "
+                f"of {first.shards}"
+            )
+        return sorted(manifests, key=lambda item: item[1].shard)
+
+    # -- record streaming ---------------------------------------------- #
+
+    @staticmethod
+    def _records(
+        path: Path, manifest: ShardManifest
+    ) -> Iterator[tuple[int, str]]:
+        """Yield ``(global index, raw line)`` with monotonicity checks."""
+        previous = -1
+        count = 0
+        with open(path, "r", encoding="utf-8") as stream:
+            for line_number, line in enumerate(stream, start=1):
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                try:
+                    index = json.loads(line)["index"]
+                except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                    raise ShardMergeError(
+                        f"{path}:{line_number}: not a shard record: {exc}"
+                    )
+                if not isinstance(index, int) or index < 0:
+                    raise ShardMergeError(
+                        f"{path}:{line_number}: bad submission index "
+                        f"{index!r}"
+                    )
+                if index <= previous:
+                    raise ShardMergeError(
+                        f"{path}:{line_number}: out-of-order shard file "
+                        f"(index {index} after {previous})"
+                    )
+                previous = index
+                count += 1
+                yield index, line
+        if count != manifest.records:
+            raise ShardMergeError(
+                f"{path}: {count} record(s) but manifest declares "
+                f"{manifest.records}"
+            )
+
+    def merge(
+        self,
+        inputs: Iterable[Union[str, Path]],
+        output: Union[str, Path, IO[str]],
+    ) -> MergeReport:
+        """Merge shard outputs (manifest files or directories) into one
+        JSONL stream, byte-identical to an unsharded ordered run."""
+        manifest_paths = self.discover(inputs)
+        manifests = [
+            (path, ShardManifest.load(path)) for path in manifest_paths
+        ]
+        manifests = self._validate(manifests)
+        report = MergeReport(shards=len(manifests))
+        streams = []
+        for path, manifest in manifests:
+            output_path = path.parent / manifest.output
+            if not output_path.exists():
+                raise ShardMergeError(f"shard output missing: {output_path}")
+            if self.verify_digests:
+                actual = _file_sha256(output_path)
+                if actual != manifest.sha256:
+                    raise ShardMergeError(
+                        f"{output_path}: content digest mismatch "
+                        "(corrupt or regenerated shard output)"
+                    )
+            streams.append(self._records(output_path, manifest))
+            report.unroutable += manifest.unroutable
+            report.skipped += manifest.skipped
+            report.unreadable += manifest.unreadable
+            report.worker_wall_seconds += manifest.wall_seconds
+            for cluster, stats in manifest.per_cluster.items():
+                merged = report.per_cluster.setdefault(
+                    cluster,
+                    {"pages": 0, "values": 0, "failures": 0, "chunks": 0,
+                     "worker_seconds": 0.0},
+                )
+                for key in merged:
+                    merged[key] += stats.get(key, 0)
+        if isinstance(output, (str, Path)):
+            stream: IO[str] = open(output, "w", encoding="utf-8")
+            owns_stream = True
+        else:
+            stream = output
+            owns_stream = False
+        try:
+            previous = -1
+            for index, line in heapq.merge(*streams):
+                if index == previous:
+                    raise ShardMergeError(
+                        f"overlapping shards: index {index} emitted twice"
+                    )
+                previous = index
+                stream.write(line)
+                stream.write("\n")
+                report.records += 1
+        finally:
+            if owns_stream:
+                stream.close()
+        return report

@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import IO, Optional, Union
+from typing import IO, Union
 
 from repro.core.repository import RuleRepository
 from repro.extraction.xml_writer import (
@@ -44,6 +44,11 @@ class PageRecord:
     values: dict[str, list[str]] = field(default_factory=dict)
     failures: list[tuple[str, str]] = field(default_factory=list)
 
+    #: Global submission index: the page's 0-based position in the
+    #: input stream (``-1`` when the producer did not assign one).
+    #: Shard merging sorts on this (:mod:`repro.service.shard`).
+    index: int = -1
+
     #: Raw node values never cross the service boundary; kept as an
     #: attribute so the record duck-types as a page for the XML writer.
     raw_values: dict = field(default_factory=dict, repr=False)
@@ -55,6 +60,7 @@ class PageRecord:
         return {
             "url": self.url,
             "cluster": self.cluster,
+            "index": self.index,
             "values": self.values,
             "failures": [list(failure) for failure in self.failures],
         }
@@ -147,6 +153,12 @@ class XmlDirectorySink(ResultSink):
     :func:`~repro.extraction.xml_writer.write_cluster_xml` renders
     them, so a streamed document is byte-identical to the batch one
     for the same records in the same order.
+
+    Args:
+        record_indices: also write a ``<cluster>.index`` sidecar — one
+            decimal submission index per line, in page-element order —
+            so sharded XML outputs stay mergeable without perturbing
+            the Figure-5 bytes themselves.
     """
 
     def __init__(
@@ -155,13 +167,16 @@ class XmlDirectorySink(ResultSink):
         repository: RuleRepository,
         indent: str = "  ",
         encoding: str = "ISO-8859-1",
+        record_indices: bool = False,
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.repository = repository
         self.indent = indent
         self.encoding = encoding
+        self.record_indices = record_indices
         self._streams: dict[str, IO[str]] = {}
+        self._index_streams: dict[str, IO[str]] = {}
         self._plans: dict[str, list] = {}
         self._opened: set[str] = set()
 
@@ -195,6 +210,15 @@ class XmlDirectorySink(ResultSink):
         for line in render_page_xml(record, plan, child, indent=self.indent):
             stream.write(line)
             stream.write("\n")
+        if self.record_indices:
+            index_stream = self._index_streams.get(record.cluster)
+            if index_stream is None:
+                index_stream = open(
+                    self.directory / f"{record.cluster}.index", "w",
+                    encoding="ascii",
+                )
+                self._index_streams[record.cluster] = index_stream
+            index_stream.write(f"{record.index}\n")
 
     def close(self) -> None:
         for cluster, stream in self._streams.items():
@@ -202,6 +226,10 @@ class XmlDirectorySink(ResultSink):
                 stream.write(f"</{cluster}>\n")
                 stream.close()
         self._streams.clear()
+        for stream in self._index_streams.values():
+            if not stream.closed:
+                stream.close()
+        self._index_streams.clear()
 
     def paths(self) -> dict[str, Path]:
         """Cluster name -> path of every document this sink has opened."""

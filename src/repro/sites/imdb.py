@@ -47,7 +47,7 @@ Page anatomy (movie cluster)::
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import SiteGenerationError

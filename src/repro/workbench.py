@@ -19,9 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.dom.node import Node, Text
+from repro.dom.node import Node
 from repro.dom.traversal import find_text_node
-from repro.errors import OracleError, RuleError
+from repro.errors import RuleError
 from repro.core.builder import MappingRuleBuilder
 from repro.core.checking import CheckReport, check_rule, render_check_table
 from repro.core.oracle import Oracle, ScriptedOracle, Selection

@@ -9,7 +9,7 @@ contextual predicate, or broadening ``TR[6]`` to ``TR[position()>=1]``
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 # --------------------------------------------------------------------- #

@@ -26,9 +26,9 @@ case-insensitive, and the DOM stores them upper-case so the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable
 
-from repro.dom.node import Comment, Document, Element, Node, Text
+from repro.dom.node import Comment, Element, Text
 from repro.errors import XPathEvaluationError, XPathTypeError
 from repro.xpath.ast import (
     BinaryOp,
@@ -36,7 +36,6 @@ from repro.xpath.ast import (
     FilterPath,
     FunctionCall,
     LocationPath,
-    NameTest,
     NodeTypeTest,
     NumberLiteral,
     Step,
@@ -216,9 +215,12 @@ class Evaluator:
 
         if isinstance(left, list) and isinstance(right, list):
             return any(
-                rel(to_number(node_string_value(l)), to_number(node_string_value(r)))
-                for l in left
-                for r in right
+                rel(
+                    to_number(node_string_value(lnode)),
+                    to_number(node_string_value(rnode)),
+                )
+                for lnode in left
+                for rnode in right
             )
         if isinstance(left, list):
             rnum = to_number(right)

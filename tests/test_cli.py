@@ -287,6 +287,288 @@ def test_serve_stdin_loop(served_site, capsys, monkeypatch):
     assert "error" in json.loads(out_lines[2])
 
 
+def test_serve_eof_mid_json_line(served_site, capsys, monkeypatch):
+    # A final line truncated by EOF (no newline) must produce a
+    # structured error record and a clean exit, not a crash.
+    _, repo_path = served_site
+    monkeypatch.setattr("sys.stdin", io.StringIO('{"url": "x", "html": "<b'))
+    assert main([
+        "serve", "--repository", str(repo_path),
+        "--cluster", "imdb-movies",
+    ]) == 0
+    captured = capsys.readouterr()
+    (line,) = captured.out.strip().splitlines()
+    assert "error" in json.loads(line)
+    assert "served 0 page(s)" in captured.err
+
+
+def test_serve_undecodable_input_continues(served_site, capsys, monkeypatch):
+    _, repo_path = served_site
+
+    class FlakyStdin:
+        """Decode error on the second read, EOF on the fourth."""
+
+        def __init__(self, lines):
+            self._reads = iter(lines)
+
+        def readline(self):
+            item = next(self._reads, "")
+            if isinstance(item, Exception):
+                raise item
+            return item
+
+    good = json.dumps({"url": "http://x/", "html": "<body><p>x</p></body>"})
+    monkeypatch.setattr("sys.stdin", FlakyStdin([
+        good + "\n",
+        UnicodeDecodeError("utf-8", b"\xff", 0, 1, "invalid start byte"),
+        good + "\n",
+    ]))
+    assert main([
+        "serve", "--repository", str(repo_path),
+        "--cluster", "imdb-movies",
+    ]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 3
+    assert "undecodable input" in json.loads(lines[1])["error"]
+    assert json.loads(lines[2])["cluster"] == "imdb-movies"
+
+
+def test_serve_persistent_decode_failure_gives_up(served_site, capsys,
+                                                  monkeypatch):
+    _, repo_path = served_site
+
+    class BrokenStdin:
+        def readline(self):
+            raise UnicodeDecodeError("utf-8", b"\xff", 0, 1, "bad")
+
+    monkeypatch.setattr("sys.stdin", BrokenStdin())
+    monkeypatch.setattr("repro.cli.SERVE_MAX_DECODE_FAILURES", 3)
+    assert main([
+        "serve", "--repository", str(repo_path),
+        "--cluster", "imdb-movies",
+    ]) == 1
+    captured = capsys.readouterr()
+    assert captured.out.count("undecodable input") == 3
+    assert "giving up" in captured.err
+
+
+def test_serve_decode_failure_counter_is_consecutive(served_site, capsys,
+                                                     monkeypatch):
+    # Sporadic decode errors interleaved with progress must never trip
+    # the give-up limit, however many accumulate over a long run.
+    _, repo_path = served_site
+
+    class FlakyStdin:
+        def __init__(self, reads):
+            self._reads = iter(reads)
+
+        def readline(self):
+            item = next(self._reads, "")
+            if isinstance(item, Exception):
+                raise item
+            return item
+
+    good = json.dumps({"url": "http://x/", "html": "<body><p>x</p></body>"})
+    reads = []
+    for _ in range(5):
+        reads.append(UnicodeDecodeError("utf-8", b"\xff", 0, 1, "bad"))
+        reads.append(good + "\n")
+    monkeypatch.setattr("sys.stdin", FlakyStdin(reads))
+    monkeypatch.setattr("repro.cli.SERVE_MAX_DECODE_FAILURES", 3)
+    assert main([
+        "serve", "--repository", str(repo_path),
+        "--cluster", "imdb-movies",
+    ]) == 0
+    assert "served 5 page(s)" in capsys.readouterr().err
+
+
+def test_serve_consumer_closing_output_is_clean(served_site, capsys,
+                                                monkeypatch):
+    _, repo_path = served_site
+
+    class ClosedPipe(io.StringIO):
+        def write(self, text):
+            raise BrokenPipeError(32, "Broken pipe")
+
+    request = json.dumps({
+        "url": "http://x/", "html": "<body><p>x</p></body>",
+    })
+    monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+    monkeypatch.setattr("sys.stdout", ClosedPipe())
+    assert main([
+        "serve", "--repository", str(repo_path),
+        "--cluster", "imdb-movies",
+    ]) == 0
+    err = capsys.readouterr().err
+    assert "output stream closed by consumer" in err
+    assert "served 0 page(s)" in err
+
+
+def test_serve_extraction_crash_emits_error_record(served_site, capsys,
+                                                   monkeypatch):
+    _, repo_path = served_site
+    from repro.service.compiler import CompiledWrapper
+
+    def boom(self, page, failures=None):
+        raise RuntimeError("wrapper exploded")
+
+    monkeypatch.setattr(CompiledWrapper, "extract_page", boom)
+    request = json.dumps({
+        "url": "http://x/", "html": "<body><p>x</p></body>",
+    })
+    monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+    assert main([
+        "serve", "--repository", str(repo_path),
+        "--cluster", "imdb-movies",
+    ]) == 0
+    (line,) = capsys.readouterr().out.strip().splitlines()
+    record = json.loads(line)
+    assert record["url"] == "http://x/"
+    assert "wrapper exploded" in record["error"]
+
+
+# --------------------------------------------------------------------- #
+# The shard subcommands: plan + run + merge
+# --------------------------------------------------------------------- #
+
+
+def test_shard_three_way_matches_unsharded_batch(served_site, tmp_path,
+                                                 capsys):
+    site_dir, repo_path = served_site
+    unsharded = tmp_path / "unsharded.jsonl"
+    assert main([
+        "batch", str(site_dir), "--repository", str(repo_path),
+        "--jsonl", str(unsharded), "--workers", "3", "--chunk-size", "5",
+    ]) == 0
+    plan_path = tmp_path / "plan.json"
+    assert main([
+        "shard", "plan", str(site_dir),
+        "--shards", "3", "--output", str(plan_path),
+    ]) == 0
+    out_dir = tmp_path / "shards"
+    for shard in range(3):
+        assert main([
+            "shard", "run", str(site_dir),
+            "--plan", str(plan_path), "--shard", str(shard),
+            "--repository", str(repo_path),
+            "--output-dir", str(out_dir), "--chunk-size", "4",
+        ]) == 0
+    merged = tmp_path / "merged.jsonl"
+    assert main([
+        "shard", "merge", str(out_dir), "--output", str(merged),
+    ]) == 0
+    assert merged.read_bytes() == unsharded.read_bytes()
+    assert "shards merged   : 3" in capsys.readouterr().err
+
+
+def test_shard_merge_to_stdout(served_site, tmp_path, capsys):
+    site_dir, repo_path = served_site
+    plan_path = tmp_path / "plan.json"
+    main(["shard", "plan", str(site_dir), "--shards", "2",
+          "--strategy", "range", "--output", str(plan_path)])
+    out_dir = tmp_path / "shards"
+    for shard in range(2):
+        main(["shard", "run", str(site_dir), "--plan", str(plan_path),
+              "--shard", str(shard), "--repository", str(repo_path),
+              "--output-dir", str(out_dir)])
+    capsys.readouterr()
+    assert main(["shard", "merge", str(out_dir)]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    indices = [json.loads(line)["index"] for line in lines]
+    assert indices == sorted(indices)
+
+
+def test_shard_identity_survives_unreadable_file(served_site, tmp_path):
+    # An unreadable file mid-corpus must leave the same submission-index
+    # gap in both pipelines, keeping merged output byte-identical.
+    site_dir, repo_path = served_site
+    victim = sorted(site_dir.glob("imdb-movies-*.html"))[3]
+    victim.write_bytes(b"<body>caf\xe9</body>")  # not valid UTF-8
+    plan_path = tmp_path / "plan.json"
+    assert main(["shard", "plan", str(site_dir), "--shards", "2",
+                 "--output", str(plan_path)]) == 0
+    out_dir = tmp_path / "shards"
+    for shard in range(2):
+        assert main(["shard", "run", str(site_dir),
+                     "--plan", str(plan_path), "--shard", str(shard),
+                     "--repository", str(repo_path),
+                     "--output-dir", str(out_dir)]) == 0
+    merged = tmp_path / "merged.jsonl"
+    assert main(["shard", "merge", str(out_dir),
+                 "--output", str(merged)]) == 0
+    unsharded = tmp_path / "unsharded.jsonl"
+    assert main(["batch", str(site_dir), "--repository", str(repo_path),
+                 "--jsonl", str(unsharded)]) == 0
+    assert merged.read_bytes() == unsharded.read_bytes()
+
+
+def test_batch_survives_unreadable_exemplar(served_site, tmp_path, capsys):
+    # The router is fitted from the first hint-named files; a
+    # mis-encoded file in that window must be skipped, not crash.
+    site_dir, repo_path = served_site
+    victim = sorted(site_dir.glob("imdb-movies-*.html"))[0]
+    victim.write_bytes(b"<body>caf\xe9</body>")
+    out = tmp_path / "records.jsonl"
+    assert main([
+        "batch", str(site_dir), "--repository", str(repo_path),
+        "--jsonl", str(out),
+    ]) == 0
+    err = capsys.readouterr().err
+    assert "skipping exemplar" in err
+    assert "1 unreadable file(s) skipped" in err
+
+
+def test_shard_plan_empty_directory_errors(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["shard", "plan", str(empty)]) == 2
+
+
+def test_shard_run_rejects_unknown_shard(served_site, tmp_path, capsys):
+    site_dir, repo_path = served_site
+    plan_path = tmp_path / "plan.json"
+    main(["shard", "plan", str(site_dir), "--shards", "2",
+          "--output", str(plan_path)])
+    assert main([
+        "shard", "run", str(site_dir), "--plan", str(plan_path),
+        "--shard", "7", "--repository", str(repo_path),
+        "--output-dir", str(tmp_path / "out"),
+    ]) == 2
+    assert "out of range" in capsys.readouterr().err
+
+
+def test_shard_run_reports_missing_plan_pages(served_site, tmp_path,
+                                              capsys):
+    site_dir, repo_path = served_site
+    plan_path = tmp_path / "plan.json"
+    main(["shard", "plan", str(site_dir), "--shards", "2",
+          "--output", str(plan_path)])
+    victim = sorted(site_dir.glob("*.html"))[0]
+    victim.unlink()
+    assert main([
+        "shard", "run", str(site_dir), "--plan", str(plan_path),
+        "--shard", "0", "--repository", str(repo_path),
+        "--output-dir", str(tmp_path / "out"),
+    ]) == 2
+    assert "missing" in capsys.readouterr().err
+
+
+def test_shard_merge_incomplete_set_fails(served_site, tmp_path, capsys):
+    site_dir, repo_path = served_site
+    plan_path = tmp_path / "plan.json"
+    main(["shard", "plan", str(site_dir), "--shards", "2",
+          "--output", str(plan_path)])
+    out_dir = tmp_path / "shards"
+    main(["shard", "run", str(site_dir), "--plan", str(plan_path),
+          "--shard", "0", "--repository", str(repo_path),
+          "--output-dir", str(out_dir)])
+    assert main([
+        "shard", "merge", str(out_dir),
+        "--output", str(tmp_path / "merged.jsonl"),
+    ]) == 1
+    assert "missing shard" in capsys.readouterr().err
+
+
 def test_serve_multi_cluster_requires_disambiguation(served_site, tmp_path,
                                                      monkeypatch):
     from repro.core.component import PageComponent

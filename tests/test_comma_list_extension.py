@@ -10,7 +10,7 @@ registered splitter in post-processing recovers the individual values.
 import pytest
 
 from repro.core.oracle import ScriptedOracle
-from repro.extraction import ExtractionPipeline, PostProcessor, strip_prefix
+from repro.extraction import ExtractionPipeline, PostProcessor
 from repro.extraction.postprocess import split_list
 from repro.sites.imdb import ImdbOptions, generate_imdb_site
 

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import RefinementError
 from repro.core.builder import MappingRuleBuilder
 from repro.core.component import Format
-from repro.core.oracle import ScriptedOracle
 from repro.core.repository import RuleRepository
 from repro.sites.page import WebPage
 

@@ -1,6 +1,5 @@
 """Unit tests for rule checking and outcome classification."""
 
-import pytest
 
 from repro.core.checking import (
     CheckOutcome,
@@ -10,7 +9,6 @@ from repro.core.checking import (
     _short_uri,
 )
 from repro.core.component import Multiplicity, Optionality, PageComponent
-from repro.core.oracle import ScriptedOracle
 from repro.core.rule import MappingRule, MatchResult
 from repro.sites.page import WebPage
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.dom.node import Element, Text
 from repro.errors import OracleError
-from repro.core.oracle import InteractiveOracle, ScriptedOracle, Selection
+from repro.core.oracle import InteractiveOracle, ScriptedOracle
 from repro.sites.page import WebPage
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.builder import MappingRuleBuilder
-from repro.core.checking import check_rule
 from repro.core.component import Format, Multiplicity, Optionality
 from repro.core.oracle import ScriptedOracle
 from repro.core.refinement import RefinementEngine

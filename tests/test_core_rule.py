@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import RuleValidationError, XPathSyntaxError
 from repro.core.component import Format, PageComponent
-from repro.core.rule import ComponentValue, MappingRule, normalize_value
+from repro.core.rule import MappingRule, normalize_value
 from repro.html import parse_html
 
 

@@ -6,7 +6,6 @@ from repro.dom.node import (
     Comment,
     Document,
     Element,
-    Node,
     NodeType,
     Text,
     sort_document_order,

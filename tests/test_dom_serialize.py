@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dom.node import Comment, Document, Element, Text
+from repro.dom.node import Element, Text
 from repro.dom.serialize import (
     escape_attribute,
     escape_text,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.evaluation.metrics import (
-    ComponentScore,
     EvaluationSummary,
     score_values,
     untargeted_scores,

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ExtractionError
 from repro.core.builder import MappingRuleBuilder
 from repro.core.component import PageComponent
-from repro.core.oracle import ScriptedOracle
 from repro.core.repository import Aggregation, RuleRepository
 from repro.core.rule import MappingRule
 from repro.extraction import (

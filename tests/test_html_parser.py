@@ -1,6 +1,6 @@
 """Unit tests for the tolerant tree builder."""
 
-from repro.dom.node import Comment, Element, Text
+from repro.dom.node import Comment, Text
 from repro.html import parse_html
 
 

@@ -4,7 +4,6 @@
 
 import pytest
 
-from repro.dom.node import Text
 from repro.html import parse_html
 
 

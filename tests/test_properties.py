@@ -27,7 +27,7 @@ from repro.clustering.similarity import (
     jaccard_similarity,
     tag_sequence_similarity,
 )
-from repro.dom.node import Element, Text
+from repro.dom.node import Element
 from repro.dom.serialize import to_html
 from repro.dom.traversal import iter_text_nodes
 from repro.html import parse_html

@@ -6,7 +6,6 @@ from repro.extraction.extractor import ExtractionProcessor
 from repro.extraction.postprocess import PostProcessor, regex_extractor
 from repro.service.engine import BatchExtractionEngine
 from repro.service.router import ClusterRouter
-from repro.service.sink import CollectingSink
 from repro.sites.page import WebPage
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ClusteringError
 from repro.clustering.features import PageSignature, page_signature
-from repro.service.router import UNROUTABLE, ClusterRouter, RouteDecision
+from repro.service.router import UNROUTABLE, ClusterRouter
 from repro.sites.page import WebPage
 
 

@@ -1,0 +1,372 @@
+"""Sharded batch execution: planning, workers, deterministic merge."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ShardMergeError, ShardPlanError
+from repro.service.engine import BatchExtractionEngine
+from repro.service.shard import (
+    ShardManifest,
+    ShardMerger,
+    ShardPlan,
+    ShardPlanner,
+    ShardWorker,
+    shard_basename,
+    stable_shard,
+)
+from repro.service.sink import CollectingSink, JsonlSink
+
+
+@pytest.fixture(scope="module")
+def corpus(service_site):
+    """The ≥500-page site keyed by url (the shard page id)."""
+    pages = list(service_site)
+    return pages, {page.url: page for page in pages}
+
+
+def _run_shards(plan, repository, by_url, tmp_path, shards=None, **engine):
+    directory = tmp_path / "shards"
+    manifests = []
+    for shard in shards if shards is not None else range(plan.shards):
+        worker = ShardWorker(repository, plan, shard, **engine)
+        manifest, _ = worker.run(lambda url: by_url[url], directory)
+        manifests.append(manifest)
+    return directory, manifests
+
+
+def _unsharded_bytes(pages, repository, **engine):
+    stream = io.StringIO()
+    engine_run = BatchExtractionEngine(repository, ordered=True, **engine)
+    with JsonlSink(stream) as sink:
+        engine_run.run(pages, sink)
+    return stream.getvalue()
+
+
+class TestPlanner:
+    def test_hash_strategy_is_stable_and_total(self):
+        ids = [f"page-{i:04d}.html" for i in range(100)]
+        plan = ShardPlanner(4, "hash").plan(ids)
+        again = ShardPlanner(4, "hash").plan(ids)
+        assert plan.assignments == again.assignments
+        assert sorted(
+            index for shard in range(4)
+            for index, _ in plan.pages_for(shard)
+        ) == list(range(100))
+        # Stable hash: membership survives reordering of the corpus.
+        assert stable_shard("page-0007.html", 4) == plan.assignments[7]
+
+    def test_range_strategy_is_contiguous_and_balanced(self):
+        ids = [f"p{i}" for i in range(10)]
+        plan = ShardPlanner(3, "range").plan(ids)
+        assert plan.assignments == sorted(plan.assignments)
+        assert plan.shard_sizes() == [4, 3, 3]
+
+    def test_single_page_corpus(self):
+        plan = ShardPlanner(3, "range").plan(["only.html"])
+        assert plan.shard_sizes().count(1) == 1
+        assert sum(plan.shard_sizes()) == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ShardPlanError):
+            ShardPlanner(0)
+        with pytest.raises(ShardPlanError):
+            ShardPlanner(2, "modulo")
+        with pytest.raises(ShardPlanError):
+            ShardPlanner(2).plan(["a", "a"])
+        with pytest.raises(ShardPlanError):
+            ShardPlanner(2).plan(["a", "b"]).pages_for(5)
+
+    def test_plan_roundtrips_through_json(self, tmp_path):
+        plan = ShardPlanner(2, "hash").plan(["a.html", "b.html", "c.html"])
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        loaded = ShardPlan.load(path)
+        assert loaded.assignments == plan.assignments
+        assert loaded.page_ids == plan.page_ids
+        assert loaded.corpus_digest == plan.corpus_digest
+
+    def test_corrupt_plan_detected(self, tmp_path):
+        plan = ShardPlanner(2, "hash").plan(["a.html", "b.html"])
+        data = plan.to_dict()
+        data["page_ids"] = ["a.html", "z.html"]  # digest now stale
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(ShardPlanError, match="digest mismatch"):
+            ShardPlan.load(path)
+        with pytest.raises(ShardPlanError, match="format"):
+            ShardPlan.from_dict({**plan.to_dict(), "format": 99})
+
+
+class TestOrderedEngine:
+    def test_records_emitted_in_submission_index_order(
+        self, service_site, service_repository
+    ):
+        pages = list(service_site)[:120]
+        engine = BatchExtractionEngine(
+            service_repository, workers=4, chunk_size=7, ordered=True
+        )
+        sink = CollectingSink()
+        engine.run(pages, sink)
+        indices = [record.index for record in sink.records]
+        assert indices == sorted(indices)
+        # Indices are stream positions: dropped pages leave gaps.
+        by_index = {page.url: i for i, page in enumerate(pages)}
+        for record in sink.records:
+            assert record.index == by_index[record.url]
+
+
+class TestWorker:
+    def test_manifest_describes_the_shard(
+        self, corpus, service_repository, tmp_path
+    ):
+        pages, by_url = corpus
+        plan = ShardPlanner(3, "hash").plan([p.url for p in pages[:90]])
+        directory, manifests = _run_shards(
+            plan, service_repository, by_url, tmp_path, chunk_size=8
+        )
+        for manifest in manifests:
+            assert manifest.strategy == "hash"
+            assert manifest.corpus_digest == plan.corpus_digest
+            assert manifest.pages == plan.shard_sizes()[manifest.shard]
+            assert manifest.records <= manifest.pages
+            path = directory / manifest.output
+            lines = path.read_text(encoding="utf-8").splitlines()
+            assert len(lines) == manifest.records
+            indices = [json.loads(line)["index"] for line in lines]
+            assert indices == sorted(indices)
+            if indices:
+                assert manifest.index_min <= indices[0]
+                assert manifest.index_max >= indices[-1]
+            loaded = ShardManifest.load(
+                directory / f"{shard_basename(manifest.shard)}.manifest.json"
+            )
+            assert loaded == manifest
+
+    def test_empty_shard_yields_empty_output_and_merges(
+        self, corpus, service_repository, tmp_path
+    ):
+        pages, by_url = corpus
+        # A 5-shard range plan over 3 pages leaves shards 3/4 empty.
+        plan = ShardPlanner(5, "range").plan([p.url for p in pages[:3]])
+        directory, manifests = _run_shards(
+            plan, service_repository, by_url, tmp_path
+        )
+        empty = [m for m in manifests if m.pages == 0]
+        assert len(empty) == 2
+        for manifest in empty:
+            assert manifest.records == 0
+            assert manifest.index_min is None
+            assert (directory / manifest.output).read_text("utf-8") == ""
+        stream = io.StringIO()
+        report = ShardMerger().merge([directory], stream)
+        assert report.shards == 5
+        assert report.records == len(stream.getvalue().splitlines())
+
+    def test_single_page_corpus_shards_and_merges(
+        self, corpus, service_repository, tmp_path
+    ):
+        pages, by_url = corpus
+        plan = ShardPlanner(2, "hash").plan([pages[0].url])
+        directory, _ = _run_shards(
+            plan, service_repository, by_url, tmp_path
+        )
+        stream = io.StringIO()
+        report = ShardMerger().merge([directory], stream)
+        assert report.records == 1
+        assert json.loads(stream.getvalue())["index"] == 0
+
+    def test_shard_out_of_range_rejected(self, corpus, service_repository):
+        pages, _ = corpus
+        plan = ShardPlanner(2, "hash").plan([pages[0].url])
+        with pytest.raises(ShardPlanError):
+            ShardWorker(service_repository, plan, 2)
+
+    def test_unreadable_pages_skipped_when_asked(
+        self, corpus, service_repository, tmp_path
+    ):
+        pages, by_url = corpus
+        plan = ShardPlanner(1, "range").plan([p.url for p in pages[:5]])
+
+        def load(url):
+            if url == pages[2].url:
+                raise OSError("gone")
+            return by_url[url]
+
+        worker = ShardWorker(
+            service_repository, plan, 0, skip_unreadable=True
+        )
+        manifest, _ = worker.run(load, tmp_path / "s")
+        assert manifest.unreadable == 1
+        assert manifest.records == 4
+        strict = ShardWorker(service_repository, plan, 0)
+        with pytest.raises(OSError):
+            strict.run(load, tmp_path / "strict")
+
+
+class TestMerge:
+    def test_three_shards_byte_identical_to_unsharded(
+        self, corpus, service_repository, tmp_path
+    ):
+        pages, by_url = corpus
+        assert len(pages) >= 300
+        plan = ShardPlanner(3, "hash").plan([p.url for p in pages])
+        directory, _ = _run_shards(
+            plan, service_repository, by_url, tmp_path,
+            workers=2, chunk_size=16,
+        )
+        stream = io.StringIO()
+        ShardMerger().merge([directory], stream)
+        # Different chunking on the unsharded side: ordered emission
+        # makes the byte stream independent of chunk boundaries.
+        expected = _unsharded_bytes(
+            pages, service_repository, workers=3, chunk_size=11
+        )
+        assert stream.getvalue() == expected
+
+    def test_manifest_order_does_not_matter(
+        self, corpus, service_repository, tmp_path
+    ):
+        pages, by_url = corpus
+        plan = ShardPlanner(3, "hash").plan([p.url for p in pages[:60]])
+        directory, manifests = _run_shards(
+            plan, service_repository, by_url, tmp_path
+        )
+        scrambled = [
+            directory / f"{shard_basename(m.shard)}.manifest.json"
+            for m in reversed(manifests)
+        ]
+        stream = io.StringIO()
+        ShardMerger().merge(scrambled, stream)
+        indices = [
+            json.loads(line)["index"]
+            for line in stream.getvalue().splitlines()
+        ]
+        assert indices == sorted(indices)
+
+    def _shards(self, corpus, repository, tmp_path, shards=2, count=40):
+        pages, by_url = corpus
+        plan = ShardPlanner(shards, "hash").plan(
+            [p.url for p in pages[:count]]
+        )
+        return _run_shards(plan, repository, by_url, tmp_path)
+
+    def test_missing_shard_detected(
+        self, corpus, service_repository, tmp_path
+    ):
+        directory, manifests = self._shards(
+            corpus, service_repository, tmp_path
+        )
+        only = directory / f"{shard_basename(0)}.manifest.json"
+        with pytest.raises(ShardMergeError, match="missing shard"):
+            ShardMerger().merge([only], io.StringIO())
+
+    def test_duplicate_shard_manifests_detected(
+        self, corpus, service_repository, tmp_path
+    ):
+        directory, _ = self._shards(corpus, service_repository, tmp_path)
+        manifest = directory / f"{shard_basename(0)}.manifest.json"
+        duplicate = directory / "copy.manifest.json"
+        duplicate.write_text(manifest.read_text("utf-8"), encoding="utf-8")
+        with pytest.raises(ShardMergeError, match="duplicate shard"):
+            ShardMerger().merge([directory], io.StringIO())
+
+    def test_overlapping_shards_detected(
+        self, corpus, service_repository, tmp_path
+    ):
+        pages, by_url = corpus
+        plan = ShardPlanner(2, "hash").plan([p.url for p in pages[:40]])
+        directory, _ = _run_shards(
+            plan, service_repository, by_url, tmp_path
+        )
+        # Re-run shard 1 over shard 0's pages (assignments flipped):
+        # same corpus, so manifests stay consistent, but shard 1's
+        # output now repeats shard 0's submission indices.
+        overlap = ShardPlan(
+            shards=2, strategy=plan.strategy, page_ids=plan.page_ids,
+            assignments=[1 - shard for shard in plan.assignments],
+        )
+        worker = ShardWorker(service_repository, overlap, 1)
+        worker.run(lambda url: by_url[url], directory)
+        with pytest.raises(ShardMergeError, match="overlapping"):
+            ShardMerger().merge([directory], io.StringIO())
+
+    def test_mismatched_plans_detected(
+        self, corpus, service_repository, tmp_path
+    ):
+        directory, _ = self._shards(
+            corpus, service_repository, tmp_path / "a", count=40
+        )
+        other, _ = self._shards(
+            corpus, service_repository, tmp_path / "b", count=30
+        )
+        first = directory / f"{shard_basename(0)}.manifest.json"
+        second = other / f"{shard_basename(1)}.manifest.json"
+        with pytest.raises(ShardMergeError, match="corpus_digest"):
+            ShardMerger().merge([first, second], io.StringIO())
+
+    def test_out_of_order_shard_file_detected(
+        self, corpus, service_repository, tmp_path
+    ):
+        directory, manifests = self._shards(
+            corpus, service_repository, tmp_path
+        )
+        target = next(m for m in manifests if m.records >= 2)
+        path = directory / target.output
+        lines = path.read_text("utf-8").splitlines()
+        lines[0], lines[1] = lines[1], lines[0]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(ShardMergeError, match="out-of-order|digest"):
+            ShardMerger().merge([directory], io.StringIO())
+        with pytest.raises(ShardMergeError, match="out-of-order"):
+            ShardMerger(verify_digests=False).merge(
+                [directory], io.StringIO()
+            )
+
+    def test_tampered_output_digest_detected(
+        self, corpus, service_repository, tmp_path
+    ):
+        directory, manifests = self._shards(
+            corpus, service_repository, tmp_path
+        )
+        target = next(m for m in manifests if m.records >= 1)
+        path = directory / target.output
+        path.write_text(
+            path.read_text("utf-8") + "\n", encoding="utf-8"
+        )
+        with pytest.raises(ShardMergeError, match="digest mismatch"):
+            ShardMerger().merge([directory], io.StringIO())
+
+    def test_record_count_mismatch_detected(
+        self, corpus, service_repository, tmp_path
+    ):
+        directory, manifests = self._shards(
+            corpus, service_repository, tmp_path
+        )
+        target = next(m for m in manifests if m.records >= 2)
+        path = directory / target.output
+        lines = path.read_text("utf-8").splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n", encoding="utf-8")
+        with pytest.raises(ShardMergeError, match="digest|record"):
+            ShardMerger().merge([directory], io.StringIO())
+        with pytest.raises(ShardMergeError, match="manifest declares"):
+            ShardMerger(verify_digests=False).merge(
+                [directory], io.StringIO()
+            )
+
+    def test_empty_inputs_rejected(self, tmp_path):
+        with pytest.raises(ShardMergeError, match="no shard manifests"):
+            ShardMerger().merge([tmp_path], io.StringIO())
+        with pytest.raises(ShardMergeError, match="no shard manifests"):
+            ShardMerger().merge([], io.StringIO())
+
+    def test_missing_output_file_detected(
+        self, corpus, service_repository, tmp_path
+    ):
+        directory, manifests = self._shards(
+            corpus, service_repository, tmp_path
+        )
+        (directory / manifests[0].output).unlink()
+        with pytest.raises(ShardMergeError, match="output missing"):
+            ShardMerger().merge([directory], io.StringIO())

@@ -3,7 +3,6 @@
 import io
 import json
 
-import pytest
 
 from repro.core.repository import Aggregation, RuleRepository
 from repro.extraction.extractor import ExtractionProcessor
@@ -35,7 +34,7 @@ class TestJsonlSink:
         assert len(lines) == 2
         first = json.loads(lines[0])
         assert first == {
-            "url": "http://x/1", "cluster": "movies",
+            "url": "http://x/1", "cluster": "movies", "index": -1,
             "values": {"title": ["A"]}, "failures": [],
         }
 
@@ -119,6 +118,25 @@ class TestXmlDirectorySink:
         text = raw.decode("ISO-8859-1")  # must not raise, no mojibake
         assert 'encoding="ISO-8859-1"' in text
         assert "caf\xe9 &#8364;9" in text
+
+    def test_index_sidecar_records_submission_order(self, tmp_path):
+        repository = RuleRepository()
+        sink = XmlDirectorySink(tmp_path, repository, record_indices=True)
+        with sink:
+            for index, cluster in ((4, "alpha"), (9, "beta"), (11, "alpha")):
+                record = _record(cluster=cluster, title=["t"])
+                record.index = index
+                sink.write(record)
+        assert (tmp_path / "alpha.index").read_text("ascii") == "4\n11\n"
+        assert (tmp_path / "beta.index").read_text("ascii") == "9\n"
+        # Sidecars are opt-in: the Figure-5 XML bytes never change.
+        assert "index" not in (tmp_path / "alpha.xml").read_text("utf-8")
+
+    def test_no_sidecar_by_default(self, tmp_path):
+        sink = XmlDirectorySink(tmp_path, RuleRepository())
+        with sink:
+            sink.write(_record(cluster="only", title=["t"]))
+        assert not list(tmp_path.glob("*.index"))
 
     def test_close_is_idempotent(self, tmp_path):
         sink = XmlDirectorySink(tmp_path, RuleRepository())

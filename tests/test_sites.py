@@ -2,9 +2,7 @@
 
 import pytest
 
-from repro.dom.traversal import iter_text_nodes
 from repro.errors import SiteGenerationError
-from repro.core.rule import normalize_value
 from repro.sites import (
     WebPage,
     WebSite,
@@ -12,7 +10,6 @@ from repro.sites import (
     generate_news_site,
     generate_shop_site,
     generate_stocks_site,
-    make_paper_sample,
 )
 from repro.sites.imdb import PAPER_SAMPLE_IDS, ImdbOptions
 from repro.sites.site import same_domain

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import XPathSyntaxError
-from repro.xpath.lexer import Token, TokenType, tokenize_xpath
+from repro.xpath.lexer import TokenType, tokenize_xpath
 
 
 def kinds(expression):

@@ -11,7 +11,6 @@ from repro.xpath.ast import (
     NameTest,
     NodeTypeTest,
     NumberLiteral,
-    Step,
     StringLiteral,
 )
 from repro.xpath.parser import parse_xpath
