@@ -1,4 +1,4 @@
-"""Service throughput — compiled parallel engine vs. sequential baseline.
+"""Service throughput — engine vs. sequential, async serve vs. sync.
 
 Measures pages/second over a two-cluster synthetic site for:
 
@@ -6,22 +6,34 @@ Measures pages/second over a two-cluster synthetic site for:
   re-walking rule locations page by page);
 * one compiled wrapper on one thread (isolates the compilation win:
   pre-parsed ASTs + prefix-factored DOM walks);
-* the :class:`BatchExtractionEngine` at 2 and 4 thread workers.
+* the :class:`BatchExtractionEngine` at 2 and 4 thread workers;
+* the ``serve`` front-ends: the ``--sync`` one-line-at-a-time loop vs
+  the asyncio front-end, fed by a paced producer
+  (:data:`PRODUCER_LATENCY` per line — a real upstream pipe costs
+  something to fill; overlapping that cost with extraction is exactly
+  what the async front-end buys, and what the bench gates on).
 
-Pages are pre-parsed once so every variant measures pure extraction
-machinery.  The acceptance bar: the compiled parallel path must beat
-the sequential baseline at >= 2 workers by at least
-:data:`MIN_ENGINE_SPEEDUP` (on single-core CI hosts the margin comes
-from compilation — PR 1 measured ~1.8x there; multi-core hosts add
-core-parallelism on top, and ``--executor process`` scales further).
-Falling under the floor fails the run: this file is CI's throughput
-regression gate.
+Pages are pre-parsed once so the engine variants measure pure
+extraction machinery.  Two acceptance bars, both failing the run when
+missed (this file is CI's throughput regression gate):
+
+* the compiled parallel path must beat the sequential baseline at
+  >= 2 workers by at least :data:`MIN_ENGINE_SPEEDUP` (PR 1 measured
+  ~1.8x on single-core CI from compilation alone);
+* the async serve front-end must sustain at least
+  :data:`MIN_ASYNC_SERVE_SPEEDUP` x the sync loop's throughput on the
+  paced corpus (measured ~1.2-1.4x; pure in-memory feeds with zero
+  production latency are reported too, ungated, where the event-loop
+  overhead on a GIL-bound workload shows as <1x).
 
 Measurements are also written as JSON to ``$BENCH_RESULTS`` (default
-``bench-results/service_throughput.json``) so CI can upload them as a
-workflow artifact and runs stay comparable over time.
+``bench-results/service_throughput.json``; sections merge, so both
+tests land in one artifact) so CI can upload them as a workflow
+artifact and runs stay comparable over time.
 """
 
+import asyncio
+import io
 import json
 import os
 import time
@@ -32,6 +44,7 @@ from repro.core.oracle import ScriptedOracle
 from repro.core.repository import RuleRepository
 from repro.extraction.extractor import ExtractionProcessor
 from repro.service.engine import BatchExtractionEngine
+from repro.service.serve import ServeHandler, serve_async
 from repro.service.sink import NullSink
 from repro.sites.imdb import generate_imdb_site
 
@@ -44,6 +57,17 @@ N_ACTORS = 60
 #: faster than the sequential baseline (PR 1 measured ~1.8x on CI).
 MIN_ENGINE_SPEEDUP = 1.3
 
+#: Pages fed through each serve front-end.
+SERVE_PAGES = 120
+
+#: Seconds the paced producer spends per line — the modelled cost of
+#: the upstream pipe/network filling stdin.
+PRODUCER_LATENCY = 0.001
+
+#: Regression floor: the async front-end must at least match the sync
+#: loop on the paced corpus (measured ~1.2-1.4x).
+MIN_ASYNC_SERVE_SPEEDUP = 1.0
+
 
 def _write_results(payload: dict) -> Path:
     target = Path(
@@ -52,8 +76,12 @@ def _write_results(payload: dict) -> Path:
         )
     )
     target.parent.mkdir(parents=True, exist_ok=True)
+    merged: dict = {}
+    if target.exists():  # both bench tests land in one artifact
+        merged = json.loads(target.read_text(encoding="utf-8"))
+    merged.update(payload)
     target.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        json.dumps(merged, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
     return target
@@ -157,3 +185,114 @@ def test_service_throughput(benchmark):
     )
     # And compilation alone is already a win.
     assert compiled_seconds < seq_seconds
+
+
+# --------------------------------------------------------------------- #
+# Async serve vs the sync loop
+# --------------------------------------------------------------------- #
+
+
+class _PacedStdin:
+    """A stdin whose producer needs ~1 ms per line, like a real pipe."""
+
+    def __init__(self, lines: list[str]) -> None:
+        self._lines = iter(lines)
+
+    def readline(self) -> str:
+        time.sleep(PRODUCER_LATENCY)
+        return next(self._lines, "")
+
+
+def _serve_corpus() -> tuple[ServeHandler, list[str]]:
+    repository, _, movies, _ = _build_corpus()
+    handler = ServeHandler(repository, cluster="imdb-movies")
+    lines = [
+        json.dumps({"url": page.url, "html": page.html}) + "\n"
+        for page in movies[:SERVE_PAGES]
+    ]
+    return handler, lines
+
+
+def _sync_serve(handler: ServeHandler, lines: list[str],
+                paced: bool) -> float:
+    """The ``serve --sync`` core: read, handle, write, one at a time."""
+    stdin = _PacedStdin(lines) if paced else io.StringIO("".join(lines))
+    out = io.StringIO()
+    served = 0
+    started = time.perf_counter()
+    while True:
+        line = stdin.readline()
+        if not line:
+            break
+        payload, ok = handler.handle_line(line.strip())
+        print(payload, file=out, flush=True)
+        served += ok
+    elapsed = time.perf_counter() - started
+    assert served == len(lines)
+    return elapsed
+
+
+def _async_serve(handler: ServeHandler, lines: list[str],
+                 paced: bool) -> float:
+    stdin = _PacedStdin(lines) if paced else io.StringIO("".join(lines))
+    out = io.StringIO()
+    started = time.perf_counter()
+    stats = asyncio.run(serve_async(handler, stdin, out, max_inflight=8))
+    elapsed = time.perf_counter() - started
+    assert stats.served == len(lines)
+    return elapsed
+
+
+def test_async_serve_throughput(benchmark):
+    handler, lines = _serve_corpus()
+    total = len(lines)
+
+    sync_paced = _sync_serve(handler, lines, paced=True)
+    async_paced = benchmark.pedantic(
+        lambda: _async_serve(handler, lines, paced=True),
+        rounds=1, iterations=1,
+    )
+    # The zero-latency variants are diagnostics, not a gate: with no
+    # production cost to overlap, the event loop is pure overhead.
+    sync_memory = _sync_serve(handler, lines, paced=False)
+    async_memory = _async_serve(handler, lines, paced=False)
+
+    def pps(seconds: float) -> float:
+        return total / seconds
+
+    speedup = sync_paced / async_paced
+    emit(
+        "Serve front-ends (pages/second, higher is better)",
+        "\n".join([
+            f"pages: {total}, producer latency: "
+            f"{PRODUCER_LATENCY * 1000:.1f} ms/line, 8 in flight",
+            f"sync loop, paced     : {pps(sync_paced):9.1f} p/s",
+            f"async, paced         : {pps(async_paced):9.1f} p/s"
+            f"  ({speedup:.2f}x)",
+            f"sync loop, in-memory : {pps(sync_memory):9.1f} p/s",
+            f"async, in-memory     : {pps(async_memory):9.1f} p/s"
+            f"  ({sync_memory / async_memory:.2f}x)",
+        ]),
+    )
+    results_path = _write_results({
+        "serve": {
+            "pages": total,
+            "producer_latency_seconds": PRODUCER_LATENCY,
+            "pages_per_second": {
+                "sync_paced": pps(sync_paced),
+                "async_paced": pps(async_paced),
+                "sync_in_memory": pps(sync_memory),
+                "async_in_memory": pps(async_memory),
+            },
+            "async_speedup_paced": speedup,
+            "min_async_serve_speedup": MIN_ASYNC_SERVE_SPEEDUP,
+        },
+    })
+    print(f"results written to {results_path}")
+
+    # Regression gate: overlapping production latency with extraction
+    # must keep the async front-end at least level with the sync loop.
+    assert speedup >= MIN_ASYNC_SERVE_SPEEDUP, (
+        f"async serve is only {speedup:.2f}x the sync loop "
+        f"(regression floor: {MIN_ASYNC_SERVE_SPEEDUP}x)"
+    )

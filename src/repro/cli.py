@@ -10,20 +10,29 @@ Subcommands mirror the Figure-1 pipeline:
                     (console oracle) and save the repository;
 * ``extract``     — apply a saved repository to HTML files and emit the
                     XML document (and optionally the XML Schema);
-* ``batch``       — serve a directory through the parallel extraction
-                    engine (router -> compiled wrappers -> sink);
+* ``batch``       — serve a directory through the streaming extraction
+                    runtime (router -> compiled wrappers -> sink);
 * ``serve``       — online loop: read ``{"url", "html"}`` JSON lines
-                    from stdin, write extraction records to stdout;
-* ``shard``       — multi-host batch execution in three coordinator-free
+                    from stdin, write extraction records to stdout.
+                    Asynchronous by default (bounded in-flight pages,
+                    output in input order); ``--sync`` keeps the
+                    one-line-at-a-time loop;
+* ``shard``       — multi-host batch execution in coordinator-free
                     steps: ``plan`` splits the corpus deterministically,
-                    ``run`` extracts one shard (JSONL + manifest),
-                    ``merge`` mergesorts shard outputs into a stream
-                    byte-identical to an unsharded ``batch`` run.
+                    ``run`` extracts one shard (JSONL or XML +
+                    manifest), ``resume`` re-runs only failed/missing
+                    shards, ``merge`` mergesorts shard outputs into a
+                    stream byte-identical to an unsharded ``batch`` run.
+
+Every data-path subcommand is a composition over the same
+:class:`~repro.service.runtime.StreamingRuntime`; see the README's
+Architecture section for the source -> runtime -> sink map.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import re
@@ -31,7 +40,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.errors import HtmlParseError, RepositoryError
+from repro.errors import RepositoryError
 from repro.clustering.cluster import PageClusterer
 from repro.core.builder import MappingRuleBuilder
 from repro.core.oracle import InteractiveOracle, ScriptedOracle
@@ -80,31 +89,26 @@ def _load_pages(directory: Path) -> list[WebPage]:
     return [_page_from_path(path) for path in _page_paths(directory)]
 
 
-def _iter_pages_tolerant(
-    paths: list[Path],
-    unreadable: list[Path],
-    positions: Optional[list[int]] = None,
-):
-    """Lazily yield pages, skipping (and recording) unreadable files.
+def _corpus_source(paths: list[Path]):
+    """The lazy, fault-tolerant page source every batch path shares.
 
-    One mis-encoded or unreadable file must not abort a million-page
-    batch run; it is reported after the run instead.  When
-    ``positions`` is given, each yielded page's corpus position is
-    appended to it, so a :class:`~repro.service.shard.GlobalIndexSink`
-    can stamp records with corpus-global submission indices even when
-    skipped files leave gaps (keeping ``batch`` and ``shard run``
-    outputs index-compatible).
+    Pages are read (and dropped) as the runtime's bounded in-flight
+    window advances; an unreadable or mis-encoded file is skipped with
+    a note instead of aborting a million-page run, and records keep
+    their corpus *positions* as submission indices (gaps where files
+    were skipped), so ``batch`` output stays byte-compatible with a
+    merged ``shard run``.
     """
-    for position, path in enumerate(paths):
-        try:
-            page = _page_from_path(path)
-        except (OSError, UnicodeDecodeError) as exc:
-            print(f"skipping {path}: {exc}", file=sys.stderr)
-            unreadable.append(path)
-            continue
-        if positions is not None:
-            positions.append(position)
-        yield page
+    from repro.service.runtime import LoadingPageSource
+
+    return LoadingPageSource(
+        list(enumerate(paths)),
+        _page_from_path,
+        skip_unreadable=True,
+        on_skip=lambda path, exc: print(
+            f"skipping {path}: {exc}", file=sys.stderr
+        ),
+    )
 
 
 def _save_site(site, directory: Path) -> int:
@@ -296,11 +300,7 @@ def _fit_router_from_paths(
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
-    from repro.service import (
-        BatchExtractionEngine,
-        JsonlSink,
-        XmlDirectorySink,
-    )
+    from repro.service import JsonlSink, StreamingRuntime, XmlDirectorySink
 
     if args.jsonl and args.xml_dir:
         print("--jsonl and --xml-dir are mutually exclusive",
@@ -334,7 +334,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
     try:
         # ``ordered=True``: records leave in submission-index order, so
         # this output is byte-identical to a merged ``shard`` run.
-        engine = BatchExtractionEngine(
+        runtime = StreamingRuntime(
             repository,
             router=router,
             workers=args.workers,
@@ -345,22 +345,12 @@ def cmd_batch(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    unreadable: list[Path] = []
-    positions: list[int] = []
+    source = _corpus_source(paths)
     with sink:
-        # Stream lazily: pages are read (and dropped) as the engine's
-        # bounded in-flight window advances.  Records are stamped with
-        # corpus positions (not engine-local indices) so output stays
-        # index-compatible with ``shard run`` when files are skipped.
-        from repro.service.shard import GlobalIndexSink
-
-        report = engine.run(
-            _iter_pages_tolerant(paths, unreadable, positions),
-            GlobalIndexSink(sink, positions),
-        )
+        report = runtime.run(source, sink)
     print(report.summary(), file=sys.stderr)
-    if unreadable:
-        print(f"{len(unreadable)} unreadable file(s) skipped",
+    if source.unreadable:
+        print(f"{len(source.unreadable)} unreadable file(s) skipped",
               file=sys.stderr)
     if args.xml_dir:
         print(f"XML documents written to {args.xml_dir}", file=sys.stderr)
@@ -400,9 +390,10 @@ def cmd_shard_plan(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_shard_run(args: argparse.Namespace) -> int:
+def _load_shard_inputs(args) -> Optional[tuple]:
+    """Plan + repository + corpus-presence check shared by run/resume."""
     from repro.errors import ShardError
-    from repro.service import ShardPlan, ShardWorker
+    from repro.service import ShardPlan
 
     directory = Path(args.directory)
     try:
@@ -410,7 +401,7 @@ def cmd_shard_run(args: argparse.Namespace) -> int:
         repository = RuleRepository.load(args.repository)
     except (ShardError, RepositoryError) as exc:
         print(str(exc), file=sys.stderr)
-        return 2
+        return None
     missing = [
         page_id for page_id in plan.page_ids
         if not (directory / page_id).exists()
@@ -421,7 +412,7 @@ def cmd_shard_run(args: argparse.Namespace) -> int:
             f"{directory} (first: {missing[0]})",
             file=sys.stderr,
         )
-        return 2
+        return None
     router = None
     if args.route == "auto":
         # Fitted from the *full* corpus in plan order, so every shard
@@ -435,22 +426,32 @@ def cmd_shard_run(args: argparse.Namespace) -> int:
                 "no hint-labelled exemplar pages found; routing by hints",
                 file=sys.stderr,
             )
+    return directory, plan, repository, router
+
+
+def _run_one_shard(args, directory, plan, repository, router,
+                   shard: int) -> Optional[int]:
+    """Execute one shard worker; prints the run summary.  None on error."""
+    from repro.errors import ShardError
+    from repro.service import ShardWorker
+
     try:
         worker = ShardWorker(
-            repository, plan, args.shard,
+            repository, plan, shard,
             router=router,
             workers=args.workers,
             executor=args.executor,
             chunk_size=args.chunk_size,
             skip_unreadable=True,
         )
+        manifest, report = worker.run(
+            lambda page_id: _page_from_path(directory / page_id),
+            Path(args.output_dir),
+            output_format=args.format,
+        )
     except (ShardError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
-        return 2
-    manifest, report = worker.run(
-        lambda page_id: _page_from_path(directory / page_id),
-        Path(args.output_dir),
-    )
+        return None
     print(report.summary(), file=sys.stderr)
     if manifest.unreadable:
         print(f"{manifest.unreadable} unreadable file(s) skipped",
@@ -461,13 +462,89 @@ def cmd_shard_run(args: argparse.Namespace) -> int:
         f"{Path(args.output_dir) / manifest.output}",
         file=sys.stderr,
     )
+    return manifest.records
+
+
+def cmd_shard_run(args: argparse.Namespace) -> int:
+    loaded = _load_shard_inputs(args)
+    if loaded is None:
+        return 2
+    directory, plan, repository, router = loaded
+    if _run_one_shard(args, directory, plan, repository, router,
+                      args.shard) is None:
+        return 2
+    return 0
+
+
+def cmd_shard_resume(args: argparse.Namespace) -> int:
+    from repro.errors import ShardError
+    from repro.service import ShardPlan, shard_statuses
+
+    # Audit first: it needs only the plan and the output directory, so
+    # a fully-complete resume is a cheap no-op even when the corpus is
+    # gone from this host and no router has to be fitted.
+    try:
+        plan = ShardPlan.load(args.plan)
+        statuses = shard_statuses(
+            plan, args.output_dir, verify_digests=not args.no_verify
+        )
+    except ShardError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    mismatched = sorted({
+        status.output_format for status in statuses
+        if status.complete and status.output_format != args.format
+    })
+    if mismatched:
+        print(
+            f"existing complete shard(s) in {args.output_dir} are "
+            f"{', '.join(mismatched)} but --format is {args.format}; "
+            "re-run resume with the matching --format",
+            file=sys.stderr,
+        )
+        return 2
+    pending = [status for status in statuses if not status.complete]
+    if not pending:
+        print(
+            f"all {plan.shards} shard(s) complete in {args.output_dir}; "
+            "nothing to resume",
+            file=sys.stderr,
+        )
+        return 0
+    loaded = _load_shard_inputs(args)
+    if loaded is None:
+        return 2
+    directory, plan, repository, router = loaded
+    print(
+        f"resuming {len(pending)} of {plan.shards} shard(s): "
+        + ", ".join(f"#{s.shard} ({s.reason})" for s in pending),
+        file=sys.stderr,
+    )
+    for status in pending:
+        if _run_one_shard(args, directory, plan, repository, router,
+                          status.shard) is None:
+            return 2
     return 0
 
 
 def cmd_shard_merge(args: argparse.Namespace) -> int:
     from repro.errors import ShardError
-    from repro.service import ShardMerger
+    from repro.service import ShardMerger, XmlShardMerger
 
+    if args.format == "xml":
+        if not args.output:
+            print("--format xml needs --output DIRECTORY", file=sys.stderr)
+            return 2
+        merger = XmlShardMerger(verify_digests=not args.no_verify)
+        try:
+            report = merger.merge(args.inputs, args.output)
+        except ShardError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        print(report.summary(), file=sys.stderr)
+        print(f"merged XML documents written to {args.output}",
+              file=sys.stderr)
+        return 0
     merger = ShardMerger(verify_digests=not args.no_verify)
     try:
         report = merger.merge(
@@ -482,21 +559,77 @@ def cmd_shard_merge(args: argparse.Namespace) -> int:
     return 0
 
 
-#: ``serve`` gives up (rather than spin) if the input stream raises
-#: this many *consecutive* decode errors without yielding a line.
-SERVE_MAX_DECODE_FAILURES = 1000
+#: CLI override of the consecutive-decode-failure cap before ``serve``
+#: gives up.  ``None`` defers to the single definition in
+#: :data:`repro.service.serve.MAX_DECODE_FAILURES` (sync and async
+#: front-ends can never drift); rebind to a number to tune the CLI.
+#: Kept lazy so non-service subcommands never import the serve layer.
+SERVE_MAX_DECODE_FAILURES: Optional[int] = None
+
+
+def _serve_decode_failure_cap() -> int:
+    from repro.service.serve import MAX_DECODE_FAILURES
+
+    if SERVE_MAX_DECODE_FAILURES is not None:
+        return SERVE_MAX_DECODE_FAILURES
+    return MAX_DECODE_FAILURES
 
 
 def _serve_error(stdout, message: str, url: Optional[str] = None) -> None:
     """One structured error record on the output stream."""
-    record: dict = {"error": message}
-    if url is not None:
-        record["url"] = url
-    print(json.dumps(record, sort_keys=True), file=stdout, flush=True)
+    from repro.service import make_error_record
+
+    print(json.dumps(make_error_record(message, url=url), sort_keys=True),
+          file=stdout, flush=True)
+
+
+def _serve_output_closed() -> None:
+    """The consumer closed our output mid-run: stop serving cleanly.
+
+    Point the real stdout at devnull so the interpreter's shutdown
+    flush cannot raise a second time.
+    """
+    try:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    except (OSError, ValueError, AttributeError):
+        pass
+    print("output stream closed by consumer", file=sys.stderr)
+
+
+def _serve_sync(handler, stdin, stdout) -> int:
+    """The historical one-line-at-a-time loop (``serve --sync``)."""
+    served = 0
+    decode_failures = 0
+    decode_failure_cap = _serve_decode_failure_cap()
+    try:
+        while True:
+            try:
+                line = stdin.readline()
+            except UnicodeDecodeError as exc:
+                _serve_error(stdout, f"undecodable input: {exc}")
+                decode_failures += 1
+                if decode_failures >= decode_failure_cap:
+                    print("too many undecodable reads; giving up",
+                          file=sys.stderr)
+                    return 1
+                continue
+            decode_failures = 0  # the limit is on *consecutive* failures
+            if not line:
+                break  # EOF; a final unterminated line arrives above
+            line = line.strip()
+            if not line:
+                continue
+            payload, ok = handler.handle_line(line)
+            print(payload, file=stdout, flush=True)
+            served += ok
+    except BrokenPipeError:
+        _serve_output_closed()
+    print(f"served {served} page(s)", file=sys.stderr)
+    return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import UNROUTABLE
+    from repro.service import ServeHandler, serve_async
 
     try:
         repository = RuleRepository.load(args.repository)
@@ -537,8 +670,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-    wrappers = repository.compile_all()
-    served = 0
+    if args.max_inflight < 1:
+        print("--max-inflight must be >= 1", file=sys.stderr)
+        return 2
+    handler = ServeHandler(repository, router=router, cluster=cluster or None)
     stdin = args.stdin if args.stdin is not None else sys.stdin
     stdout = args.stdout if args.stdout is not None else sys.stdout
     # Undecodable input bytes must surface as error records, not kill
@@ -550,79 +685,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
             reconfigure(errors="backslashreplace")
         except (ValueError, OSError):  # pragma: no cover - exotic stream
             pass
-    decode_failures = 0
-    try:
-        while True:
-            try:
-                line = stdin.readline()
-            except UnicodeDecodeError as exc:
-                _serve_error(stdout, f"undecodable input: {exc}")
-                decode_failures += 1
-                if decode_failures >= SERVE_MAX_DECODE_FAILURES:
-                    print("too many undecodable reads; giving up",
-                          file=sys.stderr)
-                    return 1
-                continue
-            decode_failures = 0  # the limit is on *consecutive* failures
-            if not line:
-                break  # EOF; a final unterminated line arrives above
-            line = line.strip()
-            if not line:
-                continue
-            url: Optional[str] = None
-            try:
-                request = json.loads(line)
-                url, html = request["url"], request["html"]
-                if not isinstance(url, str) or not isinstance(html, str):
-                    raise TypeError("url and html must be strings")
-                page = WebPage(url=url, html=html)
-                page.root_element  # parse eagerly so bad HTML fails here
-            except (json.JSONDecodeError, KeyError, TypeError,
-                    HtmlParseError) as exc:
-                _serve_error(stdout, str(exc), url=url)
-                continue
-            target = (
-                router.route(page).cluster if router is not None else cluster
-            )
-            if target == UNROUTABLE or target not in wrappers:
-                print(
-                    json.dumps({"url": page.url, "cluster": UNROUTABLE,
-                                "values": {}, "failures": []},
-                               sort_keys=True),
-                    file=stdout, flush=True,
-                )
-                continue
-            failures: list = []
-            try:
-                extracted = wrappers[target].extract_page(page, failures)
-            except Exception as exc:
-                # One pathological page must not end an online loop.
-                _serve_error(
-                    stdout, f"{type(exc).__name__}: {exc}", url=page.url
-                )
-                continue
-            print(
-                json.dumps({
-                    "url": page.url,
-                    "cluster": target,
-                    "values": extracted.values,
-                    "failures": [
-                        [f.component_name, f.reason] for f in failures
-                    ],
-                }, sort_keys=True),
-                file=stdout, flush=True,
-            )
-            served += 1
-    except BrokenPipeError:
-        # The consumer closed our output mid-run: stop serving cleanly.
-        # Point the real stdout at devnull so the interpreter's shutdown
-        # flush cannot raise a second time.
-        try:
-            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-        except (OSError, ValueError, AttributeError):
-            pass
-        print("output stream closed by consumer", file=sys.stderr)
-    print(f"served {served} page(s)", file=sys.stderr)
+    if args.sync:
+        return _serve_sync(handler, stdin, stdout)
+    stats = asyncio.run(serve_async(
+        handler, stdin, stdout,
+        max_inflight=args.max_inflight,
+        max_decode_failures=_serve_decode_failure_cap(),
+        on_output_closed=_serve_output_closed,
+    ))
+    if stats.gave_up:
+        print("too many undecodable reads; giving up", file=sys.stderr)
+        return 1
+    print(f"served {stats.served} page(s)", file=sys.stderr)
     return 0
 
 
@@ -713,23 +787,44 @@ def build_parser() -> argparse.ArgumentParser:
     shard_plan.add_argument("--output", default="shard-plan.json")
     shard_plan.set_defaults(func=cmd_shard_plan)
 
+    def shard_worker_arguments(shard_parser) -> None:
+        """Engine/router knobs shared by ``shard run`` and ``resume``."""
+        shard_parser.add_argument("--plan", default="shard-plan.json")
+        shard_parser.add_argument("--repository", default="rules.json")
+        shard_parser.add_argument("--output-dir", default="shards")
+        shard_parser.add_argument("--format", choices=["jsonl", "xml"],
+                                  default="jsonl",
+                                  help="jsonl: one record file; xml: a "
+                                       "directory of per-cluster Figure-5 "
+                                       "documents + .index sidecars")
+        shard_parser.add_argument("--workers", type=int, default=2)
+        shard_parser.add_argument("--executor",
+                                  choices=["thread", "process"],
+                                  default="thread")
+        shard_parser.add_argument("--chunk-size", type=int, default=16)
+        shard_parser.add_argument("--route", choices=["auto", "hint"],
+                                  default="auto")
+        shard_parser.add_argument("--threshold", type=float, default=0.5)
+        shard_parser.add_argument("--exemplars", type=int, default=8)
+
     shard_run = shard_sub.add_parser(
-        "run", help="extract one shard (JSONL output + manifest)"
+        "run", help="extract one shard (JSONL or XML output + manifest)"
     )
     shard_run.add_argument("directory")
-    shard_run.add_argument("--plan", default="shard-plan.json")
     shard_run.add_argument("--shard", type=int, required=True)
-    shard_run.add_argument("--repository", default="rules.json")
-    shard_run.add_argument("--output-dir", default="shards")
-    shard_run.add_argument("--workers", type=int, default=2)
-    shard_run.add_argument("--executor", choices=["thread", "process"],
-                           default="thread")
-    shard_run.add_argument("--chunk-size", type=int, default=16)
-    shard_run.add_argument("--route", choices=["auto", "hint"],
-                           default="auto")
-    shard_run.add_argument("--threshold", type=float, default=0.5)
-    shard_run.add_argument("--exemplars", type=int, default=8)
+    shard_worker_arguments(shard_run)
     shard_run.set_defaults(func=cmd_shard_run)
+
+    shard_resume = shard_sub.add_parser(
+        "resume",
+        help="re-run only the failed/missing shards of an output directory",
+    )
+    shard_resume.add_argument("directory")
+    shard_worker_arguments(shard_resume)
+    shard_resume.add_argument("--no-verify", action="store_true",
+                              help="trust existing outputs without "
+                                   "re-checking content digests")
+    shard_resume.set_defaults(func=cmd_shard_resume)
 
     shard_merge = shard_sub.add_parser(
         "merge",
@@ -739,8 +834,14 @@ def build_parser() -> argparse.ArgumentParser:
         "inputs", nargs="+",
         help="shard output directories and/or manifest files",
     )
+    shard_merge.add_argument("--format", choices=["jsonl", "xml"],
+                             default="jsonl",
+                             help="what the shards were run with; xml "
+                                  "merges per-cluster documents by their "
+                                  ".index sidecars")
     shard_merge.add_argument("--output", default="",
-                             help="merged JSONL file (default: stdout)")
+                             help="merged JSONL file (default: stdout) or, "
+                                  "with --format xml, the output directory")
     shard_merge.add_argument("--no-verify", action="store_true",
                              help="skip shard content digest checks")
     shard_merge.set_defaults(func=cmd_shard_merge)
@@ -756,6 +857,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory of hint-named pages to fit the router")
     serve.add_argument("--threshold", type=float, default=0.5)
     serve.add_argument("--exemplars", type=int, default=8)
+    serve.add_argument("--sync", action="store_true",
+                       help="one-line-at-a-time loop instead of the "
+                            "async front-end")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="async front-end: concurrent pages in flight "
+                            "(the memory/backpressure bound)")
     serve.set_defaults(func=cmd_serve, stdin=None, stdout=None)
     return parser
 

@@ -5,33 +5,55 @@ for instance by the XML extractor".  This package is that external
 agent at production scale: a validated :class:`~repro.core.repository.
 RuleRepository` is treated as a *deployable artifact* — compiled once
 (:mod:`repro.service.compiler`), routed to automatically
-(:mod:`repro.service.router`), executed in parallel over large page
-streams (:mod:`repro.service.engine`) and drained into incremental
-sinks (:mod:`repro.service.sink`) so million-page runs never hold all
-results in memory.
+(:mod:`repro.service.router`), executed over large page streams by one
+shared streaming pipeline (:mod:`repro.service.runtime`) and drained
+into incremental sinks (:mod:`repro.service.sink`) so million-page
+runs never hold all results in memory.
 
 Offline (interactive, Figure 1)          Online (this package)
 ---------------------------------        -------------------------------
 cluster pages, build + validate rules    load repository -> compile wrappers
 record rules in the repository           fit router on exemplar pages
-                                         route -> extract -> sink, in parallel
+                                         route -> extract -> sink, streaming
 
-A batch run scales over many hosts with no coordinator: plan the
-corpus into shards, run each shard anywhere, mergesort the outputs
-back into the unsharded byte stream (:mod:`repro.service.shard`).
+Every entry point is a composition over the same
+:class:`~repro.service.runtime.StreamingRuntime`:
+
+* batch (:mod:`repro.service.engine`) — thread/process executors over
+  a directory stream;
+* sharded batch (:mod:`repro.service.shard`) — a plan slice per host,
+  merged back into the unsharded byte stream, resumable per shard;
+* online serving (:mod:`repro.service.serve`) — single pages through
+  an inline runtime, under a sync or asyncio front-end.
 """
 
 from repro.service.compiler import CompiledRule, CompiledWrapper, compile_wrapper
-from repro.service.engine import BatchExtractionEngine, ClusterStats, EngineReport
+from repro.service.engine import BatchExtractionEngine
 from repro.service.router import ClusterProfile, ClusterRouter, RouteDecision, UNROUTABLE
+from repro.service.runtime import (
+    ClusterStats,
+    EngineReport,
+    IterablePageSource,
+    LoadingPageSource,
+    OrderedEmitter,
+    PageSource,
+    RecordSink,
+    RuntimeReport,
+    Stage,
+    StreamingRuntime,
+)
+from repro.service.serve import ServeHandler, ServeStats, serve_async
 from repro.service.shard import (
-    GlobalIndexSink,
     MergeReport,
     ShardManifest,
     ShardMerger,
     ShardPlan,
     ShardPlanner,
+    ShardStatus,
     ShardWorker,
+    XmlShardMerger,
+    incomplete_shards,
+    shard_statuses,
     stable_shard,
 )
 from repro.service.sink import (
@@ -41,6 +63,8 @@ from repro.service.sink import (
     PageRecord,
     ResultSink,
     XmlDirectorySink,
+    make_error_record,
+    make_unroutable_record,
 )
 
 __all__ = [
@@ -52,20 +76,36 @@ __all__ = [
     "CompiledRule",
     "CompiledWrapper",
     "EngineReport",
-    "GlobalIndexSink",
+    "IterablePageSource",
     "JsonlSink",
+    "LoadingPageSource",
     "MergeReport",
     "NullSink",
+    "OrderedEmitter",
     "PageRecord",
+    "PageSource",
+    "RecordSink",
     "ResultSink",
     "RouteDecision",
+    "RuntimeReport",
+    "ServeHandler",
+    "ServeStats",
     "ShardManifest",
     "ShardMerger",
     "ShardPlan",
     "ShardPlanner",
+    "ShardStatus",
     "ShardWorker",
+    "Stage",
+    "StreamingRuntime",
     "UNROUTABLE",
     "XmlDirectorySink",
+    "XmlShardMerger",
     "compile_wrapper",
+    "incomplete_shards",
+    "make_error_record",
+    "make_unroutable_record",
+    "serve_async",
+    "shard_statuses",
     "stable_shard",
 ]

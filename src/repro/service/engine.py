@@ -1,222 +1,47 @@
-"""The parallel batch extraction engine.
+"""The parallel batch extraction engine — a façade over the runtime.
 
-``route -> extract -> sink`` over a page stream, with a bounded
-in-flight window so memory stays constant regardless of input size:
-
-* pages are routed to a cluster (router, or generator hints as a
-  fallback) and buffered into per-cluster chunks;
-* full chunks fan out to a ``concurrent.futures`` executor — threads
-  by default (workers share the parent's compiled wrappers and parsed
-  DOMs), processes on request (workers re-parse from HTML and compile
-  their own wrappers from the repository dict, so nothing un-pickleable
-  crosses the boundary);
-* completed chunks are drained *in submission order* into the sink, so
-  per-cluster output order is deterministic and equals input order.
+Historically this module *was* the pipeline; since the
+:mod:`repro.service.runtime` refactor it is a thin, stable public API
+over a :class:`~repro.service.runtime.StreamingRuntime` driven by an
+:class:`~repro.service.runtime.IterablePageSource`: pages are numbered
+by stream position (the **submission index**), routed to a cluster,
+extracted by compiled wrappers on a thread or process executor, and
+drained into the sink — in completion order by default, or in strictly
+increasing submission-index order with ``ordered=True`` (what makes a
+sharded run mergeable into a stream byte-identical to an unsharded
+one, :mod:`repro.service.shard`).
 
 Every page is extracted by a :class:`~repro.service.compiler.
 CompiledWrapper`, so values are byte-identical to the sequential
 :class:`~repro.extraction.extractor.ExtractionProcessor`.
 
-Each page is stamped with its **submission index** — its 0-based
-position in the input stream — carried through to the emitted
-:class:`~repro.service.sink.PageRecord`.  With ``ordered=True`` the
-engine additionally releases records to the sink in strictly
-increasing submission-index order (a reorder buffer over the chunked
-drain), which is what makes a sharded run mergeable into a stream
-byte-identical to an unsharded one (:mod:`repro.service.shard`).
+The report and stats types live in :mod:`repro.service.runtime`; they
+are re-exported here under their historical names.
 """
 
 from __future__ import annotations
 
-import time
-from collections import deque
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Optional
+from typing import Iterable, Optional
 
 from repro.core.repository import RuleRepository
 from repro.extraction.postprocess import PostProcessor
-from repro.service.compiler import CompiledWrapper
-from repro.service.router import ClusterRouter, UNROUTABLE
-from repro.service.sink import CollectingSink, NullSink, PageRecord, ResultSink
+from repro.service.router import ClusterRouter
+from repro.service.runtime import (
+    ClusterStats,
+    EngineReport,
+    IterablePageSource,
+    StreamingRuntime,
+    URL_SAMPLE_CAP,
+)
+from repro.service.sink import CollectingSink, PageRecord, ResultSink
 from repro.sites.page import WebPage
 
-#: A worker's result for one page: (index, url, values, failures).
-_RecordTuple = tuple[int, str, dict, list]
-
-
-# --------------------------------------------------------------------- #
-# Process-executor worker state
-# --------------------------------------------------------------------- #
-# Compiled wrappers hold DOM-walking closures and are rebuilt per
-# process from the repository's plain-dict form; HTML is re-parsed in
-# the worker.  Post-processing runs in the parent for process mode
-# (transform chains may be arbitrary closures).
-
-_WORKER_REPOSITORY: Optional[RuleRepository] = None
-_WORKER_WRAPPERS: Dict[str, CompiledWrapper] = {}
-
-
-def _init_process_worker(repository_data: dict) -> None:
-    global _WORKER_REPOSITORY, _WORKER_WRAPPERS
-    _WORKER_REPOSITORY = RuleRepository.from_dict(repository_data)
-    _WORKER_WRAPPERS = {}
-
-
-def _process_chunk(
-    cluster: str, payload: list[tuple[int, str, str]]
-) -> tuple[list[_RecordTuple], float]:
-    assert _WORKER_REPOSITORY is not None, "worker not initialised"
-    wrapper = _WORKER_WRAPPERS.get(cluster)
-    if wrapper is None:
-        wrapper = _WORKER_REPOSITORY.compile_cluster(cluster)
-        _WORKER_WRAPPERS[cluster] = wrapper
-    # Timer starts after the one-off wrapper compile so worker
-    # throughput stats reflect extraction, not warm-up.
-    started = time.perf_counter()
-    records = _extract_chunk(wrapper, [
-        (index, WebPage(url=url, html=html))
-        for index, url, html in payload
-    ])
-    return records, time.perf_counter() - started
-
-
-def _extract_chunk(
-    wrapper: CompiledWrapper, pages: list[tuple[int, WebPage]]
-) -> list[_RecordTuple]:
-    records: list[_RecordTuple] = []
-    for index, page in pages:
-        failures: list = []
-        extracted = wrapper.extract_page(page, failures)
-        records.append((
-            index,
-            page.url,
-            extracted.values,
-            [(f.component_name, f.reason) for f in failures],
-        ))
-    return records
-
-
-class _OrderedEmitter:
-    """Release records to a sink in global submission-index order.
-
-    The engine drains chunks in *chunk* submission order; chunks from
-    different clusters interleave, so per-record indices arrive out of
-    order.  This buffer holds completed records until every earlier
-    index has either been emitted or declared dropped (unroutable or
-    no-rules pages consume an index but produce no record).
-
-    Worst-case held-record count is bounded by the records deferred
-    behind the oldest partially-filled cluster buffer — small for
-    balanced streams, up to O(stream) for a cluster that receives its
-    last page early; held items are slim value records, never DOMs.
-    """
-
-    def __init__(self, sink: ResultSink) -> None:
-        self._sink = sink
-        self._next = 0
-        self._held: Dict[int, Optional[PageRecord]] = {}
-
-    def emit(self, index: int, record: Optional[PageRecord]) -> None:
-        """Hand over index's outcome: a record, or ``None`` if dropped."""
-        self._held[index] = record
-        while self._next in self._held:
-            released = self._held.pop(self._next)
-            self._next += 1
-            if released is not None:
-                self._sink.write(released)
-
-    @property
-    def held(self) -> int:
-        return len(self._held)
-
-
-# --------------------------------------------------------------------- #
-# Reporting
-# --------------------------------------------------------------------- #
-
-
-@dataclass
-class ClusterStats:
-    """Throughput/error accounting for one served cluster."""
-
-    pages: int = 0
-    values: int = 0
-    failures: int = 0
-    chunks: int = 0
-    worker_seconds: float = 0.0
-
-    @property
-    def pages_per_second(self) -> float:
-        if self.worker_seconds <= 0:
-            return 0.0
-        return self.pages / self.worker_seconds
-
-
-#: Rejected-page URL lists keep at most this many examples, so the
-#: report stays bounded on arbitrarily long streams (counts are exact).
-URL_SAMPLE_CAP = 100
-
-
-@dataclass
-class EngineReport:
-    """Everything one engine run observed.
-
-    ``unroutable``/``skipped`` hold a bounded *sample* of URLs
-    (:data:`URL_SAMPLE_CAP`); the ``*_count`` fields are exact.
-    """
-
-    total_pages: int = 0
-    routed: Dict[str, int] = field(default_factory=dict)
-    unroutable_count: int = 0
-    unroutable: list[str] = field(default_factory=list)
-    #: Pages routed to a cluster the repository has no rules for.
-    skipped_count: int = 0
-    skipped: list[str] = field(default_factory=list)
-    per_cluster: Dict[str, ClusterStats] = field(default_factory=dict)
-    wall_seconds: float = 0.0
-
-    def note_unroutable(self, url: str) -> None:
-        self.unroutable_count += 1
-        if len(self.unroutable) < URL_SAMPLE_CAP:
-            self.unroutable.append(url)
-
-    def note_skipped(self, url: str) -> None:
-        self.skipped_count += 1
-        if len(self.skipped) < URL_SAMPLE_CAP:
-            self.skipped.append(url)
-
-    @property
-    def pages_served(self) -> int:
-        return sum(stats.pages for stats in self.per_cluster.values())
-
-    @property
-    def pages_per_second(self) -> float:
-        if self.wall_seconds <= 0:
-            return 0.0
-        return self.pages_served / self.wall_seconds
-
-    def summary(self) -> str:
-        lines = [
-            f"pages seen      : {self.total_pages}",
-            f"pages served    : {self.pages_served}"
-            f"  ({self.pages_per_second:.1f} pages/s wall)",
-            f"unroutable      : {self.unroutable_count}",
-            f"no-rules skipped: {self.skipped_count}",
-        ]
-        for cluster in sorted(self.per_cluster):
-            stats = self.per_cluster[cluster]
-            lines.append(
-                f"  {cluster}: {stats.pages} page(s), "
-                f"{stats.values} value(s), {stats.failures} failure(s), "
-                f"{stats.pages_per_second:.1f} pages/s worker"
-            )
-        return "\n".join(lines)
-
-
-# --------------------------------------------------------------------- #
-# The engine
-# --------------------------------------------------------------------- #
+__all__ = [
+    "BatchExtractionEngine",
+    "ClusterStats",
+    "EngineReport",
+    "URL_SAMPLE_CAP",
+]
 
 
 class BatchExtractionEngine:
@@ -230,18 +55,14 @@ class BatchExtractionEngine:
         postprocessor: optional value clean-up, applied exactly as the
             sequential processor would.
         workers: executor pool size (≥ 1).
-        executor: ``"thread"`` (default; shares parsed DOMs) or
+        executor: ``"thread"`` (default; shares parsed DOMs),
             ``"process"`` (re-parses in workers; real parallelism on
-            multi-core hosts).
+            multi-core hosts) or ``"inline"`` (the calling thread).
         chunk_size: pages per submitted work item.
         max_pending: in-flight chunk cap (default ``4 * workers``) —
             the memory bound for arbitrarily long streams.
         ordered: release records to the sink in strictly increasing
-            submission-index order (reorder buffer over the chunked
-            drain).  Required for shard-mergeable output
-            (:mod:`repro.service.shard`); off by default because a
-            badly skewed stream can defer many (slim) records behind
-            one partially-filled cluster buffer.
+            submission-index order.
     """
 
     def __init__(
@@ -255,41 +76,41 @@ class BatchExtractionEngine:
         max_pending: Optional[int] = None,
         ordered: bool = False,
     ) -> None:
-        if executor not in ("thread", "process"):
-            raise ValueError(f"unknown executor kind {executor!r}")
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
-        if chunk_size < 1:
-            raise ValueError("chunk_size must be >= 1")
-        if max_pending is not None and max_pending < 1:
-            raise ValueError("max_pending must be >= 1")
+        self.runtime = StreamingRuntime(
+            repository,
+            router=router,
+            postprocessor=postprocessor,
+            workers=workers,
+            executor=executor,
+            chunk_size=chunk_size,
+            max_pending=max_pending,
+            ordered=ordered,
+        )
         self.repository = repository
         self.router = router
         self.postprocessor = postprocessor
-        self.workers = workers
-        self.executor_kind = executor
-        self.chunk_size = chunk_size
-        self.max_pending = (
-            max_pending if max_pending is not None else 4 * workers
-        )
-        self.ordered = ordered
-        # Thread mode: wrappers apply post-processing in the worker.
-        # Process mode: wrappers are rebuilt per process without the
-        # (unpicklable) post-processor; the parent applies the resolved
-        # chains below as records arrive — same values either way.
-        self._wrappers: Dict[str, CompiledWrapper] = repository.compile_all(
-            postprocessor if executor == "thread" else None
-        )
-        self._parent_post: Dict[str, Dict[str, Callable]] = {}
-        if executor == "process" and postprocessor is not None:
-            for cluster in repository.clusters():
-                chains = {
-                    name: chain
-                    for name in repository.component_names(cluster)
-                    if (chain := postprocessor.resolve(name)) is not None
-                }
-                if chains:
-                    self._parent_post[cluster] = chains
+
+    # -- configuration passthrough ------------------------------------- #
+
+    @property
+    def workers(self) -> int:
+        return self.runtime.workers
+
+    @property
+    def executor_kind(self) -> str:
+        return self.runtime.executor_kind
+
+    @property
+    def chunk_size(self) -> int:
+        return self.runtime.chunk_size
+
+    @property
+    def max_pending(self) -> int:
+        return self.runtime.max_pending
+
+    @property
+    def ordered(self) -> bool:
+        return self.runtime.ordered
 
     # ------------------------------------------------------------------ #
 
@@ -299,38 +120,7 @@ class BatchExtractionEngine:
         sink: Optional[ResultSink] = None,
     ) -> EngineReport:
         """Route, extract and sink every page; returns the run report."""
-        sink = sink if sink is not None else NullSink()
-        report = EngineReport()
-        started = time.perf_counter()
-        executor = self._make_executor()
-        pending: deque[tuple[str, Future]] = deque()
-        buffers: Dict[str, list[tuple[int, WebPage]]] = {}
-        emitter = _OrderedEmitter(sink) if self.ordered else None
-        try:
-            for index, page in enumerate(pages):
-                report.total_pages += 1
-                cluster = self._route(page, report)
-                if cluster is None:
-                    if emitter is not None:
-                        emitter.emit(index, None)
-                    continue
-                buffer = buffers.setdefault(cluster, [])
-                buffer.append((index, page))
-                if len(buffer) >= self.chunk_size:
-                    self._submit(executor, cluster, buffer, pending, report)
-                    buffers[cluster] = []
-                    while len(pending) >= self.max_pending:
-                        self._drain_one(pending, sink, emitter, report)
-            for cluster, buffer in buffers.items():
-                if buffer:
-                    self._submit(executor, cluster, buffer, pending, report)
-            while pending:
-                self._drain_one(pending, sink, emitter, report)
-            assert emitter is None or emitter.held == 0
-        finally:
-            executor.shutdown(wait=True)
-        report.wall_seconds = time.perf_counter() - started
-        return report
+        return self.runtime.run(IterablePageSource(pages), sink)
 
     def run_collect(
         self, pages: Iterable[WebPage]
@@ -342,90 +132,4 @@ class BatchExtractionEngine:
 
     def clusters(self) -> list[str]:
         """Served clusters (those with compiled wrappers)."""
-        return list(self._wrappers)
-
-    # ------------------------------------------------------------------ #
-
-    def _make_executor(self):
-        if self.executor_kind == "process":
-            return ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_process_worker,
-                initargs=(self.repository.to_dict(),),
-            )
-        return ThreadPoolExecutor(max_workers=self.workers)
-
-    def _route(self, page: WebPage, report: EngineReport) -> Optional[str]:
-        if self.router is not None:
-            decision = self.router.route(page)
-            cluster = decision.cluster
-            if cluster == UNROUTABLE:
-                report.note_unroutable(page.url)
-                return None
-        else:
-            cluster = page.cluster_hint
-            if not cluster:
-                report.note_unroutable(page.url)
-                return None
-        if cluster not in self._wrappers:
-            report.note_skipped(page.url)
-            return None
-        report.routed[cluster] = report.routed.get(cluster, 0) + 1
-        return cluster
-
-    def _submit(
-        self,
-        executor,
-        cluster: str,
-        chunk: list[tuple[int, WebPage]],
-        pending: deque,
-        report: EngineReport,
-    ) -> None:
-        if self.executor_kind == "process":
-            payload = [(index, page.url, page.html) for index, page in chunk]
-            future = executor.submit(_process_chunk, cluster, payload)
-        else:
-            wrapper = self._wrappers[cluster]
-            future = executor.submit(self._thread_chunk, wrapper, chunk)
-        pending.append((cluster, future))
-        stats = report.per_cluster.setdefault(cluster, ClusterStats())
-        stats.chunks += 1
-
-    @staticmethod
-    def _thread_chunk(
-        wrapper: CompiledWrapper, pages: list[tuple[int, WebPage]]
-    ) -> tuple[list[_RecordTuple], float]:
-        started = time.perf_counter()
-        records = _extract_chunk(wrapper, pages)
-        return records, time.perf_counter() - started
-
-    def _drain_one(
-        self,
-        pending: deque,
-        sink: ResultSink,
-        emitter: Optional[_OrderedEmitter],
-        report: EngineReport,
-    ) -> None:
-        cluster, future = pending.popleft()
-        records, seconds = future.result()
-        stats = report.per_cluster.setdefault(cluster, ClusterStats())
-        stats.worker_seconds += seconds
-        post = self._parent_post.get(cluster)
-        for index, url, values, failures in records:
-            if post is not None:
-                values = {
-                    name: post[name](vals) if name in post else vals
-                    for name, vals in values.items()
-                }
-            record = PageRecord(
-                url=url, cluster=cluster, values=values,
-                failures=[tuple(f) for f in failures],
-                index=index,
-            )
-            stats.pages += 1
-            stats.values += sum(len(vals) for vals in values.values())
-            stats.failures += len(failures)
-            if emitter is not None:
-                emitter.emit(index, record)
-            else:
-                sink.write(record)
+        return self.runtime.clusters()

@@ -154,6 +154,16 @@ class ClusterRouter:
             return RouteDecision(UNROUTABLE, best, None, 0.0)
         return RouteDecision(best_name, best, second_name, best - second)
 
+    def target(self, page: WebPage) -> Optional[str]:
+        """The routed cluster name, or ``None`` for unroutable pages.
+
+        The form the streaming runtime consumes: callers that do not
+        care about confidence/margin diagnostics get the decision as a
+        plain optional name.
+        """
+        decision = self.route(page)
+        return None if decision.cluster == UNROUTABLE else decision.cluster
+
     def route_all(
         self, pages: Iterable[WebPage]
     ) -> Dict[str, list[WebPage]]:

@@ -1,0 +1,266 @@
+"""Online serving: one request-processing core, two front-ends.
+
+``serve`` reads ``{"url", "html"}`` JSON lines and writes one record
+line per request — a served record, an unroutable record, or an error
+record.  Both front-ends drive the same :class:`ServeHandler`, which
+wraps a single-page **inline** :class:`~repro.service.runtime.
+StreamingRuntime` (error containment on, post-processing identical to
+batch), so a page served online yields byte-for-byte the same values a
+batch run would emit:
+
+* the synchronous loop (``serve --sync``, :mod:`repro.cli`) processes
+  one line at a time — simplest possible operational model;
+* :func:`serve_async` is the ``asyncio`` front-end: reads never block
+  extraction, up to ``max_inflight`` pages are processed concurrently
+  on a thread pool, and an :class:`~repro.service.runtime.
+  OrderedEmitter` releases output lines strictly in input order, so
+  the two front-ends are stream-equivalent.  The in-flight bound is
+  the memory bound (backpressure: the reader stops admitting lines
+  while the window is full) and also caps how far the reorder buffer
+  can grow.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.repository import RuleRepository
+from repro.errors import HtmlParseError
+from repro.extraction.postprocess import PostProcessor
+from repro.service.router import ClusterRouter
+from repro.service.runtime import (
+    IterablePageSource,
+    OrderedEmitter,
+    StreamingRuntime,
+)
+from repro.service.sink import (
+    CollectingSink,
+    make_error_record,
+    make_unroutable_record,
+)
+from repro.sites.page import WebPage
+
+#: ``serve`` gives up (rather than spin) if the input stream raises
+#: this many *consecutive* decode errors without yielding a line.
+MAX_DECODE_FAILURES = 1000
+
+#: Concurrent pages the async front-end holds in flight (and the size
+#: of its extraction thread pool) unless overridden.
+DEFAULT_MAX_INFLIGHT = 8
+
+
+class ServeHandler:
+    """Turn one request line into one response line.
+
+    Args:
+        repository: the served rules.
+        router: route each page by signature; mutually exclusive in
+            spirit with ``cluster`` (the router wins when both given,
+            matching the historical sync loop).
+        cluster: serve every page with this cluster's rules.
+        postprocessor: optional value clean-up, as in batch.
+
+    Thread-safe: the wrapped inline runtime keeps no per-run state, so
+    the async front-end calls :meth:`handle_line` from many worker
+    threads at once.
+    """
+
+    def __init__(
+        self,
+        repository: RuleRepository,
+        router: Optional[ClusterRouter] = None,
+        cluster: Optional[str] = None,
+        postprocessor: Optional[PostProcessor] = None,
+    ) -> None:
+        if router is None and not cluster:
+            raise ValueError("ServeHandler needs a router or a cluster")
+        self.router = router
+        self.cluster = cluster
+        self.runtime = StreamingRuntime(
+            repository,
+            router=router,
+            postprocessor=postprocessor,
+            workers=1,
+            executor="inline",
+            chunk_size=1,
+            contain_errors=True,
+        )
+
+    def handle_line(self, line: str) -> tuple[str, bool]:
+        """One request line in, one JSON response line out.
+
+        Returns ``(response line, served)`` — ``served`` is True only
+        for a successfully extracted page (the sync loop's counter).
+        Never raises on bad input: malformed JSON, missing/mistyped
+        fields and unparseable HTML come back as error records.
+        """
+        url: Optional[str] = None
+        try:
+            request = json.loads(line)
+            url, html = request["url"], request["html"]
+            if not isinstance(url, str) or not isinstance(html, str):
+                raise TypeError("url and html must be strings")
+            page = WebPage(url=url, html=html)
+            page.root_element  # parse eagerly so bad HTML fails here
+        except (json.JSONDecodeError, KeyError, TypeError,
+                HtmlParseError) as exc:
+            return _dumps(make_error_record(str(exc), url=url)), False
+        return self.handle_page(page)
+
+    def handle_page(self, page: WebPage) -> tuple[str, bool]:
+        """Route and extract one parsed page through the runtime."""
+        if self.router is None and self.cluster:
+            page.cluster_hint = self.cluster
+        sink = CollectingSink()
+        self.runtime.run(IterablePageSource([page]), sink)
+        if sink.records:
+            record = sink.records[0]
+            return _dumps({
+                "url": record.url,
+                "cluster": record.cluster,
+                "values": record.values,
+                "failures": [list(f) for f in record.failures],
+            }), True
+        if sink.errors:
+            return _dumps(sink.errors[0]), False
+        # Unroutable, or routed to a cluster with no rules: same
+        # auditable gap either way.
+        return _dumps(make_unroutable_record(page.url)), False
+
+
+def _dumps(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+# --------------------------------------------------------------------- #
+# The asyncio front-end
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class ServeStats:
+    """What one serve session did (both front-ends report this)."""
+
+    served: int = 0
+    #: True when the consecutive-decode-failure cap tripped.
+    gave_up: bool = False
+    #: True when the consumer closed our output mid-run.
+    output_closed: bool = False
+
+
+async def serve_async(
+    handler: ServeHandler,
+    stdin,
+    stdout,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    max_decode_failures: int = MAX_DECODE_FAILURES,
+    on_output_closed: Optional[Callable[[], None]] = None,
+) -> ServeStats:
+    """Serve a line stream without ever blocking reads on extraction.
+
+    Reads run in the default executor; up to ``max_inflight`` request
+    lines are extracted concurrently on a dedicated thread pool; output
+    lines are released strictly in input order.  Works with any
+    file-like pair — real pipes, ttys, or in-memory streams.
+
+    The semantics mirror the sync loop exactly: blank lines are
+    skipped, undecodable reads become error records (with the same
+    consecutive-failure cap), EOF on a final unterminated line still
+    serves it, and a consumer closing the output stops the session
+    cleanly (``on_output_closed`` fires once, before the stop).
+
+    ``max_inflight`` is the *memory* bound, not just a concurrency
+    bound: a sequence slot is acquired at admission and released only
+    when its response line leaves the reorder buffer, so a slow
+    head-of-line page stalls admission instead of letting completed
+    outcomes pile up behind it.  Progress is always possible — when
+    every slot is taken, the blocking sequence is by construction a
+    still-running page, and its completion releases the whole
+    contiguous run behind it.
+    """
+    if max_inflight < 1:
+        raise ValueError("max_inflight must be >= 1")
+    loop = asyncio.get_running_loop()
+    stats = ServeStats()
+    semaphore = asyncio.Semaphore(max_inflight)
+
+    def _write(payload: tuple[str, bool]) -> None:
+        line, served = payload
+        if not stats.output_closed:
+            try:
+                print(line, file=stdout, flush=True)
+                if served:
+                    stats.served += 1
+            except BrokenPipeError:
+                stats.output_closed = True
+                if on_output_closed is not None:
+                    on_output_closed()
+        # The slot frees only now, when this sequence's output has left
+        # the reorder buffer — that is what bounds held memory.
+        semaphore.release()
+
+    emitter = OrderedEmitter(_write)
+    tasks: set[asyncio.Task] = set()
+
+    def _read():
+        """Blocking readline, decode errors surfaced as values."""
+        try:
+            return stdin.readline()
+        except UnicodeDecodeError as exc:
+            return exc
+
+    async def _process(seq: int, line: str) -> None:
+        try:
+            outcome = await loop.run_in_executor(
+                pool, handler.handle_line, line
+            )
+        except Exception as exc:
+            # The handler contains its own errors; anything that still
+            # escapes (a router bug, RecursionError from a pathological
+            # page) must not leave this sequence slot un-emitted — that
+            # would dam every later response behind it forever.
+            outcome = (
+                _dumps(make_error_record(f"{type(exc).__name__}: {exc}")),
+                False,
+            )
+        emitter.emit(seq, outcome)
+
+    with ThreadPoolExecutor(max_workers=max_inflight) as pool:
+        try:
+            seq = 0
+            decode_failures = 0
+            while not stats.output_closed:
+                item = await loop.run_in_executor(None, _read)
+                if isinstance(item, UnicodeDecodeError):
+                    await semaphore.acquire()
+                    emitter.emit(seq, (
+                        _dumps(make_error_record(
+                            f"undecodable input: {item}"
+                        )),
+                        False,
+                    ))
+                    seq += 1
+                    decode_failures += 1
+                    if decode_failures >= max_decode_failures:
+                        stats.gave_up = True
+                        break
+                    continue
+                decode_failures = 0  # the cap is on *consecutive* failures
+                if not item:
+                    break  # EOF; a final unterminated line arrives above
+                line = item.strip()
+                if not line:
+                    continue
+                await semaphore.acquire()
+                task = loop.create_task(_process(seq, line))
+                seq += 1
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks)
+    return stats

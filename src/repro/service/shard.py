@@ -12,14 +12,23 @@ process*:
    (locality-friendly).  The plan is a small JSON file every host can
    share.
 2. **run** — :class:`ShardWorker` executes one shard through an
-   ordered engine, writing a JSONL sink output plus a self-describing
+   ordered :class:`~repro.service.runtime.StreamingRuntime` (a
+   :class:`~repro.service.runtime.LoadingPageSource` carries the
+   plan's global indices straight onto the records), writing a JSONL
+   or per-cluster XML output plus a self-describing
    :class:`ShardManifest` (shard id, submission-index range,
    per-cluster stats, content digest) next to it.
-3. **merge** — :class:`ShardMerger` mergesorts any set of shard
+3. **merge** — :class:`ShardMerger` mergesorts any set of JSONL shard
    outputs by global submission index into a single stream that is
    byte-identical to an unsharded ordered run over the same corpus,
    verifying manifests and detecting missing, duplicate and
-   overlapping shards along the way.
+   overlapping shards along the way.  :class:`XmlShardMerger` does the
+   same for XML outputs, fed by the XML sink's ``.index`` sidecars.
+
+A failed or lost host never forces a full re-run:
+:func:`incomplete_shards` inspects an output directory against the
+plan and names exactly the shards whose manifests are missing, stale
+or corrupt — ``shard resume`` re-executes only those.
 
 Because every worker routes with the same deterministically fitted
 router and extracts with the same compiled wrappers, shard outputs are
@@ -40,15 +49,21 @@ from typing import Callable, Dict, IO, Iterable, Iterator, Optional, Union
 from repro.core.repository import RuleRepository
 from repro.errors import ShardMergeError, ShardPlanError
 from repro.extraction.postprocess import PostProcessor
-from repro.service.engine import BatchExtractionEngine, EngineReport
+from repro.extraction.xml_writer import page_element_name
 from repro.service.router import ClusterRouter
-from repro.service.sink import JsonlSink, PageRecord, ResultSink
+from repro.service.runtime import (
+    EngineReport,
+    LoadingPageSource,
+    StreamingRuntime,
+)
+from repro.service.sink import JsonlSink, XmlDirectorySink
 from repro.sites.page import WebPage
 
 PLAN_FORMAT = 1
 MANIFEST_FORMAT = 1
 
 STRATEGIES = ("hash", "range")
+OUTPUT_FORMATS = ("jsonl", "xml")
 
 
 def stable_shard(page_id: str, shards: int) -> int:
@@ -74,6 +89,26 @@ def _file_sha256(path: Path) -> str:
     with open(path, "rb") as stream:
         for block in iter(lambda: stream.read(1 << 16), b""):
             hasher.update(block)
+    return hasher.hexdigest()
+
+
+def _tree_sha256(directory: Path) -> str:
+    """Content digest of a directory: every file, name-keyed, sorted.
+
+    The XML output of one shard is a *directory* (per-cluster document
+    + ``.index`` sidecar); this is its manifest digest, stable across
+    hosts and filesystems because iteration is name-sorted.
+    """
+    hasher = hashlib.sha256()
+    for path in sorted(directory.rglob("*")):
+        if not path.is_file():
+            continue
+        hasher.update(path.relative_to(directory).as_posix().encode("utf-8"))
+        hasher.update(b"\x00")
+        with open(path, "rb") as stream:
+            for block in iter(lambda: stream.read(1 << 16), b""):
+                hasher.update(block)
+        hasher.update(b"\x00")
     return hasher.hexdigest()
 
 
@@ -233,6 +268,10 @@ class ShardManifest:
     corpus_digest: str
     output: str
     sha256: str
+    #: ``"jsonl"`` (one file) or ``"xml"`` (a directory of per-cluster
+    #: documents + ``.index`` sidecars); absent in pre-format-field
+    #: manifests, which were always JSONL.
+    output_format: str = "jsonl"
     pages: int = 0
     records: int = 0
     index_min: Optional[int] = None
@@ -248,10 +287,17 @@ class ShardManifest:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ShardManifest":
-        payload = dict(data)
-        if payload.pop("format", None) != MANIFEST_FORMAT:
+        # Valid JSON need not be an object: a half-written manifest
+        # holding `null`/a number/a list must read as malformed, not
+        # crash the resume audit whose job is to catch exactly that.
+        try:
+            payload = dict(data)
+        except (TypeError, ValueError) as exc:
+            raise ShardMergeError(f"malformed shard manifest: {exc}") from exc
+        recorded = payload.pop("format", None)
+        if recorded != MANIFEST_FORMAT:
             raise ShardMergeError(
-                f"unsupported shard manifest format {data.get('format')!r}"
+                f"unsupported shard manifest format {recorded!r}"
             )
         try:
             return cls(**payload)
@@ -277,38 +323,16 @@ def shard_basename(shard: int) -> str:
     return f"shard-{shard:04d}"
 
 
-class GlobalIndexSink(ResultSink):
-    """Rewrite engine-local submission indices to corpus-global ones.
-
-    The producer feeds the engine pages in global-index order while
-    appending each yielded page's global index to ``global_indices``;
-    the engine numbers pages locally 0..k-1, so the k-th record
-    drained belongs to the k-th yielded page — a positional remap.
-    Used by shard workers (plan-global indices) and by ``batch`` when
-    unreadable files are skipped (so indices stay corpus positions and
-    sharded/unsharded outputs agree).
-    """
-
-    def __init__(self, inner: ResultSink, global_indices: list[int]) -> None:
-        self.inner = inner
-        self._globals = global_indices
-
-    def write(self, record: PageRecord) -> None:
-        record.index = self._globals[record.index]
-        self.inner.write(record)
-
-    def close(self) -> None:
-        self.inner.close()
-
-
 class ShardWorker:
-    """Run one shard of a plan through an ordered extraction engine.
+    """Run one shard of a plan through an ordered streaming runtime.
 
-    Pages are materialised lazily through ``load_page`` so a worker
-    holds only its in-flight window in memory, exactly like ``batch``.
-    Engine parameters mirror :class:`BatchExtractionEngine`; every
-    worker of a run should use identical ones (and an identically
-    fitted router) so the shard outputs partition the unsharded output.
+    Pages are materialised lazily through ``load_page`` (a
+    :class:`~repro.service.runtime.LoadingPageSource` over the plan
+    slice) so a worker holds only its in-flight window in memory,
+    exactly like ``batch``.  Runtime parameters mirror
+    :class:`~repro.service.engine.BatchExtractionEngine`; every worker
+    of a run should use identical ones (and an identically fitted
+    router) so the shard outputs partition the unsharded output.
     """
 
     def __init__(
@@ -331,8 +355,7 @@ class ShardWorker:
         self.plan = plan
         self.shard = shard
         self.skip_unreadable = skip_unreadable
-        self._unreadable = 0
-        self.engine = BatchExtractionEngine(
+        self.runtime = StreamingRuntime(
             repository,
             router=router,
             postprocessor=postprocessor,
@@ -342,60 +365,62 @@ class ShardWorker:
             ordered=True,
         )
 
-    def _pages(
-        self,
-        assigned: list[tuple[int, str]],
-        load_page: Callable[[str], WebPage],
-        global_indices: list[int],
-    ) -> Iterator[WebPage]:
-        for index, page_id in assigned:
-            try:
-                page = load_page(page_id)
-            except (OSError, UnicodeDecodeError):
-                if not self.skip_unreadable:
-                    raise
-                self._unreadable += 1
-                continue
-            global_indices.append(index)
-            yield page
-
     def run(
         self,
         load_page: Callable[[str], WebPage],
         output_dir: Union[str, Path],
+        output_format: str = "jsonl",
     ) -> tuple[ShardManifest, EngineReport]:
-        """Extract this shard; write JSONL + manifest into ``output_dir``.
+        """Extract this shard; write output + manifest into ``output_dir``.
 
-        Returns the saved manifest and the engine's run report.
+        ``output_format="jsonl"`` writes one ``shard-NNNN.jsonl`` file;
+        ``"xml"`` writes a ``shard-NNNN.xml.d`` directory of per-cluster
+        Figure-5 documents with ``.index`` sidecars (what
+        :class:`XmlShardMerger` consumes).  Returns the saved manifest
+        and the runtime's run report.
         """
+        if output_format not in OUTPUT_FORMATS:
+            raise ShardPlanError(
+                f"unknown shard output format {output_format!r} "
+                f"(expected one of {', '.join(OUTPUT_FORMATS)})"
+            )
         directory = Path(output_dir)
         directory.mkdir(parents=True, exist_ok=True)
         base = shard_basename(self.shard)
-        output_path = directory / f"{base}.jsonl"
         assigned = self.plan.pages_for(self.shard)
-        global_indices: list[int] = []
-        self._unreadable = 0
+        source = LoadingPageSource(
+            assigned, load_page, skip_unreadable=self.skip_unreadable
+        )
         started = time.perf_counter()
-        with JsonlSink(output_path) as jsonl:
-            sink = GlobalIndexSink(jsonl, global_indices)
-            report = self.engine.run(
-                self._pages(assigned, load_page, global_indices), sink
-            )
-            records = jsonl.count
+        if output_format == "xml":
+            output_path = directory / f"{base}.xml.d"
+            with XmlDirectorySink(
+                output_path, self.repository, record_indices=True
+            ) as sink:
+                report = self.runtime.run(source, sink)
+            records = report.pages_served
+            digest = _tree_sha256(output_path)
+        else:
+            output_path = directory / f"{base}.jsonl"
+            with JsonlSink(output_path) as jsonl:
+                report = self.runtime.run(source, jsonl)
+                records = jsonl.count
+            digest = _file_sha256(output_path)
         manifest = ShardManifest(
             shard=self.shard,
             shards=self.plan.shards,
             strategy=self.plan.strategy,
             corpus_digest=self.plan.corpus_digest,
             output=output_path.name,
-            sha256=_file_sha256(output_path),
+            sha256=digest,
+            output_format=output_format,
             pages=len(assigned),
             records=records,
-            index_min=global_indices[0] if global_indices else None,
-            index_max=global_indices[-1] if global_indices else None,
+            index_min=source.index_min,
+            index_max=source.index_max,
             unroutable=report.unroutable_count,
             skipped=report.skipped_count,
-            unreadable=self._unreadable,
+            unreadable=len(source.unreadable),
             wall_seconds=time.perf_counter() - started,
             per_cluster={
                 cluster: {
@@ -447,6 +472,67 @@ class MergeReport:
         return "\n".join(lines)
 
 
+def _validate_manifests(
+    manifests: list[tuple[Path, ShardManifest]], output_format: str
+) -> list[tuple[Path, ShardManifest]]:
+    """Shared pre-merge validation (JSONL and XML paths alike).
+
+    Every manifest must describe the same corpus/plan and carry the
+    expected output format; shard ids must be exactly ``0..shards-1``.
+    Returns the manifests sorted by shard id.
+    """
+    if not manifests:
+        raise ShardMergeError("no shard manifests to merge")
+    _, first = manifests[0]
+    for path, manifest in manifests[1:]:
+        for attribute in ("corpus_digest", "shards", "strategy"):
+            if getattr(manifest, attribute) != getattr(first, attribute):
+                raise ShardMergeError(
+                    f"{path}: {attribute} differs from "
+                    f"{manifests[0][0]} — outputs are from "
+                    "different runs or plans"
+                )
+    for path, manifest in manifests:
+        if manifest.output_format != output_format:
+            raise ShardMergeError(
+                f"{path}: {manifest.output_format} shard output cannot "
+                f"join a {output_format} merge"
+            )
+    seen: Dict[int, Path] = {}
+    for path, manifest in manifests:
+        if manifest.shard in seen:
+            raise ShardMergeError(
+                f"duplicate shard {manifest.shard}: "
+                f"{seen[manifest.shard]} and {path}"
+            )
+        seen[manifest.shard] = path
+    missing = sorted(set(range(first.shards)) - set(seen))
+    if missing:
+        raise ShardMergeError(
+            f"missing shard(s) {', '.join(map(str, missing))} "
+            f"of {first.shards}"
+        )
+    return sorted(manifests, key=lambda item: item[1].shard)
+
+
+def _accumulate_manifest_stats(
+    report: "MergeReport", manifest: ShardManifest
+) -> None:
+    """Fold one shard manifest's accounting into a merge report."""
+    report.unroutable += manifest.unroutable
+    report.skipped += manifest.skipped
+    report.unreadable += manifest.unreadable
+    report.worker_wall_seconds += manifest.wall_seconds
+    for cluster, stats in manifest.per_cluster.items():
+        merged = report.per_cluster.setdefault(
+            cluster,
+            {"pages": 0, "values": 0, "failures": 0, "chunks": 0,
+             "worker_seconds": 0.0},
+        )
+        for key in merged:
+            merged[key] += stats.get(key, 0)
+
+
 class ShardMerger:
     """Mergesort shard outputs back into one deterministic stream.
 
@@ -487,35 +573,13 @@ class ShardMerger:
                 paths.append(path)
         return paths
 
+    #: The manifest ``output_format`` this merger consumes.
+    output_format = "jsonl"
+
     def _validate(
         self, manifests: list[tuple[Path, ShardManifest]]
     ) -> list[tuple[Path, ShardManifest]]:
-        if not manifests:
-            raise ShardMergeError("no shard manifests to merge")
-        _, first = manifests[0]
-        for path, manifest in manifests[1:]:
-            for attribute in ("corpus_digest", "shards", "strategy"):
-                if getattr(manifest, attribute) != getattr(first, attribute):
-                    raise ShardMergeError(
-                        f"{path}: {attribute} differs from "
-                        f"{manifests[0][0]} — outputs are from "
-                        "different runs or plans"
-                    )
-        seen: Dict[int, Path] = {}
-        for path, manifest in manifests:
-            if manifest.shard in seen:
-                raise ShardMergeError(
-                    f"duplicate shard {manifest.shard}: "
-                    f"{seen[manifest.shard]} and {path}"
-                )
-            seen[manifest.shard] = path
-        missing = sorted(set(range(first.shards)) - set(seen))
-        if missing:
-            raise ShardMergeError(
-                f"missing shard(s) {', '.join(map(str, missing))} "
-                f"of {first.shards}"
-            )
-        return sorted(manifests, key=lambda item: item[1].shard)
+        return _validate_manifests(manifests, self.output_format)
 
     # -- record streaming ---------------------------------------------- #
 
@@ -582,18 +646,7 @@ class ShardMerger:
                         "(corrupt or regenerated shard output)"
                     )
             streams.append(self._records(output_path, manifest))
-            report.unroutable += manifest.unroutable
-            report.skipped += manifest.skipped
-            report.unreadable += manifest.unreadable
-            report.worker_wall_seconds += manifest.wall_seconds
-            for cluster, stats in manifest.per_cluster.items():
-                merged = report.per_cluster.setdefault(
-                    cluster,
-                    {"pages": 0, "values": 0, "failures": 0, "chunks": 0,
-                     "worker_seconds": 0.0},
-                )
-                for key in merged:
-                    merged[key] += stats.get(key, 0)
+            _accumulate_manifest_stats(report, manifest)
         if isinstance(output, (str, Path)):
             stream: IO[str] = open(output, "w", encoding="utf-8")
             owns_stream = True
@@ -615,3 +668,321 @@ class ShardMerger:
             if owns_stream:
                 stream.close()
         return report
+
+
+# --------------------------------------------------------------------- #
+# XML merging
+# --------------------------------------------------------------------- #
+
+#: Marker strings (indents, element names) become bytes through
+#: latin-1; the documents themselves are streamed as raw bytes, split
+#: on ``\n`` only, so extracted values containing exotic line-boundary
+#: characters (NEL, VT, FF, a lone CR) survive the merge byte-exactly.
+_BYTE_CODEC = "latin-1"
+
+
+class XmlShardMerger:
+    """Merge per-cluster XML shard outputs into unsharded documents.
+
+    Each XML-mode shard output is a directory of ``<cluster>.xml``
+    documents plus ``<cluster>.index`` sidecars (one decimal global
+    submission index per page element, in element order — written by
+    :class:`~repro.service.sink.XmlDirectorySink` with
+    ``record_indices=True``).  The merge k-way-mergesorts every
+    cluster's page elements across shards by sidecar index into
+    ``<output_dir>/<cluster>.xml`` — byte-identical to what one
+    unsharded ordered ``batch --xml-dir`` run over the same corpus
+    writes, with no sidecars.  Documents are streamed element by
+    element (like the JSONL merger streams records), so peak memory is
+    one in-flight element per shard, not the corpus.
+
+    Validation matches the JSONL path: shared manifest checks
+    (:func:`_validate_manifests`, including the output format), an
+    optional content digest over each shard directory, strictly
+    increasing sidecar indices per shard, sidecar/element count
+    agreement per document, per-shard totals against the manifest's
+    record count, and duplicate indices across shards (overlap)
+    during the merge.
+    """
+
+    output_format = "xml"
+
+    def __init__(self, verify_digests: bool = True, indent: str = "  ") -> None:
+        self.verify_digests = verify_digests
+        self.indent = indent
+
+    def merge(
+        self,
+        inputs: Iterable[Union[str, Path]],
+        output_dir: Union[str, Path],
+    ) -> MergeReport:
+        """Merge XML shard outputs (manifest files or directories)."""
+        manifest_paths = ShardMerger.discover(inputs)
+        manifests = _validate_manifests(
+            [(path, ShardManifest.load(path)) for path in manifest_paths],
+            self.output_format,
+        )
+        report = MergeReport(shards=len(manifests))
+        shard_dirs: list[tuple[Path, ShardManifest]] = []
+        for path, manifest in manifests:
+            directory = path.parent / manifest.output
+            if not directory.is_dir():
+                raise ShardMergeError(f"shard output missing: {directory}")
+            if self.verify_digests:
+                if _tree_sha256(directory) != manifest.sha256:
+                    raise ShardMergeError(
+                        f"{directory}: content digest mismatch "
+                        "(corrupt or regenerated shard output)"
+                    )
+            shard_dirs.append((directory, manifest))
+            _accumulate_manifest_stats(report, manifest)
+        clusters = sorted({
+            document.stem
+            for directory, _ in shard_dirs
+            for document in directory.glob("*.xml")
+        })
+        target = Path(output_dir)
+        target.mkdir(parents=True, exist_ok=True)
+        elements_per_shard = [0] * len(shard_dirs)
+        for cluster in clusters:
+            report.records += self._merge_cluster(
+                cluster, shard_dirs, target / f"{cluster}.xml",
+                elements_per_shard,
+            )
+        for position, (directory, manifest) in enumerate(shard_dirs):
+            if elements_per_shard[position] != manifest.records:
+                raise ShardMergeError(
+                    f"{directory}: {elements_per_shard[position]} page "
+                    f"element(s) but manifest declares {manifest.records}"
+                )
+        return report
+
+    # -- one cluster --------------------------------------------------- #
+
+    def _merge_cluster(
+        self,
+        cluster: str,
+        shard_dirs: list[tuple[Path, ShardManifest]],
+        output_path: Path,
+        elements_per_shard: list[int],
+    ) -> int:
+        streams = []
+        header: Optional[list[bytes]] = None
+        header_origin: Optional[Path] = None
+        for position, (directory, _) in enumerate(shard_dirs):
+            document = directory / f"{cluster}.xml"
+            if not document.exists():
+                continue  # this shard served no page of the cluster
+            indices = self._read_sidecar(directory / f"{cluster}.index")
+            with open(document, "rb") as stream:
+                first_two = [stream.readline(), stream.readline()]
+            if not first_two[1].endswith(b"\n"):
+                raise ShardMergeError(
+                    f"{document}: truncated cluster document"
+                )
+            if header is None:
+                header, header_origin = first_two, document
+            elif first_two != header:
+                raise ShardMergeError(
+                    f"{document}: document header differs from "
+                    f"{header_origin} — shards written with different "
+                    "sink settings"
+                )
+            elements_per_shard[position] += len(indices)
+            streams.append(self._indexed_elements(document, indices, cluster))
+        count = 0
+        with open(output_path, "wb") as stream:
+            assert header is not None  # clusters come from *.xml globs
+            stream.write(header[0])
+            stream.write(header[1])
+            previous = -1
+            for index, element in heapq.merge(*streams):
+                if index == previous:
+                    raise ShardMergeError(
+                        f"overlapping shards: index {index} emitted twice"
+                    )
+                previous = index
+                for line in element:
+                    stream.write(line)
+                count += 1
+            stream.write(f"</{cluster}>\n".encode(_BYTE_CODEC))
+        return count
+
+    @staticmethod
+    def _read_sidecar(path: Path) -> list[int]:
+        """Sidecar indices, checked strictly increasing (JSONL parity)."""
+        if not path.exists():
+            raise ShardMergeError(
+                f"index sidecar missing: {path} (was the shard run with "
+                "record_indices enabled?)"
+            )
+        indices: list[int] = []
+        previous = -1
+        for line_number, line in enumerate(
+            path.read_text(encoding="ascii").splitlines(), start=1
+        ):
+            try:
+                index = int(line)
+            except ValueError as exc:
+                raise ShardMergeError(
+                    f"{path}:{line_number}: not a submission index: {exc}"
+                )
+            if index <= previous:
+                raise ShardMergeError(
+                    f"{path}:{line_number}: out-of-order shard sidecar "
+                    f"(index {index} after {previous})"
+                )
+            previous = index
+            indices.append(index)
+        return indices
+
+    def _indexed_elements(
+        self, document: Path, indices: list[int], cluster: str
+    ) -> Iterator[tuple[int, list[bytes]]]:
+        """Stream ``(global index, page-element lines)`` from a document.
+
+        Operates on raw bytes split at ``\\n`` only (the sink terminates
+        every line with it), so value bytes — including characters
+        ``str.splitlines`` would treat as line boundaries — pass through
+        untouched.  The sink renders every page as ``<child uri="...">``
+        ... ``</child>`` at one indent level; value text is escaped, so
+        no content line can collide with the close tag.  Raises when the
+        element count disagrees with the sidecar, when stray lines
+        appear between elements, or when the document ends before its
+        closing root tag.
+        """
+        child = page_element_name(cluster)
+        open_prefix = f"{self.indent}<{child} uri=".encode(_BYTE_CODEC)
+        close_line = f"{self.indent}</{child}>\n".encode(_BYTE_CODEC)
+        footer = f"</{cluster}>\n".encode(_BYTE_CODEC)
+        count = 0
+        current: Optional[list[bytes]] = None
+        closed = False
+        with open(document, "rb") as stream:
+            stream.readline()  # header, validated by _merge_cluster
+            stream.readline()
+            for line in stream:
+                if current is None:
+                    if line == footer:
+                        closed = True
+                        break
+                    if not line.startswith(open_prefix):
+                        raise ShardMergeError(
+                            f"{document}: unexpected line between page "
+                            f"elements: {line!r}"
+                        )
+                    current = [line]
+                else:
+                    current.append(line)
+                if line == close_line:
+                    if count >= len(indices):
+                        raise ShardMergeError(
+                            f"{document}: more page elements than its "
+                            f"{len(indices)} sidecar index(es)"
+                        )
+                    yield indices[count], current
+                    count += 1
+                    current = None
+            if current is not None or not closed:
+                raise ShardMergeError(
+                    f"{document}: truncated cluster document"
+                )
+        if count != len(indices):
+            raise ShardMergeError(
+                f"{document}: {count} page element(s) but "
+                f"{len(indices)} sidecar index(es)"
+            )
+
+
+# --------------------------------------------------------------------- #
+# Resume
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ShardStatus:
+    """One shard's health in an output directory, against a plan."""
+
+    shard: int
+    complete: bool
+    reason: str = ""
+    #: The complete shard's manifest ``output_format`` (``None`` while
+    #: incomplete) — resume checks re-runs against it so one forgotten
+    #: ``--format`` flag cannot produce an unmergeable mixed directory.
+    output_format: Optional[str] = None
+
+
+def shard_statuses(
+    plan: ShardPlan,
+    output_dir: Union[str, Path],
+    verify_digests: bool = True,
+) -> list[ShardStatus]:
+    """Audit every shard of a plan against an output directory.
+
+    A shard is complete when its manifest exists, parses, describes
+    this plan (corpus digest, shard count, strategy, shard id), and
+    its output exists with a matching content digest.  Anything else —
+    a host that never ran, died mid-write, ran a different plan, or
+    left a corrupt file — yields an explanatory reason, and ``shard
+    resume`` re-runs exactly those shards.
+    """
+    directory = Path(output_dir)
+    statuses: list[ShardStatus] = []
+
+    def incomplete(shard: int, reason: str) -> ShardStatus:
+        return ShardStatus(shard=shard, complete=False, reason=reason)
+
+    for shard in range(plan.shards):
+        manifest_path = directory / f"{shard_basename(shard)}.manifest.json"
+        if not manifest_path.exists():
+            statuses.append(incomplete(shard, "manifest missing"))
+            continue
+        try:
+            manifest = ShardManifest.load(manifest_path)
+        except ShardMergeError as exc:
+            statuses.append(incomplete(shard, f"manifest unreadable: {exc}"))
+            continue
+        if manifest.shard != shard:
+            statuses.append(incomplete(
+                shard, f"manifest describes shard {manifest.shard}"
+            ))
+            continue
+        if (
+            manifest.corpus_digest != plan.corpus_digest
+            or manifest.shards != plan.shards
+            or manifest.strategy != plan.strategy
+        ):
+            statuses.append(incomplete(shard, "manifest from another plan"))
+            continue
+        output_path = directory / manifest.output
+        if manifest.output_format == "xml":
+            if not output_path.is_dir():
+                statuses.append(incomplete(shard, "output missing"))
+                continue
+            digest = _tree_sha256(output_path) if verify_digests else None
+        else:
+            if not output_path.is_file():
+                statuses.append(incomplete(shard, "output missing"))
+                continue
+            digest = _file_sha256(output_path) if verify_digests else None
+        if digest is not None and digest != manifest.sha256:
+            statuses.append(incomplete(shard, "output digest mismatch"))
+            continue
+        statuses.append(ShardStatus(
+            shard=shard, complete=True,
+            output_format=manifest.output_format,
+        ))
+    return statuses
+
+
+def incomplete_shards(
+    plan: ShardPlan,
+    output_dir: Union[str, Path],
+    verify_digests: bool = True,
+) -> list[ShardStatus]:
+    """The shards ``shard resume`` must re-run, with reasons."""
+    return [
+        status
+        for status in shard_statuses(plan, output_dir, verify_digests)
+        if not status.complete
+    ]

@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import IO, Union
+from typing import IO, Optional, Union
 
 from repro.core.repository import RuleRepository
 from repro.extraction.xml_writer import (
@@ -27,6 +27,30 @@ from repro.extraction.xml_writer import (
     page_element_name,
     render_page_xml,
 )
+
+
+def make_error_record(message: str, url: Optional[str] = None) -> dict:
+    """The one shape of an error record, everywhere.
+
+    ``serve`` (sync and async), the runtime's contained-errors path and
+    shard workers all emit page-level errors through this helper so the
+    field names (``error``, optional ``url``) can never drift between
+    entry points.
+    """
+    record: dict = {"error": message}
+    if url is not None:
+        record["url"] = url
+    return record
+
+
+def make_unroutable_record(url: str, cluster: str = "unroutable") -> dict:
+    """The record emitted for a page no wrapper can serve.
+
+    Shaped like a served record (``url``/``cluster``/``values``/
+    ``failures``) so downstream consumers see one schema; the cluster
+    name marks the auditable gap.
+    """
+    return {"url": url, "cluster": cluster, "values": {}, "failures": []}
 
 
 @dataclass
@@ -72,6 +96,15 @@ class ResultSink:
     def write(self, record: PageRecord) -> None:  # pragma: no cover
         raise NotImplementedError
 
+    def write_error(self, payload: dict) -> None:
+        """Accept a :func:`make_error_record` payload.
+
+        Only produced by runtimes in ``contain_errors`` mode; the
+        default discards them (batch sinks carry extraction *records*,
+        and failed pages are accounted in the run report).  Sinks that
+        interleave diagnostics with records override this.
+        """
+
     def close(self) -> None:
         """Flush and release resources (idempotent)."""
 
@@ -97,9 +130,13 @@ class CollectingSink(ResultSink):
 
     def __init__(self) -> None:
         self.records: list[PageRecord] = []
+        self.errors: list[dict] = []
 
     def write(self, record: PageRecord) -> None:
         self.records.append(record)
+
+    def write_error(self, payload: dict) -> None:
+        self.errors.append(payload)
 
     def by_url(self) -> dict[str, PageRecord]:
         return {record.url: record for record in self.records}
@@ -132,6 +169,11 @@ class JsonlSink(ResultSink):
         self.count += 1
         if self.flush_every and self.count % self.flush_every == 0:
             self._stream.flush()
+
+    def write_error(self, payload: dict) -> None:
+        """Interleave an error record (contained-errors runtimes only)."""
+        self._stream.write(json.dumps(payload, sort_keys=True))
+        self._stream.write("\n")
 
     def close(self) -> None:
         if self._owns_stream and not self._stream.closed:

@@ -569,6 +569,273 @@ def test_shard_merge_incomplete_set_fails(served_site, tmp_path, capsys):
     assert "missing shard" in capsys.readouterr().err
 
 
+# --------------------------------------------------------------------- #
+# serve --sync: the historical one-line-at-a-time loop
+# --------------------------------------------------------------------- #
+
+
+def test_serve_sync_loop_matches_async_records(served_site, capsys,
+                                               monkeypatch):
+    site_dir, repo_path = served_site
+    pages = sorted(site_dir.glob("imdb-movies-*.html"))[:3]
+    text = "".join(
+        json.dumps({
+            "url": page.resolve().as_uri(),
+            "html": page.read_text(encoding="utf-8"),
+        }) + "\n"
+        for page in pages
+    )
+    monkeypatch.setattr("sys.stdin", io.StringIO(text))
+    assert main([
+        "serve", "--sync", "--repository", str(repo_path),
+        "--cluster", "imdb-movies",
+    ]) == 0
+    captured = capsys.readouterr()
+    sync_out = captured.out
+    assert "served 3 page(s)" in captured.err
+    monkeypatch.setattr("sys.stdin", io.StringIO(text))
+    assert main([
+        "serve", "--repository", str(repo_path),
+        "--cluster", "imdb-movies",
+    ]) == 0
+    assert capsys.readouterr().out == sync_out
+
+
+def test_serve_sync_handles_bad_input_and_decode_errors(served_site, capsys,
+                                                        monkeypatch):
+    _, repo_path = served_site
+
+    class FlakyStdin:
+        def __init__(self, reads):
+            self._reads = iter(reads)
+
+        def readline(self):
+            item = next(self._reads, "")
+            if isinstance(item, Exception):
+                raise item
+            return item
+
+    good = json.dumps({"url": "http://x/", "html": "<body><p>x</p></body>"})
+    monkeypatch.setattr("sys.stdin", FlakyStdin([
+        "{not json\n",
+        "   \n",  # blank lines produce no output
+        UnicodeDecodeError("utf-8", b"\xff", 0, 1, "bad"),
+        good + "\n",
+    ]))
+    assert main([
+        "serve", "--sync", "--repository", str(repo_path),
+        "--cluster", "imdb-movies",
+    ]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 3
+    assert "error" in json.loads(lines[0])
+    assert "undecodable input" in json.loads(lines[1])["error"]
+    assert json.loads(lines[2])["cluster"] == "imdb-movies"
+
+
+def test_serve_sync_persistent_decode_failure_gives_up(served_site, capsys,
+                                                       monkeypatch):
+    _, repo_path = served_site
+
+    class BrokenStdin:
+        def readline(self):
+            raise UnicodeDecodeError("utf-8", b"\xff", 0, 1, "bad")
+
+    monkeypatch.setattr("sys.stdin", BrokenStdin())
+    monkeypatch.setattr("repro.cli.SERVE_MAX_DECODE_FAILURES", 2)
+    assert main([
+        "serve", "--sync", "--repository", str(repo_path),
+        "--cluster", "imdb-movies",
+    ]) == 1
+    captured = capsys.readouterr()
+    assert captured.out.count("undecodable input") == 2
+    assert "giving up" in captured.err
+
+
+def test_serve_sync_consumer_closing_output_is_clean(served_site, capsys,
+                                                     monkeypatch):
+    _, repo_path = served_site
+
+    class ClosedPipe(io.StringIO):
+        def write(self, text):
+            raise BrokenPipeError(32, "Broken pipe")
+
+    request = json.dumps({
+        "url": "http://x/", "html": "<body><p>x</p></body>",
+    })
+    monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+    monkeypatch.setattr("sys.stdout", ClosedPipe())
+    assert main([
+        "serve", "--sync", "--repository", str(repo_path),
+        "--cluster", "imdb-movies",
+    ]) == 0
+    err = capsys.readouterr().err
+    assert "output stream closed by consumer" in err
+    assert "served 0 page(s)" in err
+
+
+# --------------------------------------------------------------------- #
+# shard --format xml and shard resume
+# --------------------------------------------------------------------- #
+
+
+def test_shard_xml_pipeline_matches_unsharded_batch(served_site, tmp_path,
+                                                    capsys):
+    site_dir, repo_path = served_site
+    reference = tmp_path / "reference-xml"
+    assert main([
+        "batch", str(site_dir), "--repository", str(repo_path),
+        "--xml-dir", str(reference), "--workers", "3", "--chunk-size", "5",
+    ]) == 0
+    plan_path = tmp_path / "plan.json"
+    assert main(["shard", "plan", str(site_dir), "--shards", "3",
+                 "--output", str(plan_path)]) == 0
+    out_dir = tmp_path / "shards"
+    for shard in range(3):
+        assert main([
+            "shard", "run", str(site_dir), "--plan", str(plan_path),
+            "--shard", str(shard), "--repository", str(repo_path),
+            "--output-dir", str(out_dir), "--format", "xml",
+            "--chunk-size", "4",
+        ]) == 0
+    merged = tmp_path / "merged-xml"
+    assert main([
+        "shard", "merge", str(out_dir), "--format", "xml",
+        "--output", str(merged),
+    ]) == 0
+    assert "merged XML documents written" in capsys.readouterr().err
+    expected = {p.name: p.read_bytes() for p in reference.glob("*.xml")}
+    produced = {p.name: p.read_bytes() for p in merged.iterdir()}
+    assert expected  # the batch reference actually wrote documents
+    assert produced == expected
+
+
+def test_shard_merge_xml_requires_output_directory(tmp_path, capsys):
+    assert main([
+        "shard", "merge", str(tmp_path), "--format", "xml",
+    ]) == 2
+    assert "--output" in capsys.readouterr().err
+
+
+def test_shard_merge_xml_empty_inputs_fail(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main([
+        "shard", "merge", str(empty), "--format", "xml",
+        "--output", str(tmp_path / "out"),
+    ]) == 1
+    assert "no shard manifests" in capsys.readouterr().err
+
+
+def test_shard_resume_reruns_only_incomplete_shards(served_site, tmp_path,
+                                                    capsys):
+    site_dir, repo_path = served_site
+    plan_path = tmp_path / "plan.json"
+    assert main(["shard", "plan", str(site_dir), "--shards", "3",
+                 "--output", str(plan_path)]) == 0
+    out_dir = tmp_path / "shards"
+    # Only shard 1 ran; 0 and 2 "never came back".
+    assert main([
+        "shard", "run", str(site_dir), "--plan", str(plan_path),
+        "--shard", "1", "--repository", str(repo_path),
+        "--output-dir", str(out_dir),
+    ]) == 0
+    shard1 = (out_dir / "shard-0001.jsonl").read_bytes()
+    capsys.readouterr()
+    assert main([
+        "shard", "resume", str(site_dir), "--plan", str(plan_path),
+        "--repository", str(repo_path), "--output-dir", str(out_dir),
+    ]) == 0
+    err = capsys.readouterr().err
+    assert "resuming 2 of 3 shard(s)" in err
+    assert "#0 (manifest missing)" in err
+    assert (out_dir / "shard-0001.jsonl").read_bytes() == shard1  # untouched
+    merged = tmp_path / "merged.jsonl"
+    assert main(["shard", "merge", str(out_dir),
+                 "--output", str(merged)]) == 0
+    capsys.readouterr()
+    # A second resume finds a complete set.
+    assert main([
+        "shard", "resume", str(site_dir), "--plan", str(plan_path),
+        "--repository", str(repo_path), "--output-dir", str(out_dir),
+    ]) == 0
+    assert "nothing to resume" in capsys.readouterr().err
+
+
+def test_shard_resume_noop_works_without_the_corpus(served_site, tmp_path,
+                                                    capsys):
+    # Once every shard is complete, resume must be a cheap no-op — even
+    # on a host where the corpus directory has since been cleaned up.
+    import shutil
+
+    site_dir, repo_path = served_site
+    plan_path = tmp_path / "plan.json"
+    assert main(["shard", "plan", str(site_dir), "--shards", "2",
+                 "--output", str(plan_path)]) == 0
+    out_dir = tmp_path / "shards"
+    for shard in range(2):
+        assert main([
+            "shard", "run", str(site_dir), "--plan", str(plan_path),
+            "--shard", str(shard), "--repository", str(repo_path),
+            "--output-dir", str(out_dir),
+        ]) == 0
+    shutil.rmtree(site_dir)
+    capsys.readouterr()
+    assert main([
+        "shard", "resume", str(site_dir), "--plan", str(plan_path),
+        "--repository", str(repo_path), "--output-dir", str(out_dir),
+    ]) == 0
+    assert "nothing to resume" in capsys.readouterr().err
+
+
+def test_shard_resume_refuses_format_mismatch(served_site, tmp_path,
+                                              capsys):
+    # All shards ran as xml; resuming with the default jsonl format
+    # would leave an unmergeable mixed directory — refuse instead.
+    site_dir, repo_path = served_site
+    plan_path = tmp_path / "plan.json"
+    assert main(["shard", "plan", str(site_dir), "--shards", "2",
+                 "--output", str(plan_path)]) == 0
+    out_dir = tmp_path / "shards"
+    assert main([
+        "shard", "run", str(site_dir), "--plan", str(plan_path),
+        "--shard", "0", "--repository", str(repo_path),
+        "--output-dir", str(out_dir), "--format", "xml",
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "shard", "resume", str(site_dir), "--plan", str(plan_path),
+        "--repository", str(repo_path), "--output-dir", str(out_dir),
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "xml" in err and "--format" in err
+
+
+def test_shard_resume_rejects_missing_plan(tmp_path, capsys):
+    assert main([
+        "shard", "resume", str(tmp_path),
+        "--plan", str(tmp_path / "absent.json"),
+    ]) == 2
+
+
+def test_serve_rejects_bad_max_inflight(served_site, capsys, monkeypatch):
+    _, repo_path = served_site
+    monkeypatch.setattr("sys.stdin", io.StringIO(""))
+    assert main([
+        "serve", "--repository", str(repo_path),
+        "--cluster", "imdb-movies", "--max-inflight", "0",
+    ]) == 2
+    assert "--max-inflight" in capsys.readouterr().err
+
+
+def test_serve_rejects_unknown_cluster(served_site, capsys):
+    _, repo_path = served_site
+    assert main([
+        "serve", "--repository", str(repo_path), "--cluster", "nope",
+    ]) == 2
+    assert "unknown cluster" in capsys.readouterr().err
+
+
 def test_serve_multi_cluster_requires_disambiguation(served_site, tmp_path,
                                                      monkeypatch):
     from repro.core.component import PageComponent

@@ -147,10 +147,12 @@ class TestEngineBehaviour:
             BatchExtractionEngine(service_repository, max_pending=-1)
 
     def test_rejected_url_samples_are_bounded(self, monkeypatch):
-        import repro.service.engine as engine_module
+        # The report lives in the runtime module now; patch the cap
+        # where the note_* methods resolve it.
+        import repro.service.runtime as runtime_module
         from repro.service.engine import EngineReport
 
-        monkeypatch.setattr(engine_module, "URL_SAMPLE_CAP", 3)
+        monkeypatch.setattr(runtime_module, "URL_SAMPLE_CAP", 3)
         report = EngineReport()
         for index in range(10):
             report.note_unroutable(f"http://x/{index}")

@@ -1,0 +1,331 @@
+"""The streaming runtime: sources, ordered emission, executors, stages."""
+
+import random
+
+import pytest
+
+from repro.service.compiler import CompiledWrapper
+from repro.service.runtime import (
+    IterablePageSource,
+    LoadingPageSource,
+    OrderedEmitter,
+    StreamingRuntime,
+)
+from repro.service.sink import CollectingSink, PageRecord
+from repro.sites.page import WebPage
+
+
+def _record(index: int) -> PageRecord:
+    return PageRecord(url=f"http://x/{index}", cluster="c", index=index)
+
+
+class TestOrderedEmitter:
+    """The reorder buffer under adversarial completion orders."""
+
+    def test_reverse_completion_order(self):
+        out = []
+        emitter = OrderedEmitter(out.append)
+        records = [_record(i) for i in range(10)]
+        for seq in reversed(range(1, 10)):
+            emitter.emit(seq, records[seq])
+            assert out == []  # nothing may leave before seq 0
+        assert emitter.held == 9
+        emitter.emit(0, records[0])
+        assert [r.index for r in out] == list(range(10))
+        assert emitter.held == 0
+
+    def test_interleaved_completion_order(self):
+        order = [3, 0, 4, 1, 6, 2, 5, 9, 7, 8]
+        out = []
+        emitter = OrderedEmitter(out.append)
+        for seq in order:
+            emitter.emit(seq, _record(seq))
+            # Whatever has left so far is a strictly ordered prefix.
+            assert [r.index for r in out] == list(range(len(out)))
+        assert [r.index for r in out] == list(range(10))
+        assert emitter.held == 0
+
+    def test_failure_gaps_do_not_stall_the_stream(self):
+        # Even sequence numbers are dropped outcomes (unroutable pages,
+        # contained errors, stage drops): the buffer must release past
+        # them without emitting anything.
+        out = []
+        emitter = OrderedEmitter(out.append)
+        seqs = list(range(20))
+        random.Random(5).shuffle(seqs)
+        for seq in seqs:
+            emitter.emit(seq, None if seq % 2 == 0 else _record(seq))
+        assert [r.index for r in out] == list(range(1, 20, 2))
+        assert emitter.held == 0
+
+    def test_all_gaps_stream_emits_nothing(self):
+        out = []
+        emitter = OrderedEmitter(out.append)
+        for seq in reversed(range(5)):
+            emitter.emit(seq, None)
+        assert out == []
+        assert emitter.held == 0
+
+    def test_in_order_completion_is_passthrough(self):
+        out = []
+        emitter = OrderedEmitter(out.append)
+        for seq in range(5):
+            emitter.emit(seq, _record(seq))
+            assert emitter.held == 0
+        assert len(out) == 5
+
+
+class TestSources:
+    def test_iterable_source_numbers_by_position(self):
+        pages = [WebPage(url=f"http://x/{i}", html="<p/>") for i in range(3)]
+        assert [index for index, _ in IterablePageSource(pages)] == [0, 1, 2]
+        offset = IterablePageSource(pages, start=7)
+        assert [index for index, _ in offset] == [7, 8, 9]
+
+    def test_loading_source_loads_lazily_with_global_indices(self):
+        loaded = []
+
+        def load(page_id):
+            loaded.append(page_id)
+            return WebPage(url=page_id, html="<p/>")
+
+        source = LoadingPageSource([(4, "a"), (9, "b")], load)
+        iterator = iter(source)
+        assert loaded == []  # nothing touched before iteration
+        assert next(iterator)[0] == 4
+        assert loaded == ["a"]
+        assert next(iterator)[0] == 9
+        assert source.index_min == 4
+        assert source.index_max == 9
+        assert source.yielded == 2
+        assert source.unreadable == []
+
+    def test_loading_source_skips_and_records_unreadable(self):
+        skipped = []
+
+        def load(page_id):
+            if page_id == "bad":
+                raise OSError("gone")
+            return WebPage(url=page_id, html="<p/>")
+
+        source = LoadingPageSource(
+            [(0, "a"), (1, "bad"), (2, "b")], load,
+            skip_unreadable=True,
+            on_skip=lambda page_id, exc: skipped.append((page_id, str(exc))),
+        )
+        indices = [index for index, _ in source]
+        assert indices == [0, 2]  # the gap stays in the index space
+        assert source.unreadable == ["bad"]
+        assert skipped == [("bad", "gone")]
+
+    def test_loading_source_strict_mode_raises(self):
+        def load(page_id):
+            raise UnicodeDecodeError("utf-8", b"\xff", 0, 1, "bad")
+
+        source = LoadingPageSource([(0, "a")], load)
+        with pytest.raises(UnicodeDecodeError):
+            list(source)
+
+
+@pytest.fixture(scope="module")
+def movie_pages_30(service_site):
+    return service_site.pages_with_hint("imdb-movies")[:30]
+
+
+class TestStreamingRuntime:
+    def test_inline_executor_matches_thread_executor(
+        self, movie_pages_30, service_repository
+    ):
+        inline = StreamingRuntime(
+            service_repository, executor="inline", ordered=True
+        )
+        threaded = StreamingRuntime(
+            service_repository, workers=4, chunk_size=7, ordered=True
+        )
+        _, inline_records = inline.run_collect(
+            IterablePageSource(movie_pages_30)
+        )
+        _, threaded_records = threaded.run_collect(
+            IterablePageSource(movie_pages_30)
+        )
+        assert [
+            (r.index, r.url, r.values) for r in inline_records
+        ] == [
+            (r.index, r.url, r.values) for r in threaded_records
+        ]
+
+    def test_sparse_global_indices_survive_to_records(
+        self, movie_pages_30, service_repository
+    ):
+        # A shard-like source: indices with gaps, still increasing.
+        items = [(i * 10 + 3, page) for i, page in enumerate(movie_pages_30)]
+
+        class PairSource:
+            def __iter__(self):
+                return iter(items)
+
+        runtime = StreamingRuntime(
+            service_repository, workers=3, chunk_size=4, ordered=True
+        )
+        _, records = runtime.run_collect(PairSource())
+        assert [r.index for r in records] == [index for index, _ in items]
+
+    def test_contain_errors_emits_error_records_without_stalling(
+        self, movie_pages_30, service_repository, monkeypatch
+    ):
+        victim = movie_pages_30[4].url
+        original = CompiledWrapper.extract_page
+
+        def flaky(self, page, failures=None):
+            if page.url == victim:
+                raise RuntimeError("wrapper exploded")
+            return original(self, page, failures)
+
+        monkeypatch.setattr(CompiledWrapper, "extract_page", flaky)
+        runtime = StreamingRuntime(
+            service_repository, workers=2, chunk_size=3,
+            ordered=True, contain_errors=True,
+        )
+        sink = CollectingSink()
+        report = runtime.run(IterablePageSource(movie_pages_30), sink)
+        assert report.errors_count == 1
+        assert report.errors == [victim]
+        assert "extraction error: 1" in report.summary()
+        (error,) = sink.errors
+        assert error["url"] == victim
+        assert "wrapper exploded" in error["error"]
+        # The failed page leaves an index gap; ordering survives it.
+        indices = [record.index for record in sink.records]
+        assert indices == sorted(indices)
+        assert len(sink.records) == len(movie_pages_30) - 1
+        assert 4 not in indices
+
+    def test_contained_error_records_keep_submission_order(
+        self, movie_pages_30, service_repository, monkeypatch
+    ):
+        import io
+        import json
+
+        from repro.service.sink import JsonlSink
+
+        victim = movie_pages_30[4].url
+        original = CompiledWrapper.extract_page
+
+        def flaky(self, page, failures=None):
+            if page.url == victim:
+                raise RuntimeError("boom")
+            return original(self, page, failures)
+
+        monkeypatch.setattr(CompiledWrapper, "extract_page", flaky)
+        runtime = StreamingRuntime(
+            service_repository, workers=2, chunk_size=3,
+            ordered=True, contain_errors=True,
+        )
+        stream = io.StringIO()
+        with JsonlSink(stream) as sink:
+            runtime.run(IterablePageSource(movie_pages_30), sink)
+        lines = [json.loads(line) for line in
+                 stream.getvalue().strip().splitlines()]
+        # The error line lands exactly at its page's stream position.
+        assert "error" in lines[4]
+        assert [line["index"] for line in lines[:4]] == [0, 1, 2, 3]
+        assert [line["index"] for line in lines[5:]] == list(
+            range(5, len(movie_pages_30))
+        )
+
+    def test_extraction_exception_propagates_without_containment(
+        self, movie_pages_30, service_repository, monkeypatch
+    ):
+        def boom(self, page, failures=None):
+            raise RuntimeError("wrapper exploded")
+
+        monkeypatch.setattr(CompiledWrapper, "extract_page", boom)
+        runtime = StreamingRuntime(service_repository, executor="inline")
+        with pytest.raises(RuntimeError, match="wrapper exploded"):
+            runtime.run(IterablePageSource(movie_pages_30[:2]))
+
+    def test_stage_transforms_records_before_emission(
+        self, movie_pages_30, service_repository
+    ):
+        def shout_titles(record):
+            record.values = {
+                name: [value.upper() for value in values]
+                if name == "title" else values
+                for name, values in record.values.items()
+            }
+            return record
+
+        runtime = StreamingRuntime(
+            service_repository, executor="inline", stages=[shout_titles]
+        )
+        _, records = runtime.run_collect(
+            IterablePageSource(movie_pages_30[:5])
+        )
+        assert records
+        for record in records:
+            for value in record.values["title"]:
+                assert value == value.upper()
+
+    def test_stage_drops_are_counted_and_never_stall(
+        self, movie_pages_30, service_repository
+    ):
+        def drop_odd(record):
+            return None if record.index % 2 else record
+
+        runtime = StreamingRuntime(
+            service_repository, workers=3, chunk_size=4,
+            ordered=True, stages=[drop_odd],
+        )
+        report, records = runtime.run_collect(
+            IterablePageSource(movie_pages_30)
+        )
+        assert report.dropped_count == len(movie_pages_30) // 2
+        assert "stage-dropped" in report.summary()
+        assert [record.index for record in records] == list(
+            range(0, len(movie_pages_30), 2)
+        )
+        # Dropped records never reached the sink, so served < routed.
+        assert report.pages_served == len(records)
+
+    def test_quiet_cluster_never_dams_ordered_emission(
+        self, service_site, service_repository
+    ):
+        # Page 0 goes to a cluster that never fills a chunk; a flood
+        # follows for another cluster.  The runtime must flush the
+        # blocking partial buffer instead of holding the whole flood
+        # in the reorder buffer until EOF.
+        actor = service_site.pages_with_hint("imdb-actors")[0]
+        movies = service_site.pages_with_hint("imdb-movies")[:120]
+        runtime = StreamingRuntime(
+            service_repository, workers=1, chunk_size=4, max_pending=2,
+            ordered=True,
+        )
+        sink = CollectingSink()
+        received_midstream = []
+
+        def pages():
+            yield actor
+            for position, page in enumerate(movies):
+                if position == 100:
+                    received_midstream.append(len(sink.records))
+                yield page
+
+        runtime.run(IterablePageSource(pages()), sink)
+        assert received_midstream[0] > 0  # output flowed before EOF
+        assert [record.index for record in sink.records] == list(
+            range(len(movies) + 1)
+        )
+
+    def test_invalid_configuration_rejected(self, service_repository):
+        with pytest.raises(ValueError, match="executor"):
+            StreamingRuntime(service_repository, executor="fiber")
+        with pytest.raises(ValueError, match="workers"):
+            StreamingRuntime(service_repository, workers=0)
+        with pytest.raises(ValueError, match="chunk_size"):
+            StreamingRuntime(service_repository, chunk_size=0)
+        with pytest.raises(ValueError, match="max_pending"):
+            StreamingRuntime(service_repository, max_pending=0)
+
+    def test_inline_runtime_reports_clusters(self, service_repository):
+        runtime = StreamingRuntime(service_repository, executor="inline")
+        assert set(runtime.clusters()) == set(service_repository.clusters())
