@@ -1,0 +1,179 @@
+"""Adaptive routing under template drift — recovery, quantified.
+
+A router is fitted on a fine-grained template (the depth family's
+level 1) and then the stream mutates to level 3: same records, same
+concepts, same URL shape, different layout — the "template edit"
+drift class ``bench_resilience_drift`` probes for extraction rules,
+now aimed at *routing*.
+
+Replayed twice over the identical drifting stream:
+
+* **frozen** — the paper's behaviour (Table 4 "Resilience/
+  adaptiveness: No"): the router never changes, so every post-drift
+  page falls below the confidence threshold and lands in the
+  unroutable bucket;
+* **adaptive** — an :class:`~repro.service.adapt.AdaptiveRouter`
+  watches the unroutable fraction over a sliding window, refits the
+  centroid from the buffered cohort, and swaps profiles atomically.
+
+The gated metric is **routed-fraction recovery**: over the pages
+served *after* the adaptive router's first refit, the routed fraction
+must reach at least :data:`MIN_RECOVERY` of the frozen router's
+pre-drift level.  Results are merged into the CI benchmark artifact
+(``$BENCH_RESULTS``) next to the throughput measurements.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.service.adapt import AdaptiveRouter, DriftMonitor
+from repro.service.router import ClusterRouter
+from repro.sites.variation import generate_depth_cluster
+
+from conftest import emit
+
+#: Pages rendered from the fitted template (first) and the drifted one.
+PRE_DRIFT_PAGES = 150
+POST_DRIFT_PAGES = 150
+
+#: Exemplars the router is fitted from.
+EXEMPLARS = 8
+
+#: Routing confidence threshold: fitted-template pages score ~0.93,
+#: drifted ones ~0.60 (see bench output), so 0.8 separates cleanly.
+THRESHOLD = 0.8
+
+#: Drift-detection window of the adaptive replay.
+DRIFT_WINDOW = 32
+
+#: Regression floor: post-refit routed fraction must reach this share
+#: of the frozen router's pre-drift routed fraction.
+MIN_RECOVERY = 0.9
+
+
+def _write_results(payload: dict) -> Path:
+    target = Path(
+        os.environ.get(
+            "BENCH_RESULTS", "bench-results/service_throughput.json"
+        )
+    )
+    target.parent.mkdir(parents=True, exist_ok=True)
+    merged: dict = {}
+    if target.exists():  # all bench tests land in one artifact
+        merged = json.loads(target.read_text(encoding="utf-8"))
+    merged.update(payload)
+    target.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def _corpus():
+    fitted = generate_depth_cluster(1, n_pages=PRE_DRIFT_PAGES + EXEMPLARS,
+                                    seed=3)
+    drifted = generate_depth_cluster(3, n_pages=POST_DRIFT_PAGES, seed=4)
+    exemplars, pre = fitted[:EXEMPLARS], fitted[EXEMPLARS:]
+    return exemplars, pre, drifted
+
+
+def _routed_flags(router, pages) -> list:
+    return [router.route(page).routed for page in pages]
+
+
+def _fraction(flags) -> float:
+    return sum(flags) / len(flags) if flags else 0.0
+
+
+def _replay():
+    exemplars, pre, drifted = _corpus()
+
+    frozen = ClusterRouter.fit({"depth-1": exemplars}, threshold=THRESHOLD)
+    frozen_pre = _routed_flags(frozen, pre)
+    frozen_post = _routed_flags(frozen, drifted)
+
+    adaptive = AdaptiveRouter(
+        ClusterRouter.fit({"depth-1": exemplars}, threshold=THRESHOLD),
+        monitor=DriftMonitor(window=DRIFT_WINDOW),
+    )
+    adaptive_pre = _routed_flags(adaptive, pre)
+    refits_at_boundary = adaptive.refits
+    adaptive_post = []
+    first_refit_position = None
+    for position, page in enumerate(drifted):
+        adaptive_post.append(adaptive.route(page).routed)
+        if (
+            first_refit_position is None
+            and adaptive.refits > refits_at_boundary
+        ):
+            first_refit_position = position
+    return {
+        "frozen_pre": frozen_pre,
+        "frozen_post": frozen_post,
+        "adaptive_pre": adaptive_pre,
+        "adaptive_post": adaptive_post,
+        "first_refit_position": first_refit_position,
+        "adaptive": adaptive,
+    }
+
+
+def test_adaptive_drift_recovery(benchmark):
+    result = benchmark.pedantic(_replay, rounds=1, iterations=1)
+    adaptive = result["adaptive"]
+
+    pre_drift_level = _fraction(result["frozen_pre"])
+    frozen_post = _fraction(result["frozen_post"])
+    adaptive_post = _fraction(result["adaptive_post"])
+    first_refit = result["first_refit_position"]
+    assert first_refit is not None, "the drifting replay never refit"
+    post_refit = _fraction(result["adaptive_post"][first_refit + 1:])
+    recovery = post_refit / pre_drift_level if pre_drift_level else 0.0
+
+    emit(
+        "Adaptive routing - routed fraction under template drift",
+        "\n".join([
+            f"pages: {len(result['frozen_pre'])} fitted template + "
+            f"{len(result['frozen_post'])} drifted, "
+            f"threshold {THRESHOLD}, window {DRIFT_WINDOW}",
+            f"frozen, pre-drift    : {pre_drift_level:9.3f}",
+            f"frozen, post-drift   : {frozen_post:9.3f}",
+            f"adaptive, post-drift : {adaptive_post:9.3f}"
+            f"  ({adaptive.refits} refit(s), "
+            f"first after {first_refit + 1} drifted page(s))",
+            f"adaptive, post-refit : {post_refit:9.3f}"
+            f"  (recovery {recovery:.2f}x of pre-drift level)",
+        ]),
+    )
+    results_path = _write_results({
+        "adaptive_drift": {
+            "pre_drift_pages": len(result["frozen_pre"]),
+            "post_drift_pages": len(result["frozen_post"]),
+            "threshold": THRESHOLD,
+            "drift_window": DRIFT_WINDOW,
+            "routed_fraction": {
+                "frozen_pre_drift": pre_drift_level,
+                "frozen_post_drift": frozen_post,
+                "adaptive_post_drift": adaptive_post,
+                "adaptive_post_refit": post_refit,
+            },
+            "first_refit_after_pages": first_refit + 1,
+            "refits": adaptive.refits,
+            "drift_events": adaptive.drift_events,
+            "recovery_ratio": recovery,
+            "min_recovery": MIN_RECOVERY,
+        },
+    })
+    print(f"results written to {results_path}")
+
+    # Sanity of the scenario itself: adaptation never hurts the
+    # pre-drift stream, and drift genuinely breaks the frozen router.
+    assert _fraction(result["adaptive_pre"]) == pre_drift_level
+    assert frozen_post < 0.5 * pre_drift_level
+    # The regression gate: post-refit routing must recover to at least
+    # MIN_RECOVERY of the frozen router's pre-drift level.
+    assert recovery >= MIN_RECOVERY, (
+        f"adaptive router recovered only {recovery:.2f}x of the "
+        f"pre-drift routed fraction (floor: {MIN_RECOVERY})"
+    )
+    assert adaptive_post > frozen_post

@@ -27,6 +27,12 @@ Subcommands mirror the Figure-1 pipeline:
 Every data-path subcommand is a composition over the same
 :class:`~repro.service.runtime.StreamingRuntime`; see the README's
 Architecture section for the source -> runtime -> sink map.
+
+``serve``, ``batch`` and the ``shard`` workers all accept ``--adapt``
+(plus ``--drift-window`` / ``--drift-threshold`` / ``--adapt-log``):
+an :class:`~repro.service.adapt.AdaptiveRouter` then watches the
+stream for drift and refits the router online, with every event
+auditable in the log.
 """
 
 from __future__ import annotations
@@ -299,6 +305,45 @@ def _fit_router_from_paths(
     return ClusterRouter.fit(by_cluster, threshold=threshold)
 
 
+def _make_adapter(args, router):
+    """Build the ``--adapt`` layer; ``None`` (with a message) on error.
+
+    Adaptation watches routing decisions, so it needs a fitted
+    signature router — hint-based routing has no profiles to refit.
+    The audit log starts in-memory; :func:`_attach_adapter_log` opens
+    the ``--adapt-log`` file only after the rest of the command has
+    validated, so a command that never runs cannot truncate a
+    previous run's audit trail.
+    """
+    from repro.errors import ClusteringError
+    from repro.service import make_adapter
+
+    try:
+        return make_adapter(
+            router,
+            window=args.drift_window,
+            threshold=args.drift_threshold,
+            low_margin=args.drift_margin,
+            spawn_clusters=args.adapt_spawn,
+        )
+    except (ClusteringError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return None
+
+
+def _attach_adapter_log(adapter, args, log_suffix: str = "") -> None:
+    """Point a validated adapter's audit log at ``--adapt-log``.
+
+    ``log_suffix`` keeps audit logs apart when one process runs
+    several adaptive workers (``shard resume``).  Raises ``OSError``
+    when the path cannot be opened.
+    """
+    from repro.service import AdaptationLog
+
+    if adapter is not None and args.adapt_log:
+        adapter.log = AdaptationLog(args.adapt_log + log_suffix)
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
     from repro.service import JsonlSink, StreamingRuntime, XmlDirectorySink
 
@@ -325,29 +370,43 @@ def cmd_batch(args: argparse.Namespace) -> int:
                 "no hint-labelled exemplar pages found; routing by hints",
                 file=sys.stderr,
             )
+    adapter = None
+    if args.adapt:
+        adapter = _make_adapter(args, router)
+        if adapter is None:
+            return 2
+    try:
+        # ``ordered=True``: records leave in submission-index order, so
+        # this output is byte-identical to a merged ``shard`` run.
+        runtime = StreamingRuntime(
+            repository,
+            router=None if adapter is not None else router,
+            workers=args.workers,
+            executor=args.executor,
+            chunk_size=args.chunk_size,
+            ordered=True,
+            adapter=adapter,
+        )
+        _attach_adapter_log(adapter, args)
+    except (ValueError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    # Output files open only now, with everything validated: a
+    # command that cannot run must not truncate a previous run's
+    # records or audit log.
     if args.xml_dir:
         sink = XmlDirectorySink(Path(args.xml_dir), repository)
     elif args.jsonl:
         sink = JsonlSink(args.jsonl)
     else:
         sink = JsonlSink(sys.stdout)
-    try:
-        # ``ordered=True``: records leave in submission-index order, so
-        # this output is byte-identical to a merged ``shard`` run.
-        runtime = StreamingRuntime(
-            repository,
-            router=router,
-            workers=args.workers,
-            executor=args.executor,
-            chunk_size=args.chunk_size,
-            ordered=True,
-        )
-    except ValueError as exc:
-        print(str(exc), file=sys.stderr)
-        return 2
     source = _corpus_source(paths)
-    with sink:
-        report = runtime.run(source, sink)
+    try:
+        with sink:
+            report = runtime.run(source, sink)
+    finally:
+        if adapter is not None:
+            adapter.log.close()
     print(report.summary(), file=sys.stderr)
     if source.unreadable:
         print(f"{len(source.unreadable)} unreadable file(s) skipped",
@@ -435,23 +494,51 @@ def _run_one_shard(args, directory, plan, repository, router,
     from repro.errors import ShardError
     from repro.service import ShardWorker
 
+    # Each shard adapts (and audits) independently: drift is a
+    # property of the traffic a host actually serves.
+    from repro.service.shard import shard_basename
+
+    adapter = None
+    if args.adapt:
+        # Each shard adapts from the originally fitted profiles: the
+        # fitted router is shared across the shards a resume runs in
+        # one process, and refit() mutates its profile list, so every
+        # worker gets its own copy — a resumed shard's output stays
+        # identical to running that shard alone on its own host.
+        from repro.service import ClusterRouter
+
+        own_router = router
+        if router is not None:
+            own_router = ClusterRouter(
+                list(router.profiles), threshold=router.threshold
+            )
+        adapter = _make_adapter(args, own_router)
+        if adapter is None:
+            return None
     try:
         worker = ShardWorker(
             repository, plan, shard,
-            router=router,
+            router=None if adapter is not None else router,
             workers=args.workers,
             executor=args.executor,
             chunk_size=args.chunk_size,
             skip_unreadable=True,
+            adapter=adapter,
+        )
+        _attach_adapter_log(
+            adapter, args, log_suffix=f".{shard_basename(shard)}"
         )
         manifest, report = worker.run(
             lambda page_id: _page_from_path(directory / page_id),
             Path(args.output_dir),
             output_format=args.format,
         )
-    except (ShardError, ValueError) as exc:
+    except (ShardError, ValueError, OSError) as exc:
         print(str(exc), file=sys.stderr)
         return None
+    finally:
+        if adapter is not None:
+            adapter.log.close()
     print(report.summary(), file=sys.stderr)
     if manifest.unreadable:
         print(f"{manifest.unreadable} unreadable file(s) skipped",
@@ -673,7 +760,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.max_inflight < 1:
         print("--max-inflight must be >= 1", file=sys.stderr)
         return 2
-    handler = ServeHandler(repository, router=router, cluster=cluster or None)
+    adapter = None
+    if args.adapt:
+        adapter = _make_adapter(args, router)
+        if adapter is None:
+            return 2
+    handler = ServeHandler(
+        repository,
+        router=None if adapter is not None else router,
+        cluster=cluster or None,
+        adapter=adapter,
+    )
+    try:
+        _attach_adapter_log(adapter, args)
+    except OSError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     stdin = args.stdin if args.stdin is not None else sys.stdin
     stdout = args.stdout if args.stdout is not None else sys.stdout
     # Undecodable input bytes must surface as error records, not kill
@@ -685,14 +787,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
             reconfigure(errors="backslashreplace")
         except (ValueError, OSError):  # pragma: no cover - exotic stream
             pass
+    def _report_drift() -> None:
+        if adapter is not None:
+            print(
+                f"drift: {adapter.drift_events} event(s), "
+                f"{adapter.refits} refit(s)",
+                file=sys.stderr,
+            )
+            adapter.log.close()
+
     if args.sync:
-        return _serve_sync(handler, stdin, stdout)
+        code = _serve_sync(handler, stdin, stdout)
+        _report_drift()
+        return code
     stats = asyncio.run(serve_async(
         handler, stdin, stdout,
         max_inflight=args.max_inflight,
         max_decode_failures=_serve_decode_failure_cap(),
         on_output_closed=_serve_output_closed,
     ))
+    _report_drift()
     if stats.gave_up:
         print("too many undecodable reads; giving up", file=sys.stderr)
         return 1
@@ -703,6 +817,30 @@ def cmd_serve(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------- #
 # Parser
 # ----------------------------------------------------------------------- #
+
+
+def _adaptation_arguments(parser) -> None:
+    """The ``--adapt`` flag family shared by batch, serve and shard."""
+    parser.add_argument("--adapt", action="store_true",
+                        help="watch served traffic for drift and refit "
+                             "the router online (needs a fitted router)")
+    parser.add_argument("--drift-window", type=int, default=64,
+                        help="observations per drift-detection window")
+    parser.add_argument("--drift-threshold", type=float, default=None,
+                        help="bad-signal fraction that trips a refit "
+                             "(default: 0.5 per-cluster failures, "
+                             "0.3 unroutable)")
+    parser.add_argument("--drift-margin", type=float, default=0.0,
+                        help="also count routed decisions with a "
+                             "best-vs-runner-up margin below this as "
+                             "drift signals (0 disables)")
+    parser.add_argument("--adapt-spawn", action="store_true",
+                        help="let a refit spawn a new cluster for an "
+                             "unroutable cohort that resembles no "
+                             "known profile")
+    parser.add_argument("--adapt-log", default="",
+                        help="JSONL audit log of drift/refit events "
+                             "(shard commands append .shard-NNNN)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -767,6 +905,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="router confidence threshold")
     batch.add_argument("--exemplars", type=int, default=8,
                        help="exemplar pages per cluster for router fitting")
+    _adaptation_arguments(batch)
     batch.set_defaults(func=cmd_batch)
 
     shard = sub.add_parser(
@@ -806,6 +945,7 @@ def build_parser() -> argparse.ArgumentParser:
                                   default="auto")
         shard_parser.add_argument("--threshold", type=float, default=0.5)
         shard_parser.add_argument("--exemplars", type=int, default=8)
+        _adaptation_arguments(shard_parser)
 
     shard_run = shard_sub.add_parser(
         "run", help="extract one shard (JSONL or XML output + manifest)"
@@ -863,6 +1003,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-inflight", type=int, default=8,
                        help="async front-end: concurrent pages in flight "
                             "(the memory/backpressure bound)")
+    _adaptation_arguments(serve)
     serve.set_defaults(func=cmd_serve, stdin=None, stdout=None)
     return parser
 

@@ -24,9 +24,22 @@ Every entry point is a composition over the same
 * sharded batch (:mod:`repro.service.shard`) — a plan slice per host,
   merged back into the unsharded byte stream, resumable per shard;
 * online serving (:mod:`repro.service.serve`) — single pages through
-  an inline runtime, under a sync or asyncio front-end.
+  an inline runtime, under a sync or asyncio front-end;
+* online adaptation (:mod:`repro.service.adapt`) — sliding-window
+  drift detection over the served stream, answered by incremental
+  router refits (recomputed centroids, atomic swap) with an auditable
+  event log.
 """
 
+from repro.service.adapt import (
+    AdaptationLog,
+    AdaptiveRouter,
+    AdaptiveRouterStage,
+    DriftEvent,
+    DriftMonitor,
+    RefitEvent,
+    make_adapter,
+)
 from repro.service.compiler import CompiledRule, CompiledWrapper, compile_wrapper
 from repro.service.engine import BatchExtractionEngine
 from repro.service.router import ClusterProfile, ClusterRouter, RouteDecision, UNROUTABLE
@@ -68,8 +81,14 @@ from repro.service.sink import (
 )
 
 __all__ = [
+    "AdaptationLog",
+    "AdaptiveRouter",
+    "AdaptiveRouterStage",
     "BatchExtractionEngine",
     "ClusterProfile",
+    "DriftEvent",
+    "DriftMonitor",
+    "RefitEvent",
     "ClusterRouter",
     "ClusterStats",
     "CollectingSink",
@@ -103,6 +122,7 @@ __all__ = [
     "XmlShardMerger",
     "compile_wrapper",
     "incomplete_shards",
+    "make_adapter",
     "make_error_record",
     "make_unroutable_record",
     "serve_async",

@@ -63,6 +63,9 @@ class BatchExtractionEngine:
             the memory bound for arbitrarily long streams.
         ordered: release records to the sink in strictly increasing
             submission-index order.
+        adapter: an :class:`~repro.service.adapt.AdaptiveRouter`
+            (mutually exclusive with ``router``); the run report then
+            carries its drift/refit counts.
     """
 
     def __init__(
@@ -75,6 +78,7 @@ class BatchExtractionEngine:
         chunk_size: int = 16,
         max_pending: Optional[int] = None,
         ordered: bool = False,
+        adapter=None,
     ) -> None:
         self.runtime = StreamingRuntime(
             repository,
@@ -85,10 +89,12 @@ class BatchExtractionEngine:
             chunk_size=chunk_size,
             max_pending=max_pending,
             ordered=ordered,
+            adapter=adapter,
         )
         self.repository = repository
-        self.router = router
+        self.router = adapter if adapter is not None else router
         self.postprocessor = postprocessor
+        self.adapter = adapter
 
     # -- configuration passthrough ------------------------------------- #
 

@@ -17,6 +17,13 @@ The best-scoring cluster wins when its score clears the confidence
 threshold; everything else lands in the :data:`UNROUTABLE` bucket
 rather than being mis-served — a wrong wrapper produces silently wrong
 data, no wrapper produces an auditable gap.
+
+Profiles are not frozen forever: :meth:`ClusterRouter.refit`
+recomputes centroids from recent signatures (and can spawn a profile
+for a cohort of unroutable pages) and installs the new profile set
+with a single atomic swap, so routing that is concurrently in flight
+always scores against one consistent generation.  The adaptation
+policy deciding *when* to refit lives in :mod:`repro.service.adapt`.
 """
 
 from __future__ import annotations
@@ -81,6 +88,70 @@ def _centroid(counters: Sequence[Counter]) -> Counter:
     return Counter({key: value / n for key, value in total.items()})
 
 
+#: Blended-centroid entries lighter than this are dropped: each refit
+#: multiplies an unrefreshed key's weight by ``anchor``, so without a
+#: floor a long-lived adaptive session accumulates every key it has
+#: ever seen at weights far too small to move any score — unbounded
+#: memory and per-route scoring cost.
+_BLEND_EPSILON = 1e-6
+
+#: URL signatures kept per profile across refits (recent ones win).
+_URL_SIGNATURE_CAP = 64
+
+
+def _blend(old: Counter, new: Counter, anchor: float) -> Counter:
+    """``anchor * old + (1 - anchor) * new`` over the union of keys.
+
+    ``anchor`` is the weight of the *previous* centroid: 0.0 tracks the
+    recent signatures completely, 1.0 ignores them.  Entries decayed
+    below :data:`_BLEND_EPSILON` are pruned, bounding profile size
+    over arbitrarily many refits.
+    """
+    if anchor <= 0.0:
+        return Counter(new)
+    if anchor >= 1.0:
+        return Counter(old)
+    keys = set(old) | set(new)
+    blended = Counter()
+    for key in keys:
+        value = (
+            anchor * old.get(key, 0.0) + (1.0 - anchor) * new.get(key, 0.0)
+        )
+        if value >= _BLEND_EPSILON:
+            blended[key] = value
+    return blended
+
+
+def _bounded_signature_union(
+    old: frozenset, recent: frozenset, cap: int = _URL_SIGNATURE_CAP
+) -> frozenset:
+    """Union URL signatures, bounded: recent generations displace old.
+
+    Selection is deterministic (sorted within each generation) so
+    identically-configured workers keep identical profiles.
+    """
+    union = old | recent
+    if len(union) <= cap:
+        return union
+    keep = set(sorted(recent)[:cap])
+    for signature in sorted(old):
+        if len(keep) >= cap:
+            break
+        keep.add(signature)
+    return frozenset(keep)
+
+
+def _profile_from_signatures(
+    name: str, signatures: Sequence[PageSignature]
+) -> ClusterProfile:
+    return ClusterProfile(
+        name=name,
+        url_signatures=frozenset(s.url_signature for s in signatures),
+        keywords=_centroid([s.keywords for s in signatures]),
+        paths=_centroid([s.paths for s in signatures]),
+    )
+
+
 class ClusterRouter:
     """Routes pages to clusters by signature similarity.
 
@@ -122,28 +193,43 @@ class ClusterRouter:
         for name, pages in exemplars.items():
             if not pages:
                 raise ClusteringError(f"cluster {name!r} has no exemplar pages")
-            signatures = [page_signature(page) for page in pages]
-            profiles.append(
-                ClusterProfile(
-                    name=name,
-                    url_signatures=frozenset(
-                        s.url_signature for s in signatures
-                    ),
-                    keywords=_centroid([s.keywords for s in signatures]),
-                    paths=_centroid([s.paths for s in signatures]),
-                )
-            )
+            profiles.append(_profile_from_signatures(
+                name, [page_signature(page) for page in pages]
+            ))
         return cls(profiles, threshold=threshold)
 
     # ------------------------------------------------------------------ #
 
+    @staticmethod
+    def signature(page: WebPage) -> PageSignature:
+        """The page's routing signature, memoized on the page.
+
+        :meth:`route`, :meth:`route_all`, :meth:`target` and the
+        adaptation layer (which buffers signatures for refitting) all
+        share this cache, so re-routing a buffered page costs a dict
+        lookup instead of three DOM traversals.  The cache lives next
+        to the parsed DOM and is dropped with it by
+        :meth:`~repro.sites.page.WebPage.invalidate_parse_cache`.
+        """
+        cached = page.__dict__.get("_signature")
+        if cached is None:
+            cached = page_signature(page)
+            page.__dict__["_signature"] = cached
+        return cached
+
     def route(self, page: WebPage) -> RouteDecision:
         """Classify one page; below-threshold pages are unroutable."""
-        signature = page_signature(page)
+        return self.route_signature(self.signature(page))
+
+    def route_signature(self, signature: PageSignature) -> RouteDecision:
+        """Score a precomputed signature against one consistent
+        profile generation (a single snapshot of the profile set, so a
+        concurrent :meth:`refit` can never be observed half-applied)."""
+        profiles = self.profiles
         best_name: Optional[str] = None
         second_name: Optional[str] = None
         best = second = 0.0
-        for profile in self.profiles:
+        for profile in profiles:
             score = profile.score(signature)
             if best_name is None or score > best:
                 second, second_name = best, best_name
@@ -176,3 +262,115 @@ class ClusterRouter:
 
     def clusters(self) -> list[str]:
         return [profile.name for profile in self.profiles]
+
+    # ------------------------------------------------------------------ #
+    # Incremental refit
+    # ------------------------------------------------------------------ #
+
+    def refit(
+        self,
+        reservoirs: Mapping[str, Sequence[PageSignature]],
+        unroutable: Sequence[PageSignature] = (),
+        anchor: float = 0.25,
+        spawn: Optional[tuple[str, Sequence[PageSignature]]] = None,
+    ) -> tuple[list[str], list[str]]:
+        """Recompute profiles from recent signatures; atomic swap.
+
+        Args:
+            reservoirs: cluster name -> recently *routed* signatures of
+                that cluster (a bounded reservoir of served traffic).
+            unroutable: recent signatures no profile claimed; each is
+                absorbed into its best-scoring existing profile — the
+                recovery move for a template that drifted away from
+                its fitted centroid.  Callers should pass only
+                signatures that still *resemble* some profile (the
+                adaptation layer applies its alien floor first):
+                absorption has no similarity check of its own, and
+                blending genuinely alien traffic in can break a
+                healthy cluster's routing.
+            anchor: weight of the previous centroid in each blend step
+                (0.0 = track recent traffic completely, 1.0 = freeze).
+            spawn: optional ``(name, cohort)``: additionally create a
+                *new* cluster profile of that name from the cohort's
+                signatures — for traffic that matches no known
+                cluster.
+
+        The update blends in two steps: first the routed reservoir
+        (keeping the centroid tracking traffic that still routes),
+        then the absorbed cohort on its own.  Absorbed signatures are
+        by definition *unlike* the current centroid — folding them
+        into one mean with the much larger reservoir would dilute
+        exactly the signal the refit exists to follow.
+
+        Returns:
+            ``(updated, spawned)`` cluster-name lists.
+
+        The new profile set is built completely and then installed with
+        one reference assignment, so a concurrent :meth:`route` (which
+        snapshots the set once) scores against either the old or the
+        new generation, never a mixture.
+        """
+        if not 0.0 <= anchor <= 1.0:
+            raise ClusteringError(f"anchor must be in [0, 1], got {anchor}")
+        current = self.profiles
+        names = {profile.name for profile in current}
+        spawn_cohort: Sequence[PageSignature] = ()
+        spawn_name: Optional[str] = None
+        if spawn is not None:
+            spawn_name, spawn_cohort = spawn
+            if spawn_name in names:
+                raise ClusteringError(
+                    f"cannot spawn cluster {spawn_name!r}: "
+                    "name already routed"
+                )
+            if not spawn_cohort:
+                raise ClusteringError(
+                    "cannot spawn a cluster from an empty cohort"
+                )
+        unknown = sorted(set(reservoirs) - names)
+        if unknown:
+            raise ClusteringError(
+                f"reservoir for unknown cluster(s): {', '.join(unknown)}"
+            )
+        absorbed: Dict[str, list[PageSignature]] = {}
+        for signature in unroutable:
+            best_profile = max(
+                current, key=lambda p: p.score(signature)
+            )
+            absorbed.setdefault(best_profile.name, []).append(signature)
+        updated: list[str] = []
+        replacement: list[ClusterProfile] = []
+        for profile in current:
+            blended = profile
+            for signatures in (
+                reservoirs.get(profile.name, ()),
+                absorbed.get(profile.name, ()),
+            ):
+                if not signatures:
+                    continue
+                recent = _profile_from_signatures(
+                    profile.name, list(signatures)
+                )
+                blended = ClusterProfile(
+                    name=profile.name,
+                    url_signatures=_bounded_signature_union(
+                        blended.url_signatures, recent.url_signatures
+                    ),
+                    keywords=_blend(
+                        blended.keywords, recent.keywords, anchor
+                    ),
+                    paths=_blend(blended.paths, recent.paths, anchor),
+                )
+            if blended is not profile:
+                updated.append(profile.name)
+            replacement.append(blended)
+        spawned: list[str] = []
+        if spawn_name is not None:
+            replacement.append(
+                _profile_from_signatures(spawn_name, list(spawn_cohort))
+            )
+            spawned.append(spawn_name)
+        # The atomic swap: one reference assignment, never an in-place
+        # mutation of the list a concurrent reader may be iterating.
+        self.profiles = replacement
+        return updated, spawned

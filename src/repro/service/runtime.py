@@ -204,7 +204,18 @@ class OrderedEmitter:
         self._held: Dict[int, Optional[object]] = {}
 
     def emit(self, seq: int, payload: Optional[object]) -> None:
-        """Hand over a sequence slot's outcome: a payload, or ``None``."""
+        """Hand over a sequence slot's outcome: a payload, or ``None``.
+
+        Each sequence slot may be filled exactly once: re-emitting a
+        released or still-held sequence means two producers claimed the
+        same slot (a duplicated record, or a lost+retried chunk) and
+        would silently drop or reorder output — it raises instead.
+        """
+        if seq < self._next or seq in self._held:
+            raise ValueError(
+                f"sequence {seq} emitted twice "
+                f"(next unreleased: {self._next})"
+            )
         self._held[seq] = payload
         while self._next in self._held:
             released = self._held.pop(self._next)
@@ -273,6 +284,10 @@ class RuntimeReport:
     errors: list[str] = field(default_factory=list)
     #: Records removed by a pipeline stage.
     dropped_count: int = 0
+    #: Drift events raised / refits performed by an adaptive router
+    #: during this run (0 unless the runtime was built with ``adapter``).
+    drift_events: int = 0
+    refits: int = 0
     per_cluster: Dict[str, ClusterStats] = field(default_factory=dict)
     wall_seconds: float = 0.0
 
@@ -313,6 +328,11 @@ class RuntimeReport:
             lines.append(f"extraction error: {self.errors_count}")
         if self.dropped_count:
             lines.append(f"stage-dropped   : {self.dropped_count}")
+        if self.drift_events or self.refits:
+            lines.append(
+                f"drift events    : {self.drift_events} "
+                f"({self.refits} refit(s))"
+            )
         for cluster in sorted(self.per_cluster):
             stats = self.per_cluster[cluster]
             lines.append(
@@ -513,6 +533,11 @@ class StreamingRuntime:
             written via the sink's ``write_error`` instead of letting
             them kill the run — at the page's submission position when
             ``ordered``.  The online serving mode.
+        adapter: an :class:`~repro.service.adapt.AdaptiveRouter`
+            (mutually exclusive with ``router``): routing goes through
+            it, its feedback stage is installed ahead of ``stages``,
+            and the run report carries the drift/refit counts it
+            accumulated during the run.
     """
 
     def __init__(
@@ -527,9 +552,17 @@ class StreamingRuntime:
         ordered: bool = False,
         stages: Sequence[Stage] = (),
         contain_errors: bool = False,
+        adapter=None,
     ) -> None:
         if executor not in EXECUTOR_KINDS:
             raise ValueError(f"unknown executor kind {executor!r}")
+        if adapter is not None:
+            if router is not None:
+                raise ValueError(
+                    "pass router or adapter, not both "
+                    "(the adapter wraps its own router)"
+                )
+            router = adapter
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if chunk_size < 1:
@@ -547,6 +580,7 @@ class StreamingRuntime:
         )
         self.ordered = ordered
         self.contain_errors = contain_errors
+        self.adapter = adapter
         # Thread/inline mode: wrappers apply post-processing in the
         # worker.  Process mode: wrappers are rebuilt per process
         # without the (unpicklable) post-processor; a parent-side stage
@@ -568,6 +602,11 @@ class StreamingRuntime:
                     chains[cluster] = resolved
             if chains:
                 self._stages.append(ParentPostProcessStage(chains))
+        if adapter is not None:
+            # Feedback before user stages, so a stage that drops a
+            # record cannot hide its extraction outcome from drift
+            # detection.
+            self._stages.append(adapter.stage())
         self._stages.extend(stages)
 
     # ------------------------------------------------------------------ #
@@ -580,6 +619,12 @@ class StreamingRuntime:
         """Route, extract and sink every page; returns the run report."""
         sink = sink if sink is not None else NullSink()
         report = RuntimeReport()
+        # Adapters outlive runs (a serve session is many single-page
+        # runs); the report carries only this run's share.
+        drift_before = refits_before = 0
+        if self.adapter is not None:
+            drift_before = self.adapter.drift_events
+            refits_before = self.adapter.refits
         started = time.perf_counter()
         executor = self._make_executor()
         pending: deque[tuple[str, object]] = deque()
@@ -630,6 +675,9 @@ class StreamingRuntime:
             assert emitter is None or emitter.held == 0
         finally:
             executor.shutdown(wait=True)
+        if self.adapter is not None:
+            report.drift_events = self.adapter.drift_events - drift_before
+            report.refits = self.adapter.refits - refits_before
         report.wall_seconds = time.perf_counter() - started
         return report
 
@@ -748,6 +796,12 @@ class StreamingRuntime:
         for seq, index, url, values, failures, error in outcomes:
             if error is not None:
                 report.note_error(url)
+                # Error outcomes never reach the stage pipeline, so
+                # the drift monitor must hear about them here — an
+                # extraction that *raises* on every page is drift just
+                # as surely as one that fails componentwise.
+                if self.adapter is not None:
+                    self.adapter.note_result(cluster, True)
                 payload = make_error_record(error, url=url)
                 if emitter is not None:
                     emitter.emit(seq, payload)

@@ -63,10 +63,15 @@ class ServeHandler:
             matching the historical sync loop).
         cluster: serve every page with this cluster's rules.
         postprocessor: optional value clean-up, as in batch.
+        adapter: an :class:`~repro.service.adapt.AdaptiveRouter`
+            (mutually exclusive with ``router``): pages route through
+            it, extraction outcomes feed back into its drift monitor,
+            and it refits the underlying router across requests —
+            ``serve --adapt``.
 
-    Thread-safe: the wrapped inline runtime keeps no per-run state, so
-    the async front-end calls :meth:`handle_line` from many worker
-    threads at once.
+    Thread-safe: the wrapped inline runtime keeps no per-run state
+    (and the adapter guards its own), so the async front-end calls
+    :meth:`handle_line` from many worker threads at once.
     """
 
     def __init__(
@@ -75,10 +80,16 @@ class ServeHandler:
         router: Optional[ClusterRouter] = None,
         cluster: Optional[str] = None,
         postprocessor: Optional[PostProcessor] = None,
+        adapter=None,
     ) -> None:
-        if router is None and not cluster:
-            raise ValueError("ServeHandler needs a router or a cluster")
-        self.router = router
+        if adapter is not None and router is not None:
+            raise ValueError("pass router or adapter, not both")
+        if router is None and adapter is None and not cluster:
+            raise ValueError(
+                "ServeHandler needs a router, an adapter or a cluster"
+            )
+        self.router = adapter if adapter is not None else router
+        self.adapter = adapter
         self.cluster = cluster
         self.runtime = StreamingRuntime(
             repository,
@@ -88,6 +99,7 @@ class ServeHandler:
             executor="inline",
             chunk_size=1,
             contain_errors=True,
+            adapter=adapter,
         )
 
     def handle_line(self, line: str) -> tuple[str, bool]:
@@ -150,6 +162,10 @@ class ServeStats:
     gave_up: bool = False
     #: True when the consumer closed our output mid-run.
     output_closed: bool = False
+    #: Drift events / refits the handler's adapter performed during
+    #: this session (0 without ``--adapt``).
+    drift_events: int = 0
+    refits: int = 0
 
 
 async def serve_async(
@@ -263,4 +279,8 @@ async def serve_async(
         finally:
             if tasks:
                 await asyncio.gather(*tasks)
+    adapter = getattr(handler, "adapter", None)
+    if adapter is not None:
+        stats.drift_events = adapter.drift_events
+        stats.refits = adapter.refits
     return stats

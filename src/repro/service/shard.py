@@ -279,6 +279,10 @@ class ShardManifest:
     unroutable: int = 0
     skipped: int = 0
     unreadable: int = 0
+    #: Drift events / refits this shard's adaptive router performed
+    #: (0 for non-adaptive runs; pre-adaptation manifests omit them).
+    drift_events: int = 0
+    refits: int = 0
     wall_seconds: float = 0.0
     per_cluster: Dict[str, dict] = field(default_factory=dict)
 
@@ -346,6 +350,7 @@ class ShardWorker:
         executor: str = "thread",
         chunk_size: int = 16,
         skip_unreadable: bool = False,
+        adapter=None,
     ) -> None:
         if not 0 <= shard < plan.shards:
             raise ShardPlanError(
@@ -355,6 +360,10 @@ class ShardWorker:
         self.plan = plan
         self.shard = shard
         self.skip_unreadable = skip_unreadable
+        # Adaptive shards refit from their own slice only; outputs then
+        # depend on slice-local traffic, so byte-identity with an
+        # unsharded run holds only while no refit fires (manifests
+        # record the counts for exactly this audit).
         self.runtime = StreamingRuntime(
             repository,
             router=router,
@@ -363,6 +372,7 @@ class ShardWorker:
             executor=executor,
             chunk_size=chunk_size,
             ordered=True,
+            adapter=adapter,
         )
 
     def run(
@@ -421,6 +431,8 @@ class ShardWorker:
             unroutable=report.unroutable_count,
             skipped=report.skipped_count,
             unreadable=len(source.unreadable),
+            drift_events=report.drift_events,
+            refits=report.refits,
             wall_seconds=time.perf_counter() - started,
             per_cluster={
                 cluster: {
@@ -451,6 +463,8 @@ class MergeReport:
     unroutable: int = 0
     skipped: int = 0
     unreadable: int = 0
+    drift_events: int = 0
+    refits: int = 0
     worker_wall_seconds: float = 0.0
     per_cluster: Dict[str, dict] = field(default_factory=dict)
 
@@ -463,6 +477,11 @@ class MergeReport:
             f"unreadable      : {self.unreadable}",
             f"worker wall     : {self.worker_wall_seconds:.2f}s total",
         ]
+        if self.drift_events or self.refits:
+            lines.append(
+                f"drift events    : {self.drift_events} "
+                f"({self.refits} refit(s))"
+            )
         for cluster in sorted(self.per_cluster):
             stats = self.per_cluster[cluster]
             lines.append(
@@ -522,6 +541,8 @@ def _accumulate_manifest_stats(
     report.unroutable += manifest.unroutable
     report.skipped += manifest.skipped
     report.unreadable += manifest.unreadable
+    report.drift_events += manifest.drift_events
+    report.refits += manifest.refits
     report.worker_wall_seconds += manifest.wall_seconds
     for cluster, stats in manifest.per_cluster.items():
         merged = report.per_cluster.setdefault(

@@ -62,8 +62,13 @@ class WebPage:
         return list(self.ground_truth[component_name])
 
     def invalidate_parse_cache(self) -> None:
-        """Drop the cached DOM (used after mutating ``html`` in tests)."""
+        """Drop the cached DOM (used after mutating ``html`` in tests).
+
+        Also drops derived caches keyed to the DOM — notably the
+        routing signature the service router memoizes on the page.
+        """
         self.__dict__.pop("document", None)
+        self.__dict__.pop("_signature", None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"WebPage({self.url!r}, {len(self.html)} bytes)"

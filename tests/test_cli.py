@@ -851,3 +851,213 @@ def test_serve_multi_cluster_requires_disambiguation(served_site, tmp_path,
     repository.save(multi)
     monkeypatch.setattr("sys.stdin", io.StringIO(""))
     assert main(["serve", "--repository", str(multi)]) == 2
+
+
+# --------------------------------------------------------------------- #
+# Adaptive routing: --adapt across serve, batch and shard
+# --------------------------------------------------------------------- #
+
+
+def _serve_requests(site_dir, count=6) -> str:
+    lines = []
+    for path in sorted(site_dir.glob("imdb-movies-*.html"))[:count]:
+        lines.append(json.dumps({
+            "url": path.resolve().as_uri(),
+            "html": path.read_text(encoding="utf-8"),
+        }))
+    return "\n".join(lines) + "\n"
+
+
+def test_serve_adapt_byte_identical_without_drift(served_site, capsys,
+                                                  monkeypatch):
+    # Acceptance: for a drift-free corpus, --adapt output is
+    # byte-identical to a non-adaptive run of the same stream.
+    site_dir, repo_path = served_site
+    text = _serve_requests(site_dir)
+
+    monkeypatch.setattr("sys.stdin", io.StringIO(text))
+    assert main([
+        "serve", "--repository", str(repo_path),
+        "--exemplars-dir", str(site_dir),
+    ]) == 0
+    plain = capsys.readouterr().out
+
+    monkeypatch.setattr("sys.stdin", io.StringIO(text))
+    assert main([
+        "serve", "--repository", str(repo_path),
+        "--exemplars-dir", str(site_dir), "--adapt",
+    ]) == 0
+    captured = capsys.readouterr()
+    assert captured.out == plain
+    assert "drift: 0 event(s), 0 refit(s)" in captured.err
+
+
+def test_serve_adapt_sync_loop_reports_drift(served_site, capsys,
+                                             monkeypatch):
+    site_dir, repo_path = served_site
+    monkeypatch.setattr("sys.stdin", io.StringIO(_serve_requests(site_dir)))
+    assert main([
+        "serve", "--repository", str(repo_path),
+        "--exemplars-dir", str(site_dir), "--adapt", "--sync",
+    ]) == 0
+    assert "drift: 0 event(s), 0 refit(s)" in capsys.readouterr().err
+
+
+def test_serve_adapt_requires_router(served_site, capsys, monkeypatch):
+    _, repo_path = served_site
+    monkeypatch.setattr("sys.stdin", io.StringIO(""))
+    assert main([
+        "serve", "--repository", str(repo_path),
+        "--cluster", "imdb-movies", "--adapt",
+    ]) == 2
+    assert "fitted signature router" in capsys.readouterr().err
+
+
+def test_batch_adapt_byte_identical_without_drift(served_site, tmp_path,
+                                                  capsys):
+    site_dir, repo_path = served_site
+    plain = tmp_path / "plain.jsonl"
+    adaptive = tmp_path / "adaptive.jsonl"
+    log_path = tmp_path / "adapt-log.jsonl"
+    assert main([
+        "batch", str(site_dir), "--repository", str(repo_path),
+        "--jsonl", str(plain),
+    ]) == 0
+    assert main([
+        "batch", str(site_dir), "--repository", str(repo_path),
+        "--jsonl", str(adaptive), "--adapt",
+        "--adapt-log", str(log_path),
+    ]) == 0
+    assert adaptive.read_bytes() == plain.read_bytes()
+    assert log_path.exists()  # opened (and empty: no events fired)
+    assert log_path.read_text(encoding="utf-8") == ""
+    assert "drift events" not in capsys.readouterr().err
+
+
+def test_batch_adapt_without_router_errors(served_site, tmp_path, capsys):
+    # --route hint skips router fitting; adaptation must refuse.
+    site_dir, repo_path = served_site
+    assert main([
+        "batch", str(site_dir), "--repository", str(repo_path),
+        "--jsonl", str(tmp_path / "x.jsonl"),
+        "--route", "hint", "--adapt",
+    ]) == 2
+    assert "fitted signature router" in capsys.readouterr().err
+
+
+def test_shard_run_adapt_records_drift_in_manifest(served_site, tmp_path):
+    site_dir, repo_path = served_site
+    plan_path = tmp_path / "plan.json"
+    assert main(["shard", "plan", str(site_dir), "--shards", "1",
+                 "--output", str(plan_path)]) == 0
+    out_dir = tmp_path / "shards"
+    log_path = tmp_path / "adapt-log.jsonl"
+    assert main([
+        "shard", "run", str(site_dir),
+        "--plan", str(plan_path), "--shard", "0",
+        "--repository", str(repo_path), "--output-dir", str(out_dir),
+        "--adapt", "--adapt-log", str(log_path),
+    ]) == 0
+    manifest = json.loads(
+        (out_dir / "shard-0000.manifest.json").read_text(encoding="utf-8")
+    )
+    assert manifest["drift_events"] == 0
+    assert manifest["refits"] == 0
+    # The per-shard audit log got its own suffixed path.
+    assert (tmp_path / "adapt-log.jsonl.shard-0000").exists()
+
+
+def test_shard_resume_adapt_isolates_routers(served_site, tmp_path,
+                                             monkeypatch, capsys):
+    # A resume runs several adaptive shards in one process; each must
+    # adapt from the originally fitted profiles, so one shard's refit
+    # can never leak into the next shard's routing.
+    import repro.cli as cli
+
+    site_dir, repo_path = served_site
+    plan_path = tmp_path / "plan.json"
+    assert main(["shard", "plan", str(site_dir), "--shards", "2",
+                 "--output", str(plan_path)]) == 0
+    captured = []
+    original = cli._make_adapter
+
+    def capturing(args, router):
+        adapter = original(args, router)
+        captured.append(adapter)
+        return adapter
+
+    monkeypatch.setattr(cli, "_make_adapter", capturing)
+    assert main([
+        "shard", "resume", str(site_dir),
+        "--plan", str(plan_path), "--repository", str(repo_path),
+        "--output-dir", str(tmp_path / "shards"), "--adapt",
+    ]) == 0
+    assert len(captured) == 2
+    first, second = captured
+    assert first.router is not second.router
+    # Refitting one shard's router must leave the other's untouched.
+    from repro.clustering.features import page_signature
+    from repro.cli import _page_from_path
+
+    page = sorted(site_dir.glob("imdb-movies-*.html"))[0]
+    before = second.router.profiles
+    first.router.refit(
+        {}, [page_signature(_page_from_path(page))], anchor=0.0
+    )
+    assert second.router.profiles is before
+
+
+def test_adaptation_flags_configure_margin_and_spawn(served_site):
+    from repro.cli import _make_adapter, build_parser
+    from repro.service import ClusterRouter
+    from repro.sites.imdb import generate_imdb_site
+
+    site = generate_imdb_site(n_movies=6, n_actors=2, n_search=2, seed=3)
+    router = ClusterRouter.fit(
+        {"imdb-movies": site.pages_with_hint("imdb-movies")[:4]}
+    )
+    args = build_parser().parse_args([
+        "serve", "--adapt", "--drift-window", "10",
+        "--drift-threshold", "0.4", "--drift-margin", "0.05",
+        "--adapt-spawn",
+    ])
+    adapter = _make_adapter(args, router)
+    assert adapter.low_margin == 0.05
+    assert adapter.spawn_clusters is True
+    assert adapter.monitor.window == 10
+    assert adapter.monitor.failure_threshold == 0.4
+    assert adapter.monitor.unroutable_threshold == 0.4
+
+
+def test_failed_adapt_command_leaves_previous_audit_log_intact(
+    served_site, tmp_path, capsys
+):
+    # A command that fails validation must not truncate the previous
+    # run's audit trail: the log opens only after everything validated.
+    site_dir, repo_path = served_site
+    log_path = tmp_path / "audit.jsonl"
+    log_path.write_text('{"event": "drift"}\n', encoding="utf-8")
+    assert main([
+        "batch", str(site_dir), "--repository", str(repo_path),
+        "--jsonl", str(tmp_path / "x.jsonl"),
+        "--adapt", "--adapt-log", str(log_path), "--workers", "0",
+    ]) == 2
+    assert log_path.read_text(encoding="utf-8") == '{"event": "drift"}\n'
+    assert "workers" in capsys.readouterr().err
+
+
+def test_failed_adapt_command_leaves_previous_output_intact(
+    served_site, tmp_path, capsys
+):
+    # Validation failures must be detected before ANY output file is
+    # opened: previously-written records survive a refused command.
+    site_dir, repo_path = served_site
+    out = tmp_path / "out.jsonl"
+    out.write_text('{"previous": "run"}\n', encoding="utf-8")
+    assert main([
+        "batch", str(site_dir), "--repository", str(repo_path),
+        "--jsonl", str(out), "--adapt",
+        "--adapt-log", str(tmp_path / "no-such-dir" / "a.jsonl"),
+    ]) == 2
+    assert out.read_text(encoding="utf-8") == '{"previous": "run"}\n'
+    assert "no-such-dir" in capsys.readouterr().err

@@ -82,3 +82,146 @@ class TestSignature:
         assert signature.url_signature.startswith("imdb.example.org")
         assert signature.paths
         assert signature.keywords
+
+    def test_signature_memoized_across_routing_calls(
+        self, service_site, fitted_router, monkeypatch
+    ):
+        # route(), target() and route_all() share one per-page cache:
+        # re-routing a page (the adaptation layer re-scores buffered
+        # pages after a refit) must not redo the DOM traversals.
+        import repro.service.router as router_module
+
+        page = service_site.pages_with_hint("imdb-movies")[1]
+        page.invalidate_parse_cache()
+        computed = []
+        original = router_module.page_signature
+
+        def counting(p, *args, **kwargs):
+            computed.append(p.url)
+            return original(p, *args, **kwargs)
+
+        monkeypatch.setattr(router_module, "page_signature", counting)
+        first = fitted_router.route(page)
+        assert fitted_router.route(page) == first
+        assert fitted_router.target(page) == first.cluster
+        fitted_router.route_all([page])
+        assert computed == [page.url]
+
+    def test_invalidate_parse_cache_drops_signature(
+        self, service_site, fitted_router
+    ):
+        page = service_site.pages_with_hint("imdb-movies")[2]
+        fitted_router.route(page)
+        assert "_signature" in page.__dict__
+        page.invalidate_parse_cache()
+        assert "_signature" not in page.__dict__
+
+
+def _signature(tag: str) -> PageSignature:
+    from collections import Counter
+
+    return PageSignature(
+        url_signature=f"{tag}.example.org/*/",
+        keywords=Counter({tag: 3, "shared": 1}),
+        paths=Counter({f"html/body/{tag}": 2}),
+    )
+
+
+class TestRefit:
+    def _router(self) -> ClusterRouter:
+        from repro.service.router import _profile_from_signatures
+
+        return ClusterRouter(
+            [
+                _profile_from_signatures("alpha", [_signature("alpha")]),
+                _profile_from_signatures("beta", [_signature("beta")]),
+            ],
+            threshold=0.8,
+        )
+
+    def test_refit_reports_updated_clusters(self):
+        router = self._router()
+        updated, spawned = router.refit({"alpha": [_signature("alpha2")]})
+        assert updated == ["alpha"]
+        assert spawned == []
+        # The untouched profile object survives identically.
+        assert router.clusters() == ["alpha", "beta"]
+
+    def test_absorbed_cohort_becomes_routable(self):
+        router = self._router()
+        drifted = _signature("alpha-drifted")
+        assert router.route_signature(drifted).cluster == UNROUTABLE
+        # anchor 0: the claiming profile tracks the cohort completely.
+        router.refit({}, [drifted], anchor=0.0)
+        decision = router.route_signature(drifted)
+        assert decision.cluster == "alpha"
+        assert decision.confidence >= 0.8
+
+    def test_spawn_creates_new_cluster_from_cohort(self):
+        router = self._router()
+        cohort = [_signature("gamma"), _signature("gamma")]
+        updated, spawned = router.refit({}, spawn=("gamma-auto", cohort))
+        assert spawned == ["gamma-auto"]
+        assert updated == []
+        assert "gamma-auto" in router.clusters()
+        decision = router.route_signature(_signature("gamma"))
+        assert decision.cluster == "gamma-auto"
+
+    def test_spawn_name_clash_rejected(self):
+        router = self._router()
+        with pytest.raises(ClusteringError, match="already routed"):
+            router.refit({}, spawn=("alpha", [_signature("x")]))
+
+    def test_spawn_needs_a_cohort(self):
+        router = self._router()
+        with pytest.raises(ClusteringError, match="empty cohort"):
+            router.refit({}, spawn=("gamma", []))
+
+    def test_unknown_reservoir_cluster_rejected(self):
+        router = self._router()
+        with pytest.raises(ClusteringError, match="unknown cluster"):
+            router.refit({"nope": [_signature("x")]})
+
+    def test_anchor_out_of_range_rejected(self):
+        router = self._router()
+        with pytest.raises(ClusteringError, match="anchor"):
+            router.refit({}, [], anchor=1.5)
+
+    def test_anchor_one_freezes_centroids(self):
+        router = self._router()
+        before = router.profiles[0]
+        router.refit({"alpha": [_signature("elsewhere")]}, anchor=1.0)
+        after = router.profiles[0]
+        assert after.keywords == before.keywords
+        assert after.paths == before.paths
+        # URL signatures still accumulate — they are a set, not a mean.
+        assert "elsewhere.example.org/*/" in after.url_signatures
+
+    def test_profiles_stay_bounded_over_many_refits(self):
+        # A long-lived adaptive session refits indefinitely; decayed
+        # centroid entries must be pruned and URL signatures capped,
+        # or memory and per-route cost grow with every refit.
+        from repro.service.router import _URL_SIGNATURE_CAP
+
+        router = self._router()
+        for generation in range(200):
+            router.refit(
+                {"alpha": [_signature(f"gen-{generation}")]}, anchor=0.25
+            )
+        (alpha, _) = router.profiles
+        # anchor 0.25 decays an unrefreshed key 4x per refit: only the
+        # last ~10 generations can sit above the pruning epsilon.
+        assert len(alpha.paths) < 30
+        assert len(alpha.keywords) < 40
+        assert len(alpha.url_signatures) <= _URL_SIGNATURE_CAP
+        # Pruning must not break recency: the freshest generation
+        # scores far above a long-decayed one.
+        assert alpha.score(_signature("gen-199")) > 0.7
+        assert alpha.score(_signature("gen-0")) < 0.4
+
+    def test_refit_swaps_the_profile_list_wholesale(self):
+        router = self._router()
+        before = router.profiles
+        router.refit({"alpha": [_signature("alpha2")]})
+        assert router.profiles is not before
+        assert [p.name for p in before] == ["alpha", "beta"]

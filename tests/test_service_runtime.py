@@ -74,6 +74,72 @@ class TestOrderedEmitter:
             assert emitter.held == 0
         assert len(out) == 5
 
+    # -- error payloads at boundary sequences --------------------------- #
+    # Contained-errors mode routes error dicts through the same reorder
+    # buffer as records; the boundary slots are where release/hold
+    # logic can go wrong.
+
+    def test_error_payload_at_first_sequence_arrives_last(self):
+        out = []
+        emitter = OrderedEmitter(out.append)
+        for seq in (3, 1, 2):
+            emitter.emit(seq, _record(seq))
+        assert out == []  # everything dammed behind sequence 0
+        error = {"error": "boom", "url": "http://x/0"}
+        emitter.emit(0, error)
+        assert out[0] is error
+        assert [r.index for r in out[1:]] == [1, 2, 3]
+        assert emitter.held == 0
+
+    def test_error_payload_at_last_sequence_is_held(self):
+        out = []
+        emitter = OrderedEmitter(out.append)
+        error = {"error": "boom", "url": "http://x/4"}
+        emitter.emit(4, error)
+        assert out == [] and emitter.held == 1
+        for seq in (2, 0, 3, 1):
+            emitter.emit(seq, _record(seq))
+        assert out[-1] is error
+        assert [r.index for r in out[:-1]] == [0, 1, 2, 3]
+
+    def test_errors_interleaved_with_drops_at_both_boundaries(self):
+        # First and last slots are errors, the middle mixes records
+        # and dropped outcomes, completion order is adversarial.
+        out = []
+        emitter = OrderedEmitter(out.append)
+        first, last = {"error": "first"}, {"error": "last"}
+        emitter.emit(5, last)
+        emitter.emit(3, None)          # dropped outcome mid-stream
+        emitter.emit(1, _record(1))
+        emitter.emit(4, _record(4))
+        assert out == []
+        emitter.emit(0, first)
+        emitter.emit(2, _record(2))
+        assert out[0] is first and out[-1] is last
+        assert [r.index for r in out[1:-1]] == [1, 2, 4]
+        assert emitter.held == 0
+
+    def test_duplicate_sequence_while_held_rejected(self):
+        emitter = OrderedEmitter(lambda payload: None)
+        emitter.emit(2, _record(2))
+        with pytest.raises(ValueError, match="emitted twice"):
+            emitter.emit(2, {"error": "impostor"})
+
+    def test_duplicate_sequence_after_release_rejected(self):
+        out = []
+        emitter = OrderedEmitter(out.append)
+        emitter.emit(0, {"error": "first"})
+        assert len(out) == 1
+        with pytest.raises(ValueError, match="emitted twice"):
+            emitter.emit(0, _record(0))
+        # A dropped (None) slot is released too: its seq is also spent.
+        emitter.emit(1, None)
+        with pytest.raises(ValueError, match="emitted twice"):
+            emitter.emit(1, _record(1))
+        # The stream continues past the rejected duplicates.
+        emitter.emit(2, _record(2))
+        assert len(out) == 2
+
 
 class TestSources:
     def test_iterable_source_numbers_by_position(self):
