@@ -23,15 +23,11 @@ pre-drift level.  Results are merged into the CI benchmark artifact
 (``$BENCH_RESULTS``) next to the throughput measurements.
 """
 
-import json
-import os
-from pathlib import Path
-
 from repro.service.adapt import AdaptiveRouter, DriftMonitor
 from repro.service.router import ClusterRouter
 from repro.sites.variation import generate_depth_cluster
 
-from conftest import emit
+from conftest import emit, write_results
 
 #: Pages rendered from the fitted template (first) and the drifted one.
 PRE_DRIFT_PAGES = 150
@@ -50,24 +46,6 @@ DRIFT_WINDOW = 32
 #: Regression floor: post-refit routed fraction must reach this share
 #: of the frozen router's pre-drift routed fraction.
 MIN_RECOVERY = 0.9
-
-
-def _write_results(payload: dict) -> Path:
-    target = Path(
-        os.environ.get(
-            "BENCH_RESULTS", "bench-results/service_throughput.json"
-        )
-    )
-    target.parent.mkdir(parents=True, exist_ok=True)
-    merged: dict = {}
-    if target.exists():  # all bench tests land in one artifact
-        merged = json.loads(target.read_text(encoding="utf-8"))
-    merged.update(payload)
-    target.write_text(
-        json.dumps(merged, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
-    return target
 
 
 def _corpus():
@@ -145,7 +123,7 @@ def test_adaptive_drift_recovery(benchmark):
             f"  (recovery {recovery:.2f}x of pre-drift level)",
         ]),
     )
-    results_path = _write_results({
+    results_path = write_results({
         "adaptive_drift": {
             "pre_drift_pages": len(result["frozen_pre"]),
             "post_drift_pages": len(result["frozen_post"]),

@@ -35,9 +35,7 @@ artifact and runs stay comparable over time.
 import asyncio
 import io
 import json
-import os
 import time
-from pathlib import Path
 
 from repro.core.builder import MappingRuleBuilder
 from repro.core.oracle import ScriptedOracle
@@ -48,7 +46,7 @@ from repro.service.serve import ServeHandler, serve_async
 from repro.service.sink import NullSink
 from repro.sites.imdb import generate_imdb_site
 
-from conftest import emit
+from conftest import emit, write_results
 
 N_MOVIES = 200
 N_ACTORS = 60
@@ -67,24 +65,6 @@ PRODUCER_LATENCY = 0.001
 #: Regression floor: the async front-end must at least match the sync
 #: loop on the paced corpus (measured ~1.2-1.4x).
 MIN_ASYNC_SERVE_SPEEDUP = 1.0
-
-
-def _write_results(payload: dict) -> Path:
-    target = Path(
-        os.environ.get(
-            "BENCH_RESULTS", "bench-results/service_throughput.json"
-        )
-    )
-    target.parent.mkdir(parents=True, exist_ok=True)
-    merged: dict = {}
-    if target.exists():  # both bench tests land in one artifact
-        merged = json.loads(target.read_text(encoding="utf-8"))
-    merged.update(payload)
-    target.write_text(
-        json.dumps(merged, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
-    return target
 
 
 def _build_corpus():
@@ -160,7 +140,7 @@ def test_service_throughput(benchmark):
             f"  ({seq_seconds / engine4_seconds:.2f}x)",
         ]),
     )
-    results_path = _write_results({
+    results_path = write_results({
         "pages": total,
         "pages_per_second": {
             "sequential": pps(seq_seconds),
@@ -274,7 +254,7 @@ def test_async_serve_throughput(benchmark):
             f"  ({sync_memory / async_memory:.2f}x)",
         ]),
     )
-    results_path = _write_results({
+    results_path = write_results({
         "serve": {
             "pages": total,
             "producer_latency_seconds": PRODUCER_LATENCY,

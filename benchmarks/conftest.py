@@ -41,3 +41,30 @@ def emit(title: str, body: str) -> None:
     """Print a labelled block (visible with ``-s``)."""
     print(f"\n=== {title} ===")
     print(body)
+
+
+def write_results(payload: dict) -> Path:
+    """Merge one bench's measurements into the ``$BENCH_RESULTS`` file.
+
+    Every service benchmark lands its section in the same JSON
+    artifact (CI uploads it per Python version), so sections merge
+    rather than overwrite.
+    """
+    import json
+    import os
+
+    target = Path(
+        os.environ.get(
+            "BENCH_RESULTS", "bench-results/service_throughput.json"
+        )
+    )
+    target.parent.mkdir(parents=True, exist_ok=True)
+    merged: dict = {}
+    if target.exists():
+        merged = json.loads(target.read_text(encoding="utf-8"))
+    merged.update(payload)
+    target.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target

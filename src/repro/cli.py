@@ -16,7 +16,11 @@ Subcommands mirror the Figure-1 pipeline:
                     from stdin, write extraction records to stdout.
                     Asynchronous by default (bounded in-flight pages,
                     output in input order); ``--sync`` keeps the
-                    one-line-at-a-time loop;
+                    one-line-at-a-time loop; ``--http HOST:PORT``
+                    serves the same contract over a socket instead
+                    (``POST /extract``, streaming ``POST /batch``,
+                    ``GET /healthz``) with graceful drain on
+                    SIGINT/SIGTERM;
 * ``shard``       — multi-host batch execution in coordinator-free
                     steps: ``plan`` splits the corpus deterministically,
                     ``run`` extracts one shard (JSONL or XML +
@@ -39,12 +43,12 @@ from __future__ import annotations
 
 import argparse
 import asyncio
-import json
 import os
 import re
+import signal
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.errors import RepositoryError
 from repro.clustering.cluster import PageClusterer
@@ -662,14 +666,6 @@ def _serve_decode_failure_cap() -> int:
     return MAX_DECODE_FAILURES
 
 
-def _serve_error(stdout, message: str, url: Optional[str] = None) -> None:
-    """One structured error record on the output stream."""
-    from repro.service import make_error_record
-
-    print(json.dumps(make_error_record(message, url=url), sort_keys=True),
-          file=stdout, flush=True)
-
-
 def _serve_output_closed() -> None:
     """The consumer closed our output mid-run: stop serving cleanly.
 
@@ -683,41 +679,94 @@ def _serve_output_closed() -> None:
     print("output stream closed by consumer", file=sys.stderr)
 
 
-def _serve_sync(handler, stdin, stdout) -> int:
-    """The historical one-line-at-a-time loop (``serve --sync``)."""
-    served = 0
-    decode_failures = 0
-    decode_failure_cap = _serve_decode_failure_cap()
+#: Test seam: called with the started ``HttpFrontEnd`` once ``serve
+#: --http`` is accepting connections (the CLI blocks in its event loop
+#: from then on; tests use this to learn the bound port and to request
+#: a stop from another thread).  ``None`` disables.
+SERVE_HTTP_STARTED: Optional[Callable] = None
+
+
+def _parse_http_address(value: str) -> tuple[str, int]:
+    """``HOST:PORT`` (port 0 = pick a free one); host may be omitted.
+
+    IPv6 literals use the standard bracketed spelling (``[::1]:8080``);
+    the brackets come off before the bind.
+    """
+    host, sep, port_text = value.rpartition(":")
+    if not sep:
+        raise ValueError(
+            f"--http takes HOST:PORT, got {value!r} (use :0 for any port)"
+        )
     try:
-        while True:
+        port = int(port_text)
+        if not 0 <= port <= 65535:
+            raise ValueError
+    except ValueError:
+        raise ValueError(f"--http port must be 0..65535, got {port_text!r}")
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+    return host or "127.0.0.1", port
+
+
+def _serve_http(handler, args) -> int:
+    """The socket front-end: serve until SIGINT/SIGTERM, then drain."""
+    from repro.service.http import HttpFrontEnd
+
+    try:
+        host, port = _parse_http_address(args.http)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    async def _run():
+        front = HttpFrontEnd(
+            handler, host, port, drain_timeout=args.http_drain_timeout
+        )
+        await front.start()
+        loop = asyncio.get_running_loop()
+        hooked = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
             try:
-                line = stdin.readline()
-            except UnicodeDecodeError as exc:
-                _serve_error(stdout, f"undecodable input: {exc}")
-                decode_failures += 1
-                if decode_failures >= decode_failure_cap:
-                    print("too many undecodable reads; giving up",
-                          file=sys.stderr)
-                    return 1
-                continue
-            decode_failures = 0  # the limit is on *consecutive* failures
-            if not line:
-                break  # EOF; a final unterminated line arrives above
-            line = line.strip()
-            if not line:
-                continue
-            payload, ok = handler.handle_line(line)
-            print(payload, file=stdout, flush=True)
-            served += ok
-    except BrokenPipeError:
-        _serve_output_closed()
-    print(f"served {served} page(s)", file=sys.stderr)
+                loop.add_signal_handler(signum, front.stop)
+                hooked.append(signum)
+            except (NotImplementedError, ValueError, RuntimeError):
+                pass  # platform (or thread) without loop signal handlers
+        print(f"serving HTTP on {front.host}:{front.port}",
+              file=sys.stderr, flush=True)
+        if SERVE_HTTP_STARTED is not None:
+            SERVE_HTTP_STARTED(front)
+        try:
+            await front.wait_stopped()
+        finally:
+            stats = await front.shutdown()
+            for signum in hooked:
+                loop.remove_signal_handler(signum)
+        return stats
+
+    try:
+        stats = asyncio.run(_run())
+    except KeyboardInterrupt:
+        # No loop signal handlers on this platform: the interrupt
+        # aborted the loop; sinks flush per line, so output is whole.
+        print("interrupted", file=sys.stderr)
+        return 130
+    except OSError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(
+        f"served {stats.served} page(s) over {stats.requests} "
+        f"request(s) on {stats.connections} connection(s)",
+        file=sys.stderr,
+    )
     return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import ServeHandler, serve_async
+    from repro.service import ServeHandler, ServePolicy
 
+    if args.sync and args.http:
+        print("--sync and --http are mutually exclusive", file=sys.stderr)
+        return 2
     try:
         repository = RuleRepository.load(args.repository)
     except RepositoryError as exc:
@@ -770,12 +819,43 @@ def cmd_serve(args: argparse.Namespace) -> int:
         router=None if adapter is not None else router,
         cluster=cluster or None,
         adapter=adapter,
+        # One policy object, every front-end: the sync/async stdin
+        # loops and the HTTP ingress inherit the same caps.
+        policy=ServePolicy(
+            max_decode_failures=_serve_decode_failure_cap(),
+            max_inflight=args.max_inflight,
+        ),
     )
     try:
         _attach_adapter_log(adapter, args)
     except OSError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+
+    def _report_drift() -> None:
+        if adapter is not None:
+            print(
+                f"drift: {adapter.drift_events} event(s), "
+                f"{adapter.refits} refit(s)",
+                file=sys.stderr,
+            )
+            adapter.log.close()
+
+    # The drift report (and the audit-log close behind it) must run on
+    # *every* exit path — a session interrupted mid-stream still has to
+    # leave a complete, flushed adaptation log behind.
+    try:
+        if args.http:
+            return _serve_http(handler, args)
+        return _serve_stdin(handler, args)
+    finally:
+        _report_drift()
+
+
+def _serve_stdin(handler, args) -> int:
+    """The stdin front-ends (async by default, ``--sync`` loop)."""
+    from repro.service import serve_async, serve_sync
+
     stdin = args.stdin if args.stdin is not None else sys.stdin
     stdout = args.stdout if args.stdout is not None else sys.stdout
     # Undecodable input bytes must surface as error records, not kill
@@ -787,26 +867,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
             reconfigure(errors="backslashreplace")
         except (ValueError, OSError):  # pragma: no cover - exotic stream
             pass
-    def _report_drift() -> None:
-        if adapter is not None:
-            print(
-                f"drift: {adapter.drift_events} event(s), "
-                f"{adapter.refits} refit(s)",
-                file=sys.stderr,
-            )
-            adapter.log.close()
-
     if args.sync:
-        code = _serve_sync(handler, stdin, stdout)
-        _report_drift()
-        return code
-    stats = asyncio.run(serve_async(
-        handler, stdin, stdout,
-        max_inflight=args.max_inflight,
-        max_decode_failures=_serve_decode_failure_cap(),
-        on_output_closed=_serve_output_closed,
-    ))
-    _report_drift()
+        stats = serve_sync(
+            handler, stdin, stdout, on_output_closed=_serve_output_closed
+        )
+    else:
+        try:
+            stats = asyncio.run(serve_async(
+                handler, stdin, stdout,
+                on_output_closed=_serve_output_closed,
+            ))
+        except KeyboardInterrupt:
+            # The interrupt hit the event loop itself rather than the
+            # coroutine; in-flight output was flushed line-complete.
+            print("interrupted; partial output is line-complete",
+                  file=sys.stderr)
+            return 130
+    if stats.interrupted:
+        print("interrupted; partial output is line-complete",
+              file=sys.stderr)
+        return 130
     if stats.gave_up:
         print("too many undecodable reads; giving up", file=sys.stderr)
         return 1
@@ -1000,8 +1080,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--sync", action="store_true",
                        help="one-line-at-a-time loop instead of the "
                             "async front-end")
+    serve.add_argument("--http", default="", metavar="HOST:PORT",
+                       help="serve over HTTP instead of stdin "
+                            "(POST /extract, streaming POST /batch, "
+                            "GET /healthz; port 0 picks a free port)")
+    serve.add_argument("--http-drain-timeout", type=float, default=30.0,
+                       help="graceful-shutdown window: seconds in-flight "
+                            "HTTP requests get to finish before their "
+                            "connections are force-closed (size it for "
+                            "the largest legitimate batch)")
     serve.add_argument("--max-inflight", type=int, default=8,
-                       help="async front-end: concurrent pages in flight "
+                       help="async front-ends: concurrent pages in flight "
                             "(the memory/backpressure bound)")
     _adaptation_arguments(serve)
     serve.set_defaults(func=cmd_serve, stdin=None, stdout=None)

@@ -24,7 +24,10 @@ Every entry point is a composition over the same
 * sharded batch (:mod:`repro.service.shard`) — a plan slice per host,
   merged back into the unsharded byte stream, resumable per shard;
 * online serving (:mod:`repro.service.serve`) — single pages through
-  an inline runtime, under a sync or asyncio front-end;
+  an inline runtime, under a sync or asyncio stdin front-end or the
+  HTTP ingress (:mod:`repro.service.http`), all sharing one
+  :class:`~repro.service.serve.ServeHandler` and
+  :class:`~repro.service.serve.ServePolicy`;
 * online adaptation (:mod:`repro.service.adapt`) — sliding-window
   drift detection over the served stream, answered by incremental
   router refits (recomputed centroids, atomic swap) with an auditable
@@ -55,7 +58,15 @@ from repro.service.runtime import (
     Stage,
     StreamingRuntime,
 )
-from repro.service.serve import ServeHandler, ServeStats, serve_async
+from repro.service.http import HttpFrontEnd, HttpStats
+from repro.service.serve import (
+    AsyncLinePipeline,
+    ServeHandler,
+    ServePolicy,
+    ServeStats,
+    serve_async,
+    serve_sync,
+)
 from repro.service.shard import (
     MergeReport,
     ShardManifest,
@@ -84,6 +95,7 @@ __all__ = [
     "AdaptationLog",
     "AdaptiveRouter",
     "AdaptiveRouterStage",
+    "AsyncLinePipeline",
     "BatchExtractionEngine",
     "ClusterProfile",
     "DriftEvent",
@@ -95,6 +107,8 @@ __all__ = [
     "CompiledRule",
     "CompiledWrapper",
     "EngineReport",
+    "HttpFrontEnd",
+    "HttpStats",
     "IterablePageSource",
     "JsonlSink",
     "LoadingPageSource",
@@ -108,6 +122,7 @@ __all__ = [
     "RouteDecision",
     "RuntimeReport",
     "ServeHandler",
+    "ServePolicy",
     "ServeStats",
     "ShardManifest",
     "ShardMerger",
@@ -126,6 +141,7 @@ __all__ = [
     "make_error_record",
     "make_unroutable_record",
     "serve_async",
+    "serve_sync",
     "shard_statuses",
     "stable_shard",
 ]

@@ -1,0 +1,792 @@
+"""HTTP/1.1 ingress: the third ``serve`` front-end (socket transport).
+
+The stdin front-ends make extraction scriptable; this module makes it
+*reachable* — a minimal HTTP/1.1 layer on ``asyncio.start_server``
+(stdlib only) in front of the same :class:`~repro.service.serve.
+ServeHandler` the stdin loops drive, so a page POSTed over HTTP yields
+a record **byte-identical** to what ``serve`` writes on stdout for the
+same input line.
+
+The record stream is the protocol: application-level failures
+(malformed request JSON, unparseable HTML, unroutable pages, handler
+crashes) come back as error *records* with HTTP 200, exactly as on
+stdin.  4xx/5xx are reserved for HTTP-layer violations, and those
+responses carry an error record body too, so a client can always parse
+what it gets.
+
+Endpoints:
+
+* ``POST /extract`` — one ``{"url", "html"}`` JSON body in, one record
+  line out (``Content-Length`` framed).
+* ``POST /batch`` — an NDJSON body in (``Content-Length`` or
+  ``Transfer-Encoding: chunked``), a **chunked NDJSON stream** out:
+  one record line per input line, one HTTP chunk per record (a chunk
+  boundary never splits a record), strictly in input order per
+  connection.  The body is consumed incrementally through the same
+  :class:`~repro.service.serve.AsyncLinePipeline` as the asyncio stdin
+  front-end, so extraction overlaps both the arriving request body and
+  the departing response — with the handler's
+  :class:`~repro.service.serve.ServePolicy` supplying the in-flight
+  bound and the consecutive-undecodable-line cap.
+* ``GET /healthz`` — liveness plus session counters (served pages,
+  requests, connections, drift events/refits).
+
+Connections are persistent per HTTP/1.1 semantics (``Connection:
+close`` honoured; HTTP/1.0 closes unless asked to keep alive).
+Graceful shutdown (:meth:`HttpFrontEnd.shutdown`) closes the listener,
+hangs up idle connections, lets every in-flight request finish and
+drains the extraction pool — no response is ever truncated
+mid-record.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.service.serve import (
+    AsyncLinePipeline,
+    ServeStats,
+    contained_handle,
+    _adopt_adapter_counts,
+    _dumps,
+    _policy_of,
+)
+from repro.service.sink import make_error_record
+
+#: Request-line / single-header length bound (DoS hygiene).
+MAX_REQUEST_LINE_BYTES = 8192
+
+#: Total header block bound per request.
+MAX_HEADER_BYTES = 32768
+
+#: Default request-body bound; ``HttpFrontEnd(max_body_bytes=...)``
+#: overrides (a million-page corpus belongs on ``/batch`` streamed,
+#: not in one ``/extract`` body).
+DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Seconds a graceful shutdown waits for in-flight requests before
+#: force-closing their connections.
+DEFAULT_DRAIN_TIMEOUT = 30.0
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+
+class HttpProtocolError(Exception):
+    """An HTTP-layer violation (maps to a 4xx/5xx and hangs up)."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+@dataclass
+class HttpStats:
+    """What one HTTP serve session did (the front-end's report)."""
+
+    connections: int = 0
+    requests: int = 0
+    #: Request lines answered with a record (served + error + gap).
+    pages: int = 0
+    #: Successfully extracted pages (the stdin loops' counter).
+    served: int = 0
+    #: Requests refused at the HTTP layer (4xx/5xx).
+    protocol_errors: int = 0
+    #: Drift events / refits the handler's adapter performed during
+    #: this session (0 without ``--adapt``).
+    drift_events: int = 0
+    refits: int = 0
+
+
+# --------------------------------------------------------------------- #
+# Request parsing
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class _Request:
+    method: str
+    target: str
+    version: str
+    headers: dict[str, str]
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+
+async def _read_line(reader, limit: int, context: str) -> bytes:
+    try:
+        line = await reader.readline()
+    except (ValueError, asyncio.LimitOverrunError):
+        raise HttpProtocolError(431, f"{context} too long")
+    if len(line) > limit:
+        raise HttpProtocolError(431, f"{context} too long")
+    return line
+
+
+async def _read_request_head(reader) -> Optional[_Request]:
+    """Parse one request line + headers; ``None`` on clean EOF."""
+    request_line = b"\r\n"
+    # RFC 9112 §2.2: tolerate stray CRLFs between pipelined requests —
+    # a few of them, not a firehose that pins the connection forever.
+    for _ in range(64):
+        request_line = await _read_line(
+            reader, MAX_REQUEST_LINE_BYTES, "request line"
+        )
+        if request_line not in (b"\r\n", b"\n"):
+            break
+    else:
+        raise HttpProtocolError(400, "too many stray blank lines")
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HttpProtocolError(400, "malformed request line")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpProtocolError(400, f"unsupported version {version}")
+    headers: dict[str, str] = {}
+    total = 0
+    while True:
+        line = await _read_line(reader, MAX_REQUEST_LINE_BYTES, "header")
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise HttpProtocolError(400, "connection closed mid-headers")
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise HttpProtocolError(431, "header block too large")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep or not name.strip():
+            raise HttpProtocolError(400, f"malformed header {name!r}")
+        headers[name.strip().lower()] = value.strip()
+    return _Request(method, target, version, headers)
+
+
+# --------------------------------------------------------------------- #
+# Body framing (both request framings feed one incremental line reader)
+# --------------------------------------------------------------------- #
+
+
+class _LengthFramedBody:
+    """Read exactly ``Content-Length`` bytes, never past the request."""
+
+    def __init__(self, reader, remaining: int) -> None:
+        self._reader = reader
+        self._remaining = remaining
+
+    async def read_some(self) -> bytes:
+        if self._remaining <= 0:
+            return b""
+        data = await self._reader.read(min(65536, self._remaining))
+        if not data:
+            raise HttpProtocolError(400, "connection closed mid-body")
+        self._remaining -= len(data)
+        return data
+
+
+class _ChunkedBody:
+    """Decode ``Transfer-Encoding: chunked`` request framing."""
+
+    def __init__(self, reader, max_bytes: int) -> None:
+        self._reader = reader
+        self._max_bytes = max_bytes
+        self._consumed = 0
+        self._chunk_left = 0
+        self._done = False
+
+    async def read_some(self) -> bytes:
+        if self._done:
+            return b""
+        if self._chunk_left == 0:
+            size_line = await _read_line(
+                self._reader, MAX_REQUEST_LINE_BYTES, "chunk size"
+            )
+            if not size_line:
+                raise HttpProtocolError(400, "connection closed mid-body")
+            # Chunk extensions (";...") are legal; ignore them.
+            size_text = size_line.decode("latin-1").strip().split(";")[0]
+            try:
+                size = int(size_text, 16)
+            except ValueError:
+                raise HttpProtocolError(
+                    400, f"malformed chunk size {size_text!r}"
+                )
+            if size == 0:
+                # Trailer section: skip until the blank line, within
+                # the same budget that bounds a header block.
+                trailer_bytes = 0
+                while True:
+                    trailer = await _read_line(
+                        self._reader, MAX_REQUEST_LINE_BYTES, "trailer"
+                    )
+                    if trailer in (b"\r\n", b"\n", b""):
+                        break
+                    trailer_bytes += len(trailer)
+                    if trailer_bytes > MAX_HEADER_BYTES:
+                        raise HttpProtocolError(
+                            431, "trailer block too large"
+                        )
+                self._done = True
+                return b""
+            self._consumed += size
+            if self._consumed > self._max_bytes:
+                raise HttpProtocolError(413, "chunked body too large")
+            self._chunk_left = size
+        data = await self._reader.read(min(65536, self._chunk_left))
+        if not data:
+            raise HttpProtocolError(400, "connection closed mid-body")
+        self._chunk_left -= len(data)
+        if self._chunk_left == 0:
+            crlf = await self._reader.readexactly(2)
+            if crlf != b"\r\n":
+                raise HttpProtocolError(400, "malformed chunk terminator")
+        return data
+
+
+def _framed_body(request: _Request, reader, max_bytes: int):
+    """The request's body framer, or an :class:`HttpProtocolError`."""
+    encoding = request.headers.get("transfer-encoding", "").lower()
+    if encoding:
+        if "content-length" in request.headers:
+            # RFC 9112 §6.3: a message carrying both framings is a
+            # request-smuggling vector (a proxy in front may frame by
+            # the one this server ignores) — reject, never guess.
+            raise HttpProtocolError(
+                400, "both Transfer-Encoding and Content-Length given"
+            )
+        if encoding != "chunked":
+            raise HttpProtocolError(
+                501, f"unsupported transfer-encoding {encoding!r}"
+            )
+        return _ChunkedBody(reader, max_bytes)
+    length_text = request.headers.get("content-length")
+    if length_text is None:
+        raise HttpProtocolError(411, "Content-Length required")
+    try:
+        length = int(length_text)
+        if length < 0:
+            raise ValueError
+    except ValueError:
+        raise HttpProtocolError(
+            400, f"malformed Content-Length {length_text!r}"
+        )
+    if length > max_bytes:
+        raise HttpProtocolError(
+            413, f"body of {length} bytes exceeds the {max_bytes} cap"
+        )
+    return _LengthFramedBody(reader, length)
+
+
+async def _body_lines(body):
+    """Yield the body's NDJSON lines incrementally, as they arrive.
+
+    Items are ``str`` lines (newline stripped; a final unterminated
+    line included, exactly like the stdin loops' EOF handling) or, for
+    a line that is not valid UTF-8, the ``UnicodeDecodeError`` itself
+    — the caller turns those into error records under the shared
+    consecutive-failure cap.
+    """
+    buffer = bytearray()
+    while True:
+        data = await body.read_some()
+        if not data:
+            break
+        buffer.extend(data)
+        while True:
+            newline = buffer.find(b"\n")
+            if newline < 0:
+                break
+            raw = bytes(buffer[:newline])
+            del buffer[: newline + 1]
+            yield _decode_line(raw)
+    if buffer:
+        yield _decode_line(bytes(buffer))
+
+
+def _decode_line(raw: bytes):
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        return exc
+
+
+async def _read_whole_body(body, max_bytes: int) -> bytes:
+    parts = []
+    total = 0
+    while True:
+        data = await body.read_some()
+        if not data:
+            return b"".join(parts)
+        total += len(data)
+        if total > max_bytes:
+            raise HttpProtocolError(413, "body too large")
+        parts.append(data)
+
+
+# --------------------------------------------------------------------- #
+# Response writing
+# --------------------------------------------------------------------- #
+
+
+def _response_head(
+    status: int,
+    headers: list[tuple[str, str]],
+) -> bytes:
+    lines = [f"HTTP/1.1 {status} {_REASONS[status]}"]
+    lines.extend(f"{name}: {value}" for name, value in headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def _write_payload_response(
+    writer,
+    status: int,
+    body: bytes,
+    keep_alive: bool,
+    content_type: str = "application/json; charset=utf-8",
+) -> None:
+    writer.write(_response_head(status, [
+        ("Content-Type", content_type),
+        ("Content-Length", str(len(body))),
+        ("Connection", "keep-alive" if keep_alive else "close"),
+    ]) + body)
+
+
+def _error_body(message: str) -> bytes:
+    # serve._dumps is the one record serializer every front-end's
+    # byte-identity rests on; error bodies go through it too.
+    return (_dumps(make_error_record(message)) + "\n").encode("utf-8")
+
+
+# --------------------------------------------------------------------- #
+# The front-end
+# --------------------------------------------------------------------- #
+
+
+class _Connection:
+    """Book-keeping for one open socket (shutdown needs the state)."""
+
+    def __init__(self, writer) -> None:
+        self.writer = writer
+        self.busy = False
+
+
+class HttpFrontEnd:
+    """The ``serve --http`` ingress: sockets in, record lines out.
+
+    Args:
+        handler: the shared :class:`~repro.service.serve.ServeHandler`
+            (its :class:`~repro.service.serve.ServePolicy` supplies
+            the in-flight bound and decode-failure cap).
+        host, port: bind address; port 0 picks a free port (the bound
+            one is on :attr:`port` after :meth:`start`).
+        max_inflight: per-request in-flight bound and extraction-pool
+            size; defaults from the handler's policy.
+        max_body_bytes: request-body cap (413 beyond it).
+        drain_timeout: seconds :meth:`shutdown` waits for in-flight
+            requests before force-closing their connections — a client
+            that stops reading its response must not be able to wedge
+            SIGTERM forever.
+
+    Lifecycle: ``await start()`` binds and serves in the background;
+    :meth:`stop` (thread-safe) releases :meth:`wait_stopped`; ``await
+    shutdown()`` closes the listener, finishes in-flight requests,
+    hangs up idle connections, drains the pool and returns the final
+    :class:`HttpStats`.
+    """
+
+    def __init__(
+        self,
+        handler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: Optional[int] = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+    ) -> None:
+        policy = _policy_of(handler)
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self.max_inflight = (
+            max_inflight if max_inflight is not None else policy.max_inflight
+        )
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.max_body_bytes = max_body_bytes
+        self.drain_timeout = drain_timeout
+        self.stats = HttpStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._closing = False
+        self._connections: dict[int, _Connection] = {}
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (non-blocking)."""
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.max_inflight,
+            thread_name_prefix="http-serve",
+        )
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def stop(self) -> None:
+        """Release :meth:`wait_stopped` (safe from any thread, any time
+        — including after the session's event loop is already gone)."""
+        if self._loop is None or self._stopped is None:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self._stopped.set)
+        except RuntimeError:
+            pass  # loop already closed: there is nothing left to stop
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` is called (the CLI's signal path)."""
+        assert self._stopped is not None, "start() first"
+        await self._stopped.wait()
+
+    async def shutdown(self) -> HttpStats:
+        """Graceful teardown: drain in-flight work, then hang up.
+
+        New connections are refused first (listener closed); idle
+        keep-alive connections are hung up; requests already being
+        answered get up to ``drain_timeout`` seconds to run to
+        completion — within that window no response is ever truncated.
+        A connection still unfinished after the window (a client that
+        stopped reading its response, or a batch genuinely longer than
+        the timeout — size ``drain_timeout`` for the deployment's
+        largest legitimate batch) is force-closed mid-stream: the
+        operator's SIGTERM must always win.  Idempotent.
+        """
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for connection in list(self._connections.values()):
+            if not connection.busy:
+                connection.writer.close()
+        wedged = False
+        if self._conn_tasks:
+            _, pending = await asyncio.wait(
+                list(self._conn_tasks), timeout=self.drain_timeout
+            )
+            if pending:
+                # Flow-controlled writers (client gone deaf) wake with
+                # a connection error once their transport aborts.
+                for connection in list(self._connections.values()):
+                    connection.writer.transport.abort()
+                _, still = await asyncio.wait(pending, timeout=5.0)
+                # Anything left is wedged inside the handler itself;
+                # leave it behind rather than hang the shutdown.
+                wedged = bool(still)
+        if self._pool is not None:
+            self._pool.shutdown(wait=not wedged)
+            self._pool = None
+        _adopt_adapter_counts(self.handler, self.stats)
+        if self._stopped is not None:
+            self._stopped.set()
+        return self.stats
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        connection = _Connection(writer)
+        self._connections[id(connection)] = connection
+        self.stats.connections += 1
+        try:
+            await self._serve_connection(reader, writer, connection)
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass  # client hung up mid-exchange; nothing to answer
+        finally:
+            del self._connections[id(connection)]
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _serve_connection(self, reader, writer, connection) -> None:
+        while not self._closing:
+            try:
+                request = await _read_request_head(reader)
+            except HttpProtocolError as exc:
+                await self._refuse(reader, writer, exc)
+                break
+            if request is None:
+                break  # client closed the idle connection
+            connection.busy = True
+            self.stats.requests += 1
+            try:
+                keep_alive = await self._dispatch(request, reader, writer)
+            except HttpProtocolError as exc:
+                await self._refuse(reader, writer, exc)
+                break
+            finally:
+                connection.busy = False
+            await writer.drain()
+            if not keep_alive:
+                break
+
+    async def _refuse(self, reader, writer, exc: HttpProtocolError) -> None:
+        """One HTTP-layer rejection; the connection closes after it.
+
+        The body is still an error record, so even a client that hits
+        a framing bug gets a parseable line back.  Unread request
+        bytes are drained (bounded) before the close: closing a socket
+        with inbound data pending makes the kernel RST it, which would
+        destroy the very response the client needs to see.
+        """
+        self.stats.protocol_errors += 1
+        extra = []
+        if exc.status == 405:
+            extra = [("Allow", exc.detail.rsplit(" ", 1)[-1])]
+        body = _error_body(f"{exc.status} {_REASONS[exc.status]}: "
+                           f"{exc.detail}")
+        writer.write(_response_head(exc.status, [
+            ("Content-Type", "application/json; charset=utf-8"),
+            ("Content-Length", str(len(body))),
+            ("Connection", "close"),
+            *extra,
+        ]) + body)
+        await self._drain_unread(reader, writer)
+
+    async def _drain_unread(self, reader, writer) -> None:
+        """Discard unread inbound bytes so close() cannot RST us.
+
+        Best-effort and bounded in bytes *and* wall-clock: a refused
+        client gets a few seconds, total, to finish sending — a
+        trickler cannot pin the connection task by keeping each
+        individual read just under a per-read timeout.
+        """
+        try:
+            await writer.drain()
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + 5.0
+            remaining = self.max_body_bytes
+            while remaining > 0:
+                timeout = min(1.0, deadline - loop.time())
+                if timeout <= 0:
+                    break
+                data = await asyncio.wait_for(
+                    reader.read(min(65536, remaining)), timeout=timeout
+                )
+                if not data:
+                    break
+                remaining -= len(data)
+        except (asyncio.TimeoutError, OSError):
+            pass  # slow or vanished client: best effort is spent
+
+    async def _dispatch(self, request: _Request, reader, writer) -> bool:
+        """Route one request; returns whether to keep the connection."""
+        route = (request.method, request.target)
+        if route == ("POST", "/extract"):
+            return await self._handle_extract(request, reader, writer)
+        if route == ("POST", "/batch"):
+            return await self._handle_batch(request, reader, writer)
+        if route == ("GET", "/healthz"):
+            return await self._handle_healthz(request, reader, writer)
+        if request.target in ("/extract", "/batch"):
+            raise HttpProtocolError(
+                405, f"{request.target} accepts only POST"
+            )
+        if request.target == "/healthz":
+            raise HttpProtocolError(405, "/healthz accepts only GET")
+        raise HttpProtocolError(404, f"no such endpoint {request.target!r}")
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+
+    def _answer_expect(self, request, writer) -> None:
+        """Honour ``Expect: 100-continue`` once the body is wanted.
+
+        curl adds the expectation to any large POST and waits a full
+        second for the interim response before sending the body; not
+        answering stalls every big request by that second.  Sent only
+        after :func:`_framed_body` validated the framing, so a request
+        refused outright (411/413) gets its final status instead.
+        """
+        if request.headers.get("expect", "").lower() == "100-continue":
+            writer.write(b"HTTP/1.1 100 Continue\r\n\r\n")
+
+    async def _handle_extract(self, request, reader, writer) -> bool:
+        body = _framed_body(request, reader, self.max_body_bytes)
+        self._answer_expect(request, writer)
+        raw = await _read_whole_body(body, self.max_body_bytes)
+        decoded = _decode_line(raw)
+        if isinstance(decoded, UnicodeDecodeError):
+            payload = _error_body(f"undecodable input: {decoded}")
+            served = False
+        else:
+            assert self._loop is not None and self._pool is not None
+            line, served = await self._loop.run_in_executor(
+                self._pool, contained_handle, self.handler, decoded.strip()
+            )
+            payload = (line + "\n").encode("utf-8")
+        self.stats.pages += 1
+        self.stats.served += served
+        keep_alive = request.keep_alive and not self._closing
+        _write_payload_response(writer, 200, payload, keep_alive)
+        return keep_alive
+
+    async def _handle_batch(self, request, reader, writer) -> bool:
+        body = _framed_body(request, reader, self.max_body_bytes)
+        self._answer_expect(request, writer)
+        # The response head goes out before the body has fully arrived:
+        # from here on, failures are records in the stream, not status
+        # codes (the client already has its 200).  HTTP/1.1 clients
+        # get chunked framing (and may keep the connection); HTTP/1.0
+        # predates chunked (RFC 9112 §7.1), so it gets the raw NDJSON
+        # stream delimited by connection close.
+        chunked = request.version == "HTTP/1.1"
+        if chunked:
+            writer.write(_response_head(200, [
+                ("Content-Type", "application/x-ndjson; charset=utf-8"),
+                ("Transfer-Encoding", "chunked"),
+                ("Connection",
+                 "keep-alive" if request.keep_alive else "close"),
+            ]))
+        else:
+            writer.write(_response_head(200, [
+                ("Content-Type", "application/x-ndjson; charset=utf-8"),
+                ("Connection", "close"),
+            ]))
+
+        def _write_chunk(line: str) -> bool:
+            data = (line + "\n").encode("utf-8")
+            if chunked:
+                writer.write(b"%x\r\n" % len(data) + data + b"\r\n")
+            else:
+                writer.write(data)
+            return not writer.is_closing()
+
+        request_stats = ServeStats()
+        pipeline = AsyncLinePipeline(
+            self.handler, self._pool, _write_chunk, request_stats,
+            max_inflight=self.max_inflight,
+        )
+        clean = True
+        abort_message = None
+        try:
+            async for item in _body_lines(body):
+                if isinstance(item, UnicodeDecodeError):
+                    if await pipeline.submit_decode_failure(item):
+                        break
+                    continue
+                pipeline.note_read_ok()
+                line = item.strip()
+                if not line:
+                    continue
+                await pipeline.submit(line)
+                # Socket-level backpressure: the in-flight window bounds
+                # memory; draining here bounds the kernel send queue.
+                await writer.drain()
+        except HttpProtocolError as exc:
+            # Mid-stream framing failure (body lies about its chunks,
+            # or outgrows the cap): the 200 is gone, so surface it as
+            # a final error record — written after the drain below, so
+            # it lands *after* every in-flight page record and really
+            # is the terminal line — and hang up.
+            self.stats.protocol_errors += 1
+            clean = False
+            abort_message = (
+                f"{exc.status} {_REASONS[exc.status]}: {exc.detail}"
+            )
+        finally:
+            # Pages extracted before a client abort (a drain above may
+            # raise ConnectionResetError) must still be accounted.
+            await pipeline.drain()
+            self.stats.pages += pipeline.admitted
+            self.stats.served += request_stats.served
+        if abort_message is not None:
+            _write_chunk(_dumps(make_error_record(abort_message)))
+        if request_stats.gave_up:
+            # The stdin loops signal this on stderr + exit code; an
+            # HTTP client only has the stream, so say it there — a
+            # truncated batch must never look fully processed.
+            clean = False
+            _write_chunk(_dumps(make_error_record(
+                "too many undecodable input lines; giving up"
+            )))
+        if chunked:
+            writer.write(b"0\r\n\r\n")
+        if not clean:
+            # Aborted with body bytes still unread (the cap tripped,
+            # or the framing lied): drain them before the close, or
+            # the kernel's RST would destroy the very records — the
+            # give-up marker above included — that explain the abort.
+            await self._drain_unread(reader, writer)
+        await writer.drain()
+        return (
+            clean
+            and chunked
+            and request.keep_alive
+            and not self._closing
+        )
+
+    async def _handle_healthz(self, request, reader, writer) -> bool:
+        if (
+            "content-length" in request.headers
+            or "transfer-encoding" in request.headers
+        ):
+            # A GET that nonetheless ships a body (curl -d with -X
+            # GET): consume it, or its bytes would prefix the next
+            # request line on this keep-alive connection.
+            body = _framed_body(request, reader, self.max_body_bytes)
+            await _read_whole_body(body, self.max_body_bytes)
+        adapter = getattr(self.handler, "adapter", None)
+        payload = {
+            "status": "closing" if self._closing else "ok",
+            "connections": self.stats.connections,
+            "requests": self.stats.requests,
+            "pages": self.stats.pages,
+            "served": self.stats.served,
+            "protocol_errors": self.stats.protocol_errors,
+            "drift_events": 0 if adapter is None else adapter.drift_events,
+            "refits": 0 if adapter is None else adapter.refits,
+            "max_inflight": self.max_inflight,
+        }
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        keep_alive = request.keep_alive and not self._closing
+        _write_payload_response(writer, 200, body, keep_alive)
+        return keep_alive

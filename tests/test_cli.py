@@ -2,6 +2,7 @@
 
 import io
 import json
+import time
 
 import pytest
 
@@ -402,6 +403,158 @@ def test_serve_consumer_closing_output_is_clean(served_site, capsys,
     err = capsys.readouterr().err
     assert "output stream closed by consumer" in err
     assert "served 0 page(s)" in err
+
+
+def test_serve_interrupt_exits_130_and_closes_adaptation_log(
+    served_site, capsys, monkeypatch, tmp_path
+):
+    # Ctrl-C mid-stream must leave the output and the adaptation log
+    # flushed, closed and line-complete (audit-readable partial run).
+    site_dir, repo_path = served_site
+    log_path = tmp_path / "adapt.jsonl"
+    from repro.service.adapt import AdaptationLog
+
+    closed = []
+    original_close = AdaptationLog.close
+
+    def tracking_close(self):
+        closed.append(True)
+        original_close(self)
+
+    monkeypatch.setattr(AdaptationLog, "close", tracking_close)
+    page = sorted(site_dir.glob("imdb-movies-*.html"))[0]
+    request = json.dumps({
+        "url": page.resolve().as_uri(),
+        "html": page.read_text(encoding="utf-8"),
+    })
+
+    class InterruptingStdin:
+        def __init__(self):
+            self._lines = [request + "\n"] * 2
+
+        def readline(self):
+            if not self._lines:
+                raise KeyboardInterrupt
+            return self._lines.pop(0)
+
+    monkeypatch.setattr("sys.stdin", InterruptingStdin())
+    assert main([
+        "serve", "--sync", "--repository", str(repo_path),
+        "--exemplars-dir", str(site_dir), "--adapt",
+        "--adapt-log", str(log_path),
+    ]) == 130
+    captured = capsys.readouterr()
+    assert "interrupted" in captured.err
+    assert "drift:" in captured.err  # the report still ran
+    assert closed  # the audit log was closed on the way out
+    for line in captured.out.splitlines():
+        json.loads(line)  # every emitted record is line-complete
+    for line in log_path.read_text(encoding="utf-8").splitlines():
+        json.loads(line)
+
+
+def test_serve_http_and_sync_are_mutually_exclusive(served_site, capsys):
+    _, repo_path = served_site
+    assert main([
+        "serve", "--repository", str(repo_path),
+        "--cluster", "imdb-movies", "--sync", "--http", "127.0.0.1:0",
+    ]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_parse_http_address_spellings():
+    from repro.cli import _parse_http_address
+
+    assert _parse_http_address("127.0.0.1:8080") == ("127.0.0.1", 8080)
+    assert _parse_http_address(":0") == ("127.0.0.1", 0)
+    assert _parse_http_address("[::1]:8080") == ("::1", 8080)
+
+
+@pytest.mark.parametrize("address", ["nonsense", "127.0.0.1:notaport",
+                                     "127.0.0.1:70000"])
+def test_serve_http_rejects_bad_address(served_site, capsys, address):
+    _, repo_path = served_site
+    assert main([
+        "serve", "--repository", str(repo_path),
+        "--cluster", "imdb-movies", "--http", address,
+    ]) == 2
+    assert "--http" in capsys.readouterr().err
+
+
+def test_serve_http_bind_failure_is_a_clean_error(served_site, capsys):
+    import socket
+
+    _, repo_path = served_site
+    blocker = socket.socket()
+    blocker.bind(("127.0.0.1", 0))
+    blocker.listen(1)
+    try:
+        port = blocker.getsockname()[1]
+        assert main([
+            "serve", "--repository", str(repo_path),
+            "--cluster", "imdb-movies", "--http", f"127.0.0.1:{port}",
+        ]) == 2
+    finally:
+        blocker.close()
+    assert "address" in capsys.readouterr().err.lower()
+
+
+def test_serve_http_end_to_end(served_site, capsys, monkeypatch):
+    # The full CLI path: serve --http binds, answers a real socket
+    # request with the shared handler's record, drains on stop, and
+    # reports the session like the stdin front-ends do.
+    import socket
+    import threading
+
+    site_dir, repo_path = served_site
+    started = []
+    monkeypatch.setattr("repro.cli.SERVE_HTTP_STARTED", started.append)
+    codes = []
+    thread = threading.Thread(target=lambda: codes.append(main([
+        "serve", "--repository", str(repo_path),
+        "--cluster", "imdb-movies", "--http", "127.0.0.1:0",
+    ])))
+    thread.start()
+    try:
+        deadline = time.time() + 10
+        while not started and time.time() < deadline:
+            time.sleep(0.01)
+        assert started, "serve --http never came up"
+        front = started[0]
+        page = sorted(site_dir.glob("imdb-movies-*.html"))[0]
+        body = json.dumps({
+            "url": page.resolve().as_uri(),
+            "html": page.read_text(encoding="utf-8"),
+        }).encode("utf-8")
+        with socket.create_connection(
+            ("127.0.0.1", front.port), timeout=10
+        ) as sock:
+            sock.sendall(
+                b"POST /extract HTTP/1.1\r\nHost: t\r\n"
+                b"Connection: close\r\n"
+                b"Content-Length: %d\r\n\r\n" % len(body) + body
+            )
+            sock.settimeout(10)
+            response = b""
+            while True:
+                data = sock.recv(65536)
+                if not data:
+                    break
+                response += data
+    finally:
+        for front in started:
+            front.stop()
+        thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert codes == [0]
+    head, _, payload = response.partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.1 200 OK")
+    record = json.loads(payload)
+    assert record["cluster"] == "imdb-movies"
+    assert record["values"]["title"]
+    err = capsys.readouterr().err
+    assert "serving HTTP on 127.0.0.1:" in err
+    assert "served 1 page(s) over 1 request(s)" in err
 
 
 def test_serve_extraction_crash_emits_error_record(served_site, capsys,

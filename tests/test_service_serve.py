@@ -1,8 +1,9 @@
-"""Online serving: the shared handler and the asyncio front-end."""
+"""Online serving: the shared handler and the three front-ends."""
 
 import asyncio
 import io
 import json
+import os
 import threading
 
 import pytest
@@ -10,7 +11,12 @@ import pytest
 from repro.extraction.extractor import ExtractionProcessor
 from repro.service.compiler import CompiledWrapper
 from repro.service.router import ClusterRouter
-from repro.service.serve import ServeHandler, serve_async
+from repro.service.serve import (
+    ServeHandler,
+    ServePolicy,
+    serve_async,
+    serve_sync,
+)
 
 
 @pytest.fixture(scope="module")
@@ -96,6 +102,35 @@ class TestServeHandler:
     def test_handler_requires_router_or_cluster(self, service_repository):
         with pytest.raises(ValueError):
             ServeHandler(service_repository)
+
+    def test_handler_rejects_router_plus_adapter(self, service_repository):
+        class FakeAdapter:
+            pass
+
+        with pytest.raises(ValueError):
+            ServeHandler(
+                service_repository,
+                router=object(),
+                adapter=FakeAdapter(),
+            )
+
+
+class TestServePolicy:
+    def test_rejects_non_positive_limits(self):
+        with pytest.raises(ValueError):
+            ServePolicy(max_decode_failures=0)
+        with pytest.raises(ValueError):
+            ServePolicy(max_inflight=0)
+
+    def test_defaults_match_the_module_constants(self):
+        from repro.service.serve import (
+            DEFAULT_MAX_INFLIGHT,
+            MAX_DECODE_FAILURES,
+        )
+
+        policy = ServePolicy()
+        assert policy.max_decode_failures == MAX_DECODE_FAILURES
+        assert policy.max_inflight == DEFAULT_MAX_INFLIGHT
 
 
 class _CountingHandler:
@@ -291,3 +326,349 @@ class TestAsyncServe:
             asyncio.run(serve_async(
                 handler, io.StringIO(""), io.StringIO(), max_inflight=0,
             ))
+
+
+# --------------------------------------------------------------------- #
+# The sync loop (same core, no concurrency)
+# --------------------------------------------------------------------- #
+
+
+class TestServeSyncLoop:
+    def test_stream_identical_to_async_front_end(
+        self, handler, service_site
+    ):
+        pages = service_site.pages_with_hint("imdb-movies")[:10]
+        lines = [_line(page) for page in pages]
+        lines.insert(4, "{not json")
+        text = "".join(line + "\n" for line in lines)
+        sync_out = io.StringIO()
+        sync_stats = serve_sync(handler, io.StringIO(text), sync_out)
+        async_out = io.StringIO()
+        async_stats = asyncio.run(serve_async(
+            handler, io.StringIO(text), async_out
+        ))
+        assert sync_out.getvalue() == async_out.getvalue()
+        assert sync_stats.served == async_stats.served == 10
+
+    def test_handler_crash_becomes_an_error_record(self):
+        # Parity with the async loop: a crash that escapes containment
+        # must not kill the session (pre-fix it propagated and took
+        # the whole serve process down mid-stream).
+        class ExplodingHandler:
+            def handle_line(self, line):
+                if line == "page-1":
+                    raise RecursionError("pathological page")
+                return line, True
+
+        text = "".join(f"page-{i}\n" for i in range(4))
+        stdout = io.StringIO()
+        stats = serve_sync(ExplodingHandler(), io.StringIO(text), stdout)
+        lines = stdout.getvalue().splitlines()
+        assert len(lines) == 4
+        assert "pathological page" in json.loads(lines[1])["error"]
+        assert stats.served == 3
+
+    def test_decode_failure_cap_comes_from_the_handler_policy(
+        self, service_repository
+    ):
+        class BrokenStdin:
+            def readline(self):
+                raise UnicodeDecodeError("utf-8", b"\xff", 0, 1, "bad")
+
+        capped = ServeHandler(
+            service_repository, cluster="imdb-movies",
+            policy=ServePolicy(max_decode_failures=3),
+        )
+        stdout = io.StringIO()
+        stats = serve_sync(capped, BrokenStdin(), stdout)
+        assert stats.gave_up
+        assert stdout.getvalue().count("undecodable input") == 3
+        # The same policy object drives the async loop to the same end.
+        async_out = io.StringIO()
+        async_stats = asyncio.run(
+            serve_async(capped, BrokenStdin(), async_out)
+        )
+        assert async_stats.gave_up
+        assert async_out.getvalue().count("undecodable input") == 3
+
+    def test_blank_lines_and_final_unterminated_line(self, handler):
+        stdout = io.StringIO()
+        stats = serve_sync(handler, io.StringIO("\n   \n{truncated"),
+                           stdout)
+        (line,) = stdout.getvalue().strip().splitlines()
+        assert "error" in json.loads(line)
+        assert stats.served == 0
+
+    def test_explicit_cap_argument_overrides_the_policy(self, handler):
+        class BrokenStdin:
+            def readline(self):
+                raise UnicodeDecodeError("utf-8", b"\xff", 0, 1, "bad")
+
+        stdout = io.StringIO()
+        stats = serve_sync(
+            handler, BrokenStdin(), stdout, max_decode_failures=2
+        )
+        assert stats.gave_up
+        assert stdout.getvalue().count("undecodable input") == 2
+
+    def test_output_closing_during_decode_error_record(self, handler):
+        # The consumer hangs up exactly while an undecodable-input
+        # record is being written: output-closed wins over giving up.
+        class BrokenStdin:
+            def readline(self):
+                raise UnicodeDecodeError("utf-8", b"\xff", 0, 1, "bad")
+
+        class ClosedPipe(io.StringIO):
+            def write(self, text):
+                raise BrokenPipeError(32, "Broken pipe")
+
+        stats = serve_sync(handler, BrokenStdin(), ClosedPipe())
+        assert stats.output_closed
+        assert not stats.gave_up
+
+    def test_broken_pipe_from_the_read_side_ends_the_session(
+        self, handler
+    ):
+        # Historical sync-loop behaviour: a BrokenPipeError raised
+        # anywhere in the cycle means the pipeline died around us.
+        class DeadStdin:
+            def readline(self):
+                raise BrokenPipeError(32, "Broken pipe")
+
+        stats = serve_sync(handler, DeadStdin(), io.StringIO())
+        assert stats.output_closed
+
+    @pytest.mark.parametrize("front_end", ("sync", "async"))
+    def test_unencodable_output_fails_loudly_not_as_output_closed(
+        self, front_end, handler, service_site
+    ):
+        # UnicodeEncodeError is a ValueError subclass; treating it as
+        # "consumer closed the output" would silently drop every
+        # remaining page behind a clean exit.  The async loop must
+        # surface it too (on the session's stack, not a worker's) —
+        # and must not leak the in-flight slot and deadlock admission.
+        class NarrowStdout(io.StringIO):
+            def write(self, text):
+                raise UnicodeEncodeError(
+                    "charmap", text, 0, 1, "character maps to <undefined>"
+                )
+
+        pages = service_site.pages_with_hint("imdb-movies")[:12]
+        text = "".join(_line(page) + "\n" for page in pages)
+        with pytest.raises(UnicodeEncodeError):
+            if front_end == "sync":
+                serve_sync(handler, io.StringIO(text), NarrowStdout())
+            else:
+                async def _main():
+                    # The timeout is the deadlock regression check: a
+                    # leaked slot would hang admission forever.
+                    await asyncio.wait_for(serve_async(
+                        handler, io.StringIO(text), NarrowStdout(),
+                        max_inflight=4,
+                    ), timeout=30)
+
+                asyncio.run(_main())
+
+
+# --------------------------------------------------------------------- #
+# One policy, one record shape: the front-ends may never drift
+# --------------------------------------------------------------------- #
+
+
+def _drive_front_end(front_end: str, handler, lines: list[str]):
+    """Feed the same request lines to any front-end; its output lines."""
+    text = "".join(line + "\n" for line in lines)
+    if front_end == "sync":
+        stdout = io.StringIO()
+        serve_sync(handler, io.StringIO(text), stdout)
+        return stdout.getvalue().splitlines()
+    if front_end == "async":
+        stdout = io.StringIO()
+        asyncio.run(serve_async(handler, io.StringIO(text), stdout))
+        return stdout.getvalue().splitlines()
+    assert front_end == "http"
+    from test_service_http import http_batch_lines
+
+    return http_batch_lines(handler, lines)
+
+
+FRONT_ENDS = ("sync", "async", "http")
+
+
+class TestFrontEndParity:
+    @pytest.mark.parametrize("front_end", FRONT_ENDS)
+    def test_error_record_shaping_is_identical(
+        self, front_end, handler, service_site
+    ):
+        # Every failure class, plus a served page and an unroutable
+        # one: all three front-ends must emit byte-identical records.
+        page = service_site.pages_with_hint("imdb-movies")[0]
+        lines = [
+            "{not json",
+            json.dumps({"url": "http://x/"}),              # html missing
+            json.dumps({"url": "http://x/", "html": None}),
+            json.dumps({"url": 3, "html": "<p/>"}),
+            json.dumps({"url": page.url, "html": page.html}),
+        ]
+        expected = [handler.handle_line(line)[0] for line in lines]
+        assert _drive_front_end(front_end, handler, lines) == expected
+
+    @pytest.mark.parametrize("front_end", FRONT_ENDS)
+    def test_extraction_crash_record_is_identical(
+        self, front_end, service_repository, monkeypatch
+    ):
+        def boom(self, page, failures=None):
+            raise RuntimeError("wrapper exploded")
+
+        monkeypatch.setattr(CompiledWrapper, "extract_page", boom)
+        crashing = ServeHandler(service_repository, cluster="imdb-movies")
+        line = json.dumps({
+            "url": "http://x/", "html": "<body><p>x</p></body>",
+        })
+        (out,) = _drive_front_end(front_end, crashing, [line])
+        record = json.loads(out)
+        assert record["url"] == "http://x/"
+        assert "wrapper exploded" in record["error"]
+
+
+class TestClosedDownstreamPipe:
+    """Satellite regression: a closed consumer pipe, both stdin loops.
+
+    Uses a *real* OS pipe with the read end closed — the write fails
+    with ``EPIPE`` exactly as when a ``serve | consumer`` pipeline's
+    consumer exits — where the old in-memory stubs only simulated the
+    exception type.
+    """
+
+    @pytest.mark.parametrize("front_end", ("sync", "async"))
+    def test_closed_pipe_exits_cleanly(
+        self, front_end, handler, service_site
+    ):
+        read_fd, write_fd = os.pipe()
+        os.close(read_fd)
+        stdout = os.fdopen(write_fd, "w")
+        closed = []
+        pages = service_site.pages_with_hint("imdb-movies")[:4]
+        text = "".join(_line(page) + "\n" for page in pages)
+        try:
+            if front_end == "sync":
+                stats = serve_sync(
+                    handler, io.StringIO(text), stdout,
+                    on_output_closed=lambda: closed.append(True),
+                )
+            else:
+                stats = asyncio.run(serve_async(
+                    handler, io.StringIO(text), stdout,
+                    on_output_closed=lambda: closed.append(True),
+                ))
+        finally:
+            try:
+                stdout.close()
+            except BrokenPipeError:
+                pass
+        assert stats.output_closed
+        assert stats.served == 0
+        assert closed == [True]  # fires exactly once
+
+
+# --------------------------------------------------------------------- #
+# Interruption mid-stream: drain, flush, stay line-complete
+# --------------------------------------------------------------------- #
+
+
+class TestInterrupt:
+    def test_sync_interrupt_flushes_line_complete_output(
+        self, handler, service_site
+    ):
+        pages = service_site.pages_with_hint("imdb-movies")[:3]
+
+        class InterruptingStdin:
+            """Three good lines, then the operator hits Ctrl-C."""
+
+            def __init__(self, lines):
+                self._lines = list(lines)
+
+            def readline(self):
+                if not self._lines:
+                    raise KeyboardInterrupt
+                return self._lines.pop(0)
+
+        stdout = io.StringIO()
+        stats = serve_sync(
+            handler,
+            InterruptingStdin([_line(page) + "\n" for page in pages]),
+            stdout,
+        )
+        assert stats.interrupted
+        assert stats.served == 3
+        output = stdout.getvalue()
+        assert output.endswith("\n")  # no truncated final record
+        lines = output.splitlines()
+        assert [json.loads(line)["url"] for line in lines] == [
+            page.url for page in pages
+        ]
+
+    def test_async_cancellation_drains_inflight_line_complete(self):
+        release = threading.Event()
+
+        class SlowHandler:
+            def handle_line(self, line):
+                release.wait(timeout=10)
+                return json.dumps({"line": line}), True
+
+        async def _main():
+            text = "".join(f"page-{i}\n" for i in range(20))
+            stdout = io.StringIO()
+            task = asyncio.ensure_future(serve_async(
+                SlowHandler(), io.StringIO(text), stdout, max_inflight=4,
+            ))
+            # Let the window fill, then interrupt the session while
+            # four pages are mid-extraction.
+            await asyncio.sleep(0.1)
+            task.cancel()
+            release.set()
+            return await task, stdout
+
+        stats, stdout = asyncio.run(_main())
+        assert stats.interrupted
+        # The in-flight window drained: its four pages were emitted in
+        # order, line-complete, and nothing after them.
+        output = stdout.getvalue()
+        assert output.endswith("\n")
+        assert [json.loads(line)["line"] for line in output.splitlines()] \
+            == [f"page-{i}" for i in range(4)]
+        assert stats.served == 4
+
+    def test_interrupt_on_quiet_stdin_exits_promptly(self):
+        # An operator's Ctrl-C while stdin is silent (a tty, a quiet
+        # pipe) must not stall on a blocked readline: the reader is a
+        # daemon thread nothing needs to join, so the whole
+        # ``asyncio.run`` — teardown included — returns promptly.
+        import time as _time
+
+        release = threading.Event()
+
+        class QuietStdin:
+            def readline(self):
+                release.wait(timeout=30)  # no input is coming
+                return ""
+
+        class NeverCalledHandler:
+            def handle_line(self, line):  # pragma: no cover
+                raise AssertionError("no line should ever arrive")
+
+        async def _main():
+            task = asyncio.ensure_future(serve_async(
+                NeverCalledHandler(), QuietStdin(), io.StringIO(),
+            ))
+            await asyncio.sleep(0.1)
+            task.cancel()
+            return await task
+
+        started = _time.perf_counter()
+        try:
+            stats = asyncio.run(_main())
+        finally:
+            release.set()
+        assert stats.interrupted
+        assert _time.perf_counter() - started < 5
