@@ -26,7 +26,14 @@ Subcommands mirror the Figure-1 pipeline:
                     ``run`` extracts one shard (JSONL or XML +
                     manifest), ``resume`` re-runs only failed/missing
                     shards, ``merge`` mergesorts shard outputs into a
-                    stream byte-identical to an unsharded ``batch`` run.
+                    stream byte-identical to an unsharded ``batch`` run;
+* ``registry``    — inspect and manage a versioned artifact registry
+                    (``list`` / ``show`` / ``diff`` / ``pin`` /
+                    ``rollback``).  ``serve``, ``batch`` and the shard
+                    workers take ``--registry DIR`` to deploy its
+                    pinned version, and ``serve --adapt
+                    --canary-fraction`` shadow-tests every refit
+                    candidate before promoting (or rolling back) it.
 
 Every data-path subcommand is a composition over the same
 :class:`~repro.service.runtime.StreamingRuntime`; see the README's
@@ -50,7 +57,7 @@ import sys
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
-from repro.errors import RepositoryError
+from repro.errors import RegistryError, RepositoryError
 from repro.clustering.cluster import PageClusterer
 from repro.core.builder import MappingRuleBuilder
 from repro.core.oracle import InteractiveOracle, ScriptedOracle
@@ -348,6 +355,39 @@ def _attach_adapter_log(adapter, args, log_suffix: str = "") -> None:
         adapter.log = AdaptationLog(args.adapt_log + log_suffix)
 
 
+def _registry_pinned_artifact(args):
+    """``(registry, repository, router, version)`` for ``--registry``.
+
+    Opens the registry and loads its pinned artifact when one exists
+    (repository/router/version come back ``None`` otherwise); the
+    caller's repository and fitted router are then *replaced* by the
+    pinned version's, so every worker of a run deploys the exact
+    artifact the pin names.  ``RegistryError`` propagates to the
+    caller's error path.
+    """
+    from repro.service import ArtifactRegistry
+
+    registry = ArtifactRegistry(args.registry)
+    pinned = registry.pinned()
+    if pinned is None:
+        return registry, None, None, None
+    repository, router, _ = registry.load(pinned)
+    print(f"registry: using pinned version {pinned}", file=sys.stderr)
+    return registry, repository, router, pinned
+
+
+def _publish_initial(registry, repository, router) -> str:
+    """Seed an empty registry with the artifact this run deploys."""
+    manifest = registry.publish(repository, router, source="initial")
+    registry.pin(manifest.version)
+    print(
+        f"registry: published and pinned initial version "
+        f"{manifest.version}",
+        file=sys.stderr,
+    )
+    return manifest.version
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
     from repro.service import JsonlSink, StreamingRuntime, XmlDirectorySink
 
@@ -364,16 +404,32 @@ def cmd_batch(args: argparse.Namespace) -> int:
     except RepositoryError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    registry = None
+    reg_router = None
+    if args.registry:
+        try:
+            registry, reg_repository, reg_router, _ = (
+                _registry_pinned_artifact(args)
+            )
+            if reg_repository is not None:
+                repository = reg_repository
+        except RegistryError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     router = None
     if args.route == "auto":
-        router = _fit_router_from_paths(
-            paths, repository, args.exemplars, args.threshold
+        router = reg_router if reg_router is not None else (
+            _fit_router_from_paths(
+                paths, repository, args.exemplars, args.threshold
+            )
         )
         if router is None:
             print(
                 "no hint-labelled exemplar pages found; routing by hints",
                 file=sys.stderr,
             )
+    if registry is not None and registry.pinned() is None:
+        _publish_initial(registry, repository, router)
     adapter = None
     if args.adapt:
         adapter = _make_adapter(args, router)
@@ -454,7 +510,12 @@ def cmd_shard_plan(args: argparse.Namespace) -> int:
 
 
 def _load_shard_inputs(args) -> Optional[tuple]:
-    """Plan + repository + corpus-presence check shared by run/resume."""
+    """Plan + repository + corpus-presence check shared by run/resume.
+
+    With ``--registry``, the pinned artifact replaces the repository
+    (and the fitted router), and its version id is returned for the
+    shard manifests — every shard of a run must deploy one version.
+    """
     from repro.errors import ShardError
     from repro.service import ShardPlan
 
@@ -465,6 +526,19 @@ def _load_shard_inputs(args) -> Optional[tuple]:
     except (ShardError, RepositoryError) as exc:
         print(str(exc), file=sys.stderr)
         return None
+    registry = None
+    reg_router = None
+    artifact_version = None
+    if args.registry:
+        try:
+            registry, reg_repository, reg_router, artifact_version = (
+                _registry_pinned_artifact(args)
+            )
+            if reg_repository is not None:
+                repository = reg_repository
+        except RegistryError as exc:
+            print(str(exc), file=sys.stderr)
+            return None
     missing = [
         page_id for page_id in plan.page_ids
         if not (directory / page_id).exists()
@@ -478,22 +552,28 @@ def _load_shard_inputs(args) -> Optional[tuple]:
         return None
     router = None
     if args.route == "auto":
-        # Fitted from the *full* corpus in plan order, so every shard
-        # (and an unsharded ``batch``) routes identically.
-        router = _fit_router_from_paths(
-            [directory / page_id for page_id in plan.page_ids],
-            repository, args.exemplars, args.threshold,
-        )
+        if reg_router is not None:
+            router = reg_router
+        else:
+            # Fitted from the *full* corpus in plan order, so every
+            # shard (and an unsharded ``batch``) routes identically.
+            router = _fit_router_from_paths(
+                [directory / page_id for page_id in plan.page_ids],
+                repository, args.exemplars, args.threshold,
+            )
         if router is None:
             print(
                 "no hint-labelled exemplar pages found; routing by hints",
                 file=sys.stderr,
             )
-    return directory, plan, repository, router
+    if registry is not None and artifact_version is None:
+        artifact_version = _publish_initial(registry, repository, router)
+    return directory, plan, repository, router, artifact_version
 
 
 def _run_one_shard(args, directory, plan, repository, router,
-                   shard: int) -> Optional[int]:
+                   shard: int,
+                   artifact_version: Optional[str] = None) -> Optional[int]:
     """Execute one shard worker; prints the run summary.  None on error."""
     from repro.errors import ShardError
     from repro.service import ShardWorker
@@ -507,15 +587,9 @@ def _run_one_shard(args, directory, plan, repository, router,
         # Each shard adapts from the originally fitted profiles: the
         # fitted router is shared across the shards a resume runs in
         # one process, and refit() mutates its profile list, so every
-        # worker gets its own copy — a resumed shard's output stays
+        # worker gets its own clone — a resumed shard's output stays
         # identical to running that shard alone on its own host.
-        from repro.service import ClusterRouter
-
-        own_router = router
-        if router is not None:
-            own_router = ClusterRouter(
-                list(router.profiles), threshold=router.threshold
-            )
+        own_router = None if router is None else router.clone()
         adapter = _make_adapter(args, own_router)
         if adapter is None:
             return None
@@ -536,6 +610,7 @@ def _run_one_shard(args, directory, plan, repository, router,
             lambda page_id: _page_from_path(directory / page_id),
             Path(args.output_dir),
             output_format=args.format,
+            artifact_version=artifact_version,
         )
     except (ShardError, ValueError, OSError) as exc:
         print(str(exc), file=sys.stderr)
@@ -560,9 +635,10 @@ def cmd_shard_run(args: argparse.Namespace) -> int:
     loaded = _load_shard_inputs(args)
     if loaded is None:
         return 2
-    directory, plan, repository, router = loaded
+    directory, plan, repository, router, artifact_version = loaded
     if _run_one_shard(args, directory, plan, repository, router,
-                      args.shard) is None:
+                      args.shard,
+                      artifact_version=artifact_version) is None:
         return 2
     return 0
 
@@ -605,7 +681,23 @@ def cmd_shard_resume(args: argparse.Namespace) -> int:
     loaded = _load_shard_inputs(args)
     if loaded is None:
         return 2
-    directory, plan, repository, router = loaded
+    directory, plan, repository, router, artifact_version = loaded
+    # Re-runs join a directory of already-complete shards: they must
+    # deploy the artifact version those shards ran, or the directory
+    # can never merge (``_validate_manifests`` enforces the same).
+    stale = sorted({
+        status.artifact_version or "(none)" for status in statuses
+        if status.complete and status.artifact_version != artifact_version
+    })
+    if stale:
+        print(
+            f"existing complete shard(s) in {args.output_dir} ran "
+            f"artifact version(s) {', '.join(stale)} but this run "
+            f"deploys {artifact_version or '(none)'}; re-pin the "
+            "registry or start a fresh output directory",
+            file=sys.stderr,
+        )
+        return 2
     print(
         f"resuming {len(pending)} of {plan.shards} shard(s): "
         + ", ".join(f"#{s.shard} ({s.reason})" for s in pending),
@@ -613,7 +705,8 @@ def cmd_shard_resume(args: argparse.Namespace) -> int:
     )
     for status in pending:
         if _run_one_shard(args, directory, plan, repository, router,
-                          status.shard) is None:
+                          status.shard,
+                          artifact_version=artifact_version) is None:
             return 2
     return 0
 
@@ -772,6 +865,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except RepositoryError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    registry = None
+    reg_router = None
+    if args.registry:
+        try:
+            registry, reg_repository, reg_router, _ = (
+                _registry_pinned_artifact(args)
+            )
+            if reg_repository is not None:
+                repository = reg_repository
+        except RegistryError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    if args.canary_fraction and not args.adapt:
+        print("--canary-fraction needs --adapt (a canary shadows "
+              "refit candidates)", file=sys.stderr)
+        return 2
     router = None
     cluster = args.cluster
     if args.exemplars_dir:
@@ -787,6 +896,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    elif reg_router is not None:
+        # The pinned artifact ships its own fitted router.
+        router = reg_router
     elif cluster:
         if cluster not in repository.clusters():
             print(
@@ -831,6 +943,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    try:
+        if adapter is not None and (
+            registry is not None or args.canary_fraction > 0
+        ):
+            from repro.service import CanaryController, wrapper_extractor
+
+            deployer = CanaryController(
+                adapter.router,
+                repository,
+                registry=registry,
+                fraction=args.canary_fraction,
+                window=args.canary_window,
+                low_margin=args.drift_margin,
+                extract=wrapper_extractor(handler.runtime),
+                log=adapter.log,
+            )
+            deployer.ensure_baseline()
+            adapter.deployer = deployer
+        elif registry is not None and registry.pinned() is None:
+            _publish_initial(registry, repository, router)
+    except (ValueError, RegistryError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
     def _report_drift() -> None:
         if adapter is not None:
@@ -839,6 +974,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 f"{adapter.refits} refit(s)",
                 file=sys.stderr,
             )
+            deployer = adapter.deployer
+            if deployer is not None:
+                status = deployer.status()
+                print(
+                    f"registry: active "
+                    f"{status['registry_version'] or '(unversioned)'}, "
+                    f"shadow {status['shadow_version'] or '(none)'}, "
+                    f"{status['canary_promotions']} promotion(s), "
+                    f"{status['canary_rollbacks']} rollback(s)",
+                    file=sys.stderr,
+                )
             adapter.log.close()
 
     # The drift report (and the audit-log close behind it) must run on
@@ -895,6 +1041,110 @@ def _serve_stdin(handler, args) -> int:
 
 
 # ----------------------------------------------------------------------- #
+# Registry management
+# ----------------------------------------------------------------------- #
+
+
+def _open_registry(args):
+    """The ``registry`` subcommands' store, or ``None`` (error printed)."""
+    from repro.service import ArtifactRegistry
+
+    try:
+        return ArtifactRegistry(args.directory)
+    except RegistryError as exc:
+        print(str(exc), file=sys.stderr)
+        return None
+
+
+def cmd_registry_list(args: argparse.Namespace) -> int:
+    registry = _open_registry(args)
+    if registry is None:
+        return 2
+    try:
+        pinned = registry.pinned()
+        ids = registry.version_ids()
+    except RegistryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if not ids:
+        print("registry is empty", file=sys.stderr)
+        return 0
+    for version in ids:
+        try:
+            manifest = registry.manifest(version)
+        except RegistryError as exc:
+            print(f"{version}  !! {exc}")
+            continue
+        marker = "*" if version == pinned else " "
+        print(
+            f"{marker} {version}  {manifest.created}  "
+            f"{manifest.source:<7}  "
+            f"parent={manifest.parent or '-'}  "
+            f"clusters={','.join(manifest.clusters) or '-'}  "
+            f"router={'yes' if manifest.routed else 'no'}"
+        )
+    return 0
+
+
+def cmd_registry_show(args: argparse.Namespace) -> int:
+    import json
+
+    registry = _open_registry(args)
+    if registry is None:
+        return 2
+    try:
+        manifest = registry.manifest(args.version)
+    except RegistryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(json.dumps(manifest.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_registry_diff(args: argparse.Namespace) -> int:
+    import json
+
+    registry = _open_registry(args)
+    if registry is None:
+        return 2
+    try:
+        diff = registry.diff(args.old, args.new)
+    except RegistryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(json.dumps(diff, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_registry_pin(args: argparse.Namespace) -> int:
+    registry = _open_registry(args)
+    if registry is None:
+        return 2
+    try:
+        previous = registry.pinned()
+        registry.pin(args.version)
+    except RegistryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(f"pinned {args.version} (was {previous or '(none)'})")
+    return 0
+
+
+def cmd_registry_rollback(args: argparse.Namespace) -> int:
+    registry = _open_registry(args)
+    if registry is None:
+        return 2
+    try:
+        previous = registry.pinned()
+        manifest = registry.rollback()
+    except RegistryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(f"pinned {manifest.version} (was {previous})")
+    return 0
+
+
+# ----------------------------------------------------------------------- #
 # Parser
 # ----------------------------------------------------------------------- #
 
@@ -921,6 +1171,24 @@ def _adaptation_arguments(parser) -> None:
     parser.add_argument("--adapt-log", default="",
                         help="JSONL audit log of drift/refit events "
                              "(shard commands append .shard-NNNN)")
+
+
+def _registry_arguments(parser, canary: bool = False) -> None:
+    """The ``--registry`` flag family (serve also gets the canary knobs)."""
+    parser.add_argument("--registry", default="",
+                        help="versioned artifact registry directory: "
+                             "deploy its pinned version (an empty "
+                             "registry is seeded with the artifact "
+                             "this run would deploy)")
+    if canary:
+        parser.add_argument("--canary-fraction", type=float, default=0.0,
+                            help="fraction of served pages shadow-routed "
+                                 "by a refit candidate before the "
+                                 "promote/rollback verdict (0 promotes "
+                                 "refits immediately; needs --adapt)")
+        parser.add_argument("--canary-window", type=int, default=64,
+                            help="paired shadow samples compared for a "
+                                 "canary verdict")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -986,6 +1254,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--exemplars", type=int, default=8,
                        help="exemplar pages per cluster for router fitting")
     _adaptation_arguments(batch)
+    _registry_arguments(batch)
     batch.set_defaults(func=cmd_batch)
 
     shard = sub.add_parser(
@@ -1026,6 +1295,7 @@ def build_parser() -> argparse.ArgumentParser:
         shard_parser.add_argument("--threshold", type=float, default=0.5)
         shard_parser.add_argument("--exemplars", type=int, default=8)
         _adaptation_arguments(shard_parser)
+        _registry_arguments(shard_parser)
 
     shard_run = shard_sub.add_parser(
         "run", help="extract one shard (JSONL or XML output + manifest)"
@@ -1093,14 +1363,67 @@ def build_parser() -> argparse.ArgumentParser:
                        help="async front-ends: concurrent pages in flight "
                             "(the memory/backpressure bound)")
     _adaptation_arguments(serve)
+    _registry_arguments(serve, canary=True)
     serve.set_defaults(func=cmd_serve, stdin=None, stdout=None)
+
+    registry = sub.add_parser(
+        "registry",
+        help="inspect and manage a versioned artifact registry",
+    )
+    registry_sub = registry.add_subparsers(
+        dest="registry_command", required=True
+    )
+
+    r_list = registry_sub.add_parser(
+        "list", help="every version, oldest first (* marks the pin)"
+    )
+    r_list.add_argument("directory")
+    r_list.set_defaults(func=cmd_registry_list)
+
+    r_show = registry_sub.add_parser(
+        "show", help="one version's manifest as JSON"
+    )
+    r_show.add_argument("directory")
+    r_show.add_argument("version")
+    r_show.set_defaults(func=cmd_registry_show)
+
+    r_diff = registry_sub.add_parser(
+        "diff", help="structural diff between two versions"
+    )
+    r_diff.add_argument("directory")
+    r_diff.add_argument("old")
+    r_diff.add_argument("new")
+    r_diff.set_defaults(func=cmd_registry_diff)
+
+    r_pin = registry_sub.add_parser(
+        "pin", help="atomically point CURRENT at a version"
+    )
+    r_pin.add_argument("directory")
+    r_pin.add_argument("version")
+    r_pin.set_defaults(func=cmd_registry_pin)
+
+    r_rollback = registry_sub.add_parser(
+        "rollback",
+        help="re-pin the current version's parent (undo a promote)",
+    )
+    r_rollback.add_argument("directory")
+    r_rollback.set_defaults(func=cmd_registry_rollback)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed its end; exit quietly with the
+        # conventional SIGPIPE status instead of a traceback.  stdout is
+        # already unusable, so detach it before the interpreter's
+        # shutdown flush can raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

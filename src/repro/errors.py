@@ -98,6 +98,27 @@ class SiteGenerationError(ReproError):
     """Raised when a synthetic site generator receives invalid parameters."""
 
 
+class RegistryError(ReproError):
+    """Base class for versioned-artifact registry errors."""
+
+
+class RegistryNotFoundError(RegistryError):
+    """Raised when a requested registry version (or its parent) is absent."""
+
+
+class RegistryCorruptError(RegistryError):
+    """Raised when a registry file fails its integrity checks.
+
+    Covers truncated manifests, artifact payloads whose content hash
+    no longer matches the manifest (tampering or partial writes), and
+    files that are not the JSON shape the registry wrote.
+    """
+
+
+class RegistryFormatError(RegistryError):
+    """Raised for registry files written by a foreign/unsupported format."""
+
+
 class ShardError(ReproError):
     """Base class for shard planning/execution/merge errors."""
 

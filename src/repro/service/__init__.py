@@ -31,7 +31,11 @@ Every entry point is a composition over the same
 * online adaptation (:mod:`repro.service.adapt`) — sliding-window
   drift detection over the served stream, answered by incremental
   router refits (recomputed centroids, atomic swap) with an auditable
-  event log.
+  event log;
+* versioned deployment (:mod:`repro.service.registry`) — rule-sets
+  and router profile-sets persisted as immutable content-hashed
+  versions, refit candidates shadow-routed by a canary controller and
+  promoted (new pinned version) or rolled back with a logged reason.
 """
 
 from repro.service.adapt import (
@@ -59,6 +63,18 @@ from repro.service.runtime import (
     StreamingRuntime,
 )
 from repro.service.http import HttpFrontEnd, HttpStats
+from repro.service.registry import (
+    ArtifactRegistry,
+    CanaryController,
+    PromoteEvent,
+    RollbackEvent,
+    ShadowEvent,
+    VersionManifest,
+    canonical_json,
+    content_hash,
+    version_id,
+    wrapper_extractor,
+)
 from repro.service.serve import (
     AsyncLinePipeline,
     ServeHandler,
@@ -95,8 +111,10 @@ __all__ = [
     "AdaptationLog",
     "AdaptiveRouter",
     "AdaptiveRouterStage",
+    "ArtifactRegistry",
     "AsyncLinePipeline",
     "BatchExtractionEngine",
+    "CanaryController",
     "ClusterProfile",
     "DriftEvent",
     "DriftMonitor",
@@ -117,13 +135,16 @@ __all__ = [
     "OrderedEmitter",
     "PageRecord",
     "PageSource",
+    "PromoteEvent",
     "RecordSink",
     "ResultSink",
+    "RollbackEvent",
     "RouteDecision",
     "RuntimeReport",
     "ServeHandler",
     "ServePolicy",
     "ServeStats",
+    "ShadowEvent",
     "ShardManifest",
     "ShardMerger",
     "ShardPlan",
@@ -133,9 +154,12 @@ __all__ = [
     "Stage",
     "StreamingRuntime",
     "UNROUTABLE",
+    "VersionManifest",
     "XmlDirectorySink",
     "XmlShardMerger",
+    "canonical_json",
     "compile_wrapper",
+    "content_hash",
     "incomplete_shards",
     "make_adapter",
     "make_error_record",
@@ -144,4 +168,6 @@ __all__ = [
     "serve_sync",
     "shard_statuses",
     "stable_shard",
+    "version_id",
+    "wrapper_extractor",
 ]

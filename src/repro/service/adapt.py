@@ -347,6 +347,11 @@ class AdaptiveRouter:
             them would poison a healthy cluster's routing) and are
             spawned only when ``spawn_clusters`` is on.
         spawn_min_cohort: smallest alien cohort worth a new cluster.
+        deployer: optional :class:`~repro.service.registry.canary.
+            CanaryController`.  With one attached, a refit no longer
+            swaps the live router directly: the refit product is built
+            on a clone and staged as a shadow candidate, and only the
+            deployer's verdict promotes it (or rolls it back).
     """
 
     def __init__(
@@ -360,6 +365,7 @@ class AdaptiveRouter:
         spawn_clusters: bool = False,
         spawn_below: float = 0.25,
         spawn_min_cohort: int = 8,
+        deployer=None,
     ) -> None:
         if reservoir < 1:
             raise ValueError("reservoir must be >= 1")
@@ -374,6 +380,7 @@ class AdaptiveRouter:
         self.spawn_clusters = spawn_clusters
         self.spawn_below = spawn_below
         self.spawn_min_cohort = spawn_min_cohort
+        self.deployer = deployer
         self.drift_events = 0
         self.refits = 0
         self.routed_pages = 0
@@ -391,6 +398,10 @@ class AdaptiveRouter:
         decision = self.router.route_signature(signature)
         with self._lock:
             self._observe_decision(signature, decision)
+        deployer = self.deployer
+        if deployer is not None:
+            # Outside the adapter lock: the canary takes only its own.
+            deployer.observe(page, signature, decision)
         return decision
 
     def target(self, page: WebPage) -> Optional[str]:
@@ -421,6 +432,9 @@ class AdaptiveRouter:
             event = self.monitor.observe(cluster, failed)
             if event is not None:
                 self._refit(event)
+        deployer = self.deployer
+        if deployer is not None:
+            deployer.note_result(cluster, failed)
 
     def stage(self) -> "AdaptiveRouterStage":
         """The runtime stage feeding served records back into this."""
@@ -489,7 +503,12 @@ class AdaptiveRouter:
         spawn: Optional[tuple] = None
         if self.spawn_clusters and len(alien) >= self.spawn_min_cohort:
             spawn = (self._spawn_name(), alien)
-        updated, spawned = self.router.refit(
+        # With a canary deployer attached, the refit builds on a clone:
+        # the incumbent keeps serving unchanged while the candidate
+        # shadows, and only the deployer's verdict swaps profiles in.
+        deployer = self.deployer
+        target = self.router if deployer is None else self.router.clone()
+        updated, spawned = target.refit(
             reservoirs, absorbable, anchor=self.anchor, spawn=spawn
         )
         # Everything observed before the swap describes the *previous*
@@ -502,7 +521,7 @@ class AdaptiveRouter:
         self._unroutable.clear()
         self.monitor.rearm()
         self.refits += 1
-        self.log.record(RefitEvent(
+        refit_event = RefitEvent(
             trigger_kind=trigger.kind,
             trigger_key=trigger.key,
             updated=tuple(updated),
@@ -511,7 +530,10 @@ class AdaptiveRouter:
             unroutable_pages=cohort_size,
             observation=self.monitor.observations,
             alien_pages=len(alien),
-        ))
+        )
+        self.log.record(refit_event)
+        if deployer is not None:
+            deployer.stage(target, trigger, refit_event)
 
 
 class AdaptiveRouterStage:

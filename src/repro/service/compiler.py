@@ -190,11 +190,15 @@ class CompiledWrapper:
         rules: list[CompiledRule],
         trie_root: _TrieNode,
         stats: CompilerStats,
+        version: Optional[str] = None,
     ) -> None:
         self.cluster = cluster
         self.rules = rules
         self._trie_root = trie_root
         self.stats = stats
+        #: Registry version id of the artifact this wrapper was
+        #: compiled from (``None`` for direct in-memory builds).
+        self.version = version
 
     # -- hot path -------------------------------------------------------- #
 
@@ -292,8 +296,13 @@ def compile_wrapper(
     repository: RuleRepository,
     cluster: str,
     postprocessor: Optional[PostProcessor] = None,
+    version: Optional[str] = None,
 ) -> CompiledWrapper:
     """Compile ``cluster``'s recorded rules into a serving wrapper.
+
+    Args:
+        version: registry version id to stamp on the wrapper when the
+            repository was loaded from a versioned artifact.
 
     Raises:
         ExtractionError: when the cluster has no recorded rules (same
@@ -348,7 +357,7 @@ def compile_wrapper(
         primary_steps=primary_steps,
         trie_nodes=trie_nodes,
     )
-    return CompiledWrapper(cluster, compiled, root, stats)
+    return CompiledWrapper(cluster, compiled, root, stats, version=version)
 
 
 def _count_nodes(root: _TrieNode) -> int:

@@ -110,6 +110,10 @@ class HttpStats:
     #: this session (0 without ``--adapt``).
     drift_events: int = 0
     refits: int = 0
+    #: Canary verdicts the adapter's deployer reached during this
+    #: session (0 without ``--registry``/``--canary-fraction``).
+    promotions: int = 0
+    rollbacks: int = 0
 
 
 # --------------------------------------------------------------------- #
@@ -775,6 +779,8 @@ class HttpFrontEnd:
             body = _framed_body(request, reader, self.max_body_bytes)
             await _read_whole_body(body, self.max_body_bytes)
         adapter = getattr(self.handler, "adapter", None)
+        deployer = getattr(adapter, "deployer", None)
+        canary = deployer.status() if deployer is not None else {}
         payload = {
             "status": "closing" if self._closing else "ok",
             "connections": self.stats.connections,
@@ -785,6 +791,11 @@ class HttpFrontEnd:
             "drift_events": 0 if adapter is None else adapter.drift_events,
             "refits": 0 if adapter is None else adapter.refits,
             "max_inflight": self.max_inflight,
+            "registry_version": canary.get("registry_version"),
+            "shadow_version": canary.get("shadow_version"),
+            "canary_promotions": canary.get("canary_promotions", 0),
+            "canary_rollbacks": canary.get("canary_rollbacks", 0),
+            "canary_shadow_pages": canary.get("canary_shadow_pages", 0),
         }
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         keep_alive = request.keep_alive and not self._closing

@@ -1,0 +1,251 @@
+"""Canonical artifact serialization and content-addressed hashing.
+
+A registry *artifact* is one deployable unit: a repository's cluster
+rule-sets plus (optionally) the :class:`~repro.service.router.
+ClusterRouter` profile-set fitted to route between them.  Everything
+here is about making that unit **reproducible**:
+
+* serialization is canonical — JSON with sorted keys and no
+  insignificant whitespace (:func:`canonical_json`), Counters as plain
+  objects, frozensets as sorted lists — so the same rules and profiles
+  produce the same bytes in every process;
+* versions are content-addressed — :func:`content_hash` is the SHA-256
+  of the canonical text and :func:`version_id` its short prefix — so
+  publishing the same artifact twice yields the same version and a
+  byte of tampering is detectable;
+* order that *means* something is preserved, never normalized away:
+  rules serialize in recording order (extraction output order) and
+  profiles in router order (score tie-break priority), both of which
+  are deterministic for a given fit.  JSON object keys carry no
+  order, so they are the only thing sorting touches.
+
+Round trips are exact: Counter values survive as the ints/floats they
+were (``repr`` of a float is shortest-round-trip in CPython), so a
+router loaded from an artifact scores signatures identically and a
+loaded rule-set recompiled via :func:`~repro.service.compiler.
+compile_wrapper` extracts byte-identically to the in-memory original.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from typing import Optional
+
+from repro.core.repository import RuleRepository
+from repro.errors import RegistryCorruptError, RegistryFormatError
+from repro.service.router import ClusterProfile, ClusterRouter
+
+#: Format tag of the artifact payload written by this module.
+ARTIFACT_FORMAT = 1
+
+#: Hex digits of the full SHA-256 a version id keeps (git-style short
+#: hash; the manifest records the full digest for integrity checks).
+VERSION_ID_LENGTH = 12
+
+
+# --------------------------------------------------------------------- #
+# Router profiles
+# --------------------------------------------------------------------- #
+
+
+#: Joins a structural path's tag names into one JSON key.  HTML tag
+#: names cannot contain ``/`` (the parser would have split the tag),
+#: so the encoding is reversible.
+_PATH_SEPARATOR = "/"
+
+
+def _encode_path(key: tuple) -> str:
+    return _PATH_SEPARATOR.join(key)
+
+
+def _decode_path(text: str) -> tuple:
+    return tuple(text.split(_PATH_SEPARATOR)) if text else ()
+
+
+def profile_to_dict(profile: ClusterProfile) -> dict:
+    """One profile as plain JSON types.
+
+    Frozensets become sorted lists; structural-path tuple keys become
+    ``/``-joined strings (JSON object keys must be strings).
+    """
+    return {
+        "name": profile.name,
+        "url_signatures": sorted(profile.url_signatures),
+        "keywords": dict(profile.keywords),
+        "paths": {
+            _encode_path(key): value
+            for key, value in profile.paths.items()
+        },
+    }
+
+
+def profile_from_dict(data: dict) -> ClusterProfile:
+    """Rebuild a profile; raises :class:`RegistryCorruptError` on shape."""
+    try:
+        return ClusterProfile(
+            name=data["name"],
+            url_signatures=frozenset(data["url_signatures"]),
+            keywords=Counter(data["keywords"]),
+            paths=Counter({
+                _decode_path(key): value
+                for key, value in data["paths"].items()
+            }),
+        )
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise RegistryCorruptError(f"malformed profile payload: {exc}") from exc
+
+
+def router_to_dict(router: ClusterRouter) -> dict:
+    """The router's profile-set, in router order.
+
+    The list order is semantic — :meth:`~repro.service.router.
+    ClusterRouter.route_signature` breaks exact score ties in favour of
+    the earlier profile — so it is preserved, not sorted.  A given fit
+    produces it deterministically, which is all hashing needs.
+    """
+    return {
+        "threshold": router.threshold,
+        "profiles": [profile_to_dict(p) for p in router.profiles],
+    }
+
+
+def router_from_dict(data: dict) -> ClusterRouter:
+    try:
+        profiles = [profile_from_dict(p) for p in data["profiles"]]
+        threshold = data["threshold"]
+    except (KeyError, TypeError) as exc:
+        raise RegistryCorruptError(f"malformed router payload: {exc}") from exc
+    return ClusterRouter(profiles, threshold=threshold)
+
+
+# --------------------------------------------------------------------- #
+# The artifact payload
+# --------------------------------------------------------------------- #
+
+
+def artifact_payload(
+    repository: RuleRepository, router: Optional[ClusterRouter] = None
+) -> dict:
+    """The canonical payload of one deployable artifact.
+
+    Reuses the repository's own versioned serialization (rules in
+    recording order — that order is the extraction output order) and
+    adds the optional router profile-set.
+    """
+    return {
+        "format": ARTIFACT_FORMAT,
+        "repository": repository.to_dict(),
+        "router": None if router is None else router_to_dict(router),
+    }
+
+
+def repository_from_payload(payload: dict) -> RuleRepository:
+    _check_format(payload)
+    return RuleRepository.from_dict(payload["repository"])
+
+
+def router_from_payload(payload: dict) -> Optional[ClusterRouter]:
+    _check_format(payload)
+    router = payload.get("router")
+    return None if router is None else router_from_dict(router)
+
+
+def _check_format(payload: dict) -> None:
+    if not isinstance(payload, dict):
+        raise RegistryCorruptError(
+            f"artifact payload must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    recorded = payload.get("format")
+    if recorded != ARTIFACT_FORMAT:
+        raise RegistryFormatError(
+            f"unsupported artifact format {recorded!r} "
+            f"(this registry writes format {ARTIFACT_FORMAT})"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Canonical text and content addressing
+# --------------------------------------------------------------------- #
+
+
+def canonical_json(payload: dict) -> str:
+    """The one canonical text of a payload: sorted keys, no whitespace.
+
+    Dict *keys* are sorted (JSON objects are unordered; Python dict
+    insertion order must not leak into the hash), list order is kept
+    (it is semantic everywhere this module emits a list), and floats
+    print as their shortest round-trip ``repr`` — identical across
+    processes, so the same artifact always hashes to the same version.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def content_hash(payload: dict) -> str:
+    """Full SHA-256 hex digest of the canonical payload text."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def version_id(payload: dict) -> str:
+    """The short content-addressed version id of a payload."""
+    return content_hash(payload)[:VERSION_ID_LENGTH]
+
+
+# --------------------------------------------------------------------- #
+# Structural diff (``registry diff``)
+# --------------------------------------------------------------------- #
+
+
+def _cluster_rules(payload: dict) -> dict:
+    clusters = payload.get("repository", {}).get("clusters", {})
+    return {
+        cluster: [rule.get("name") for rule in body.get("rules", [])]
+        for cluster, body in clusters.items()
+    }
+
+
+def payload_diff(a: dict, b: dict) -> dict:
+    """What changed between two artifact payloads, structurally.
+
+    Returns a JSON-ready dict: clusters added/removed/changed (by rule
+    payload), and how the router moved (threshold, profile names, and
+    which profiles' centroids changed).
+    """
+    rules_a, rules_b = _cluster_rules(a), _cluster_rules(b)
+    clusters_a = a.get("repository", {}).get("clusters", {})
+    clusters_b = b.get("repository", {}).get("clusters", {})
+    changed = sorted(
+        cluster
+        for cluster in set(rules_a) & set(rules_b)
+        if clusters_a.get(cluster) != clusters_b.get(cluster)
+    )
+    router_a, router_b = a.get("router"), b.get("router")
+    if router_a is None and router_b is None:
+        router_diff: dict = {}
+    else:
+        names_a = {p["name"]: p for p in (router_a or {}).get("profiles", [])}
+        names_b = {p["name"]: p for p in (router_b or {}).get("profiles", [])}
+        router_diff = {
+            "threshold": [
+                (router_a or {}).get("threshold"),
+                (router_b or {}).get("threshold"),
+            ],
+            "profiles_added": sorted(set(names_b) - set(names_a)),
+            "profiles_removed": sorted(set(names_a) - set(names_b)),
+            "profiles_changed": sorted(
+                name
+                for name in set(names_a) & set(names_b)
+                if names_a[name] != names_b[name]
+            ),
+        }
+    return {
+        "clusters_added": sorted(set(rules_b) - set(rules_a)),
+        "clusters_removed": sorted(set(rules_a) - set(rules_b)),
+        "clusters_changed": changed,
+        "router": router_diff,
+        "identical": a == b,
+    }

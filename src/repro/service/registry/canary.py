@@ -1,0 +1,439 @@
+"""Canary rollout of router refits: shadow, compare, promote or roll back.
+
+:class:`~repro.service.adapt.AdaptiveRouter` hands every refit product
+here instead of installing it directly.  The controller
+
+1. **publishes** the candidate to the :class:`~repro.service.registry.
+   store.ArtifactRegistry` (parent = the incumbent version, trigger =
+   the drift event that forced the refit),
+2. **shadows** it: a configurable fraction of served pages is routed by
+   *both* incumbent and candidate (the incumbent's decision always
+   wins; the candidate only observes), and where the two disagree the
+   candidate's extraction is dry-run against the already-compiled
+   wrappers to estimate its failure rate,
+3. **verdicts** once the sliding window holds enough paired samples:
+   the candidate must not lose routed fraction, gain extraction
+   failures, or gain low-margin routes beyond ``tolerance`` — otherwise
+   it is rolled back with the losing comparisons as the logged reason,
+4. **promotes** atomically on a pass: one assignment swaps the profile
+   list inside the live router (the same lock-free install
+   ``ClusterRouter.refit`` relies on) and the registry pin moves to the
+   candidate version, making rollback a one-command operation.
+
+Lock ordering: the adapter calls :meth:`CanaryController.stage` while
+holding its own lock, and the controller takes only its *own* lock and
+never calls back into the adapter — so adapter-lock > canary-lock is
+acyclic and deadlock-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.service.registry.store import ArtifactRegistry
+from repro.service.router import ClusterRouter, RouteDecision, UNROUTABLE
+
+
+@dataclass(frozen=True)
+class ShadowEvent:
+    """A candidate version entered shadow routing."""
+
+    version: str
+    parent: Optional[str]
+    trigger_kind: str
+    trigger_key: str
+    fraction: float
+    window: int
+
+    def to_dict(self) -> dict:
+        return {"event": "shadow", **self.__dict__}
+
+
+@dataclass(frozen=True)
+class PromoteEvent:
+    """A shadowed candidate won its comparison and went live."""
+
+    version: str
+    parent: Optional[str]
+    samples: int
+    incumbent: dict
+    candidate: dict
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {"event": "promote", **self.__dict__}
+
+
+@dataclass(frozen=True)
+class RollbackEvent:
+    """A shadowed candidate lost its comparison and was discarded."""
+
+    version: str
+    parent: Optional[str]
+    samples: int
+    incumbent: dict
+    candidate: dict
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {"event": "rollback", **self.__dict__}
+
+
+class CanaryController:
+    """Stages refit candidates as shadows and promotes or rolls back.
+
+    Args:
+        router: the **live** router whose profile list a promotion
+            swaps (the adapter and runtime keep routing through it).
+        repository: the rule repository published alongside routers.
+        registry: artifact store for versioning; ``None`` runs the
+            canary loop in memory only (no persistence, no pin moves).
+        fraction: fraction of served pages shadow-routed by the
+            candidate; ``0`` promotes immediately on stage (canary
+            disabled, registry versioning still applies).
+        window: sliding-window size for outcome comparison.
+        min_samples: paired samples required before a verdict
+            (defaults to ``window``).
+        tolerance: how much worse the candidate may score on any
+            metric before the verdict flips to rollback.
+        low_margin: margins below this count as low-margin routes
+            (mirrors the adapter's ``--drift-margin``).
+        extract: optional ``(cluster, page) -> failed`` dry-run used to
+            estimate the candidate's extraction-failure rate where it
+            disagrees with the incumbent (:func:`wrapper_extractor`).
+        log: optional :class:`~repro.service.adapt.AdaptationLog`;
+            shadow/promote/rollback events are recorded beside the
+            adapter's drift/refit events.
+    """
+
+    def __init__(
+        self,
+        router: ClusterRouter,
+        repository,
+        registry: Optional[ArtifactRegistry] = None,
+        fraction: float = 0.1,
+        window: int = 64,
+        min_samples: Optional[int] = None,
+        tolerance: float = 0.05,
+        low_margin: float = 0.0,
+        extract: Optional[Callable] = None,
+        log=None,
+    ) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"canary fraction must be in [0, 1]: {fraction}")
+        if window <= 0:
+            raise ValueError(f"canary window must be positive: {window}")
+        self.router = router
+        self.repository = repository
+        self.registry = registry
+        self.fraction = fraction
+        self.window = window
+        self.min_samples = window if min_samples is None else min_samples
+        self.tolerance = tolerance
+        self.low_margin = low_margin
+        self.extract = extract
+        self.log = log
+        self.active_version: Optional[str] = None
+        self.candidate: Optional[ClusterRouter] = None
+        self.candidate_version: Optional[str] = None
+        self.promotions = 0
+        self.rollbacks = 0
+        self.shadow_pages = 0
+        self.shadow_extractions = 0
+        self._acc = 0.0
+        # paired (inc_routed, inc_low, cand_routed, cand_low, cand_failed)
+        self._pairs: deque = deque(maxlen=window)
+        self._incumbent_failures: deque = deque(maxlen=window)
+        self._lock = threading.Lock()
+
+    # -- registry adoption ---------------------------------------------- #
+
+    @property
+    def staged(self) -> bool:
+        """Whether a candidate is currently shadow-routing."""
+        return self.candidate is not None
+
+    def ensure_baseline(self, source: str = "initial", fit_pages: int = 0):
+        """Adopt the registry pin, or publish+pin the live artifact.
+
+        Returns the active :class:`~repro.service.registry.store.
+        VersionManifest` (``None`` without a registry), so serve starts
+        with a rollback target before the first refit ever happens.
+        """
+        if self.registry is None:
+            return None
+        with self._lock:
+            pinned = self.registry.pinned()
+            if pinned is not None:
+                manifest = self.registry.manifest(pinned)
+                self.active_version = pinned
+                return manifest
+            manifest = self.registry.publish(
+                self.repository,
+                self.router,
+                source=source,
+                fit_pages=fit_pages,
+            )
+            self.registry.pin(manifest.version)
+            self.active_version = manifest.version
+            return manifest
+
+    # -- the rollout loop ----------------------------------------------- #
+
+    def stage(self, candidate: ClusterRouter, trigger, refit) -> None:
+        """Install a refit product as the shadow candidate.
+
+        Called by the adapter with its lock held; publishes the
+        candidate (parent = incumbent version, trigger = the drift
+        event) and opens a fresh comparison window.  Staging over an
+        unresolved candidate replaces it — the newest refit reflects
+        the most data, so the older shadow is simply superseded.
+        """
+        with self._lock:
+            version = None
+            if self.registry is not None:
+                manifest = self.registry.publish(
+                    self.repository,
+                    candidate,
+                    parent=self.active_version,
+                    source="refit",
+                    fit_pages=refit.reservoir_pages + refit.unroutable_pages,
+                    trigger=trigger.to_dict(),
+                )
+                version = manifest.version
+            self.candidate = candidate
+            self.candidate_version = version
+            self._pairs.clear()
+            self._acc = 0.0
+            if self.fraction <= 0.0:
+                self._promote_locked("no canary traffic configured")
+                return
+            self._record(
+                ShadowEvent(
+                    version=version or "",
+                    parent=self.active_version,
+                    trigger_kind=trigger.kind,
+                    trigger_key=trigger.key,
+                    fraction=self.fraction,
+                    window=self.window,
+                )
+            )
+
+    def observe(
+        self, page, signature: dict, incumbent: RouteDecision
+    ) -> None:
+        """Shadow-route one served page (called outside the adapter lock).
+
+        A deterministic accumulator samples exactly ``fraction`` of
+        pages (no RNG: replays are reproducible).  Where incumbent and
+        candidate route a sampled page to *different* clusters and a
+        dry-run extractor is available, the candidate's choice is
+        extracted to score its failure rate; where they agree, the
+        candidate inherits the incumbent's live outcome.
+        """
+        with self._lock:
+            candidate = self.candidate
+            if candidate is None:
+                return
+            self._acc += self.fraction
+            if self._acc < 1.0:
+                return
+            self._acc -= 1.0
+            decision = candidate.route_signature(signature)
+            self.shadow_pages += 1
+            inc_routed = incumbent.cluster != UNROUTABLE
+            cand_routed = decision.cluster != UNROUTABLE
+            cand_failed = None
+            if (
+                cand_routed
+                and decision.cluster != incumbent.cluster
+                and self.extract is not None
+            ):
+                self.shadow_extractions += 1
+                cand_failed = bool(self.extract(decision.cluster, page))
+            self._pairs.append(
+                (
+                    inc_routed,
+                    inc_routed and incumbent.margin < self.low_margin,
+                    cand_routed,
+                    cand_routed and decision.margin < self.low_margin,
+                    cand_failed,
+                )
+            )
+            if len(self._pairs) >= self.min_samples:
+                self._verdict_locked()
+
+    def note_result(self, cluster: str, failed: bool) -> None:
+        """Record a live extraction outcome (the incumbent's record)."""
+        with self._lock:
+            if self.candidate is not None and cluster != UNROUTABLE:
+                self._incumbent_failures.append(bool(failed))
+
+    # -- verdicts (lock held) ------------------------------------------- #
+
+    def _rates(self) -> tuple:
+        """Windowed outcome rates for both routers, per sampled page.
+
+        ``failure_rate`` is per *routed* page; the verdict's extraction
+        axis compares ``clean`` — the fraction of all sampled pages
+        routed AND extracted failure-free — because an incumbent that
+        routes nothing has a flawless failure rate while serving
+        nobody, and a candidate must never lose to that.
+        """
+        pairs = list(self._pairs)
+        n = len(pairs)
+        inc_routed = sum(1 for p in pairs if p[0]) / n
+        inc_low = sum(1 for p in pairs if p[1]) / n
+        cand_routed = sum(1 for p in pairs if p[2]) / n
+        cand_low = sum(1 for p in pairs if p[3]) / n
+        failures = list(self._incumbent_failures)
+        inc_fail = (
+            sum(1 for f in failures if f) / len(failures) if failures else 0.0
+        )
+        # Candidate failure rate: decided dry-runs where the routes
+        # diverged, plus the incumbent's own live rate where they
+        # agreed (same cluster -> same wrapper -> same outcome).
+        decided = [p[4] for p in pairs if p[4] is not None]
+        shared = sum(1 for p in pairs if p[2] and p[4] is None)
+        scored = len(decided) + shared
+        cand_fail = (
+            (sum(1 for f in decided if f) + shared * inc_fail) / scored
+            if scored
+            else 0.0
+        )
+        incumbent = {
+            "routed": inc_routed,
+            "failure_rate": inc_fail,
+            "low_margin": inc_low,
+            "clean": inc_routed * (1.0 - inc_fail),
+        }
+        candidate = {
+            "routed": cand_routed,
+            "failure_rate": cand_fail,
+            "low_margin": cand_low,
+            "clean": cand_routed * (1.0 - cand_fail),
+        }
+        return incumbent, candidate
+
+    def _verdict_locked(self) -> None:
+        incumbent, candidate = self._rates()
+        reasons = []
+        if candidate["routed"] + self.tolerance < incumbent["routed"]:
+            reasons.append(
+                f"routed fraction dropped "
+                f"{incumbent['routed']:.3f} -> {candidate['routed']:.3f}"
+            )
+        if candidate["clean"] + self.tolerance < incumbent["clean"]:
+            reasons.append(
+                f"clean-serve fraction dropped "
+                f"{incumbent['clean']:.3f} -> {candidate['clean']:.3f} "
+                f"(extraction failure rate "
+                f"{incumbent['failure_rate']:.3f} -> "
+                f"{candidate['failure_rate']:.3f})"
+            )
+        if candidate["low_margin"] > incumbent["low_margin"] + self.tolerance:
+            reasons.append(
+                f"low-margin routes rose "
+                f"{incumbent['low_margin']:.3f} -> {candidate['low_margin']:.3f}"
+            )
+        if reasons:
+            self._rollback_locked("; ".join(reasons), incumbent, candidate)
+        else:
+            self._promote_locked(
+                "candidate matched or beat incumbent over the window",
+                incumbent,
+                candidate,
+            )
+
+    def _promote_locked(
+        self,
+        reason: str,
+        incumbent: Optional[dict] = None,
+        candidate: Optional[dict] = None,
+    ) -> None:
+        parent = self.active_version
+        # Single-assignment swap into the live router: the same atomic
+        # install path ClusterRouter.refit uses, so in-flight routes see
+        # either the old or the new profile list, never a mix.
+        self.router.profiles = self.candidate.profiles
+        if self.registry is not None and self.candidate_version is not None:
+            self.registry.pin(self.candidate_version)
+        self.active_version = self.candidate_version
+        self.promotions += 1
+        self._record(
+            PromoteEvent(
+                version=self.candidate_version or "",
+                parent=parent,
+                samples=len(self._pairs),
+                incumbent=incumbent or {},
+                candidate=candidate or {},
+                reason=reason,
+            )
+        )
+        self._clear_candidate_locked()
+
+    def _rollback_locked(
+        self, reason: str, incumbent: dict, candidate: dict
+    ) -> None:
+        self.rollbacks += 1
+        self._record(
+            RollbackEvent(
+                version=self.candidate_version or "",
+                parent=self.active_version,
+                samples=len(self._pairs),
+                incumbent=incumbent,
+                candidate=candidate,
+                reason=reason,
+            )
+        )
+        self._clear_candidate_locked()
+
+    def _clear_candidate_locked(self) -> None:
+        self.candidate = None
+        self.candidate_version = None
+        self._pairs.clear()
+        self._incumbent_failures.clear()
+
+    def _record(self, event) -> None:
+        if self.log is not None:
+            self.log.record(event)
+
+    # -- reporting ------------------------------------------------------ #
+
+    def status(self) -> dict:
+        """Counters for ``/healthz`` and the stderr drift summary."""
+        with self._lock:
+            return {
+                "registry_version": self.active_version,
+                "shadow_version": self.candidate_version,
+                "canary_promotions": self.promotions,
+                "canary_rollbacks": self.rollbacks,
+                "canary_shadow_pages": self.shadow_pages,
+                "canary_staged": self.candidate is not None,
+            }
+
+
+def wrapper_extractor(runtime) -> Callable:
+    """A ``(cluster, page) -> failed`` dry-run over compiled wrappers.
+
+    Routes the candidate's cluster choice through the serving runtime's
+    already-compiled wrappers; an unknown cluster or an extraction
+    exception counts as a failure, as does any per-component failure
+    the wrapper reports.
+    """
+
+    def extract(cluster: str, page) -> bool:
+        wrapper = runtime.wrapper_for(cluster)
+        if wrapper is None:
+            return True
+        failures: list = []
+        try:
+            wrapper.extract_page(page, failures=failures)
+        except Exception:
+            return True
+        return bool(failures)
+
+    return extract

@@ -263,6 +263,15 @@ class ClusterRouter:
     def clusters(self) -> list[str]:
         return [profile.name for profile in self.profiles]
 
+    def clone(self) -> "ClusterRouter":
+        """An independent router over the same (immutable) profiles.
+
+        Profiles are frozen dataclasses, so sharing them is safe; the
+        copy gets its own profile *list*, letting a canary candidate be
+        refit without touching the incumbent it shadows.
+        """
+        return ClusterRouter(list(self.profiles), threshold=self.threshold)
+
     # ------------------------------------------------------------------ #
     # Incremental refit
     # ------------------------------------------------------------------ #

@@ -693,6 +693,14 @@ class StreamingRuntime:
         """Served clusters (those with compiled wrappers)."""
         return list(self._wrappers)
 
+    def wrapper_for(self, cluster: str) -> Optional[CompiledWrapper]:
+        """The compiled wrapper serving ``cluster`` (``None`` if unserved).
+
+        The canary dry-run extractor scores shadow-routing decisions
+        through this without re-compiling anything.
+        """
+        return self._wrappers.get(cluster)
+
     # ------------------------------------------------------------------ #
 
     def _make_executor(self):

@@ -161,6 +161,11 @@ class ServeHandler:
             adapter=adapter,
         )
 
+    @property
+    def deployer(self):
+        """The adapter's canary controller, if one is attached."""
+        return getattr(self.adapter, "deployer", None)
+
     def handle_line(self, line: str) -> tuple[str, bool]:
         """One request line in, one JSON response line out.
 
@@ -279,6 +284,10 @@ class ServeStats:
     #: this session (0 without ``--adapt``).
     drift_events: int = 0
     refits: int = 0
+    #: Canary verdicts the adapter's deployer reached during this
+    #: session (0 without ``--registry``/``--canary-fraction``).
+    promotions: int = 0
+    rollbacks: int = 0
 
 
 def _adopt_adapter_counts(handler, stats: ServeStats) -> None:
@@ -286,6 +295,10 @@ def _adopt_adapter_counts(handler, stats: ServeStats) -> None:
     if adapter is not None:
         stats.drift_events = adapter.drift_events
         stats.refits = adapter.refits
+        deployer = getattr(adapter, "deployer", None)
+        if deployer is not None:
+            stats.promotions = deployer.promotions
+            stats.rollbacks = deployer.rollbacks
 
 
 def _policy_of(handler) -> ServePolicy:

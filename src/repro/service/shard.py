@@ -283,6 +283,10 @@ class ShardManifest:
     #: (0 for non-adaptive runs; pre-adaptation manifests omit them).
     drift_events: int = 0
     refits: int = 0
+    #: Registry version id of the artifact this shard ran against
+    #: (``None`` for registry-less runs; pre-registry manifests omit
+    #: it).  Merge/resume refuse to mix shards across versions.
+    artifact_version: Optional[str] = None
     wall_seconds: float = 0.0
     per_cluster: Dict[str, dict] = field(default_factory=dict)
 
@@ -380,6 +384,7 @@ class ShardWorker:
         load_page: Callable[[str], WebPage],
         output_dir: Union[str, Path],
         output_format: str = "jsonl",
+        artifact_version: Optional[str] = None,
     ) -> tuple[ShardManifest, EngineReport]:
         """Extract this shard; write output + manifest into ``output_dir``.
 
@@ -433,6 +438,7 @@ class ShardWorker:
             unreadable=len(source.unreadable),
             drift_events=report.drift_events,
             refits=report.refits,
+            artifact_version=artifact_version,
             wall_seconds=time.perf_counter() - started,
             per_cluster={
                 cluster: {
@@ -504,7 +510,9 @@ def _validate_manifests(
         raise ShardMergeError("no shard manifests to merge")
     _, first = manifests[0]
     for path, manifest in manifests[1:]:
-        for attribute in ("corpus_digest", "shards", "strategy"):
+        for attribute in (
+            "corpus_digest", "shards", "strategy", "artifact_version",
+        ):
             if getattr(manifest, attribute) != getattr(first, attribute):
                 raise ShardMergeError(
                     f"{path}: {attribute} differs from "
@@ -931,6 +939,10 @@ class ShardStatus:
     #: incomplete) — resume checks re-runs against it so one forgotten
     #: ``--format`` flag cannot produce an unmergeable mixed directory.
     output_format: Optional[str] = None
+    #: The complete shard's registry artifact version (``None`` while
+    #: incomplete or for registry-less runs) — resume refuses to mix
+    #: re-runs against a different pinned version into the directory.
+    artifact_version: Optional[str] = None
 
 
 def shard_statuses(
@@ -992,6 +1004,7 @@ def shard_statuses(
         statuses.append(ShardStatus(
             shard=shard, complete=True,
             output_format=manifest.output_format,
+            artifact_version=manifest.artifact_version,
         ))
     return statuses
 

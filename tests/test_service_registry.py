@@ -1,0 +1,798 @@
+"""Versioned artifact registry: hashing, round trips, corruption, CLI."""
+
+import hashlib
+import json
+import os
+import random
+import subprocess
+import sys
+import threading
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core.builder import MappingRuleBuilder
+from repro.core.oracle import ScriptedOracle
+from repro.core.repository import RuleRepository
+from repro.errors import (
+    RegistryCorruptError,
+    RegistryError,
+    RegistryFormatError,
+    RegistryNotFoundError,
+)
+from repro.service.compiler import compile_wrapper
+from repro.service.registry import (
+    ArtifactRegistry,
+    artifact_payload,
+    canonical_json,
+    content_hash,
+    payload_diff,
+    profile_from_dict,
+    profile_to_dict,
+    router_from_dict,
+    router_to_dict,
+    version_id,
+)
+from repro.service.router import ClusterProfile, ClusterRouter
+from repro.sites import (
+    generate_imdb_site,
+    generate_news_site,
+    generate_shop_site,
+    generate_stocks_site,
+)
+from repro.sites.variation import DEPTH_COMPONENTS, generate_depth_cluster
+
+
+def _build_repository(pages, cluster, components) -> RuleRepository:
+    repository = RuleRepository()
+    report = MappingRuleBuilder(
+        pages[:8], ScriptedOracle(), repository=repository,
+        cluster_name=cluster, seed=1,
+    ).build_all(components)
+    assert report.failed_components == []
+    return repository
+
+
+@pytest.fixture(scope="module")
+def depth_pages():
+    return generate_depth_cluster(1, n_pages=16, seed=3)
+
+
+@pytest.fixture(scope="module")
+def repo_router(depth_pages):
+    repository = _build_repository(
+        depth_pages, "depth-1", list(DEPTH_COMPONENTS)
+    )
+    router = ClusterRouter.fit({"depth-1": depth_pages[:8]}, threshold=0.8)
+    return repository, router
+
+
+def _variant_router(router) -> ClusterRouter:
+    """Same profiles, different threshold: a distinct artifact version."""
+    return ClusterRouter(list(router.profiles), threshold=0.7)
+
+
+def _random_profile(seed: int) -> ClusterProfile:
+    rng = random.Random(seed)
+    return ClusterProfile(
+        name=f"cluster-{seed}",
+        url_signatures=frozenset(
+            f"site-{rng.randrange(9)}.org/*/" for _ in range(rng.randrange(1, 5))
+        ),
+        keywords=Counter({
+            f"kw{i}": rng.choice([1, 2, rng.random(), rng.random() * 1e-9])
+            for i in range(rng.randrange(1, 8))
+        }),
+        paths=Counter({
+            tuple(
+                rng.choice(["HTML", "BODY", "DIV", "TD", "B"])
+                for _ in range(rng.randrange(0, 4))
+            ): rng.choice([1, 3, rng.random()])
+            for _ in range(rng.randrange(1, 6))
+        }),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Canonical serialization and content addressing
+# --------------------------------------------------------------------- #
+
+
+class TestCanonicalHashing:
+    def test_canonical_json_sorts_keys_and_strips_whitespace(self):
+        assert canonical_json({"b": 1, "a": [3, 1, 2]}) == '{"a":[3,1,2],"b":1}'
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_hash_is_insertion_order_invariant(self, seed):
+        """Shuffling dict-key insertion order never moves the hash."""
+        payload = {
+            "format": 1,
+            "repository": {"clusters": {"a": {"rules": []}, "b": {"rules": []}}},
+            "router": {"threshold": 0.8, "profiles": []},
+        }
+        def shuffled(value):
+            if isinstance(value, dict):
+                keys = list(value)
+                random.Random(seed).shuffle(keys)
+                return {key: shuffled(value[key]) for key in keys}
+            if isinstance(value, list):
+                return [shuffled(item) for item in value]
+            return value
+        assert content_hash(shuffled(payload)) == content_hash(payload)
+        assert canonical_json(shuffled(payload)) == canonical_json(payload)
+
+    def test_list_order_is_semantic_not_sorted(self):
+        a = {"profiles": ["x", "y"]}
+        b = {"profiles": ["y", "x"]}
+        assert content_hash(a) != content_hash(b)
+
+    def test_floats_survive_canonical_round_trip(self):
+        values = [0.1, 1 / 3, 1e-17, 2.5e300, -0.0, 123456.789]
+        text = canonical_json({"v": values})
+        assert json.loads(text)["v"] == values
+        # Re-canonicalizing the parsed form is a fixed point.
+        assert canonical_json(json.loads(text)) == text
+
+    def test_version_id_is_sha256_prefix(self, repo_router):
+        repository, router = repo_router
+        payload = artifact_payload(repository, router)
+        digest = content_hash(payload)
+        assert digest == hashlib.sha256(
+            canonical_json(payload).encode("utf-8")
+        ).hexdigest()
+        assert version_id(payload) == digest[:12]
+
+    def test_any_change_moves_the_version(self, repo_router):
+        repository, router = repo_router
+        base = version_id(artifact_payload(repository, router))
+        assert version_id(
+            artifact_payload(repository, _variant_router(router))
+        ) != base
+        assert version_id(artifact_payload(repository, None)) != base
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+    def test_profile_round_trip_is_exact(self, seed):
+        """Random profiles (int/float weights, tuple paths) round trip."""
+        profile = _random_profile(seed)
+        # Through real JSON text, not just the dict.
+        data = json.loads(json.dumps(profile_to_dict(profile)))
+        restored = profile_from_dict(data)
+        assert restored.name == profile.name
+        assert restored.url_signatures == profile.url_signatures
+        assert restored.keywords == profile.keywords
+        assert restored.paths == profile.paths
+
+    def test_router_round_trip_preserves_profile_order(self):
+        profiles = [_random_profile(2), _random_profile(1), _random_profile(0)]
+        router = ClusterRouter(profiles, threshold=0.75)
+        restored = router_from_dict(json.loads(json.dumps(router_to_dict(router))))
+        assert restored.threshold == router.threshold
+        assert [p.name for p in restored.profiles] == [
+            p.name for p in router.profiles
+        ]
+        # Order is tie-break priority, so reordering is a new version.
+        reordered = ClusterRouter(list(reversed(profiles)), threshold=0.75)
+        assert canonical_json(router_to_dict(router)) != canonical_json(
+            router_to_dict(reordered)
+        )
+
+    def test_malformed_profile_payload_is_typed(self):
+        with pytest.raises(RegistryCorruptError):
+            profile_from_dict({"name": "x"})
+        with pytest.raises(RegistryCorruptError):
+            profile_from_dict({"name": "x", "url_signatures": [],
+                               "keywords": 7, "paths": {}})
+        with pytest.raises(RegistryCorruptError):
+            router_from_dict({"threshold": 0.8})
+
+
+# --------------------------------------------------------------------- #
+# Publish / load round trips
+# --------------------------------------------------------------------- #
+
+
+class TestArtifactRoundTrip:
+    def test_publish_then_load(self, tmp_path, repo_router):
+        repository, router = repo_router
+        registry = ArtifactRegistry(tmp_path / "reg")
+        manifest = registry.publish(repository, router, source="initial")
+        assert len(manifest.version) == 12
+        assert len(manifest.sha256) == 64
+        assert manifest.parent is None
+        assert manifest.source == "initial"
+        assert manifest.clusters == ("depth-1",)
+        assert manifest.routed is True
+        loaded_repo, loaded_router, loaded_manifest = registry.load(
+            manifest.version
+        )
+        assert loaded_manifest == manifest
+        assert loaded_repo.to_dict() == repository.to_dict()
+        assert loaded_router.threshold == router.threshold
+        assert len(loaded_router.profiles) == len(router.profiles)
+
+    def test_artifact_file_is_the_canonical_text(self, tmp_path, repo_router):
+        repository, router = repo_router
+        registry = ArtifactRegistry(tmp_path / "reg")
+        manifest = registry.publish(repository, router)
+        stored = (
+            tmp_path / "reg" / "versions" / manifest.version / "artifact.json"
+        ).read_text(encoding="utf-8")
+        assert stored == canonical_json(artifact_payload(repository, router))
+        assert hashlib.sha256(
+            stored.encode("utf-8")
+        ).hexdigest() == manifest.sha256
+
+    def test_publish_is_idempotent_first_metadata_wins(
+        self, tmp_path, repo_router
+    ):
+        repository, router = repo_router
+        registry = ArtifactRegistry(tmp_path / "reg")
+        first = registry.publish(repository, router, source="initial")
+        again = registry.publish(
+            repository, router, source="refit", parent="000000000000",
+            fit_pages=99,
+        )
+        assert again == first
+        assert registry.version_ids() == [first.version]
+
+    def test_refit_provenance_round_trips(self, tmp_path, repo_router):
+        repository, router = repo_router
+        registry = ArtifactRegistry(tmp_path / "reg")
+        base = registry.publish(repository, router, source="initial")
+        trigger = {"event": "drift", "kind": "failure", "key": "depth-1"}
+        child = registry.publish(
+            repository, _variant_router(router), parent=base.version,
+            source="refit", fit_pages=40, trigger=trigger,
+        )
+        reread = registry.manifest(child.version)
+        assert reread.parent == base.version
+        assert reread.source == "refit"
+        assert reread.fit_pages == 40
+        assert reread.trigger == trigger
+
+    def test_unrouted_artifact_loads_none_router(self, tmp_path, repo_router):
+        repository, _ = repo_router
+        registry = ArtifactRegistry(tmp_path / "reg")
+        manifest = registry.publish(repository)
+        assert manifest.routed is False
+        _, router, _ = registry.load(manifest.version)
+        assert router is None
+
+    def test_pin_and_rollback_walk_the_parent_chain(
+        self, tmp_path, repo_router
+    ):
+        repository, router = repo_router
+        registry = ArtifactRegistry(tmp_path / "reg")
+        assert registry.pinned() is None
+        base = registry.publish(repository, router, source="initial")
+        child = registry.publish(
+            repository, _variant_router(router), parent=base.version,
+            source="refit",
+        )
+        registry.pin(child.version)
+        assert registry.pinned() == child.version
+        restored = registry.rollback()
+        assert restored.version == base.version
+        assert registry.pinned() == base.version
+        with pytest.raises(RegistryError):
+            registry.rollback()  # the initial version has no parent
+
+    def test_diff_reports_router_movement(self, tmp_path, repo_router):
+        repository, router = repo_router
+        registry = ArtifactRegistry(tmp_path / "reg")
+        base = registry.publish(repository, router)
+        child = registry.publish(repository, _variant_router(router))
+        diff = registry.diff(base.version, child.version)
+        assert diff["identical"] is False
+        assert diff["clusters_added"] == []
+        assert diff["clusters_removed"] == []
+        assert diff["clusters_changed"] == []
+        assert diff["router"]["threshold"] == [0.8, 0.7]
+        same = registry.diff(base.version, base.version)
+        assert same["identical"] is True
+
+    def test_payload_diff_tracks_clusters(self):
+        rules = {"rules": [{"name": "r1"}]}
+        a = {"repository": {"clusters": {"x": rules}}, "router": None}
+        b = {
+            "repository": {
+                "clusters": {"x": {"rules": [{"name": "r2"}]}, "y": rules}
+            },
+            "router": None,
+        }
+        diff = payload_diff(a, b)
+        assert diff["clusters_added"] == ["y"]
+        assert diff["clusters_changed"] == ["x"]
+        assert payload_diff(b, a)["clusters_removed"] == ["y"]
+
+    def test_payload_diff_router_appearing(self):
+        a = {"repository": {"clusters": {}}, "router": None}
+        b = {
+            "repository": {"clusters": {}},
+            "router": {"threshold": 0.8, "profiles": [{"name": "p"}]},
+        }
+        diff = payload_diff(a, b)
+        assert diff["router"]["threshold"] == [None, 0.8]
+        assert diff["router"]["profiles_added"] == ["p"]
+
+    def test_non_object_payload_is_corrupt(self):
+        from repro.service.registry import repository_from_payload
+
+        with pytest.raises(RegistryCorruptError, match="JSON object"):
+            repository_from_payload([1, 2, 3])
+
+
+# --------------------------------------------------------------------- #
+# Save -> load -> extract byte-identity over every site family
+# --------------------------------------------------------------------- #
+
+
+FAMILIES = [
+    (
+        "imdb-movies",
+        lambda: generate_imdb_site(
+            n_movies=12, n_actors=4, n_search=2, seed=4
+        ).pages_with_hint("imdb-movies"),
+        ["title", "rating", "genres"],
+    ),
+    (
+        "shop-products",
+        lambda: generate_shop_site(12, seed=4).pages_with_hint(
+            "shop-products"
+        ),
+        ["product-name", "price", "old-price", "features"],
+    ),
+    (
+        "news-articles",
+        lambda: generate_news_site(12, seed=4).pages_with_hint(
+            "news-articles"
+        ),
+        ["headline", "byline", "date"],
+    ),
+    (
+        "stock-quotes",
+        lambda: generate_stocks_site(10, seed=4).pages_with_hint(
+            "stock-quotes"
+        ),
+        ["company", "last-price", "change", "intraday-prices"],
+    ),
+    (
+        "depth-1",
+        lambda: generate_depth_cluster(1, n_pages=12, seed=3),
+        list(DEPTH_COMPONENTS),
+    ),
+]
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize(
+        "cluster, factory, components", FAMILIES,
+        ids=[family[0] for family in FAMILIES],
+    )
+    def test_save_load_extract_is_identical(
+        self, tmp_path, cluster, factory, components
+    ):
+        """The acceptance bar: a registry round trip changes nothing.
+
+        For every site generator family the loaded artifact re-hashes
+        to its own version id, routes every page to the same cluster,
+        and extracts identical values and failures.
+        """
+        pages = factory()
+        repository = _build_repository(pages, cluster, components)
+        router = ClusterRouter.fit({cluster: pages[:8]}, threshold=0.8)
+        registry = ArtifactRegistry(tmp_path / "registry")
+        manifest = registry.publish(repository, router, source="initial")
+
+        loaded_repo, loaded_router, _ = registry.load(manifest.version)
+        # Content address is a fixed point of the round trip.
+        assert version_id(
+            artifact_payload(loaded_repo, loaded_router)
+        ) == manifest.version
+
+        original = compile_wrapper(repository, cluster)
+        compiled = registry.compile(manifest.version)
+        assert set(compiled) == {cluster}
+        loaded = compiled[cluster]
+        assert loaded.version == manifest.version
+        assert original.version is None
+
+        for page in pages:
+            assert loaded_router.route(page).cluster == router.route(
+                page
+            ).cluster
+            original_failures, loaded_failures = [], []
+            before = original.extract_page(page, failures=original_failures)
+            after = loaded.extract_page(page, failures=loaded_failures)
+            assert after.values == before.values
+            assert loaded_failures == original_failures
+
+
+# --------------------------------------------------------------------- #
+# The corruption matrix
+# --------------------------------------------------------------------- #
+
+
+class TestCorruptionMatrix:
+    @pytest.fixture()
+    def populated(self, tmp_path, repo_router):
+        repository, router = repo_router
+        registry = ArtifactRegistry(tmp_path / "reg")
+        manifest = registry.publish(repository, router, source="initial")
+        return registry, manifest
+
+    def _manifest_path(self, registry, manifest):
+        return registry.root / "versions" / manifest.version / "manifest.json"
+
+    def _artifact_path(self, registry, manifest):
+        return registry.root / "versions" / manifest.version / "artifact.json"
+
+    def test_truncated_manifest(self, populated):
+        registry, manifest = populated
+        path = self._manifest_path(registry, manifest)
+        path.write_text(path.read_text(encoding="utf-8")[:37], encoding="utf-8")
+        with pytest.raises(RegistryCorruptError, match="truncated"):
+            registry.manifest(manifest.version)
+
+    def test_manifest_must_be_an_object(self, populated):
+        registry, manifest = populated
+        self._manifest_path(registry, manifest).write_text(
+            "[1, 2]", encoding="utf-8"
+        )
+        with pytest.raises(RegistryCorruptError, match="JSON object"):
+            registry.manifest(manifest.version)
+
+    def test_foreign_manifest_format(self, populated):
+        registry, manifest = populated
+        path = self._manifest_path(registry, manifest)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["format"] = 99
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(RegistryFormatError, match="99"):
+            registry.manifest(manifest.version)
+
+    def test_manifest_with_unknown_fields(self, populated):
+        registry, manifest = populated
+        path = self._manifest_path(registry, manifest)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["surprise"] = True
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(RegistryCorruptError, match="malformed"):
+            registry.manifest(manifest.version)
+
+    def test_manifest_must_describe_its_directory(self, populated):
+        registry, manifest = populated
+        path = self._manifest_path(registry, manifest)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["version"] = "0" * 12
+        path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.raises(RegistryCorruptError, match="describes"):
+            registry.manifest(manifest.version)
+
+    def test_tampered_artifact_fails_its_hash(self, populated):
+        registry, manifest = populated
+        path = self._artifact_path(registry, manifest)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text.replace("depth", "depht", 1), encoding="utf-8")
+        with pytest.raises(RegistryCorruptError, match="content hash"):
+            registry.load(manifest.version)
+
+    def test_republish_over_tampered_artifact_refuses(
+        self, populated, repo_router
+    ):
+        repository, router = repo_router
+        registry, manifest = populated
+        self._artifact_path(registry, manifest).write_text(
+            "{}", encoding="utf-8"
+        )
+        with pytest.raises(RegistryCorruptError, match="different content"):
+            registry.publish(repository, router)
+
+    def test_truncated_artifact_fails_its_hash(self, populated):
+        registry, manifest = populated
+        path = self._artifact_path(registry, manifest)
+        path.write_text(
+            path.read_text(encoding="utf-8")[:100], encoding="utf-8"
+        )
+        with pytest.raises(RegistryCorruptError, match="content hash"):
+            registry.load(manifest.version)
+
+    def test_missing_artifact_file(self, populated):
+        registry, manifest = populated
+        self._artifact_path(registry, manifest).unlink()
+        with pytest.raises(RegistryNotFoundError, match="no readable"):
+            registry.load(manifest.version)
+
+    def test_foreign_artifact_format_with_valid_hash(self, tmp_path):
+        registry = ArtifactRegistry(tmp_path / "reg")
+        text = canonical_json(
+            {"format": 2, "repository": {"clusters": {}}, "router": None}
+        )
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        version = digest[:12]
+        directory = registry.root / "versions" / version
+        directory.mkdir(parents=True)
+        (directory / "artifact.json").write_text(text, encoding="utf-8")
+        (directory / "manifest.json").write_text(json.dumps({
+            "format": 1, "version": version, "sha256": digest,
+            "parent": None, "created": "2026-01-01T00:00:00+00:00",
+            "source": "import", "fit_pages": 0, "trigger": None,
+            "clusters": [], "routed": False, "extra": {},
+        }), encoding="utf-8")
+        with pytest.raises(RegistryFormatError, match="unsupported artifact"):
+            registry.load(version)
+
+    def test_unknown_version_everywhere(self, populated):
+        registry, _ = populated
+        for call in (registry.manifest, registry.load, registry.pin):
+            with pytest.raises(RegistryNotFoundError):
+                call("feedfacefeed")
+
+    def test_rollback_without_a_pin(self, populated):
+        registry, _ = populated
+        with pytest.raises(RegistryError, match="nothing is pinned"):
+            registry.rollback()
+
+    def test_rollback_to_a_missing_parent(self, populated, repo_router):
+        repository, router = repo_router
+        registry, _ = populated
+        orphan = registry.publish(
+            repository, _variant_router(router), parent="feedfacefeed",
+            source="refit",
+        )
+        registry.pin(orphan.version)
+        with pytest.raises(RegistryNotFoundError):
+            registry.rollback()
+
+    def test_versions_listing_skips_corrupt_entries(
+        self, populated, repo_router
+    ):
+        repository, router = repo_router
+        registry, manifest = populated
+        child = registry.publish(repository, _variant_router(router))
+        self._manifest_path(registry, child).write_text("{", encoding="utf-8")
+        healthy = registry.versions()
+        assert [m.version for m in healthy] == [manifest.version]
+        # The raw id listing still shows the sick directory.
+        assert set(registry.version_ids()) == {
+            manifest.version, child.version,
+        }
+
+    def test_concurrent_publishers_converge(self, tmp_path, repo_router):
+        """Racing writers of one artifact leave one healthy version."""
+        repository, router = repo_router
+        registry = ArtifactRegistry(tmp_path / "reg")
+        barrier = threading.Barrier(8)
+        results, errors = [], []
+
+        def publish():
+            try:
+                barrier.wait()
+                results.append(registry.publish(repository, router))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=publish) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len({manifest.version for manifest in results}) == 1
+        version = results[0].version
+        assert registry.version_ids() == [version]
+        loaded_repo, _, _ = registry.load(version)  # hash still verifies
+        assert loaded_repo.to_dict() == repository.to_dict()
+
+
+# --------------------------------------------------------------------- #
+# The ``registry`` CLI
+# --------------------------------------------------------------------- #
+
+
+class TestRegistryCli:
+    @pytest.fixture()
+    def seeded(self, tmp_path, repo_router):
+        repository, router = repo_router
+        root = tmp_path / "reg"
+        registry = ArtifactRegistry(root)
+        base = registry.publish(repository, router, source="initial")
+        child = registry.publish(
+            repository, _variant_router(router), parent=base.version,
+            source="refit",
+        )
+        registry.pin(child.version)
+        return root, registry, base, child
+
+    def test_list_marks_the_pin(self, seeded, capsys):
+        root, _, base, child = seeded
+        assert main(["registry", "list", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert f"* {child.version}" in out
+        assert f"  {base.version}" in out
+        assert "router=yes" in out
+        assert f"parent={base.version}" in out
+
+    def test_list_empty_registry(self, tmp_path, capsys):
+        assert main(["registry", "list", str(tmp_path / "empty")]) == 0
+        assert "registry is empty" in capsys.readouterr().err
+
+    def test_list_reports_corrupt_entries_inline(self, seeded, capsys):
+        root, registry, base, child = seeded
+        (root / "versions" / base.version / "manifest.json").write_text(
+            "{", encoding="utf-8"
+        )
+        assert main(["registry", "list", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert f"{base.version}  !!" in out
+        assert f"* {child.version}" in out
+
+    def test_show_survives_a_closed_pipe(self, seeded):
+        """``registry show | head`` must exit 141, not traceback.
+
+        Runs in a subprocess with the read end of the pipe closed
+        before the child writes, so every write raises EPIPE.
+        """
+        root, _, base, _ = seeded
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli",
+             "registry", "show", str(root), base.version],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+        )
+        proc.stdout.close()
+        _, err = proc.communicate(timeout=60)
+        assert proc.returncode == 141
+        assert b"Traceback" not in err
+
+    def test_show_prints_the_manifest(self, seeded, capsys):
+        root, _, base, _ = seeded
+        assert main(["registry", "show", str(root), base.version]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["version"] == base.version
+        assert data["source"] == "initial"
+
+    def test_show_unknown_version(self, seeded, capsys):
+        root, _, _, _ = seeded
+        assert main(["registry", "show", str(root), "feedfacefeed"]) == 1
+        assert "no version" in capsys.readouterr().err
+
+    def test_diff_between_versions(self, seeded, capsys):
+        root, _, base, child = seeded
+        assert main([
+            "registry", "diff", str(root), base.version, child.version,
+        ]) == 0
+        diff = json.loads(capsys.readouterr().out)
+        assert diff["identical"] is False
+        assert diff["router"]["threshold"] == [0.8, 0.7]
+
+    def test_pin_and_rollback(self, seeded, capsys):
+        root, registry, base, child = seeded
+        assert main(["registry", "pin", str(root), base.version]) == 0
+        assert registry.pinned() == base.version
+        assert main(["registry", "pin", str(root), child.version]) == 0
+        assert main(["registry", "rollback", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert f"pinned {base.version} (was {child.version})" in out
+        assert registry.pinned() == base.version
+        # The initial version has no parent: the CLI reports, rc 1.
+        assert main(["registry", "rollback", str(root)]) == 1
+        assert "no parent" in capsys.readouterr().err
+
+    def test_pin_unknown_version(self, seeded, capsys):
+        root, registry, _, child = seeded
+        assert main(["registry", "pin", str(root), "feedfacefeed"]) == 1
+        assert registry.pinned() == child.version
+
+    def test_unopenable_registry_directory(self, tmp_path, capsys):
+        blocked = tmp_path / "file"
+        blocked.write_text("not a directory", encoding="utf-8")
+        assert main(["registry", "list", str(blocked)]) == 2
+        assert "cannot create registry" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# Shard manifests carry the deployed version
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def shard_site(tmp_path):
+    """An on-disk site, a saved repository, and a 2-shard plan."""
+    site_dir = tmp_path / "site"
+    assert main([
+        "generate", "imdb", str(site_dir), "--pages", "12", "--seed", "3",
+    ]) == 0
+    site = generate_imdb_site(n_movies=12, n_actors=4, n_search=2, seed=3)
+    repository = RuleRepository()
+    MappingRuleBuilder(
+        site.pages_with_hint("imdb-movies")[:8], ScriptedOracle(),
+        repository=repository, cluster_name="imdb-movies", seed=1,
+    ).build_all(["title", "rating"])
+    repo_path = tmp_path / "rules.json"
+    repository.save(repo_path)
+    plan_path = tmp_path / "plan.json"
+    assert main([
+        "shard", "plan", str(site_dir), "--shards", "2",
+        "--output", str(plan_path),
+    ]) == 0
+    return site_dir, repo_path, plan_path
+
+
+def _run_shard(shard_site, out_dir, shard, registry_dir):
+    site_dir, repo_path, plan_path = shard_site
+    return main([
+        "shard", "run", str(site_dir), "--plan", str(plan_path),
+        "--shard", str(shard), "--repository", str(repo_path),
+        "--output-dir", str(out_dir), "--registry", str(registry_dir),
+    ])
+
+
+class TestShardArtifactStamp:
+    def test_manifests_record_the_pinned_version(
+        self, shard_site, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "shards"
+        reg_dir = tmp_path / "registry"
+        assert _run_shard(shard_site, out_dir, 0, reg_dir) == 0
+        # The first worker seeded the empty registry and pinned it.
+        pinned = ArtifactRegistry(reg_dir).pinned()
+        assert pinned is not None
+        assert _run_shard(shard_site, out_dir, 1, reg_dir) == 0
+        for shard in (0, 1):
+            manifest = json.loads(
+                (out_dir / f"shard-000{shard}.manifest.json").read_text(
+                    encoding="utf-8"
+                )
+            )
+            assert manifest["artifact_version"] == pinned
+        capsys.readouterr()
+        merged = tmp_path / "merged.jsonl"
+        assert main([
+            "shard", "merge", str(out_dir), "--output", str(merged),
+        ]) == 0
+        assert "shards merged   : 2" in capsys.readouterr().err
+
+    def test_merge_refuses_mixed_artifact_versions(
+        self, shard_site, tmp_path, capsys
+    ):
+        _, repo_path, _ = shard_site
+        out_dir = tmp_path / "shards"
+        reg_dir = tmp_path / "registry"
+        assert _run_shard(shard_site, out_dir, 0, reg_dir) == 0
+        # Re-pin the registry between shard runs: shard 1 deploys a
+        # different version, so the directory must never merge.
+        registry = ArtifactRegistry(reg_dir)
+        repository = RuleRepository.load(repo_path)
+        other = registry.publish(repository, source="import")
+        registry.pin(other.version)
+        assert _run_shard(shard_site, out_dir, 1, reg_dir) == 0
+        capsys.readouterr()
+        assert main([
+            "shard", "merge", str(out_dir),
+            "--output", str(tmp_path / "merged.jsonl"),
+        ]) == 1
+        assert "artifact_version differs" in capsys.readouterr().err
+
+    def test_resume_refuses_a_stale_pin(self, shard_site, tmp_path, capsys):
+        site_dir, repo_path, plan_path = shard_site
+        out_dir = tmp_path / "shards"
+        reg_dir = tmp_path / "registry"
+        assert _run_shard(shard_site, out_dir, 0, reg_dir) == 0
+        registry = ArtifactRegistry(reg_dir)
+        repository = RuleRepository.load(repo_path)
+        other = registry.publish(repository, source="import")
+        registry.pin(other.version)
+        capsys.readouterr()
+        assert main([
+            "shard", "resume", str(site_dir), "--plan", str(plan_path),
+            "--repository", str(repo_path), "--output-dir", str(out_dir),
+            "--registry", str(reg_dir),
+        ]) == 2
+        assert "re-pin the registry" in capsys.readouterr().err
