@@ -19,8 +19,9 @@ Subcommands mirror the Figure-1 pipeline:
                     one-line-at-a-time loop; ``--http HOST:PORT``
                     serves the same contract over a socket instead
                     (``POST /extract``, streaming ``POST /batch``,
-                    ``GET /healthz``) with graceful drain on
-                    SIGINT/SIGTERM;
+                    ``GET /healthz``, ``GET /metrics``) with graceful
+                    drain on SIGINT/SIGTERM and optional admission
+                    control (``--rate-limit``, ``--max-concurrent``);
 * ``shard``       — multi-host batch execution in coordinator-free
                     steps: ``plan`` splits the corpus deterministically,
                     ``run`` extracts one shard (JSONL or XML +
@@ -36,8 +37,8 @@ Subcommands mirror the Figure-1 pipeline:
                     candidate before promoting (or rolling back) it.
 
 Every data-path subcommand is a composition over the same
-:class:`~repro.service.runtime.StreamingRuntime`; see the README's
-Architecture section for the source -> runtime -> sink map.
+:class:`~repro.service.runtime.StreamingRuntime`; see
+``docs/architecture.md`` for the source -> runtime -> sink map.
 
 ``serve``, ``batch`` and the ``shard`` workers all accept ``--adapt``
 (plus ``--drift-window`` / ``--drift-threshold`` / ``--adapt-log``):
@@ -50,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
 import os
 import re
 import signal
@@ -388,8 +390,72 @@ def _publish_initial(registry, repository, router) -> str:
     return manifest.version
 
 
+def _dump_metrics(path: str) -> None:
+    """Snapshot the process-wide metrics registry to ``path``.
+
+    The dump is the same Prometheus text exposition ``serve --http``
+    answers on ``GET /metrics``; batch and shard runs have no socket,
+    so ``--metrics PATH`` writes the registry on exit instead — after
+    an interrupted run too, where the counters document how far the
+    checkpoint got.
+    """
+    from repro.service import default_registry
+
+    Path(path).write_text(default_registry().render(), encoding="utf-8")
+    print(f"metrics written to {path}", file=sys.stderr)
+
+
+def _progress_emitter(args, label: str):
+    """The ``--progress`` JSONL emitter on stderr (``None`` when off)."""
+    if not getattr(args, "progress", 0):
+        return None
+    from repro.service import ProgressEmitter
+
+    return ProgressEmitter(
+        sys.stderr, label=label, every_pages=args.progress
+    )
+
+
+@contextlib.contextmanager
+def _graceful_interrupt(token):
+    """Turn the first SIGINT into a cooperative cancellation.
+
+    The first ``^C`` cancels ``token`` — the runtime stops admitting
+    pages, drains what is in flight, and the command exits 130 with
+    line-complete output (and, for shards, a digest-valid checkpoint
+    manifest that ``shard resume`` picks up).  A second ``^C`` raises
+    :class:`KeyboardInterrupt` as usual for a hard abort.  The
+    previous handler is restored on exit; on threads that cannot set
+    signal handlers the context is a no-op.
+    """
+
+    def _handler(signum, frame):
+        if token.is_set():
+            raise KeyboardInterrupt
+        token.cancel()
+        print(
+            "interrupt: finishing in-flight work (^C again to abort)",
+            file=sys.stderr,
+        )
+
+    try:
+        previous = signal.signal(signal.SIGINT, _handler)
+    except ValueError:  # pragma: no cover - non-main thread
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGINT, previous)
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
-    from repro.service import JsonlSink, StreamingRuntime, XmlDirectorySink
+    from repro.service import (
+        CancellationToken,
+        JsonlSink,
+        StreamingRuntime,
+        XmlDirectorySink,
+    )
 
     if args.jsonl and args.xml_dir:
         print("--jsonl and --xml-dir are mutually exclusive",
@@ -461,9 +527,16 @@ def cmd_batch(args: argparse.Namespace) -> int:
     else:
         sink = JsonlSink(sys.stdout)
     source = _corpus_source(paths)
+    cancel = CancellationToken()
+    progress = _progress_emitter(args, "batch")
     try:
         with sink:
-            report = runtime.run(source, sink)
+            with _graceful_interrupt(cancel):
+                report = runtime.run(
+                    source, sink, cancel=cancel, on_progress=progress
+                )
+            if progress is not None:
+                progress.finish(report)
     finally:
         if adapter is not None:
             adapter.log.close()
@@ -475,6 +548,12 @@ def cmd_batch(args: argparse.Namespace) -> int:
         print(f"XML documents written to {args.xml_dir}", file=sys.stderr)
     elif args.jsonl:
         print(f"records written to {args.jsonl}", file=sys.stderr)
+    if args.metrics:
+        _dump_metrics(args.metrics)
+    if report.cancelled:
+        print("interrupted; partial output is line-complete",
+              file=sys.stderr)
+        return 130
     return 0
 
 
@@ -573,8 +652,14 @@ def _load_shard_inputs(args) -> Optional[tuple]:
 
 def _run_one_shard(args, directory, plan, repository, router,
                    shard: int,
-                   artifact_version: Optional[str] = None) -> Optional[int]:
-    """Execute one shard worker; prints the run summary.  None on error."""
+                   artifact_version: Optional[str] = None,
+                   cancel=None):
+    """Execute one shard worker; prints the run summary.
+
+    Returns the shard's manifest (``manifest.interrupted`` is set when
+    ``cancel`` fired and the output is a resumable checkpoint), or
+    ``None`` on error.
+    """
     from repro.errors import ShardError
     from repro.service import ShardWorker
 
@@ -606,12 +691,17 @@ def _run_one_shard(args, directory, plan, repository, router,
         _attach_adapter_log(
             adapter, args, log_suffix=f".{shard_basename(shard)}"
         )
+        progress = _progress_emitter(args, shard_basename(shard))
         manifest, report = worker.run(
             lambda page_id: _page_from_path(directory / page_id),
             Path(args.output_dir),
             output_format=args.format,
             artifact_version=artifact_version,
+            cancel=cancel,
+            on_progress=progress,
         )
+        if progress is not None:
+            progress.finish(report)
     except (ShardError, ValueError, OSError) as exc:
         print(str(exc), file=sys.stderr)
         return None
@@ -628,18 +718,33 @@ def _run_one_shard(args, directory, plan, repository, router,
         f"{Path(args.output_dir) / manifest.output}",
         file=sys.stderr,
     )
-    return manifest.records
+    return manifest
 
 
 def cmd_shard_run(args: argparse.Namespace) -> int:
+    from repro.service import CancellationToken
+
     loaded = _load_shard_inputs(args)
     if loaded is None:
         return 2
     directory, plan, repository, router, artifact_version = loaded
-    if _run_one_shard(args, directory, plan, repository, router,
-                      args.shard,
-                      artifact_version=artifact_version) is None:
+    cancel = CancellationToken()
+    with _graceful_interrupt(cancel):
+        manifest = _run_one_shard(args, directory, plan, repository,
+                                  router, args.shard,
+                                  artifact_version=artifact_version,
+                                  cancel=cancel)
+    if manifest is None:
         return 2
+    if args.metrics:
+        _dump_metrics(args.metrics)
+    if manifest.interrupted:
+        print(
+            "interrupted; checkpoint manifest written — `shard resume` "
+            "re-runs this shard",
+            file=sys.stderr,
+        )
+        return 130
     return 0
 
 
@@ -703,11 +808,30 @@ def cmd_shard_resume(args: argparse.Namespace) -> int:
         + ", ".join(f"#{s.shard} ({s.reason})" for s in pending),
         file=sys.stderr,
     )
-    for status in pending:
-        if _run_one_shard(args, directory, plan, repository, router,
-                          status.shard,
-                          artifact_version=artifact_version) is None:
-            return 2
+    from repro.service import CancellationToken
+
+    cancel = CancellationToken()
+    interrupted = False
+    with _graceful_interrupt(cancel):
+        for status in pending:
+            manifest = _run_one_shard(args, directory, plan, repository,
+                                      router, status.shard,
+                                      artifact_version=artifact_version,
+                                      cancel=cancel)
+            if manifest is None:
+                return 2
+            if manifest.interrupted:
+                interrupted = True
+                break
+    if args.metrics:
+        _dump_metrics(args.metrics)
+    if interrupted:
+        print(
+            "interrupted; checkpoint manifest written — re-run "
+            "`shard resume` to finish",
+            file=sys.stderr,
+        )
+        return 130
     return 0
 
 
@@ -851,6 +975,20 @@ def _serve_http(handler, args) -> int:
         f"request(s) on {stats.connections} connection(s)",
         file=sys.stderr,
     )
+    if stats.drained_connections:
+        # Mirrors repro_http_drained_connections_total, so the drain
+        # log and a final /metrics scrape always agree.
+        print(
+            f"drained {stats.drained_connections} connection(s) "
+            "at shutdown",
+            file=sys.stderr,
+        )
+    if stats.rate_limited or stats.shed:
+        print(
+            f"admission: {stats.rate_limited} rate-limited, "
+            f"{stats.shed} shed",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -926,17 +1064,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
         adapter = _make_adapter(args, router)
         if adapter is None:
             return 2
+    try:
+        # One policy object, every front-end: the sync/async stdin
+        # loops and the HTTP ingress inherit the same caps and
+        # admission limits.
+        policy = ServePolicy(
+            max_decode_failures=_serve_decode_failure_cap(),
+            max_inflight=args.max_inflight,
+            rate_limit=args.rate_limit,
+            rate_burst=args.rate_burst,
+            max_concurrent_requests=args.max_concurrent,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     handler = ServeHandler(
         repository,
         router=None if adapter is not None else router,
         cluster=cluster or None,
         adapter=adapter,
-        # One policy object, every front-end: the sync/async stdin
-        # loops and the HTTP ingress inherit the same caps.
-        policy=ServePolicy(
-            max_decode_failures=_serve_decode_failure_cap(),
-            max_inflight=args.max_inflight,
-        ),
+        policy=policy,
     )
     try:
         _attach_adapter_log(adapter, args)
@@ -989,13 +1136,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     # The drift report (and the audit-log close behind it) must run on
     # *every* exit path — a session interrupted mid-stream still has to
-    # leave a complete, flushed adaptation log behind.
+    # leave a complete, flushed adaptation log behind.  The metrics
+    # dump rides the same guarantee.
     try:
         if args.http:
             return _serve_http(handler, args)
         return _serve_stdin(handler, args)
     finally:
         _report_drift()
+        if args.metrics:
+            _dump_metrics(args.metrics)
 
 
 def _serve_stdin(handler, args) -> int:
@@ -1149,6 +1299,17 @@ def cmd_registry_rollback(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------- #
 
 
+def _observability_arguments(parser) -> None:
+    """``--progress`` / ``--metrics``, shared by batch and the shards."""
+    parser.add_argument("--progress", type=int, default=0, metavar="N",
+                        help="emit a JSONL progress line to stderr every "
+                             "N pages (also every 10s while working; "
+                             "0 disables)")
+    parser.add_argument("--metrics", default="", metavar="PATH",
+                        help="on exit, write the Prometheus text "
+                             "exposition of this run's metrics here")
+
+
 def _adaptation_arguments(parser) -> None:
     """The ``--adapt`` flag family shared by batch, serve and shard."""
     parser.add_argument("--adapt", action="store_true",
@@ -1253,6 +1414,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="router confidence threshold")
     batch.add_argument("--exemplars", type=int, default=8,
                        help="exemplar pages per cluster for router fitting")
+    _observability_arguments(batch)
     _adaptation_arguments(batch)
     _registry_arguments(batch)
     batch.set_defaults(func=cmd_batch)
@@ -1294,6 +1456,7 @@ def build_parser() -> argparse.ArgumentParser:
                                   default="auto")
         shard_parser.add_argument("--threshold", type=float, default=0.5)
         shard_parser.add_argument("--exemplars", type=int, default=8)
+        _observability_arguments(shard_parser)
         _adaptation_arguments(shard_parser)
         _registry_arguments(shard_parser)
 
@@ -1353,7 +1516,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--http", default="", metavar="HOST:PORT",
                        help="serve over HTTP instead of stdin "
                             "(POST /extract, streaming POST /batch, "
-                            "GET /healthz; port 0 picks a free port)")
+                            "GET /healthz, GET /metrics; port 0 picks "
+                            "a free port)")
     serve.add_argument("--http-drain-timeout", type=float, default=30.0,
                        help="graceful-shutdown window: seconds in-flight "
                             "HTTP requests get to finish before their "
@@ -1362,6 +1526,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-inflight", type=int, default=8,
                        help="async front-ends: concurrent pages in flight "
                             "(the memory/backpressure bound)")
+    serve.add_argument("--rate-limit", type=float, default=0.0,
+                       help="admission control: sustained requests/second "
+                            "allowed per client before 429 responses "
+                            "(0 disables)")
+    serve.add_argument("--rate-burst", type=int, default=None,
+                       help="token-bucket burst size for --rate-limit "
+                            "(default: ceil of the rate, at least 1)")
+    serve.add_argument("--max-concurrent", type=int, default=0,
+                       help="load shedding: in-flight request cap before "
+                            "503 responses (0 disables)")
+    serve.add_argument("--metrics", default="", metavar="PATH",
+                       help="on exit, write the Prometheus text "
+                            "exposition of this run's metrics here "
+                            "(--http serves it live on GET /metrics)")
     _adaptation_arguments(serve)
     _registry_arguments(serve, canary=True)
     serve.set_defaults(func=cmd_serve, stdin=None, stdout=None)

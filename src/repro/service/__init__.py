@@ -35,7 +35,12 @@ Every entry point is a composition over the same
 * versioned deployment (:mod:`repro.service.registry`) — rule-sets
   and router profile-sets persisted as immutable content-hashed
   versions, refit candidates shadow-routed by a canary controller and
-  promoted (new pinned version) or rolled back with a logged reason.
+  promoted (new pinned version) or rolled back with a logged reason;
+* observability and admission (:mod:`repro.service.metrics`) — a
+  dependency-free Prometheus-exposition metrics registry every layer
+  reports into, token-bucket rate limiting and load shedding on the
+  serving entry points, JSONL progress events and cooperative
+  cancellation for long batch/shard runs.
 """
 
 from repro.service.adapt import (
@@ -63,6 +68,21 @@ from repro.service.runtime import (
     StreamingRuntime,
 )
 from repro.service.http import HttpFrontEnd, HttpStats
+from repro.service.metrics import (
+    AdmissionController,
+    AdmissionDecision,
+    CancellationToken,
+    METRIC_SPECS,
+    MetricSpec,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+    ProgressEmitter,
+    TokenBucket,
+    default_registry,
+    parse_exposition,
+    render_metrics_table,
+)
 from repro.service.registry import (
     ArtifactRegistry,
     CanaryController,
@@ -111,10 +131,13 @@ __all__ = [
     "AdaptationLog",
     "AdaptiveRouter",
     "AdaptiveRouterStage",
+    "AdmissionController",
+    "AdmissionDecision",
     "ArtifactRegistry",
     "AsyncLinePipeline",
     "BatchExtractionEngine",
     "CanaryController",
+    "CancellationToken",
     "ClusterProfile",
     "DriftEvent",
     "DriftMonitor",
@@ -127,6 +150,13 @@ __all__ = [
     "EngineReport",
     "HttpFrontEnd",
     "HttpStats",
+    "METRIC_SPECS",
+    "MetricSpec",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetricsRegistry",
+    "ProgressEmitter",
+    "TokenBucket",
     "IterablePageSource",
     "JsonlSink",
     "LoadingPageSource",
@@ -160,10 +190,13 @@ __all__ = [
     "canonical_json",
     "compile_wrapper",
     "content_hash",
+    "default_registry",
     "incomplete_shards",
     "make_adapter",
     "make_error_record",
     "make_unroutable_record",
+    "parse_exposition",
+    "render_metrics_table",
     "serve_async",
     "serve_sync",
     "shard_statuses",

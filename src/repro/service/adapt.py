@@ -48,6 +48,7 @@ from typing import Deque, Dict, IO, Iterable, Optional, Union
 
 from repro.clustering.features import PageSignature
 from repro.errors import ClusteringError
+from repro.service.metrics import default_registry
 from repro.service.router import UNROUTABLE, ClusterRouter, RouteDecision
 from repro.service.sink import PageRecord
 from repro.sites.page import WebPage
@@ -92,6 +93,7 @@ class DriftEvent:
     observation: int     # monitor's total observation count at firing
 
     def to_dict(self) -> dict:
+        """The JSON payload recorded in the audit log."""
         return {"event": "drift", **self.__dict__}
 
 
@@ -111,6 +113,7 @@ class RefitEvent:
     alien_pages: int = 0
 
     def to_dict(self) -> dict:
+        """The JSON payload recorded in the audit log."""
         data = dict(self.__dict__)
         data["updated"] = list(self.updated)
         data["spawned"] = list(self.spawned)
@@ -141,6 +144,7 @@ class AdaptationLog:
             self._stream = target
 
     def record(self, event: Union[DriftEvent, RefitEvent]) -> None:
+        """Append ``event`` in memory and to the JSONL stream (flushed)."""
         payload = event.to_dict()
         self.events.append(payload)
         if self._stream is not None:
@@ -149,6 +153,7 @@ class AdaptationLog:
             self._stream.flush()
 
     def close(self) -> None:
+        """Close the stream if the log owns it (borrowed streams stay open)."""
         if self._owns_stream and self._stream is not None:
             if not self._stream.closed:
                 self._stream.close()
@@ -226,6 +231,7 @@ class DriftMonitor:
         self._streak: Dict[str, int] = {}
 
     def threshold_for(self, key: str) -> float:
+        """The trip threshold for ``key`` (unroutable vs per-cluster)."""
         if key == UNROUTABLE:
             return self.unroutable_threshold
         return self.failure_threshold
@@ -352,6 +358,10 @@ class AdaptiveRouter:
             swaps the live router directly: the refit product is built
             on a clone and staged as a shadow candidate, and only the
             deployer's verdict promotes it (or rolls it back).
+        metrics: a :class:`~repro.service.metrics.MetricsRegistry`
+            receiving the ``repro_drift_events_total{kind}`` and
+            ``repro_refits_total`` counters (default: the process-wide
+            registry).
     """
 
     def __init__(
@@ -366,6 +376,7 @@ class AdaptiveRouter:
         spawn_below: float = 0.25,
         spawn_min_cohort: int = 8,
         deployer=None,
+        metrics=None,
     ) -> None:
         if reservoir < 1:
             raise ValueError("reservoir must be >= 1")
@@ -385,6 +396,9 @@ class AdaptiveRouter:
         self.refits = 0
         self.routed_pages = 0
         self.unroutable_pages = 0
+        registry = metrics if metrics is not None else default_registry()
+        self._m_drift = registry.from_spec("repro_drift_events_total")
+        self._m_refits = registry.from_spec("repro_refits_total")
         self._reservoirs: Dict[str, Deque[PageSignature]] = {}
         self._unroutable: Deque[PageSignature] = deque(maxlen=reservoir)
         self._spawned = 0
@@ -405,12 +419,14 @@ class AdaptiveRouter:
         return decision
 
     def target(self, page: WebPage) -> Optional[str]:
+        """The routed cluster name, or ``None`` when unroutable."""
         decision = self.route(page)
         return None if decision.cluster == UNROUTABLE else decision.cluster
 
     def route_all(
         self, pages: Iterable[WebPage]
     ) -> Dict[str, list[WebPage]]:
+        """Bucket ``pages`` by routed cluster (observing each decision)."""
         routed: Dict[str, list[WebPage]] = {}
         for page in pages:
             decision = self.route(page)
@@ -418,10 +434,12 @@ class AdaptiveRouter:
         return routed
 
     def clusters(self) -> list[str]:
+        """Cluster names the live router currently serves."""
         return self.router.clusters()
 
     @property
     def threshold(self) -> float:
+        """The live router's confidence threshold."""
         return self.router.threshold
 
     # -- feedback from extraction -------------------------------------- #
@@ -480,6 +498,7 @@ class AdaptiveRouter:
     def _refit(self, trigger: DriftEvent) -> None:
         """Answer one drift event: refit, re-arm, audit (lock held)."""
         self.drift_events += 1
+        self._m_drift.labels(trigger.kind).inc()
         self.log.record(trigger)
         reservoirs = {
             cluster: list(window)
@@ -521,6 +540,7 @@ class AdaptiveRouter:
         self._unroutable.clear()
         self.monitor.rearm()
         self.refits += 1
+        self._m_refits.inc()
         refit_event = RefitEvent(
             trigger_kind=trigger.kind,
             trigger_key=trigger.key,

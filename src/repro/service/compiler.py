@@ -158,6 +158,7 @@ class CompiledRule:
 
     @property
     def name(self) -> str:
+        """The compiled rule's component name."""
         return self.rule.name
 
 

@@ -66,6 +66,9 @@ class BatchExtractionEngine:
         adapter: an :class:`~repro.service.adapt.AdaptiveRouter`
             (mutually exclusive with ``router``); the run report then
             carries its drift/refit counts.
+        metrics: a :class:`~repro.service.metrics.MetricsRegistry` for
+            the runtime's per-cluster counters and latency histograms
+            (default: the process-wide registry).
     """
 
     def __init__(
@@ -79,6 +82,7 @@ class BatchExtractionEngine:
         max_pending: Optional[int] = None,
         ordered: bool = False,
         adapter=None,
+        metrics=None,
     ) -> None:
         self.runtime = StreamingRuntime(
             repository,
@@ -90,6 +94,7 @@ class BatchExtractionEngine:
             max_pending=max_pending,
             ordered=ordered,
             adapter=adapter,
+            metrics=metrics,
         )
         self.repository = repository
         self.router = adapter if adapter is not None else router
@@ -100,22 +105,27 @@ class BatchExtractionEngine:
 
     @property
     def workers(self) -> int:
+        """The wrapped runtime's executor pool size."""
         return self.runtime.workers
 
     @property
     def executor_kind(self) -> str:
+        """``"inline"``, ``"thread"`` or ``"process"``."""
         return self.runtime.executor_kind
 
     @property
     def chunk_size(self) -> int:
+        """Pages per submitted work item."""
         return self.runtime.chunk_size
 
     @property
     def max_pending(self) -> int:
+        """In-flight chunk cap (the stream's memory bound)."""
         return self.runtime.max_pending
 
     @property
     def ordered(self) -> bool:
+        """Whether records emit in strict submission-index order."""
         return self.runtime.ordered
 
     # ------------------------------------------------------------------ #

@@ -43,16 +43,19 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.service.metrics import AdmissionController, AdmissionDecision
 from repro.service.serve import (
     AsyncLinePipeline,
     ServeStats,
     contained_handle,
     _adopt_adapter_counts,
     _dumps,
+    _metrics_of,
     _policy_of,
 )
 from repro.service.sink import make_error_record
@@ -79,10 +82,16 @@ _REASONS = {
     405: "Method Not Allowed",
     411: "Length Required",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     501: "Not Implemented",
+    503: "Service Unavailable",
 }
+
+#: Endpoint label values for ``repro_http_requests_total`` — a bounded
+#: set, so an URL-scanning client cannot explode series cardinality.
+_KNOWN_ENDPOINTS = ("/extract", "/batch", "/healthz", "/metrics")
 
 
 class HttpProtocolError(Exception):
@@ -106,6 +115,14 @@ class HttpStats:
     served: int = 0
     #: Requests refused at the HTTP layer (4xx/5xx).
     protocol_errors: int = 0
+    #: Requests refused 429 by a per-client rate limit.
+    rate_limited: int = 0
+    #: Requests shed 503 at the in-flight saturation bound.
+    shed: int = 0
+    #: Connections the graceful-shutdown drain path closed — kept in
+    #: lockstep with ``repro_http_drained_connections_total`` so the
+    #: drain log line and ``/metrics`` can never disagree.
+    drained_connections: int = 0
     #: Drift events / refits the handler's adapter performed during
     #: this session (0 without ``--adapt``).
     drift_events: int = 0
@@ -130,6 +147,7 @@ class _Request:
 
     @property
     def keep_alive(self) -> bool:
+        """Whether the client asked to reuse the connection."""
         connection = self.headers.get("connection", "").lower()
         if self.version == "HTTP/1.0":
             return connection == "keep-alive"
@@ -198,6 +216,7 @@ class _LengthFramedBody:
         self._remaining = remaining
 
     async def read_some(self) -> bytes:
+        """The next body chunk (``b""`` once the framed length is read)."""
         if self._remaining <= 0:
             return b""
         data = await self._reader.read(min(65536, self._remaining))
@@ -218,6 +237,7 @@ class _ChunkedBody:
         self._done = False
 
     async def read_some(self) -> bytes:
+        """The next decoded chunk (``b""`` after the final chunk)."""
         if self._done:
             return b""
         if self._chunk_left == 0:
@@ -366,11 +386,13 @@ def _write_payload_response(
     body: bytes,
     keep_alive: bool,
     content_type: str = "application/json; charset=utf-8",
+    extra_headers: tuple = (),
 ) -> None:
     writer.write(_response_head(status, [
         ("Content-Type", content_type),
         ("Content-Length", str(len(body))),
         ("Connection", "keep-alive" if keep_alive else "close"),
+        *extra_headers,
     ]) + body)
 
 
@@ -410,6 +432,13 @@ class HttpFrontEnd:
             that stops reading its response must not be able to wedge
             SIGTERM forever.
 
+    Admission control: the handler's
+    :class:`~repro.service.metrics.AdmissionController` (configured by
+    its :class:`~repro.service.serve.ServePolicy`) guards ``/extract``
+    and ``/batch`` — over-rate clients get 429, saturation sheds 503,
+    both with ``Retry-After``.  ``/healthz`` and ``/metrics`` are
+    exempt: an operator must be able to observe a saturated server.
+
     Lifecycle: ``await start()`` binds and serves in the background;
     :meth:`stop` (thread-safe) releases :meth:`wait_stopped`; ``await
     shutdown()`` closes the listener, finishes in-flight requests,
@@ -438,6 +467,27 @@ class HttpFrontEnd:
         self.max_body_bytes = max_body_bytes
         self.drain_timeout = drain_timeout
         self.stats = HttpStats()
+        self._metrics = _metrics_of(handler)
+        admission = getattr(handler, "admission", None)
+        self._admission = (
+            admission
+            if admission is not None
+            else AdmissionController(
+                rate_limit=policy.rate_limit,
+                rate_burst=policy.rate_burst,
+                max_concurrent=policy.max_concurrent_requests,
+                metrics=self._metrics,
+            )
+        )
+        self._m_http_requests = self._metrics.from_spec(
+            "repro_http_requests_total"
+        )
+        self._m_open_connections = self._metrics.from_spec(
+            "repro_http_open_connections"
+        )
+        self._m_drained = self._metrics.from_spec(
+            "repro_http_drained_connections_total"
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -491,6 +541,12 @@ class HttpFrontEnd:
         largest legitimate batch) is force-closed mid-stream: the
         operator's SIGTERM must always win.  Idempotent.
         """
+        # Every connection still open now is the drain path's to close
+        # (idle hang-up, in-flight completion, or force-close below);
+        # counted once, in both the session stats and the metrics
+        # counter, so the drain log and /metrics always agree (a
+        # repeated shutdown() call must not recount survivors).
+        drained = 0 if self._closing else len(self._connections)
         self._closing = True
         if self._server is not None:
             self._server.close()
@@ -516,6 +572,9 @@ class HttpFrontEnd:
         if self._pool is not None:
             self._pool.shutdown(wait=not wedged)
             self._pool = None
+        if drained:
+            self.stats.drained_connections += drained
+            self._m_drained.inc(drained)
         _adopt_adapter_counts(self.handler, self.stats)
         if self._stopped is not None:
             self._stopped.set()
@@ -533,6 +592,7 @@ class HttpFrontEnd:
         connection = _Connection(writer)
         self._connections[id(connection)] = connection
         self.stats.connections += 1
+        self._m_open_connections.inc()
         try:
             await self._serve_connection(reader, writer, connection)
         except (
@@ -543,6 +603,7 @@ class HttpFrontEnd:
             pass  # client hung up mid-exchange; nothing to answer
         finally:
             del self._connections[id(connection)]
+            self._m_open_connections.dec()
             writer.close()
             try:
                 await writer.wait_closed()
@@ -563,7 +624,7 @@ class HttpFrontEnd:
             try:
                 keep_alive = await self._dispatch(request, reader, writer)
             except HttpProtocolError as exc:
-                await self._refuse(reader, writer, exc)
+                await self._refuse(reader, writer, exc, request.target)
                 break
             finally:
                 connection.busy = False
@@ -571,7 +632,23 @@ class HttpFrontEnd:
             if not keep_alive:
                 break
 
-    async def _refuse(self, reader, writer, exc: HttpProtocolError) -> None:
+    def _count_request(self, endpoint: str, status: int) -> None:
+        """One ``repro_http_requests_total`` tick, cardinality-bounded."""
+        if endpoint not in _KNOWN_ENDPOINTS:
+            endpoint = "other"
+        self._m_http_requests.labels(endpoint, str(status)).inc()
+
+    @staticmethod
+    def _client_of(writer) -> str:
+        """The peer's address, the admission controller's client key."""
+        peername = writer.get_extra_info("peername")
+        if isinstance(peername, (tuple, list)) and peername:
+            return str(peername[0])
+        return str(peername) if peername else "unknown"
+
+    async def _refuse(
+        self, reader, writer, exc: HttpProtocolError, target: str = "other"
+    ) -> None:
         """One HTTP-layer rejection; the connection closes after it.
 
         The body is still an error record, so even a client that hits
@@ -581,6 +658,7 @@ class HttpFrontEnd:
         destroy the very response the client needs to see.
         """
         self.stats.protocol_errors += 1
+        self._count_request(target, exc.status)
         extra = []
         if exc.status == 405:
             extra = [("Allow", exc.detail.rsplit(" ", 1)[-1])]
@@ -629,12 +707,16 @@ class HttpFrontEnd:
             return await self._handle_batch(request, reader, writer)
         if route == ("GET", "/healthz"):
             return await self._handle_healthz(request, reader, writer)
+        if route == ("GET", "/metrics"):
+            return await self._handle_metrics(request, reader, writer)
         if request.target in ("/extract", "/batch"):
             raise HttpProtocolError(
                 405, f"{request.target} accepts only POST"
             )
-        if request.target == "/healthz":
-            raise HttpProtocolError(405, "/healthz accepts only GET")
+        if request.target in ("/healthz", "/metrics"):
+            raise HttpProtocolError(
+                405, f"{request.target} accepts only GET"
+            )
         raise HttpProtocolError(404, f"no such endpoint {request.target!r}")
 
     # ------------------------------------------------------------------ #
@@ -653,7 +735,50 @@ class HttpFrontEnd:
         if request.headers.get("expect", "").lower() == "100-continue":
             writer.write(b"HTTP/1.1 100 Continue\r\n\r\n")
 
+    async def _reject(
+        self, request, reader, writer, decision: AdmissionDecision
+    ) -> bool:
+        """Answer a refused ``POST`` without losing the connection.
+
+        The framed request body is consumed first (its bytes would
+        otherwise prefix the next request line on this keep-alive
+        connection), then the 429/503 goes out with a whole-second
+        ``Retry-After`` and an error-record body — so even a refusal
+        is a parseable line.  No ``100 Continue`` is sent: a client
+        holding its body on ``Expect`` sees the final status instead.
+        """
+        if decision.status == 429:
+            self.stats.rate_limited += 1
+        else:
+            self.stats.shed += 1
+        body_framer = _framed_body(request, reader, self.max_body_bytes)
+        await _read_whole_body(body_framer, self.max_body_bytes)
+        retry_after = max(1, math.ceil(decision.retry_after))
+        payload = _error_body(
+            f"{decision.status} {_REASONS[decision.status]}: "
+            f"{decision.reason}; retry after {retry_after}s"
+        )
+        keep_alive = request.keep_alive and not self._closing
+        _write_payload_response(
+            writer,
+            decision.status,
+            payload,
+            keep_alive,
+            extra_headers=(("Retry-After", str(retry_after)),),
+        )
+        self._count_request(request.target, decision.status)
+        return keep_alive
+
     async def _handle_extract(self, request, reader, writer) -> bool:
+        decision = self._admission.admit(self._client_of(writer))
+        if not decision.admitted:
+            return await self._reject(request, reader, writer, decision)
+        try:
+            return await self._extract_admitted(request, reader, writer)
+        finally:
+            self._admission.release()
+
+    async def _extract_admitted(self, request, reader, writer) -> bool:
         body = _framed_body(request, reader, self.max_body_bytes)
         self._answer_expect(request, writer)
         raw = await _read_whole_body(body, self.max_body_bytes)
@@ -671,9 +796,19 @@ class HttpFrontEnd:
         self.stats.served += served
         keep_alive = request.keep_alive and not self._closing
         _write_payload_response(writer, 200, payload, keep_alive)
+        self._count_request("/extract", 200)
         return keep_alive
 
     async def _handle_batch(self, request, reader, writer) -> bool:
+        decision = self._admission.admit(self._client_of(writer))
+        if not decision.admitted:
+            return await self._reject(request, reader, writer, decision)
+        try:
+            return await self._batch_admitted(request, reader, writer)
+        finally:
+            self._admission.release()
+
+    async def _batch_admitted(self, request, reader, writer) -> bool:
         body = _framed_body(request, reader, self.max_body_bytes)
         self._answer_expect(request, writer)
         # The response head goes out before the body has fully arrived:
@@ -754,6 +889,7 @@ class HttpFrontEnd:
             )))
         if chunked:
             writer.write(b"0\r\n\r\n")
+        self._count_request("/batch", 200)
         if not clean:
             # Aborted with body bytes still unread (the cap tripped,
             # or the framing lied): drain them before the close, or
@@ -788,6 +924,9 @@ class HttpFrontEnd:
             "pages": self.stats.pages,
             "served": self.stats.served,
             "protocol_errors": self.stats.protocol_errors,
+            "rate_limited": self.stats.rate_limited,
+            "shed": self.stats.shed,
+            "drained_connections": self.stats.drained_connections,
             "drift_events": 0 if adapter is None else adapter.drift_events,
             "refits": 0 if adapter is None else adapter.refits,
             "max_inflight": self.max_inflight,
@@ -800,4 +939,33 @@ class HttpFrontEnd:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         keep_alive = request.keep_alive and not self._closing
         _write_payload_response(writer, 200, body, keep_alive)
+        self._count_request("/healthz", 200)
+        return keep_alive
+
+    async def _handle_metrics(self, request, reader, writer) -> bool:
+        """``GET /metrics``: the registry in Prometheus text format.
+
+        Renders the handler's registry (the process-wide one, for CLI
+        deployments), so one scrape covers the runtime, router,
+        adaptive layer, canary controller and this ingress.  Exempt
+        from admission control — observability of a saturated server
+        is the whole point.
+        """
+        if (
+            "content-length" in request.headers
+            or "transfer-encoding" in request.headers
+        ):
+            # Same stray-body hygiene as /healthz.
+            body_framer = _framed_body(request, reader, self.max_body_bytes)
+            await _read_whole_body(body_framer, self.max_body_bytes)
+        body = self._metrics.render().encode("utf-8")
+        keep_alive = request.keep_alive and not self._closing
+        _write_payload_response(
+            writer,
+            200,
+            body,
+            keep_alive,
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+        self._count_request("/metrics", 200)
         return keep_alive

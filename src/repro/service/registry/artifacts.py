@@ -112,6 +112,7 @@ def router_to_dict(router: ClusterRouter) -> dict:
 
 
 def router_from_dict(data: dict) -> ClusterRouter:
+    """Rebuild a router from :func:`router_to_dict` output."""
     try:
         profiles = [profile_from_dict(p) for p in data["profiles"]]
         threshold = data["threshold"]
@@ -142,11 +143,13 @@ def artifact_payload(
 
 
 def repository_from_payload(payload: dict) -> RuleRepository:
+    """The repository inside an artifact payload (format-checked)."""
     _check_format(payload)
     return RuleRepository.from_dict(payload["repository"])
 
 
 def router_from_payload(payload: dict) -> Optional[ClusterRouter]:
+    """The router inside an artifact payload, or ``None``."""
     _check_format(payload)
     router = payload.get("router")
     return None if router is None else router_from_dict(router)

@@ -33,6 +33,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.service.metrics import default_registry
 from repro.service.registry.store import ArtifactRegistry
 from repro.service.router import ClusterRouter, RouteDecision, UNROUTABLE
 
@@ -49,6 +50,7 @@ class ShadowEvent:
     window: int
 
     def to_dict(self) -> dict:
+        """The JSON payload recorded in the audit log."""
         return {"event": "shadow", **self.__dict__}
 
 
@@ -64,6 +66,7 @@ class PromoteEvent:
     reason: str
 
     def to_dict(self) -> dict:
+        """The JSON payload recorded in the audit log."""
         return {"event": "promote", **self.__dict__}
 
 
@@ -79,6 +82,7 @@ class RollbackEvent:
     reason: str
 
     def to_dict(self) -> dict:
+        """The JSON payload recorded in the audit log."""
         return {"event": "rollback", **self.__dict__}
 
 
@@ -107,6 +111,9 @@ class CanaryController:
         log: optional :class:`~repro.service.adapt.AdaptationLog`;
             shadow/promote/rollback events are recorded beside the
             adapter's drift/refit events.
+        metrics: a :class:`~repro.service.metrics.MetricsRegistry`
+            receiving the shadow-page/promotion/rollback counters
+            (default: the process-wide registry).
     """
 
     def __init__(
@@ -121,6 +128,7 @@ class CanaryController:
         low_margin: float = 0.0,
         extract: Optional[Callable] = None,
         log=None,
+        metrics=None,
     ) -> None:
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"canary fraction must be in [0, 1]: {fraction}")
@@ -143,6 +151,14 @@ class CanaryController:
         self.rollbacks = 0
         self.shadow_pages = 0
         self.shadow_extractions = 0
+        registry_m = metrics if metrics is not None else default_registry()
+        self._m_shadow = registry_m.from_spec("repro_canary_shadow_pages_total")
+        self._m_promotions = registry_m.from_spec(
+            "repro_canary_promotions_total"
+        )
+        self._m_rollbacks = registry_m.from_spec(
+            "repro_canary_rollbacks_total"
+        )
         self._acc = 0.0
         # paired (inc_routed, inc_low, cand_routed, cand_low, cand_failed)
         self._pairs: deque = deque(maxlen=window)
@@ -244,6 +260,7 @@ class CanaryController:
             self._acc -= 1.0
             decision = candidate.route_signature(signature)
             self.shadow_pages += 1
+            self._m_shadow.inc()
             inc_routed = incumbent.cluster != UNROUTABLE
             cand_routed = decision.cluster != UNROUTABLE
             cand_failed = None
@@ -363,6 +380,7 @@ class CanaryController:
             self.registry.pin(self.candidate_version)
         self.active_version = self.candidate_version
         self.promotions += 1
+        self._m_promotions.inc()
         self._record(
             PromoteEvent(
                 version=self.candidate_version or "",
@@ -379,6 +397,7 @@ class CanaryController:
         self, reason: str, incumbent: dict, candidate: dict
     ) -> None:
         self.rollbacks += 1
+        self._m_rollbacks.inc()
         self._record(
             RollbackEvent(
                 version=self.candidate_version or "",
@@ -426,6 +445,7 @@ def wrapper_extractor(runtime) -> Callable:
     """
 
     def extract(cluster: str, page) -> bool:
+        """Shadow-extract ``page`` with ``cluster``'s wrapper; ``True`` = clean."""
         wrapper = runtime.wrapper_for(cluster)
         if wrapper is None:
             return True

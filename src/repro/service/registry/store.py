@@ -104,12 +104,14 @@ class VersionManifest:
     extra: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
+        """The JSON object persisted as the version's manifest."""
         data = dict(self.__dict__)
         data["clusters"] = list(self.clusters)
         return {"format": MANIFEST_FORMAT, **data}
 
     @classmethod
     def from_dict(cls, data: dict) -> "VersionManifest":
+        """Parse a manifest object (raises ``RegistryCorruptError``)."""
         if not isinstance(data, dict):
             raise RegistryCorruptError(
                 f"manifest must be a JSON object, got {type(data).__name__}"
@@ -157,6 +159,7 @@ class ArtifactRegistry:
         return self.root / _VERSIONS_DIR / version
 
     def exists(self, version: str) -> bool:
+        """Whether ``version`` is present in the store."""
         return (self._version_dir(version) / _MANIFEST_FILE).is_file()
 
     def version_ids(self) -> list:

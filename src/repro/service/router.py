@@ -55,6 +55,7 @@ class ClusterProfile:
     paths: Counter
 
     def score(self, signature: PageSignature) -> float:
+        """Similarity of ``signature`` to this profile, in ``[0, 1]``."""
         structure = structure_similarity(signature.paths, self.paths)
         keywords = cosine_similarity(signature.keywords, self.keywords)
         url = 1.0 if signature.url_signature in self.url_signatures else 0.0
@@ -76,6 +77,7 @@ class RouteDecision:
 
     @property
     def routed(self) -> bool:
+        """Whether the page landed on a real cluster."""
         return self.cluster != UNROUTABLE
 
 
@@ -261,6 +263,7 @@ class ClusterRouter:
         return routed
 
     def clusters(self) -> list[str]:
+        """The fitted cluster names, in profile order."""
         return [profile.name for profile in self.profiles]
 
     def clone(self) -> "ClusterRouter":

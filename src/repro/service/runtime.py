@@ -47,6 +47,7 @@ from typing import (
 from repro.core.repository import RuleRepository
 from repro.extraction.postprocess import PostProcessor
 from repro.service.compiler import CompiledWrapper
+from repro.service.metrics import default_registry
 from repro.service.router import ClusterRouter
 from repro.service.sink import (
     CollectingSink,
@@ -99,9 +100,11 @@ class Stage(Protocol):
 class RecordSink(Protocol):
     """Structural view of :class:`~repro.service.sink.ResultSink`."""
 
-    def write(self, record: PageRecord) -> None: ...  # pragma: no cover
+    def write(self, record: PageRecord) -> None:  # pragma: no cover
+        """Accept one extracted record."""
 
-    def close(self) -> None: ...  # pragma: no cover
+    def close(self) -> None:  # pragma: no cover
+        """Flush and release the sink's resources."""
 
 
 # --------------------------------------------------------------------- #
@@ -225,6 +228,7 @@ class OrderedEmitter:
 
     @property
     def held(self) -> int:
+        """Records currently buffered awaiting their turn."""
         return len(self._held)
 
     @property
@@ -250,6 +254,7 @@ class ClusterStats:
 
     @property
     def pages_per_second(self) -> float:
+        """Worker throughput (pages over summed worker seconds)."""
         if self.worker_seconds <= 0:
             return 0.0
         return self.pages / self.worker_seconds
@@ -290,33 +295,44 @@ class RuntimeReport:
     refits: int = 0
     per_cluster: Dict[str, ClusterStats] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    #: ``True`` when the run stopped early on a cooperative
+    #: :class:`~repro.service.metrics.CancellationToken`: admitted
+    #: pages were drained (output is line-complete), the rest of the
+    #: source was never read.
+    cancelled: bool = False
 
     def note_unroutable(self, url: str) -> None:
+        """Count an unroutable page (URL sampled up to the cap)."""
         self.unroutable_count += 1
         if len(self.unroutable) < URL_SAMPLE_CAP:
             self.unroutable.append(url)
 
     def note_skipped(self, url: str) -> None:
+        """Count a no-rules skip (URL sampled up to the cap)."""
         self.skipped_count += 1
         if len(self.skipped) < URL_SAMPLE_CAP:
             self.skipped.append(url)
 
     def note_error(self, url: str) -> None:
+        """Count a failed page (URL sampled up to the cap)."""
         self.errors_count += 1
         if len(self.errors) < URL_SAMPLE_CAP:
             self.errors.append(url)
 
     @property
     def pages_served(self) -> int:
+        """Pages that produced a record, across clusters."""
         return sum(stats.pages for stats in self.per_cluster.values())
 
     @property
     def pages_per_second(self) -> float:
+        """Wall-clock throughput of the finished run."""
         if self.wall_seconds <= 0:
             return 0.0
         return self.pages_served / self.wall_seconds
 
     def summary(self) -> str:
+        """The human-readable multi-line run summary."""
         lines = [
             f"pages seen      : {self.total_pages}",
             f"pages served    : {self.pages_served}"
@@ -328,6 +344,8 @@ class RuntimeReport:
             lines.append(f"extraction error: {self.errors_count}")
         if self.dropped_count:
             lines.append(f"stage-dropped   : {self.dropped_count}")
+        if self.cancelled:
+            lines.append("interrupted     : yes (partial, line-complete)")
         if self.drift_events or self.refits:
             lines.append(
                 f"drift events    : {self.drift_events} "
@@ -475,6 +493,7 @@ class _ImmediateFuture:
             self._error = exc
 
     def result(self):
+        """The chunk's outcome (re-raises the worker's exception)."""
         if self._error is not None:
             raise self._error
         return self._value
@@ -488,9 +507,11 @@ class _InlineExecutor:
     """
 
     def submit(self, fn: Callable, *args) -> _ImmediateFuture:
+        """Run ``fn`` immediately; returns the completed future."""
         return _ImmediateFuture(fn, args)
 
     def shutdown(self, wait: bool = True) -> None:
+        """Nothing to release (signature parity with real pools)."""
         pass
 
 
@@ -538,6 +559,13 @@ class StreamingRuntime:
             it, its feedback stage is installed ahead of ``stages``,
             and the run report carries the drift/refit counts it
             accumulated during the run.
+        metrics: a :class:`~repro.service.metrics.MetricsRegistry`
+            receiving per-cluster routed/failed counters and the
+            route/extract latency histograms (default: the
+            process-wide registry; pass
+            :data:`~repro.service.metrics.NULL_METRICS` to run
+            uninstrumented).  Instrumentation never touches output
+            bytes.
     """
 
     def __init__(
@@ -553,6 +581,7 @@ class StreamingRuntime:
         stages: Sequence[Stage] = (),
         contain_errors: bool = False,
         adapter=None,
+        metrics=None,
     ) -> None:
         if executor not in EXECUTOR_KINDS:
             raise ValueError(f"unknown executor kind {executor!r}")
@@ -581,6 +610,17 @@ class StreamingRuntime:
         self.ordered = ordered
         self.contain_errors = contain_errors
         self.adapter = adapter
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_routed = self.metrics.from_spec("repro_pages_routed_total")
+        self._m_unroutable = self.metrics.from_spec(
+            "repro_pages_unroutable_total"
+        )
+        self._m_skipped = self.metrics.from_spec("repro_pages_skipped_total")
+        self._m_failed = self.metrics.from_spec("repro_pages_failed_total")
+        self._m_route_seconds = self.metrics.from_spec("repro_route_seconds")
+        self._m_extract_seconds = self.metrics.from_spec(
+            "repro_extract_seconds"
+        )
         # Thread/inline mode: wrappers apply post-processing in the
         # worker.  Process mode: wrappers are rebuilt per process
         # without the (unpicklable) post-processor; a parent-side stage
@@ -615,8 +655,25 @@ class StreamingRuntime:
         self,
         source: PageSource,
         sink: Optional[ResultSink] = None,
+        cancel=None,
+        on_progress: Optional[Callable[[RuntimeReport], None]] = None,
     ) -> RuntimeReport:
-        """Route, extract and sink every page; returns the run report."""
+        """Route, extract and sink every page; returns the run report.
+
+        Args:
+            source: the page stream (``(global index, page)`` items).
+            sink: where records go (default: discarded).
+            cancel: an optional
+                :class:`~repro.service.metrics.CancellationToken`;
+                when it is set the runtime stops admitting pages,
+                drains everything already in flight (output stays
+                line-complete) and returns a report with
+                ``cancelled=True``.
+            on_progress: optional callback invoked with the live
+                report after every drained chunk — what a
+                :class:`~repro.service.metrics.ProgressEmitter`
+                plugs into for periodic progress lines.
+        """
         sink = sink if sink is not None else NullSink()
         report = RuntimeReport()
         # Adapters outlive runs (a serve session is many single-page
@@ -634,6 +691,7 @@ class StreamingRuntime:
             # Ordered emission carries error payloads (contained-errors
             # mode) through the same reorder buffer as records, so the
             # sink sees one strictly submission-ordered stream.
+            """Hand one drained item to the sink (records and errors alike)."""
             if isinstance(item, PageRecord):
                 sink.write(item)
             else:
@@ -642,6 +700,12 @@ class StreamingRuntime:
         emitter = OrderedEmitter(release) if self.ordered else None
         try:
             for seq, (index, page) in enumerate(iter(source)):
+                if cancel is not None and cancel.is_set():
+                    # Cooperative stop: admit nothing more; the tail
+                    # below still drains every in-flight chunk so the
+                    # sink ends on a record boundary.
+                    report.cancelled = True
+                    break
                 report.total_pages += 1
                 cluster = self._route(page, report)
                 if cluster is None:
@@ -655,6 +719,8 @@ class StreamingRuntime:
                     buffers[cluster] = []
                     while len(pending) >= self.max_pending:
                         self._drain_one(pending, sink, emitter, report)
+                        if on_progress is not None:
+                            on_progress(report)
                         # A partially-filled buffer from a quiet cluster
                         # must not dam the reorder buffer behind it: if
                         # the sequence the emitter needs next is sitting
@@ -672,6 +738,8 @@ class StreamingRuntime:
                     self._submit(executor, cluster, buffer, pending, report)
             while pending:
                 self._drain_one(pending, sink, emitter, report)
+                if on_progress is not None:
+                    on_progress(report)
             assert emitter is None or emitter.held == 0
         finally:
             executor.shutdown(wait=True)
@@ -717,21 +785,29 @@ class StreamingRuntime:
     def _route(
         self, page: WebPage, report: RuntimeReport
     ) -> Optional[str]:
-        if self.router is not None:
-            cluster = self.router.target(page)
-            if cluster is None:
-                report.note_unroutable(page.url)
+        started = time.perf_counter()
+        try:
+            if self.router is not None:
+                cluster = self.router.target(page)
+                if cluster is None:
+                    report.note_unroutable(page.url)
+                    self._m_unroutable.inc()
+                    return None
+            else:
+                cluster = page.cluster_hint
+                if not cluster:
+                    report.note_unroutable(page.url)
+                    self._m_unroutable.inc()
+                    return None
+            if cluster not in self._wrappers:
+                report.note_skipped(page.url)
+                self._m_skipped.inc()
                 return None
-        else:
-            cluster = page.cluster_hint
-            if not cluster:
-                report.note_unroutable(page.url)
-                return None
-        if cluster not in self._wrappers:
-            report.note_skipped(page.url)
-            return None
-        report.routed[cluster] = report.routed.get(cluster, 0) + 1
-        return cluster
+            report.routed[cluster] = report.routed.get(cluster, 0) + 1
+            self._m_routed.labels(cluster).inc()
+            return cluster
+        finally:
+            self._m_route_seconds.observe(time.perf_counter() - started)
 
     def _flush_blocking_buffer(
         self,
@@ -801,9 +877,16 @@ class StreamingRuntime:
         outcomes, seconds = future.result()
         stats = report.per_cluster.setdefault(cluster, ClusterStats())
         stats.worker_seconds += seconds
+        if outcomes:
+            # Workers time whole chunks; spread the cost evenly so the
+            # histogram stays per-page comparable across chunk sizes.
+            per_page_seconds = seconds / len(outcomes)
+            extract_hist = self._m_extract_seconds.labels(cluster)
         for seq, index, url, values, failures, error in outcomes:
+            extract_hist.observe(per_page_seconds)
             if error is not None:
                 report.note_error(url)
+                self._m_failed.labels(cluster).inc()
                 # Error outcomes never reach the stage pipeline, so
                 # the drift monitor must hear about them here — an
                 # extraction that *raises* on every page is drift just

@@ -44,6 +44,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -51,6 +52,11 @@ from typing import Callable, Optional
 from repro.core.repository import RuleRepository
 from repro.errors import HtmlParseError
 from repro.extraction.postprocess import PostProcessor
+from repro.service.metrics import (
+    NULL_METRICS,
+    AdmissionController,
+    default_registry,
+)
 from repro.service.router import ClusterRouter
 from repro.service.runtime import (
     IterablePageSource,
@@ -96,16 +102,37 @@ class ServePolicy:
             loop gives up (the counter resets on any successful read).
         max_inflight: concurrent pages an async front-end admits — its
             memory bound and thread-pool size.
+        rate_limit: per-client admitted requests/second at the HTTP
+            ingress; over-rate clients get ``429`` with ``Retry-After``
+            (0 — the default — disables rate limiting).
+        rate_burst: per-client token-bucket burst capacity (``None``
+            defaults to ``rate_limit`` rounded up, minimum 1).
+        max_concurrent_requests: in-flight HTTP request bound across
+            all clients; beyond it requests are shed with ``503`` and
+            ``Retry-After`` (0 — the default — disables shedding).
+            Distinct from ``max_inflight``: that bounds *pages* inside
+            one batch pipeline, this bounds whole requests.
     """
 
     max_decode_failures: int = MAX_DECODE_FAILURES
     max_inflight: int = DEFAULT_MAX_INFLIGHT
+    rate_limit: float = 0.0
+    rate_burst: Optional[int] = None
+    max_concurrent_requests: int = 0
 
     def __post_init__(self) -> None:
         if self.max_decode_failures < 1:
             raise ValueError("max_decode_failures must be >= 1")
         if self.max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
+        if self.rate_limit < 0:
+            raise ValueError("rate_limit must be >= 0 (0 disables)")
+        if self.rate_burst is not None and self.rate_burst < 1:
+            raise ValueError("rate_burst must be >= 1")
+        if self.max_concurrent_requests < 0:
+            raise ValueError(
+                "max_concurrent_requests must be >= 0 (0 disables)"
+            )
 
 
 class ServeHandler:
@@ -124,7 +151,12 @@ class ServeHandler:
             and it refits the underlying router across requests —
             ``serve --adapt``.
         policy: the shared :class:`ServePolicy`; front-ends default
-            their decode-failure cap and in-flight bound from it.
+            their decode-failure cap, in-flight bound and admission
+            limits from it.
+        metrics: a :class:`~repro.service.metrics.MetricsRegistry` for
+            request latency/outcome series and admission counters
+            (default: the process-wide registry, which is what
+            ``GET /metrics`` renders).
 
     Thread-safe: the wrapped inline runtime keeps no per-run state
     (and the adapter guards its own), so the async front-ends call
@@ -139,6 +171,7 @@ class ServeHandler:
         postprocessor: Optional[PostProcessor] = None,
         adapter=None,
         policy: Optional[ServePolicy] = None,
+        metrics=None,
     ) -> None:
         if adapter is not None and router is not None:
             raise ValueError("pass router or adapter, not both")
@@ -150,6 +183,17 @@ class ServeHandler:
         self.adapter = adapter
         self.cluster = cluster
         self.policy = policy if policy is not None else ServePolicy()
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._m_request_seconds = self.metrics.from_spec(
+            "repro_request_seconds"
+        )
+        self._m_requests = self.metrics.from_spec("repro_requests_total")
+        self.admission = AdmissionController(
+            rate_limit=self.policy.rate_limit,
+            rate_burst=self.policy.rate_burst,
+            max_concurrent=self.policy.max_concurrent_requests,
+            metrics=self.metrics,
+        )
         self.runtime = StreamingRuntime(
             repository,
             router=router,
@@ -159,6 +203,7 @@ class ServeHandler:
             chunk_size=1,
             contain_errors=True,
             adapter=adapter,
+            metrics=self.metrics,
         )
 
     @property
@@ -219,11 +264,27 @@ def contained_handle(handler: ServeHandler, line: str) -> tuple[str, bool]:
     (a router bug, RecursionError from a pathological page) must not
     kill the serving loop — or, in the async front-ends, leave a
     sequence slot un-emitted and dam every later response behind it.
+
+    This is also the one chokepoint every front-end funnels requests
+    through, so the request latency histogram and per-outcome counter
+    live here (instruments are pre-bound on the handler; bare test
+    handlers without them run uninstrumented).
     """
+    started = time.perf_counter()
     try:
-        return handler.handle_line(line)
+        outcome = handler.handle_line(line)
     except Exception as exc:
-        return _dumps(make_error_record(f"{type(exc).__name__}: {exc}")), False
+        outcome = (
+            _dumps(make_error_record(f"{type(exc).__name__}: {exc}")),
+            False,
+        )
+    seconds_hist = getattr(handler, "_m_request_seconds", None)
+    if seconds_hist is not None:
+        seconds_hist.observe(time.perf_counter() - started)
+        handler._m_requests.labels(
+            "served" if outcome[1] else "error"
+        ).inc()
+    return outcome
 
 
 def write_line_to(stream, line: str) -> bool:
@@ -304,6 +365,12 @@ def _adopt_adapter_counts(handler, stats: ServeStats) -> None:
 def _policy_of(handler) -> ServePolicy:
     policy = getattr(handler, "policy", None)
     return policy if policy is not None else ServePolicy()
+
+
+def _metrics_of(handler):
+    """The handler's registry (bare test handlers run uninstrumented)."""
+    metrics = getattr(handler, "metrics", None)
+    return metrics if metrics is not None else NULL_METRICS
 
 
 # --------------------------------------------------------------------- #
@@ -446,6 +513,9 @@ class AsyncLinePipeline:
         self.admitted = 0
         self._decode_failures = 0
         self._write_failure: Optional[BaseException] = None
+        self._m_inflight = _metrics_of(handler).from_spec(
+            "repro_inflight_pages"
+        )
 
     def _release(self, payload: tuple[str, bool]) -> None:
         line, served = payload
@@ -471,6 +541,7 @@ class AsyncLinePipeline:
             # The slot frees only now, when this sequence's output has
             # left the reorder buffer — that bounds held memory.
             self.semaphore.release()
+            self._m_inflight.dec()
 
     def _check_write_failure(self) -> None:
         if self._write_failure is not None:
@@ -500,6 +571,7 @@ class AsyncLinePipeline:
         self._check_write_failure()
         self._decode_failures = 0
         await self.semaphore.acquire()
+        self._m_inflight.inc()
         task = self.loop.create_task(self._process(self.admitted, line))
         self.admitted += 1
         self.tasks.add(task)
@@ -513,6 +585,7 @@ class AsyncLinePipeline:
         """
         self._check_write_failure()
         await self.semaphore.acquire()
+        self._m_inflight.inc()
         self.emitter.emit(self.admitted, (
             _dumps(make_error_record(f"undecodable input: {exc}")),
             False,

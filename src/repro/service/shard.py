@@ -149,12 +149,14 @@ class ShardPlan:
         ]
 
     def shard_sizes(self) -> list[int]:
+        """Pages assigned to each shard, indexed by shard number."""
         sizes = [0] * self.shards
         for shard in self.assignments:
             sizes[shard] += 1
         return sizes
 
     def to_dict(self) -> dict:
+        """The JSON object ``save`` writes."""
         return {
             "format": PLAN_FORMAT,
             "shards": self.shards,
@@ -166,6 +168,7 @@ class ShardPlan:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ShardPlan":
+        """Parse a plan object (raises ``ShardPlanError``)."""
         try:
             plan = cls(
                 shards=data["shards"],
@@ -195,6 +198,7 @@ class ShardPlan:
         return plan
 
     def save(self, path: Union[str, Path]) -> None:
+        """Write the plan as pretty-printed JSON."""
         Path(path).write_text(
             json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
@@ -202,6 +206,7 @@ class ShardPlan:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "ShardPlan":
+        """Read a plan written by :meth:`save`."""
         try:
             data = json.loads(Path(path).read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:
@@ -233,6 +238,7 @@ class ShardPlanner:
         self.strategy = strategy
 
     def plan(self, page_ids: Iterable[str]) -> ShardPlan:
+        """Assign ``page_ids`` to shards deterministically."""
         ids = list(page_ids)
         if len(set(ids)) != len(ids):
             raise ShardPlanError("corpus contains duplicate page ids")
@@ -287,10 +293,17 @@ class ShardManifest:
     #: (``None`` for registry-less runs; pre-registry manifests omit
     #: it).  Merge/resume refuse to mix shards across versions.
     artifact_version: Optional[str] = None
+    #: ``True`` for a cooperative-cancellation checkpoint (SIGINT mid
+    #: run): the output is valid, line-complete, and digest-matched,
+    #: but covers only a prefix of the slice.  ``shard resume`` re-runs
+    #: the shard; merge refuses it.  Pre-cancellation manifests omit
+    #: the field (they were always complete).
+    interrupted: bool = False
     wall_seconds: float = 0.0
     per_cluster: Dict[str, dict] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
+        """The JSON object ``save`` writes."""
         return {"format": MANIFEST_FORMAT, **self.__dict__}
 
     @classmethod
@@ -298,6 +311,7 @@ class ShardManifest:
         # Valid JSON need not be an object: a half-written manifest
         # holding `null`/a number/a list must read as malformed, not
         # crash the resume audit whose job is to catch exactly that.
+        """Parse a manifest object (raises ``ShardMergeError``)."""
         try:
             payload = dict(data)
         except (TypeError, ValueError) as exc:
@@ -313,6 +327,7 @@ class ShardManifest:
             raise ShardMergeError(f"malformed shard manifest: {exc}") from exc
 
     def save(self, path: Union[str, Path]) -> None:
+        """Write the manifest as pretty-printed JSON."""
         Path(path).write_text(
             json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
@@ -320,6 +335,7 @@ class ShardManifest:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "ShardManifest":
+        """Read a manifest written by :meth:`save`."""
         try:
             data = json.loads(Path(path).read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:
@@ -328,6 +344,7 @@ class ShardManifest:
 
 
 def shard_basename(shard: int) -> str:
+    """The canonical file stem for ``shard`` (``shard-0007``)."""
     return f"shard-{shard:04d}"
 
 
@@ -355,6 +372,7 @@ class ShardWorker:
         chunk_size: int = 16,
         skip_unreadable: bool = False,
         adapter=None,
+        metrics=None,
     ) -> None:
         if not 0 <= shard < plan.shards:
             raise ShardPlanError(
@@ -377,6 +395,7 @@ class ShardWorker:
             chunk_size=chunk_size,
             ordered=True,
             adapter=adapter,
+            metrics=metrics,
         )
 
     def run(
@@ -385,6 +404,8 @@ class ShardWorker:
         output_dir: Union[str, Path],
         output_format: str = "jsonl",
         artifact_version: Optional[str] = None,
+        cancel=None,
+        on_progress=None,
     ) -> tuple[ShardManifest, EngineReport]:
         """Extract this shard; write output + manifest into ``output_dir``.
 
@@ -393,6 +414,12 @@ class ShardWorker:
         Figure-5 documents with ``.index`` sidecars (what
         :class:`XmlShardMerger` consumes).  Returns the saved manifest
         and the runtime's run report.
+
+        ``cancel`` (a :class:`~repro.service.metrics.CancellationToken`)
+        checkpoints the shard cooperatively: in-flight pages drain, the
+        partial output is digested and its manifest saved with
+        ``interrupted=True`` — the resume audit re-runs exactly those
+        shards.  ``on_progress`` is the runtime's progress callback.
         """
         if output_format not in OUTPUT_FORMATS:
             raise ShardPlanError(
@@ -412,13 +439,17 @@ class ShardWorker:
             with XmlDirectorySink(
                 output_path, self.repository, record_indices=True
             ) as sink:
-                report = self.runtime.run(source, sink)
+                report = self.runtime.run(
+                    source, sink, cancel=cancel, on_progress=on_progress
+                )
             records = report.pages_served
             digest = _tree_sha256(output_path)
         else:
             output_path = directory / f"{base}.jsonl"
             with JsonlSink(output_path) as jsonl:
-                report = self.runtime.run(source, jsonl)
+                report = self.runtime.run(
+                    source, jsonl, cancel=cancel, on_progress=on_progress
+                )
                 records = jsonl.count
             digest = _file_sha256(output_path)
         manifest = ShardManifest(
@@ -439,6 +470,7 @@ class ShardWorker:
             drift_events=report.drift_events,
             refits=report.refits,
             artifact_version=artifact_version,
+            interrupted=report.cancelled,
             wall_seconds=time.perf_counter() - started,
             per_cluster={
                 cluster: {
@@ -475,6 +507,7 @@ class MergeReport:
     per_cluster: Dict[str, dict] = field(default_factory=dict)
 
     def summary(self) -> str:
+        """The human-readable multi-line merge summary."""
         lines = [
             f"shards merged   : {self.shards}",
             f"records         : {self.records}",
@@ -524,6 +557,12 @@ def _validate_manifests(
             raise ShardMergeError(
                 f"{path}: {manifest.output_format} shard output cannot "
                 f"join a {output_format} merge"
+            )
+        if manifest.interrupted:
+            raise ShardMergeError(
+                f"{path}: shard {manifest.shard} is an interrupted "
+                "checkpoint (covers only a prefix of its slice); "
+                "run `shard resume` to finish it before merging"
             )
     seen: Dict[int, Path] = {}
     for path, manifest in manifests:
@@ -963,6 +1002,7 @@ def shard_statuses(
     statuses: list[ShardStatus] = []
 
     def incomplete(shard: int, reason: str) -> ShardStatus:
+        """A not-complete status for ``shard`` with ``reason``."""
         return ShardStatus(shard=shard, complete=False, reason=reason)
 
     for shard in range(plan.shards):
@@ -986,6 +1026,11 @@ def shard_statuses(
             or manifest.strategy != plan.strategy
         ):
             statuses.append(incomplete(shard, "manifest from another plan"))
+            continue
+        if manifest.interrupted:
+            # The checkpoint is internally consistent (digest matches
+            # the partial output) but covers only a prefix — re-run.
+            statuses.append(incomplete(shard, "interrupted checkpoint"))
             continue
         output_path = directory / manifest.output
         if manifest.output_format == "xml":

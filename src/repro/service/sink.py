@@ -78,9 +78,11 @@ class PageRecord:
     raw_values: dict = field(default_factory=dict, repr=False)
 
     def get(self, component_name: str) -> list[str]:
+        """Values extracted for ``component_name`` (empty when none)."""
         return self.values.get(component_name, [])
 
     def to_dict(self) -> dict:
+        """The record as the JSONL payload (raw values excluded)."""
         return {
             "url": self.url,
             "cluster": self.cluster,
@@ -94,6 +96,7 @@ class ResultSink:
     """Base sink: ``write`` records, ``close`` once, context-managed."""
 
     def write(self, record: PageRecord) -> None:  # pragma: no cover
+        """Accept one extracted record (must be overridden)."""
         raise NotImplementedError
 
     def write_error(self, payload: dict) -> None:
@@ -122,6 +125,7 @@ class NullSink(ResultSink):
         self.count = 0
 
     def write(self, record: PageRecord) -> None:
+        """Count the record and drop it."""
         self.count += 1
 
 
@@ -133,12 +137,15 @@ class CollectingSink(ResultSink):
         self.errors: list[dict] = []
 
     def write(self, record: PageRecord) -> None:
+        """Keep the record in memory."""
         self.records.append(record)
 
     def write_error(self, payload: dict) -> None:
+        """Keep an error payload in memory."""
         self.errors.append(payload)
 
     def by_url(self) -> dict[str, PageRecord]:
+        """The collected records keyed by page URL."""
         return {record.url: record for record in self.records}
 
 
@@ -164,6 +171,7 @@ class JsonlSink(ResultSink):
         self.count = 0
 
     def write(self, record: PageRecord) -> None:
+        """Append the record as one JSON line."""
         self._stream.write(json.dumps(record.to_dict(), sort_keys=True))
         self._stream.write("\n")
         self.count += 1
@@ -176,6 +184,7 @@ class JsonlSink(ResultSink):
         self._stream.write("\n")
 
     def close(self) -> None:
+        """Close an owned stream; flush a borrowed one."""
         if self._owns_stream and not self._stream.closed:
             self._stream.close()
         elif not self._owns_stream:
@@ -242,6 +251,7 @@ class XmlDirectorySink(ResultSink):
         return stream
 
     def write(self, record: PageRecord) -> None:
+        """Render the record into its cluster's XML document."""
         stream = self._stream_for(record.cluster)
         plan = self._plans[record.cluster]
         if not plan and record.values:
@@ -263,6 +273,7 @@ class XmlDirectorySink(ResultSink):
             index_stream.write(f"{record.index}\n")
 
     def close(self) -> None:
+        """Close every document (writing root end-tags) and index."""
         for cluster, stream in self._streams.items():
             if not stream.closed:
                 stream.write(f"</{cluster}>\n")

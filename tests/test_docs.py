@@ -1,0 +1,99 @@
+"""Documentation gates: links resolve, doctests run, metrics stay in sync."""
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.service import METRIC_SPECS, render_metrics_table
+
+ROOT = Path(__file__).resolve().parent.parent
+DOCS = [
+    ROOT / "README.md",
+    ROOT / "ROADMAP.md",
+    *sorted((ROOT / "docs").glob("*.md")),
+]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+
+def _anchor(heading: str) -> str:
+    """A GitHub-style anchor slug for a markdown heading."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\s-]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors_of(path: Path) -> set:
+    return {_anchor(h) for h in _HEADING.findall(path.read_text("utf-8"))}
+
+
+class TestMarkdownLinks:
+    @pytest.mark.parametrize("doc", DOCS, ids=lambda d: d.name)
+    def test_relative_links_resolve(self, doc):
+        broken = []
+        for target in _LINK.findall(doc.read_text("utf-8")):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path, _, fragment = target.partition("#")
+            if not path:
+                continue  # same-document anchor, checked below
+            resolved = (doc.parent / path).resolve()
+            if ROOT not in resolved.parents and resolved != ROOT:
+                continue  # GitHub-site-relative (the CI badge)
+            if not resolved.exists():
+                broken.append(target)
+            elif fragment and resolved.suffix == ".md":
+                if _anchor(fragment) not in _anchors_of(resolved):
+                    broken.append(target)
+        assert not broken, f"{doc.name}: broken links {broken}"
+
+    @pytest.mark.parametrize("doc", DOCS, ids=lambda d: d.name)
+    def test_same_document_anchors_resolve(self, doc):
+        anchors = _anchors_of(doc)
+        broken = [
+            target
+            for target in _LINK.findall(doc.read_text("utf-8"))
+            if target.startswith("#") and _anchor(target[1:]) not in anchors
+        ]
+        assert not broken, f"{doc.name}: broken anchors {broken}"
+
+
+class TestMetricsDocSync:
+    def test_generated_table_matches_the_catalogue(self):
+        # The table between the markers must be byte-identical to what
+        # render_metrics_table() produces today — regenerate with the
+        # command shown at the top of docs/metrics.md.
+        text = (ROOT / "docs" / "metrics.md").read_text("utf-8")
+        begin = "<!-- metrics-table:begin -->\n"
+        end = "<!-- metrics-table:end -->"
+        assert begin in text and end in text
+        section = text.split(begin, 1)[1].split(end, 1)[0]
+        assert section == render_metrics_table()
+
+    def test_every_declared_series_is_documented(self):
+        text = (ROOT / "docs" / "metrics.md").read_text("utf-8")
+        missing = [
+            spec.name for spec in METRIC_SPECS
+            if f"`{spec.name}`" not in text
+        ]
+        assert not missing, f"undocumented series: {missing}"
+
+
+class TestOperationsRunbook:
+    def test_runbook_examples_execute(self):
+        # The runbook's Python examples are executable documentation;
+        # CI also runs this file under `python -m doctest` directly.
+        results = doctest.testfile(
+            str(ROOT / "docs" / "operations.md"), module_relative=False
+        )
+        assert results.attempted > 0
+        assert results.failed == 0
+
+    def test_runbook_covers_every_admission_status(self):
+        text = (ROOT / "docs" / "operations.md").read_text("utf-8")
+        for needle in ("429", "503", "Retry-After", "rate-limited",
+                       "saturated"):
+            assert needle in text
