@@ -19,7 +19,8 @@ missed (this file is CI's throughput regression gate):
 
 * the compiled parallel path must beat the sequential baseline at
   >= 2 workers by at least :data:`MIN_ENGINE_SPEEDUP` (PR 1 measured
-  ~1.8x on single-core CI from compilation alone);
+  ~1.8x from compilation alone; the single-pass automaton lifted the
+  measured figure to ~2.5-2.9x, so the floor ratcheted 1.3x -> 2.0x);
 * the async serve front-end must sustain at least
   :data:`MIN_ASYNC_SERVE_SPEEDUP` x the sync loop's throughput on the
   paced corpus (measured ~1.2-1.4x; pure in-memory feeds with zero
@@ -52,8 +53,10 @@ N_MOVIES = 200
 N_ACTORS = 60
 
 #: Regression floor: the 2-worker engine must stay at least this much
-#: faster than the sequential baseline (PR 1 measured ~1.8x on CI).
-MIN_ENGINE_SPEEDUP = 1.3
+#: faster than the sequential baseline.  Ratcheted from 1.3x when the
+#: single-pass automaton landed (measured ~2.5-2.9x; 2.5x is the
+#: stretch goal once CI variance is charted).
+MIN_ENGINE_SPEEDUP = 2.0
 
 #: Pages fed through each serve front-end.
 SERVE_PAGES = 120

@@ -416,6 +416,17 @@ def _progress_emitter(args, label: str):
     )
 
 
+def _announce_compile(progress, runtime) -> None:
+    """Emit the one-off per-cluster compiler-stats progress event.
+
+    Duck-typed: anything without ``announce_compile`` (progress off, or
+    a bare-callable emitter) is silently skipped.
+    """
+    announce = getattr(progress, "announce_compile", None)
+    if announce is not None:
+        announce(runtime.wrapper_stats())
+
+
 @contextlib.contextmanager
 def _graceful_interrupt(token):
     """Turn the first SIGINT into a cooperative cancellation.
@@ -512,6 +523,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
             chunk_size=args.chunk_size,
             ordered=True,
             adapter=adapter,
+            automaton=args.automaton,
+            transport=args.transport,
         )
         _attach_adapter_log(adapter, args)
     except (ValueError, OSError) as exc:
@@ -529,6 +542,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
     source = _corpus_source(paths)
     cancel = CancellationToken()
     progress = _progress_emitter(args, "batch")
+    _announce_compile(progress, runtime)
     try:
         with sink:
             with _graceful_interrupt(cancel):
@@ -687,11 +701,14 @@ def _run_one_shard(args, directory, plan, repository, router,
             chunk_size=args.chunk_size,
             skip_unreadable=True,
             adapter=adapter,
+            automaton=args.automaton,
+            transport=args.transport,
         )
         _attach_adapter_log(
             adapter, args, log_suffix=f".{shard_basename(shard)}"
         )
         progress = _progress_emitter(args, shard_basename(shard))
+        _announce_compile(progress, worker.runtime)
         manifest, report = worker.run(
             lambda page_id: _page_from_path(directory / page_id),
             Path(args.output_dir),
@@ -1084,6 +1101,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cluster=cluster or None,
         adapter=adapter,
         policy=policy,
+        automaton=args.automaton,
     )
     try:
         _attach_adapter_log(adapter, args)
@@ -1244,10 +1262,21 @@ def cmd_registry_show(args: argparse.Namespace) -> int:
         return 2
     try:
         manifest = registry.manifest(args.version)
+        payload = manifest.to_dict()
+        if args.stats:
+            # Compile the version exactly as a deploy would and attach
+            # each cluster's compiler stats (trie sharing + automaton
+            # shape) to the printed manifest.
+            payload["compiler_stats"] = {
+                cluster: wrapper.stats.as_dict()
+                for cluster, wrapper in sorted(
+                    registry.compile(args.version).items()
+                )
+            }
     except RegistryError as exc:
         print(str(exc), file=sys.stderr)
         return 1
-    print(json.dumps(manifest.to_dict(), indent=2, sort_keys=True))
+    print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 
@@ -1407,6 +1436,16 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--executor", choices=["thread", "process"],
                        default="thread")
     batch.add_argument("--chunk-size", type=int, default=16)
+    batch.add_argument("--no-automaton", dest="automaton",
+                       action="store_false",
+                       help="compile per-rule tries instead of the "
+                            "single-pass extraction automaton "
+                            "(output is identical either way)")
+    batch.add_argument("--transport", choices=["auto", "shm", "pickle"],
+                       default="auto",
+                       help="process-executor page transport: shared "
+                            "memory when available (auto), required "
+                            "(shm) or legacy pickling (pickle)")
     batch.add_argument("--route", choices=["auto", "hint"], default="auto",
                        help="auto: fit a signature router from labelled "
                             "exemplars; hint: trust filename hints")
@@ -1452,6 +1491,14 @@ def build_parser() -> argparse.ArgumentParser:
                                   choices=["thread", "process"],
                                   default="thread")
         shard_parser.add_argument("--chunk-size", type=int, default=16)
+        shard_parser.add_argument("--no-automaton", dest="automaton",
+                                  action="store_false",
+                                  help="compile per-rule tries instead "
+                                       "of the single-pass automaton")
+        shard_parser.add_argument("--transport",
+                                  choices=["auto", "shm", "pickle"],
+                                  default="auto",
+                                  help="process-executor page transport")
         shard_parser.add_argument("--route", choices=["auto", "hint"],
                                   default="auto")
         shard_parser.add_argument("--threshold", type=float, default=0.5)
@@ -1540,6 +1587,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="on exit, write the Prometheus text "
                             "exposition of this run's metrics here "
                             "(--http serves it live on GET /metrics)")
+    serve.add_argument("--no-automaton", dest="automaton",
+                       action="store_false",
+                       help="compile per-rule tries instead of the "
+                            "single-pass extraction automaton")
     _adaptation_arguments(serve)
     _registry_arguments(serve, canary=True)
     serve.set_defaults(func=cmd_serve, stdin=None, stdout=None)
@@ -1563,6 +1614,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     r_show.add_argument("directory")
     r_show.add_argument("version")
+    r_show.add_argument("--stats", action="store_true",
+                        help="compile the version's wrappers and "
+                             "include per-cluster compiler stats "
+                             "(trie sharing and automaton shape)")
     r_show.set_defaults(func=cmd_registry_show)
 
     r_diff = registry_sub.add_parser(

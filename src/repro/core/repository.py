@@ -108,22 +108,28 @@ class RuleRepository:
 
     # -- compilation (service subsystem entry point) ----------------------- #
 
-    def compile_cluster(self, cluster: str, postprocessor=None):
+    def compile_cluster(self, cluster: str, postprocessor=None, automaton=True):
         """Compile one cluster's rules into a :class:`CompiledWrapper`.
 
         The compiled wrapper is the deployable serving artifact: XPath
         ASTs are pre-parsed, shared location-path prefixes are factored
         so sibling components reuse one DOM walk, and post-processor
-        chains are pre-resolved.  See :mod:`repro.service.compiler`.
+        chains are pre-resolved.  With ``automaton=True`` (default)
+        eligible locations additionally fuse into a single-pass DOM
+        automaton.  See :mod:`repro.service.compiler`.
         """
         from repro.service.compiler import compile_wrapper
 
-        return compile_wrapper(self, cluster, postprocessor=postprocessor)
+        return compile_wrapper(
+            self, cluster, postprocessor=postprocessor, automaton=automaton
+        )
 
-    def compile_all(self, postprocessor=None) -> dict:
+    def compile_all(self, postprocessor=None, automaton=True) -> dict:
         """Compile every cluster: cluster name -> :class:`CompiledWrapper`."""
         return {
-            cluster: self.compile_cluster(cluster, postprocessor=postprocessor)
+            cluster: self.compile_cluster(
+                cluster, postprocessor=postprocessor, automaton=automaton
+            )
             for cluster in self.clusters()
         }
 

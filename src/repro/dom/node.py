@@ -17,6 +17,7 @@ are implemented, but those are implemented carefully:
 from __future__ import annotations
 
 import itertools
+import sys
 from enum import Enum
 from typing import Iterable, Iterator, Optional
 
@@ -294,14 +295,24 @@ class Element(Node):
     (``BODY[1]/DIV[2]/TABLE[3]/...``), and HTML tag names are
     case-insensitive, so a single canonical case keeps XPath matching
     simple and faithful to the paper's notation.
+
+    Tag and attribute *names* are interned: a parsed corpus repeats the
+    same handful of strings millions of times, and interning both cuts
+    that memory and turns the automaton's tag comparisons into pointer
+    checks.  Attribute *values* and text content stay as-is — they are
+    high-cardinality page data.
     """
 
     node_type = NodeType.ELEMENT
 
     def __init__(self, tag: str, attributes: Optional[dict[str, str]] = None) -> None:
         super().__init__()
-        self.tag = tag.upper()
-        self.attributes: dict[str, str] = dict(attributes or {})
+        self.tag = sys.intern(tag.upper())
+        self.attributes: dict[str, str] = (
+            {sys.intern(name): value for name, value in attributes.items()}
+            if attributes
+            else {}
+        )
 
     # -- attributes ----------------------------------------------------- #
 
@@ -310,7 +321,7 @@ class Element(Node):
         return self.attributes.get(name.lower())
 
     def set_attribute(self, name: str, value: str) -> None:
-        self.attributes[name.lower()] = value
+        self.attributes[sys.intern(name.lower())] = value
 
     def has_attribute(self, name: str) -> bool:
         return name.lower() in self.attributes

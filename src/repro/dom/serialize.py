@@ -12,6 +12,7 @@ Two serialisers are provided:
 
 from __future__ import annotations
 
+import sys
 
 from repro.dom.node import Comment, Document, Element, Node, Text
 
@@ -36,6 +37,19 @@ VOID_ELEMENTS: frozenset[str] = frozenset(
 )
 
 
+# Tag names are interned in the DOM arena (see repro.dom.node), so a
+# small identity-keyed cache turns per-node ``tag.lower()`` calls in
+# the serialisation hot loops into one dict hit per distinct tag.
+_LOWER_TAGS: dict[str, str] = {}
+
+
+def _lower_tag(tag: str) -> str:
+    cached = _LOWER_TAGS.get(tag)
+    if cached is None:
+        cached = _LOWER_TAGS[tag] = sys.intern(tag.lower())
+    return cached
+
+
 def escape_text(value: str) -> str:
     """Escape character data for inclusion in markup."""
     return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
@@ -47,7 +61,7 @@ def escape_attribute(value: str) -> str:
 
 
 def _open_tag(element: Element, lowercase: bool) -> str:
-    tag = element.tag.lower() if lowercase else element.tag
+    tag = _lower_tag(element.tag) if lowercase else element.tag
     parts = [tag]
     for name, value in element.attributes.items():
         parts.append(f'{name}="{escape_attribute(value)}"')
@@ -85,7 +99,7 @@ def _write_html(node: Node, out: list[str], lowercase: bool) -> None:
             return
         for child in node.children:
             _write_html(child, out, lowercase)
-        tag = node.tag.lower() if lowercase else node.tag
+        tag = _lower_tag(node.tag) if lowercase else node.tag
         out.append(f"</{tag}>")
         return
     raise TypeError(f"cannot serialise node of type {type(node).__name__}")
@@ -110,7 +124,7 @@ def _write_xml(node: Node, out: list[str], lowercase: bool) -> None:
         out.append(f"<!--{node.data}-->")
         return
     if isinstance(node, Element):
-        tag = node.tag.lower() if lowercase else node.tag
+        tag = _lower_tag(node.tag) if lowercase else node.tag
         attrs = "".join(
             f' {name}="{escape_attribute(value)}"'
             for name, value in node.attributes.items()
@@ -154,7 +168,7 @@ def pretty_html(node: Node, indent: str = "  ", lowercase_tags: bool = True) -> 
                 return
             for child in current.children:
                 write(child, depth + 1)
-            tag = current.tag.lower() if lowercase_tags else current.tag
+            tag = _lower_tag(current.tag) if lowercase_tags else current.tag
             lines.append(f"{pad}</{tag}>")
             return
         raise TypeError(f"cannot serialise node of type {type(current).__name__}")

@@ -52,7 +52,17 @@ from repro.service.adapt import (
     RefitEvent,
     make_adapter,
 )
-from repro.service.compiler import CompiledRule, CompiledWrapper, compile_wrapper
+from repro.service.automaton import (
+    AutomatonStats,
+    ExtractionAutomaton,
+    automaton_steps,
+)
+from repro.service.compiler import (
+    CompiledRule,
+    CompiledWrapper,
+    CompilerStats,
+    compile_wrapper,
+)
 from repro.service.engine import BatchExtractionEngine
 from repro.service.router import ClusterProfile, ClusterRouter, RouteDecision, UNROUTABLE
 from repro.service.runtime import (
@@ -116,6 +126,11 @@ from repro.service.shard import (
     shard_statuses,
     stable_shard,
 )
+from repro.service.transport import (
+    SharedMemoryPageTransport,
+    StagedChunk,
+    TRANSPORT_KINDS,
+)
 from repro.service.sink import (
     CollectingSink,
     JsonlSink,
@@ -135,6 +150,7 @@ __all__ = [
     "AdmissionDecision",
     "ArtifactRegistry",
     "AsyncLinePipeline",
+    "AutomatonStats",
     "BatchExtractionEngine",
     "CanaryController",
     "CancellationToken",
@@ -147,7 +163,9 @@ __all__ = [
     "CollectingSink",
     "CompiledRule",
     "CompiledWrapper",
+    "CompilerStats",
     "EngineReport",
+    "ExtractionAutomaton",
     "HttpFrontEnd",
     "HttpStats",
     "METRIC_SPECS",
@@ -175,6 +193,7 @@ __all__ = [
     "ServePolicy",
     "ServeStats",
     "ShadowEvent",
+    "SharedMemoryPageTransport",
     "ShardManifest",
     "ShardMerger",
     "ShardPlan",
@@ -182,11 +201,14 @@ __all__ = [
     "ShardStatus",
     "ShardWorker",
     "Stage",
+    "StagedChunk",
     "StreamingRuntime",
+    "TRANSPORT_KINDS",
     "UNROUTABLE",
     "VersionManifest",
     "XmlDirectorySink",
     "XmlShardMerger",
+    "automaton_steps",
     "canonical_json",
     "compile_wrapper",
     "content_hash",

@@ -1,0 +1,419 @@
+"""Single-pass extraction automaton: one DOM walk feeds every rule.
+
+The PR-1 compiler factors *primary* locations into a prefix trie, but
+each trie branch still materialises its own node lists and every
+alternative location re-traverses the tree from scratch through the
+generic evaluator.  This module compiles **all** automaton-eligible
+locations of a cluster — primaries *and* alternatives, across every
+rule — into one deterministic tree automaton:
+
+* **States** form a trie over location steps: locations sharing a
+  step prefix share the states for that prefix, so the shared work is
+  done once per page no matter how many rules ride on it.
+* **Transitions** are per-state dispatch tables keyed by what the DOM
+  offers cheaply during a scan: a ``tag -> targets`` dict for named
+  element tests plus optional ``*``/``text()``/``comment()``/
+  ``node()`` target lists.  Each target carries the step's positional
+  constraint (``TR[2]``-style) or ``None`` for "every match".
+* **Accepting states** emit into *slots*: each compiled location owns
+  one slot, and :meth:`ExtractionAutomaton.scan` returns the matched
+  nodes per slot after a single preorder traversal.
+
+Eligibility covers the paper's canonical rule shapes: a location
+joins the automaton when it is a *relative* location path whose steps
+are all ``child``-axis with at most one *positional* predicate —
+either a number literal (``TR[2]``) or a ``position()`` comparison
+against one (``LI[position() >= 1]``, the builder's multi-valued
+range form).  Every such constraint compiles to ``(lo, hi, ne)``
+index bounds checked against per-parent sibling counters.  Anything
+else (absolute paths, filter expressions, descendant axes, value
+predicates) stays on the generic evaluator, selected lazily per rule.
+
+Byte-identity argument: every automaton step is a ``child`` step, so
+a slot's matches all sit at one fixed depth and their parents are
+*disjoint* (no node an ancestor of another).  A preorder scan visits
+those parents in document order and emits each parent's matching
+children in child-list order; the concatenation is therefore exactly
+the document-ordered, duplicate-free node list the specialised
+:func:`~repro.service.compiler._apply_fast_child_step` cascade
+produces — which is itself proven identical to the generic evaluator.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.dom.node import Element, Text
+from repro.xpath.ast import (
+    BinaryOp,
+    FunctionCall,
+    LocationPath,
+    NameTest,
+    NumberLiteral,
+    Step,
+)
+from repro.xpath.engine import XPath
+
+__all__ = [
+    "AutomatonStats",
+    "ExtractionAutomaton",
+    "automaton_steps",
+    "child_step_eligible",
+    "step_constraint",
+]
+
+#: "No upper bound" for a positional constraint (sibling counts are
+#: tiny; any unreachable integer works).
+_UNBOUNDED = sys.maxsize
+
+#: Flipped comparison for ``literal op position()`` operand order.
+_FLIP = {">=": "<=", ">": "<", "<=": ">=", "<": ">", "=": "=", "!=": "!="}
+
+
+def child_step_eligible(step: Step) -> bool:
+    """True for ``child`` steps with at most one positional predicate."""
+    if step.axis != "child":
+        return False
+    if not step.predicates:
+        return True
+    return len(step.predicates) == 1 and isinstance(
+        step.predicates[0], NumberLiteral
+    )
+
+
+def _is_position(expr) -> bool:
+    return (
+        isinstance(expr, FunctionCall)
+        and expr.name == "position"
+        and not expr.args
+    )
+
+
+def _range_constraint(op: str, value: float) -> Optional[Tuple[int, int, int]]:
+    """Bounds for ``position() op value``, or ``None`` when unsupported."""
+    if value != value:  # NaN: every comparison but != is false
+        if op == "!=":
+            return (1, _UNBOUNDED, 0)
+        return (1, 0, 0)
+    if op == ">=":
+        return (max(1, math.ceil(value)), _UNBOUNDED, 0)
+    if op == ">":
+        return (max(1, math.floor(value) + 1), _UNBOUNDED, 0)
+    if op == "<=":
+        return (1, math.floor(value), 0)
+    if op == "<":
+        return (1, math.ceil(value) - 1, 0)
+    if op == "=":
+        if value != int(value) or value < 1:
+            return (1, 0, 0)
+        return (int(value), int(value), 0)
+    if op == "!=":
+        if value != int(value):
+            return (1, _UNBOUNDED, 0)
+        return (1, _UNBOUNDED, int(value))
+    return None
+
+
+def step_constraint(step: Step) -> Optional[Tuple[int, int, int]]:
+    """A step's positional constraint as ``(lo, hi, ne)``, or ``None``.
+
+    ``None`` means the step cannot ride the automaton.  Otherwise a
+    child node at 1-based position ``i`` among its test-matching
+    siblings matches iff ``lo <= i <= hi and i != ne`` (``ne`` is 0 —
+    never a real position — when there is no exclusion).  Provably
+    void constraints (``TD[0]``, ``position() = 1.5``) come back with
+    ``hi < lo`` and compile to no transition at all, mirroring the
+    generic evaluator selecting nothing.
+    """
+    if step.axis != "child":
+        return None
+    if not step.predicates:
+        return (1, _UNBOUNDED, 0)
+    if len(step.predicates) != 1:
+        return None
+    predicate = step.predicates[0]
+    if isinstance(predicate, NumberLiteral):
+        return _range_constraint("=", predicate.value)
+    if isinstance(predicate, BinaryOp):
+        if _is_position(predicate.left) and isinstance(
+            predicate.right, NumberLiteral
+        ):
+            return _range_constraint(predicate.op, predicate.right.value)
+        if _is_position(predicate.right) and isinstance(
+            predicate.left, NumberLiteral
+        ):
+            flipped = _FLIP.get(predicate.op)
+            if flipped is None:
+                return None
+            return _range_constraint(flipped, predicate.left.value)
+    return None
+
+
+def automaton_steps(xpath: XPath) -> Optional[Tuple[Step, ...]]:
+    """The step tuple of an automaton-eligible location, or ``None``.
+
+    Only relative location paths whose every step yields a
+    :func:`step_constraint` can ride the single-pass scan; other
+    shapes re-anchor the context or need the generic evaluator.
+    """
+    ast = xpath.ast
+    if not isinstance(ast, LocationPath) or ast.absolute or not ast.steps:
+        return None
+    if all(step_constraint(step) is not None for step in ast.steps):
+        return ast.steps
+    return None
+
+
+class _State:
+    """One automaton state: dispatch tables plus emitted slots.
+
+    Transition lists hold ``(lo, hi, ne, target)`` entries — the
+    :func:`step_constraint` bounds on the child's 1-based position
+    among *test-matching* siblings, exactly the semantics of the
+    generic evaluator's per-parent predicate filtering.
+    """
+
+    __slots__ = (
+        "by_tag", "star", "text", "comment", "node",
+        "emits", "alive", "children",
+    )
+
+    def __init__(self) -> None:
+        self.by_tag: dict = {}
+        self.star: Optional[list] = None
+        self.text: Optional[list] = None
+        self.comment: Optional[list] = None
+        self.node: Optional[list] = None
+        self.emits: list = []
+        self.alive = False
+        #: step -> child state (trie structure, build time only).
+        self.children: dict = {}
+
+
+@dataclass(frozen=True)
+class AutomatonStats:
+    """Sharing accounting for one compiled automaton."""
+
+    slots: int           # locations riding the single-pass scan
+    states: int          # distinct states (excluding the root)
+    transitions: int     # transition entries across all dispatch tables
+    location_steps: int  # total steps across the compiled locations
+
+    @property
+    def steps_saved(self) -> int:
+        """Steps per page deduplicated versus per-location evaluation."""
+        return self.location_steps - self.transitions
+
+
+class ExtractionAutomaton:
+    """A cluster's eligible locations compiled for one-pass scanning.
+
+    Built from ``(slot, steps)`` pairs — one slot per location — and
+    immutable afterwards; :meth:`scan` mutates no automaton state, so
+    a compiled instance is thread-safe to share across workers.
+    """
+
+    __slots__ = ("_root", "slot_count", "stats")
+
+    def __init__(
+        self, locations: Iterable[Tuple[int, Tuple[Step, ...]]]
+    ) -> None:
+        root = _State()
+        slot_count = 0
+        location_steps = 0
+        for slot, steps in locations:
+            if slot >= slot_count:
+                slot_count = slot + 1
+            location_steps += len(steps)
+            state = root
+            for step in steps:
+                state = self._extend(state, step)
+            state.emits.append(slot)
+        states = 0
+        transitions = 0
+        stack = [root]
+        while stack:
+            state = stack.pop()
+            for table in (state.star, state.text, state.comment, state.node):
+                if table is not None:
+                    transitions += len(table)
+            for targets in state.by_tag.values():
+                transitions += len(targets)
+            state.alive = bool(
+                state.by_tag or state.star is not None
+                or state.text is not None or state.comment is not None
+                or state.node is not None
+            )
+            children = list(state.children.values())
+            states += len(children)
+            stack.extend(children)
+        self._root = root
+        self.slot_count = slot_count
+        self.stats = AutomatonStats(
+            slots=slot_count,
+            states=states,
+            transitions=transitions,
+            location_steps=location_steps,
+        )
+
+    @staticmethod
+    def _extend(state: _State, step: Step) -> _State:
+        """The child state for ``step``, wiring its transition once."""
+        child = state.children.get(step)
+        if child is not None:
+            return child
+        child = _State()
+        state.children[step] = child
+        lo, hi, ne = step_constraint(step)
+        if hi < lo:
+            # Provably void (``TD[0]``, ``position() = 1.5``): the
+            # state exists for trie sharing but no transition ever
+            # reaches it, same as the evaluator selecting nothing.
+            return child
+        test = step.node_test
+        entry = (lo, hi, ne, child)
+        if isinstance(test, NameTest):
+            if test.name == "*":
+                if state.star is None:
+                    state.star = []
+                state.star.append(entry)
+            else:
+                # Interned to match the DOM arena: the scan's dict
+                # lookups then hit on pointer identity.
+                tag = sys.intern(test.name.upper())
+                state.by_tag.setdefault(tag, []).append(entry)
+        elif test.node_type == "text":
+            if state.text is None:
+                state.text = []
+            state.text.append(entry)
+        elif test.node_type == "comment":
+            if state.comment is None:
+                state.comment = []
+            state.comment.append(entry)
+        elif test.node_type == "node":
+            if state.node is None:
+                state.node = []
+            state.node.append(entry)
+        # Any other node test (processing-instruction) matches nothing
+        # in this DOM, mirroring the fast child step.
+        return child
+
+    # -- hot path -------------------------------------------------------- #
+
+    def scan(self, context: Element) -> list:
+        """One preorder traversal; returns matched nodes per slot.
+
+        Per-parent counters track position among test-matching
+        siblings (per tag for named tests, elements for ``*``, node
+        kinds for the type tests), so positional constraints are
+        direct integer comparisons.  Descent only follows children
+        with a live next-state set.
+        """
+        results: list = [[] for _ in range(self.slot_count)]
+        root = self._root
+        if not root.alive:
+            return results
+        stack = [(context, (root,))]
+        pop = stack.pop
+        while stack:
+            element, states = pop()
+            children = element.children
+            if not children:
+                continue
+            tag_counts: dict = {}
+            elem_count = 0
+            text_count = 0
+            comment_count = 0
+            node_count = 0
+            descend = None
+            for child in children:
+                node_count += 1
+                if isinstance(child, Element):
+                    elem_count += 1
+                    tag = child.tag
+                    count = tag_counts.get(tag, 0) + 1
+                    tag_counts[tag] = count
+                    nxt = None
+                    for state in states:
+                        targets = state.by_tag.get(tag)
+                        if targets is not None:
+                            for lo, hi, ne, target in targets:
+                                if lo <= count <= hi and count != ne:
+                                    for slot in target.emits:
+                                        results[slot].append(child)
+                                    if target.alive:
+                                        if nxt is None:
+                                            nxt = [target]
+                                        else:
+                                            nxt.append(target)
+                        if state.star is not None:
+                            for lo, hi, ne, target in state.star:
+                                if lo <= elem_count <= hi and (
+                                    elem_count != ne
+                                ):
+                                    for slot in target.emits:
+                                        results[slot].append(child)
+                                    if target.alive:
+                                        if nxt is None:
+                                            nxt = [target]
+                                        else:
+                                            nxt.append(target)
+                        if state.node is not None:
+                            for lo, hi, ne, target in state.node:
+                                if lo <= node_count <= hi and (
+                                    node_count != ne
+                                ):
+                                    for slot in target.emits:
+                                        results[slot].append(child)
+                                    if target.alive:
+                                        if nxt is None:
+                                            nxt = [target]
+                                        else:
+                                            nxt.append(target)
+                    if nxt is not None and child.children:
+                        if descend is None:
+                            descend = [(child, nxt)]
+                        else:
+                            descend.append((child, nxt))
+                elif isinstance(child, Text):
+                    text_count += 1
+                    for state in states:
+                        if state.text is not None:
+                            for lo, hi, ne, target in state.text:
+                                if lo <= text_count <= hi and (
+                                    text_count != ne
+                                ):
+                                    for slot in target.emits:
+                                        results[slot].append(child)
+                        if state.node is not None:
+                            for lo, hi, ne, target in state.node:
+                                if lo <= node_count <= hi and (
+                                    node_count != ne
+                                ):
+                                    for slot in target.emits:
+                                        results[slot].append(child)
+                else:
+                    comment_count += 1
+                    for state in states:
+                        if state.comment is not None:
+                            for lo, hi, ne, target in state.comment:
+                                if lo <= comment_count <= hi and (
+                                    comment_count != ne
+                                ):
+                                    for slot in target.emits:
+                                        results[slot].append(child)
+                        if state.node is not None:
+                            for lo, hi, ne, target in state.node:
+                                if lo <= node_count <= hi and (
+                                    node_count != ne
+                                ):
+                                    for slot in target.emits:
+                                        results[slot].append(child)
+            if descend is not None:
+                if len(descend) > 1:
+                    descend.reverse()
+                stack.extend(descend)
+        return results

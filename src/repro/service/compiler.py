@@ -25,6 +25,12 @@ changing semantics:
   order and uniqueness; any other step falls back to the generic
   evaluator and turns the flag off.
 
+Since the single-pass automaton landed, eligible locations — primaries
+*and* alternatives, across every rule — additionally compile into one
+:class:`~repro.service.automaton.ExtractionAutomaton`, so a page is
+scanned once regardless of rule count (``automaton=False`` keeps the
+trie-only path for A/B benchmarking).
+
 Post-processor chains are resolved per component at compile time
 (:meth:`repro.extraction.postprocess.PostProcessor.resolve`), so the
 per-value dict lookups disappear from the hot loop.
@@ -51,8 +57,13 @@ from repro.extraction.extractor import (
     classify_failure,
 )
 from repro.extraction.postprocess import PostProcessor
+from repro.service.automaton import (
+    ExtractionAutomaton,
+    automaton_steps,
+    child_step_eligible,
+)
 from repro.sites.page import WebPage
-from repro.xpath.ast import LocationPath, NameTest, NodeTypeTest, NumberLiteral, Step
+from repro.xpath.ast import LocationPath, NameTest, NodeTypeTest, Step
 from repro.xpath.engine import XPath, compile_xpath
 from repro.xpath.evaluator import Evaluator, XPathContext
 
@@ -76,15 +87,9 @@ class _TrieNode:
         self.fast = fast
 
 
-def _fast_step_eligible(step: Step) -> bool:
-    """True for ``child`` steps with at most one positional predicate."""
-    if step.axis != "child":
-        return False
-    if not step.predicates:
-        return True
-    return len(step.predicates) == 1 and isinstance(
-        step.predicates[0], NumberLiteral
-    )
+# The trie's fast-step criterion and the automaton's are one and the
+# same shape — a single definition keeps them provably in sync.
+_fast_step_eligible = child_step_eligible
 
 
 def _apply_fast_child_step(step: Step, parents: list) -> list:
@@ -155,6 +160,10 @@ class CompiledRule:
     locations: tuple[XPath, ...]
     trie_primary: bool
     post: Optional[Callable[[list[str]], list[str]]]
+    #: Automaton slot per location (parallel to ``locations``); ``None``
+    #: where a location is ineligible (or the automaton is disabled)
+    #: and must evaluate through the generic engine.
+    slots: tuple[Optional[int], ...] = ()
 
     @property
     def name(self) -> str:
@@ -170,11 +179,42 @@ class CompilerStats:
     trie_rules: int       # rules whose primary went into the trie
     primary_steps: int    # total steps across those primaries
     trie_nodes: int       # distinct steps actually evaluated per page
+    # -- single-pass automaton (0s when compiled with automaton=False) --
+    automaton_slots: int = 0        # locations riding the one-pass scan
+    automaton_states: int = 0       # distinct automaton states
+    automaton_transitions: int = 0  # dispatch-table entries
+    automaton_location_steps: int = 0  # steps across automaton locations
 
     @property
     def steps_shared(self) -> int:
         """Steps per page saved by prefix factoring."""
         return self.primary_steps - self.trie_nodes
+
+    @property
+    def automaton_steps_saved(self) -> int:
+        """Steps per page the automaton dedupes vs. the trie pipeline.
+
+        The trie shares primary prefixes but walks each branch and
+        every alternative independently; the automaton evaluates each
+        distinct transition once, so the saving is total location
+        steps minus distinct transitions.
+        """
+        return self.automaton_location_steps - self.automaton_transitions
+
+    def as_dict(self) -> dict:
+        """A JSON-ready view (``registry show --stats``, progress)."""
+        return {
+            "rules": self.rules,
+            "trie_rules": self.trie_rules,
+            "primary_steps": self.primary_steps,
+            "trie_nodes": self.trie_nodes,
+            "steps_shared": self.steps_shared,
+            "automaton_slots": self.automaton_slots,
+            "automaton_states": self.automaton_states,
+            "automaton_transitions": self.automaton_transitions,
+            "automaton_location_steps": self.automaton_location_steps,
+            "automaton_steps_saved": self.automaton_steps_saved,
+        }
 
 
 class CompiledWrapper:
@@ -192,6 +232,8 @@ class CompiledWrapper:
         trie_root: _TrieNode,
         stats: CompilerStats,
         version: Optional[str] = None,
+        automaton: Optional[ExtractionAutomaton] = None,
+        residual_root: Optional[_TrieNode] = None,
     ) -> None:
         self.cluster = cluster
         self.rules = rules
@@ -200,6 +242,16 @@ class CompiledWrapper:
         #: Registry version id of the artifact this wrapper was
         #: compiled from (``None`` for direct in-memory builds).
         self.version = version
+        #: The single-pass automaton over every eligible location, or
+        #: ``None`` when compiled with ``automaton=False`` (the
+        #: trie-only path kept for A/B benchmarking).
+        self.automaton = automaton
+        #: Trie over factorable primaries the automaton could *not*
+        #: absorb (descendant axes, value predicates): walked alongside
+        #: the scan so those rules keep their prefix sharing.
+        self._residual_root = (
+            residual_root if residual_root is not None else trie_root
+        )
 
     # -- hot path -------------------------------------------------------- #
 
@@ -210,15 +262,52 @@ class CompiledWrapper:
     ) -> ExtractedPage:
         """Apply every rule to one page (same contract as the processor)."""
         context = page.root_element
-        primary_hits = self._walk_trie(context)
+        automaton = self.automaton
+        if automaton is not None:
+            hits = automaton.scan(context)
+            primary_hits = self._walk_trie(context, self._residual_root)
+        else:
+            hits = None
+            primary_hits = self._walk_trie(context, self._trie_root)
         extracted = ExtractedPage(url=page.url)
         for crule in self.rules:
             rule = crule.rule
-            nodes = primary_hits.get(crule.index)
-            if nodes:
-                match = rule.match_from_nodes(nodes, rule.primary_location)
+            if hits is not None:
+                slot = crule.slots[0]
+                if slot is not None:
+                    nodes = hits[slot]
+                elif crule.trie_primary:
+                    nodes = primary_hits.get(crule.index)
+                else:
+                    nodes = crule.locations[0].select(context)
+                if nodes:
+                    match = rule.match_from_nodes(
+                        nodes, rule.primary_location
+                    )
+                else:
+                    match = None
+                    for xpath, alt_slot in zip(
+                        crule.locations[1:], crule.slots[1:]
+                    ):
+                        nodes = (
+                            hits[alt_slot] if alt_slot is not None
+                            else xpath.select(context)
+                        )
+                        if nodes:
+                            match = rule.match_from_nodes(
+                                nodes, xpath.source
+                            )
+                            break
+                    if match is None:
+                        match = rule.match_from_nodes([], None)
             else:
-                match = self._match_lazily(crule, context)
+                nodes = primary_hits.get(crule.index)
+                if nodes:
+                    match = rule.match_from_nodes(
+                        nodes, rule.primary_location
+                    )
+                else:
+                    match = self._match_lazily(crule, context)
             if failures is not None:
                 reason = classify_failure(rule, len(match.values))
                 if reason is not None:
@@ -250,10 +339,9 @@ class CompiledWrapper:
                 return crule.rule.match_from_nodes(nodes, xpath.source)
         return crule.rule.match_from_nodes([], None)
 
-    def _walk_trie(self, context: Node) -> dict[int, list]:
+    def _walk_trie(self, context: Node, root: _TrieNode) -> dict[int, list]:
         """Evaluate every factored primary with one shared DOM walk."""
         results: dict[int, list] = {}
-        root = self._trie_root
         if not root.children:
             return results
         xcontext = XPathContext(context, 1, 1, {})
@@ -298,12 +386,16 @@ def compile_wrapper(
     cluster: str,
     postprocessor: Optional[PostProcessor] = None,
     version: Optional[str] = None,
+    automaton: bool = True,
 ) -> CompiledWrapper:
     """Compile ``cluster``'s recorded rules into a serving wrapper.
 
     Args:
         version: registry version id to stamp on the wrapper when the
             repository was loaded from a versioned artifact.
+        automaton: compile eligible locations into the single-pass
+            :class:`ExtractionAutomaton` (``False`` keeps the trie-only
+            path for A/B benchmarking).
 
     Raises:
         ExtractionError: when the cluster has no recorded rules (same
@@ -316,9 +408,12 @@ def compile_wrapper(
         raise ExtractionError(f"no rules recorded for cluster {cluster!r}")
 
     root = _TrieNode(Step("self", NodeTypeTest("node")), fast=True)
+    residual_root = _TrieNode(Step("self", NodeTypeTest("node")), fast=True)
     compiled: list[CompiledRule] = []
     trie_rules = 0
     primary_steps = 0
+    slot_locations: list[tuple[int, tuple[Step, ...]]] = []
+    next_slot = 0
     for index, rule in enumerate(rules):
         locations = tuple(compile_xpath(loc) for loc in rule.locations)
         steps = _trie_candidate(locations[0])
@@ -326,16 +421,18 @@ def compile_wrapper(
         if steps is not None:
             trie_rules += 1
             primary_steps += len(steps)
-            node = root
-            for step in steps:
-                child = node.children.get(step)
-                if child is None:
-                    child = _TrieNode(
-                        step, fast=node.fast and _fast_step_eligible(step)
-                    )
-                    node.children[step] = child
-                node = child
-            node.terminals.append(index)
+            _trie_insert(root, steps, index)
+        slots: list[Optional[int]] = []
+        for xpath in locations:
+            auto_steps = automaton_steps(xpath) if automaton else None
+            if auto_steps is None:
+                slots.append(None)
+            else:
+                slots.append(next_slot)
+                slot_locations.append((next_slot, auto_steps))
+                next_slot += 1
+        if automaton and trie_primary and slots[0] is None:
+            _trie_insert(residual_root, steps, index)
         post = (
             postprocessor.resolve(rule.name)
             if postprocessor is not None
@@ -348,17 +445,52 @@ def compile_wrapper(
                 locations=locations,
                 trie_primary=trie_primary,
                 post=post,
+                slots=tuple(slots),
             )
         )
 
+    compiled_automaton = (
+        ExtractionAutomaton(slot_locations) if automaton else None
+    )
+    auto_stats = (
+        compiled_automaton.stats if compiled_automaton is not None else None
+    )
     trie_nodes = _count_nodes(root)
     stats = CompilerStats(
         rules=len(rules),
         trie_rules=trie_rules,
         primary_steps=primary_steps,
         trie_nodes=trie_nodes,
+        automaton_slots=auto_stats.slots if auto_stats else 0,
+        automaton_states=auto_stats.states if auto_stats else 0,
+        automaton_transitions=auto_stats.transitions if auto_stats else 0,
+        automaton_location_steps=(
+            auto_stats.location_steps if auto_stats else 0
+        ),
     )
-    return CompiledWrapper(cluster, compiled, root, stats, version=version)
+    return CompiledWrapper(
+        cluster,
+        compiled,
+        root,
+        stats,
+        version=version,
+        automaton=compiled_automaton,
+        residual_root=residual_root if automaton else None,
+    )
+
+
+def _trie_insert(root: _TrieNode, steps: tuple[Step, ...], index: int) -> None:
+    """Thread one primary's steps into a trie, marking the terminal."""
+    node = root
+    for step in steps:
+        child = node.children.get(step)
+        if child is None:
+            child = _TrieNode(
+                step, fast=node.fast and _fast_step_eligible(step)
+            )
+            node.children[step] = child
+        node = child
+    node.terminals.append(index)
 
 
 def _count_nodes(root: _TrieNode) -> int:

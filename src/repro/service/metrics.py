@@ -122,6 +122,28 @@ METRIC_SPECS: Tuple[MetricSpec, ...] = (
         "Extraction-stage worker latency per page (seconds).",
     ),
     MetricSpec(
+        "repro_automaton_pages_total", "counter", ("cluster",),
+        "Pages extracted through the single-pass automaton scan.",
+    ),
+    MetricSpec(
+        "repro_chunks_cold_total", "counter", ("cluster",),
+        "Chunks that paid worker wrapper-compile (warm-up) cost.",
+    ),
+    MetricSpec(
+        "repro_transport_chunks_total", "counter", ("kind",),
+        "Process-executor chunks shipped, by transport kind "
+        "(shm or pickle).",
+    ),
+    MetricSpec(
+        "repro_transport_bytes_total", "counter", ("kind",),
+        "Page payload bytes shipped to process workers, by transport "
+        "kind.",
+    ),
+    MetricSpec(
+        "repro_shm_segments_active", "gauge", (),
+        "Shared-memory segments currently staged, not yet released.",
+    ),
+    MetricSpec(
         "repro_request_seconds", "histogram", (),
         "Serve request wall latency per line, every front-end (seconds).",
     ),
@@ -931,6 +953,30 @@ class ProgressEmitter:
     def finish(self, report) -> None:
         """Emit the final line unconditionally (``"done": true``)."""
         self._emit(report, done=True)
+
+    def announce_compile(self, stats_by_cluster: Dict[str, object]) -> None:
+        """Emit one ``"event": "compile"`` line with per-cluster stats.
+
+        ``stats_by_cluster`` maps cluster name to a
+        :class:`~repro.service.compiler.CompilerStats` (anything with
+        an ``as_dict()``); entry points call this once after wrapper
+        compilation so operators watching ``--progress`` see the
+        automaton/trie sharing the run starts with.
+        """
+        payload = {
+            "event": "compile",
+            "label": self.label,
+            "clusters": {
+                cluster: stats.as_dict()
+                for cluster, stats in sorted(stats_by_cluster.items())
+            },
+        }
+        try:
+            self.stream.write(json.dumps(payload, sort_keys=True) + "\n")
+            self.stream.flush()
+        except (OSError, ValueError):
+            return  # a dying stderr must never kill the run
+        self.emitted += 1
 
 
 def parse_exposition(text: str) -> Dict[str, Dict[str, float]]:

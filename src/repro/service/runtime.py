@@ -46,7 +46,7 @@ from typing import (
 
 from repro.core.repository import RuleRepository
 from repro.extraction.postprocess import PostProcessor
-from repro.service.compiler import CompiledWrapper
+from repro.service.compiler import CompiledWrapper, CompilerStats
 from repro.service.metrics import default_registry
 from repro.service.router import ClusterRouter
 from repro.service.sink import (
@@ -55,6 +55,11 @@ from repro.service.sink import (
     PageRecord,
     ResultSink,
     make_error_record,
+)
+from repro.service.transport import (
+    TRANSPORT_KINDS,
+    SharedMemoryPageTransport,
+    load_shm_chunk,
 )
 from repro.sites.page import WebPage
 
@@ -244,17 +249,30 @@ class OrderedEmitter:
 
 @dataclass
 class ClusterStats:
-    """Throughput/error accounting for one served cluster."""
+    """Throughput/error accounting for one served cluster.
+
+    Chunks served by a worker that had to compile the cluster's wrapper
+    first are *cold*: their pages and seconds are still counted in the
+    totals, but the throughput figure prefers the warm-only numbers so
+    one-off warm-up cost cannot skew per-cluster pages/sec.
+    """
 
     pages: int = 0
     values: int = 0
     failures: int = 0
     chunks: int = 0
     worker_seconds: float = 0.0
+    #: Chunks that paid a wrapper compile in their worker.
+    cold_chunks: int = 0
+    #: Pages/seconds from warm chunks only (throughput basis).
+    warm_pages: int = 0
+    warm_seconds: float = 0.0
 
     @property
     def pages_per_second(self) -> float:
-        """Worker throughput (pages over summed worker seconds)."""
+        """Worker throughput (warm chunks when any, else all chunks)."""
+        if self.warm_seconds > 0:
+            return self.warm_pages / self.warm_seconds
         if self.worker_seconds <= 0:
             return 0.0
         return self.pages / self.worker_seconds
@@ -378,24 +396,43 @@ EngineReport = RuntimeReport
 
 _WORKER_REPOSITORY: Optional[RuleRepository] = None
 _WORKER_WRAPPERS: Dict[str, CompiledWrapper] = {}
+_WORKER_AUTOMATON: bool = True
 
 
-def _init_process_worker(repository_data: dict) -> None:
-    global _WORKER_REPOSITORY, _WORKER_WRAPPERS
+def _init_process_worker(
+    repository_data: dict, automaton: bool = True
+) -> None:
+    global _WORKER_REPOSITORY, _WORKER_WRAPPERS, _WORKER_AUTOMATON
     _WORKER_REPOSITORY = RuleRepository.from_dict(repository_data)
     _WORKER_WRAPPERS = {}
+    _WORKER_AUTOMATON = automaton
+
+
+def _worker_wrapper(cluster: str) -> tuple[CompiledWrapper, bool]:
+    """This worker's wrapper for ``cluster``, plus whether it was warm.
+
+    The first chunk a worker sees for a cluster pays the wrapper
+    compile; the ``warm`` flag lets the parent keep that chunk out of
+    the per-cluster throughput stats (warm-up skew otherwise drags the
+    early pages/sec numbers down).
+    """
+    assert _WORKER_REPOSITORY is not None, "worker not initialised"
+    wrapper = _WORKER_WRAPPERS.get(cluster)
+    warm = wrapper is not None
+    if wrapper is None:
+        wrapper = _WORKER_REPOSITORY.compile_cluster(
+            cluster, automaton=_WORKER_AUTOMATON
+        )
+        _WORKER_WRAPPERS[cluster] = wrapper
+    return wrapper, warm
 
 
 def _process_chunk(
     cluster: str,
     payload: list[tuple[int, int, str, str]],
     contain_errors: bool,
-) -> tuple[list[_Outcome], float]:
-    assert _WORKER_REPOSITORY is not None, "worker not initialised"
-    wrapper = _WORKER_WRAPPERS.get(cluster)
-    if wrapper is None:
-        wrapper = _WORKER_REPOSITORY.compile_cluster(cluster)
-        _WORKER_WRAPPERS[cluster] = wrapper
+) -> tuple[list[_Outcome], float, bool]:
+    wrapper, warm = _worker_wrapper(cluster)
     # Timer starts after the one-off wrapper compile so worker
     # throughput stats reflect extraction, not warm-up.
     started = time.perf_counter()
@@ -407,7 +444,22 @@ def _process_chunk(
         ],
         contain_errors,
     )
-    return outcomes, time.perf_counter() - started
+    return outcomes, time.perf_counter() - started, warm
+
+
+def _process_chunk_shm(
+    cluster: str,
+    payload: tuple,
+    contain_errors: bool,
+) -> tuple[list[_Outcome], float, bool]:
+    """Like :func:`_process_chunk`, pages read from shared memory."""
+    wrapper, warm = _worker_wrapper(cluster)
+    name, entries = payload
+    started = time.perf_counter()
+    outcomes = _extract_chunk(
+        wrapper, load_shm_chunk(name, entries), contain_errors
+    )
+    return outcomes, time.perf_counter() - started, warm
 
 
 def _extract_one(
@@ -566,6 +618,14 @@ class StreamingRuntime:
             :data:`~repro.service.metrics.NULL_METRICS` to run
             uninstrumented).  Instrumentation never touches output
             bytes.
+        automaton: compile wrappers with the single-pass extraction
+            automaton (default); ``False`` keeps the shared-trie path
+            (the ``--no-automaton`` escape hatch).  Output bytes are
+            identical either way.
+        transport: page transport for the process executor —
+            ``"auto"`` (shared memory when available, else pickle),
+            ``"shm"`` (require shared memory) or ``"pickle"`` (force
+            the legacy inline payloads).  Ignored by other executors.
     """
 
     def __init__(
@@ -582,9 +642,16 @@ class StreamingRuntime:
         contain_errors: bool = False,
         adapter=None,
         metrics=None,
+        automaton: bool = True,
+        transport: str = "auto",
     ) -> None:
         if executor not in EXECUTOR_KINDS:
             raise ValueError(f"unknown executor kind {executor!r}")
+        if transport not in TRANSPORT_KINDS:
+            raise ValueError(
+                f"unknown transport {transport!r} "
+                f"(choose from {TRANSPORT_KINDS})"
+            )
         if adapter is not None:
             if router is not None:
                 raise ValueError(
@@ -610,7 +677,14 @@ class StreamingRuntime:
         self.ordered = ordered
         self.contain_errors = contain_errors
         self.adapter = adapter
+        self.automaton = automaton
+        self.transport = transport
         self.metrics = metrics if metrics is not None else default_registry()
+        self._transport = (
+            SharedMemoryPageTransport(mode=transport, metrics=self.metrics)
+            if executor == "process"
+            else None
+        )
         self._m_routed = self.metrics.from_spec("repro_pages_routed_total")
         self._m_unroutable = self.metrics.from_spec(
             "repro_pages_unroutable_total"
@@ -621,14 +695,29 @@ class StreamingRuntime:
         self._m_extract_seconds = self.metrics.from_spec(
             "repro_extract_seconds"
         )
+        self._m_automaton_pages = self.metrics.from_spec(
+            "repro_automaton_pages_total"
+        )
+        self._m_cold_chunks = self.metrics.from_spec(
+            "repro_chunks_cold_total"
+        )
         # Thread/inline mode: wrappers apply post-processing in the
         # worker.  Process mode: wrappers are rebuilt per process
         # without the (unpicklable) post-processor; a parent-side stage
         # applies the resolved chains as records drain — same values
         # either way.
         self._wrappers: Dict[str, CompiledWrapper] = repository.compile_all(
-            postprocessor if executor != "process" else None
+            postprocessor if executor != "process" else None,
+            automaton=automaton,
         )
+        #: Clusters whose wrapper actually drives the automaton (at
+        #: least one location compiled to a slot) — the basis for the
+        #: ``repro_automaton_pages_total`` counter.
+        self._automaton_clusters = {
+            cluster
+            for cluster, wrapper in self._wrappers.items()
+            if wrapper.stats.automaton_slots > 0
+        }
         self._stages: list[Stage] = []
         if executor == "process" and postprocessor is not None:
             chains: Dict[str, Dict[str, Callable]] = {}
@@ -684,7 +773,7 @@ class StreamingRuntime:
             refits_before = self.adapter.refits
         started = time.perf_counter()
         executor = self._make_executor()
-        pending: deque[tuple[str, object]] = deque()
+        pending: deque[tuple[str, object, Optional[str]]] = deque()
         buffers: Dict[str, list[tuple[int, int, WebPage]]] = {}
 
         def release(item) -> None:
@@ -743,6 +832,11 @@ class StreamingRuntime:
             assert emitter is None or emitter.held == 0
         finally:
             executor.shutdown(wait=True)
+            if self._transport is not None:
+                # Error-path sweep: normal drains already released
+                # their leases; this reclaims segments stranded by an
+                # exception or cancellation mid-flight.
+                self._transport.close_all()
         if self.adapter is not None:
             report.drift_events = self.adapter.drift_events - drift_before
             report.refits = self.adapter.refits - refits_before
@@ -769,6 +863,17 @@ class StreamingRuntime:
         """
         return self._wrappers.get(cluster)
 
+    def wrapper_stats(self) -> Dict[str, "CompilerStats"]:
+        """Per-cluster compiler stats (automaton shape included).
+
+        What ``--progress`` surfaces in its ``compile`` event and
+        ``registry show --stats`` prints per version.
+        """
+        return {
+            cluster: wrapper.stats
+            for cluster, wrapper in self._wrappers.items()
+        }
+
     # ------------------------------------------------------------------ #
 
     def _make_executor(self):
@@ -776,7 +881,7 @@ class StreamingRuntime:
             return ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_init_process_worker,
-                initargs=(self.repository.to_dict(),),
+                initargs=(self.repository.to_dict(), self.automaton),
             )
         if self.executor_kind == "thread":
             return ThreadPoolExecutor(max_workers=self.workers)
@@ -839,20 +944,20 @@ class StreamingRuntime:
         pending: deque,
         report: RuntimeReport,
     ) -> None:
+        lease: Optional[str] = None
         if self.executor_kind == "process":
-            payload = [
-                (seq, index, page.url, page.html)
-                for seq, index, page in chunk
-            ]
+            staged = self._transport.stage(chunk)
+            lease = staged.segment
+            worker = _process_chunk_shm if lease is not None else _process_chunk
             future = executor.submit(
-                _process_chunk, cluster, payload, self.contain_errors
+                worker, cluster, staged.payload, self.contain_errors
             )
         else:
             wrapper = self._wrappers[cluster]
             future = executor.submit(
                 self._local_chunk, wrapper, chunk, self.contain_errors
             )
-        pending.append((cluster, future))
+        pending.append((cluster, future, lease))
         stats = report.per_cluster.setdefault(cluster, ClusterStats())
         stats.chunks += 1
 
@@ -861,10 +966,12 @@ class StreamingRuntime:
         wrapper: CompiledWrapper,
         pages: list[tuple[int, int, WebPage]],
         contain_errors: bool,
-    ) -> tuple[list[_Outcome], float]:
+    ) -> tuple[list[_Outcome], float, bool]:
+        # Local executors share the parent's pre-compiled wrappers, so
+        # every chunk is warm by construction.
         started = time.perf_counter()
         outcomes = _extract_chunk(wrapper, pages, contain_errors)
-        return outcomes, time.perf_counter() - started
+        return outcomes, time.perf_counter() - started, True
 
     def _drain_one(
         self,
@@ -873,10 +980,24 @@ class StreamingRuntime:
         emitter: Optional[OrderedEmitter],
         report: RuntimeReport,
     ) -> None:
-        cluster, future = pending.popleft()
-        outcomes, seconds = future.result()
+        cluster, future, lease = pending.popleft()
+        try:
+            outcomes, seconds, warm = future.result()
+        finally:
+            # The segment lease must drop however the chunk ended —
+            # success, contained error or a dead worker alike.
+            if lease is not None:
+                self._transport.release(lease)
         stats = report.per_cluster.setdefault(cluster, ClusterStats())
         stats.worker_seconds += seconds
+        if warm:
+            stats.warm_pages += len(outcomes)
+            stats.warm_seconds += seconds
+        else:
+            stats.cold_chunks += 1
+            self._m_cold_chunks.labels(cluster).inc()
+        if outcomes and cluster in self._automaton_clusters:
+            self._m_automaton_pages.labels(cluster).inc(len(outcomes))
         if outcomes:
             # Workers time whole chunks; spread the cost evenly so the
             # histogram stays per-page comparable across chunk sizes.

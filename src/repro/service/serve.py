@@ -157,6 +157,8 @@ class ServeHandler:
             request latency/outcome series and admission counters
             (default: the process-wide registry, which is what
             ``GET /metrics`` renders).
+        automaton: compile wrappers with the single-pass extraction
+            automaton (default); ``False`` keeps the shared-trie path.
 
     Thread-safe: the wrapped inline runtime keeps no per-run state
     (and the adapter guards its own), so the async front-ends call
@@ -172,6 +174,7 @@ class ServeHandler:
         adapter=None,
         policy: Optional[ServePolicy] = None,
         metrics=None,
+        automaton: bool = True,
     ) -> None:
         if adapter is not None and router is not None:
             raise ValueError("pass router or adapter, not both")
@@ -204,6 +207,7 @@ class ServeHandler:
             contain_errors=True,
             adapter=adapter,
             metrics=self.metrics,
+            automaton=automaton,
         )
 
     @property

@@ -373,6 +373,8 @@ class ShardWorker:
         skip_unreadable: bool = False,
         adapter=None,
         metrics=None,
+        automaton: bool = True,
+        transport: str = "auto",
     ) -> None:
         if not 0 <= shard < plan.shards:
             raise ShardPlanError(
@@ -396,6 +398,8 @@ class ShardWorker:
             ordered=True,
             adapter=adapter,
             metrics=metrics,
+            automaton=automaton,
+            transport=transport,
         )
 
     def run(
