@@ -20,6 +20,10 @@ for the socket ingress): HTTP throughput must stay within
 :data:`MIN_HTTP_VS_ASYNC` of the asyncio stdin loop on the same paced
 corpus.  Results merge into the ``$BENCH_RESULTS`` JSON artifact next
 to the other service measurements.
+
+This measures *one* serve process — the baseline the multi-worker
+supervisor is gated against (``bench_multiworker_serve`` asserts the
+2-worker gateway fleet clears 1.8x of it, byte-identically).
 """
 
 import asyncio

@@ -1,0 +1,225 @@
+"""Multi-worker HTTP serve throughput — one process vs the fleet.
+
+Measures one large ``POST /batch`` (NDJSON corpus, ``Connection:
+close``) against two real ``serve`` subprocesses:
+
+* ``serve --http`` — the single-process front-end (the baseline);
+* ``serve --http --workers 2 --gateway`` — the pre-fork supervisor
+  fanning line slices across two forked children and merging the
+  streams back in input order.
+
+Both runs must produce byte-identical response bodies — the gateway's
+whole contract — and the fleet must actually buy throughput: the
+extraction work is pure-Python CPU, so two child *processes* (two
+GILs) should approach 2x a single process once slice fan-out overhead
+is amortised.
+
+Acceptance bar (failing the run — this file is CI's regression gate
+for the supervisor): the 2-worker gateway must sustain at least
+:data:`MIN_MULTIWORKER_SPEEDUP` x the single-process throughput.  The
+bar is asserted only on hosts with >= :data:`MIN_CPUS_FOR_GATE` CPUs
+(CI's runners): with fewer cores the parent, the children and the
+client all share one core and the fleet physically cannot win — the
+measured ratio is still recorded in the ``$BENCH_RESULTS`` artifact,
+and byte-identity is asserted everywhere.
+"""
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.core.builder import MappingRuleBuilder
+from repro.core.oracle import ScriptedOracle
+from repro.core.repository import RuleRepository
+from repro.sites.imdb import generate_imdb_site
+
+from conftest import emit, write_results
+
+#: Distinct movie pages in the corpus (each line is a full parse).
+CORPUS_PAGES = 120
+
+#: Repeats of the page set in one batch body.
+CORPUS_REPEATS = 12
+
+#: Lines per gateway slice — large enough that slice fan-out (one
+#: loopback POST per slice) stays a small fraction of the slice work.
+SLICE_LINES = 96
+
+#: Regression floor: gateway@2 workers vs the single process.
+MIN_MULTIWORKER_SPEEDUP = 1.8
+
+#: The speedup gate needs the parent, two children and the client to
+#: have real cores; below this the ratio is recorded, not asserted.
+MIN_CPUS_FOR_GATE = 4
+
+_SERVING = re.compile(r"serving HTTP on 127\.0\.0\.1:(\d+)")
+
+
+def _corpus(tmp_dir: Path) -> tuple[Path, bytes]:
+    site = generate_imdb_site(
+        n_movies=CORPUS_PAGES, n_actors=0, n_search=0, seed=17
+    )
+    pages = site.pages_with_hint("imdb-movies")
+    repository = RuleRepository()
+    MappingRuleBuilder(
+        pages[:8], ScriptedOracle(), repository=repository,
+        cluster_name="imdb-movies", seed=1,
+    ).build_all(["title", "rating", "genres"])
+    repo_path = tmp_dir / "rules.json"
+    repository.save(repo_path)
+    body = "".join(
+        json.dumps({"url": page.url, "html": page.html}) + "\n"
+        for page in pages * CORPUS_REPEATS
+    ).encode("utf-8")
+    return repo_path, body
+
+
+class _Serve:
+    """One ``serve --http`` subprocess (optionally a supervisor)."""
+
+    def __init__(self, repo_path: Path, *extra: str) -> None:
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH", "")) if p
+        )
+        self.proc = subprocess.Popen(
+            [sys.executable, "-c",
+             "import sys; from repro.cli import main; "
+             "sys.exit(main(sys.argv[1:]))",
+             "serve", "--repository", str(repo_path),
+             "--cluster", "imdb-movies", "--http", "127.0.0.1:0", *extra],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+        )
+        self._lines: list[str] = []
+        threading.Thread(target=self._drain, daemon=True).start()
+        deadline = time.time() + 60
+        self.port = None
+        while time.time() < deadline and self.port is None:
+            for line in list(self._lines):
+                match = _SERVING.search(line)
+                if match:
+                    self.port = int(match.group(1))
+            time.sleep(0.02)
+        assert self.port is not None, "".join(self._lines)
+
+    def _drain(self) -> None:
+        for line in self.proc.stderr:
+            self._lines.append(line.decode("utf-8", "replace"))
+
+    def close(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(30)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(10)
+
+
+def _batch_seconds(port: int, body: bytes) -> tuple[float, bytes]:
+    """One timed ``POST /batch``; returns (seconds, response body)."""
+    raw = (
+        b"POST /batch HTTP/1.1\r\nHost: bench\r\n"
+        b"Content-Length: %d\r\nConnection: close\r\n\r\n" % len(body)
+        + body
+    )
+    with socket.create_connection(("127.0.0.1", port), timeout=600) as s:
+        s.sendall(raw)
+        s.settimeout(600)
+        started = time.perf_counter()
+        data = b""
+        while True:
+            chunk = s.recv(1 << 20)
+            if not chunk:
+                break
+            data += chunk
+    elapsed = time.perf_counter() - started
+    head, _, rest = data.partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.1 200"), head
+    payload = b""
+    while rest:  # the response streams back chunked
+        size_line, _, rest = rest.partition(b"\r\n")
+        size = int(size_line.split(b";")[0], 16)
+        if size == 0:
+            break
+        payload += rest[:size]
+        rest = rest[size + 2:]
+    return elapsed, payload
+
+
+def _measure(repo_path: Path, body: bytes, *extra: str) -> tuple:
+    serve = _Serve(repo_path, *extra)
+    try:
+        _measure_warm = _batch_seconds(serve.port, body)  # warm the fleet
+        first, payload = _batch_seconds(serve.port, body)
+        second, again = _batch_seconds(serve.port, body)
+        assert again == payload
+        assert payload == _measure_warm[1]
+        return min(first, second), payload
+    finally:
+        serve.close()
+
+
+def test_multiworker_serve_throughput(tmp_path, benchmark):
+    repo_path, body = _corpus(tmp_path)
+    lines = body.count(b"\n")
+
+    single_seconds, single_payload = _measure(repo_path, body)
+    gateway_seconds, gateway_payload = benchmark.pedantic(
+        lambda: _measure(
+            repo_path, body,
+            "--workers", "2", "--gateway",
+            "--gateway-slice", str(SLICE_LINES),
+        ),
+        rounds=1, iterations=1,
+    )
+
+    # The supervisor's contract before its throughput: the fanned-out
+    # merge is byte-identical to the single-process stream.
+    assert gateway_payload == single_payload
+
+    speedup = single_seconds / gateway_seconds
+    cpus = os.cpu_count() or 1
+    gated = cpus >= MIN_CPUS_FOR_GATE
+    emit(
+        "Multi-worker HTTP serve (pages/second, higher is better)",
+        "\n".join([
+            f"lines: {lines}, slice: {SLICE_LINES}, cpus: {cpus}",
+            f"single process       : {lines / single_seconds:9.1f} pages/s",
+            f"gateway, 2 workers   : {lines / gateway_seconds:9.1f} pages/s"
+            f"  ({speedup:.2f}x single)",
+            f"speedup gate         : >= {MIN_MULTIWORKER_SPEEDUP}x "
+            + ("(enforced)" if gated else
+               f"(recorded only: < {MIN_CPUS_FOR_GATE} cpus)"),
+        ]),
+    )
+    results_path = write_results({
+        "multiworker_serve": {
+            "lines": lines,
+            "slice_lines": SLICE_LINES,
+            "cpus": cpus,
+            "pages_per_second": {
+                "single_process": lines / single_seconds,
+                "gateway_2_workers": lines / gateway_seconds,
+            },
+            "speedup_vs_single": speedup,
+            "min_speedup": MIN_MULTIWORKER_SPEEDUP,
+            "gate_enforced": gated,
+            "byte_identical": True,
+        },
+    })
+    print(f"results written to {results_path}")
+
+    if gated:
+        assert speedup >= MIN_MULTIWORKER_SPEEDUP, (
+            f"2-worker gateway is only {speedup:.2f}x the single process "
+            f"(regression floor: {MIN_MULTIWORKER_SPEEDUP}x)"
+        )

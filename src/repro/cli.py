@@ -1009,11 +1009,132 @@ def _serve_http(handler, args) -> int:
     return 0
 
 
+#: Test seam: called with the started ``ServeSupervisor`` once every
+#: initial child is ready (ports are bound and published by then).
+#: ``None`` disables.
+SERVE_SUPERVISOR_STARTED: Optional[Callable] = None
+
+
+def _serve_multiworker(handler, args) -> int:
+    """The pre-fork supervisor: N ingress children behind one port."""
+    from repro.service.supervisor import ServeSupervisor
+
+    try:
+        host, port = _parse_http_address(args.http)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    async def _run():
+        supervisor = ServeSupervisor(
+            handler,
+            host,
+            port,
+            workers=args.workers,
+            gateway=args.gateway,
+            slice_lines=args.gateway_slice,
+            status_port=args.status_port,
+            drain_timeout=args.http_drain_timeout,
+        )
+        await supervisor.start()
+        loop = asyncio.get_running_loop()
+        hooked = []
+        try:
+            loop.add_signal_handler(
+                signal.SIGINT, supervisor.interrupt
+            )
+            hooked.append(signal.SIGINT)
+            loop.add_signal_handler(signal.SIGTERM, supervisor.stop)
+            hooked.append(signal.SIGTERM)
+        except (NotImplementedError, ValueError, RuntimeError):
+            pass  # platform (or thread) without loop signal handlers
+        mode = "gateway" if args.gateway else supervisor.mode
+        print(
+            f"serving HTTP on {host}:{supervisor.port} with "
+            f"{supervisor.workers} worker(s) ({mode})",
+            file=sys.stderr, flush=True,
+        )
+        if not args.gateway:
+            print(
+                f"supervisor status on {host}:{supervisor.status_port}",
+                file=sys.stderr, flush=True,
+            )
+        if SERVE_SUPERVISOR_STARTED is not None:
+            SERVE_SUPERVISOR_STARTED(supervisor)
+        try:
+            await supervisor.wait_stopped()
+        finally:
+            stats = await supervisor.shutdown()
+            for signum in hooked:
+                loop.remove_signal_handler(signum)
+        return stats, supervisor.failed
+
+    try:
+        stats, failed = asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except (OSError, TimeoutError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(
+        f"served {stats.served} page(s) over {stats.requests} "
+        f"request(s) on {stats.connections} connection(s)",
+        file=sys.stderr,
+    )
+    if stats.drained_connections:
+        print(
+            f"drained {stats.drained_connections} connection(s) "
+            "at shutdown",
+            file=sys.stderr,
+        )
+    if stats.rate_limited or stats.shed:
+        print(
+            f"admission: {stats.rate_limited} rate-limited, "
+            f"{stats.shed} shed",
+            file=sys.stderr,
+        )
+    print(
+        f"workers: {stats.workers} worker(s), "
+        f"{stats.restarts} restart(s)",
+        file=sys.stderr,
+    )
+    if args.gateway:
+        print(
+            f"gateway: {stats.gateway_slices} slice(s), "
+            f"{stats.gateway_retries} retried",
+            file=sys.stderr,
+        )
+    if failed:
+        print("supervisor gave up: all workers crash-looping",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ServeHandler, ServePolicy
 
     if args.sync and args.http:
         print("--sync and --http are mutually exclusive", file=sys.stderr)
+        return 2
+    multiworker = args.workers > 1 or args.gateway
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.gateway_slice < 1:
+        print("--gateway-slice must be >= 1", file=sys.stderr)
+        return 2
+    if multiworker and not args.http:
+        print("--workers/--gateway need --http", file=sys.stderr)
+        return 2
+    if multiworker and args.adapt:
+        # Each forked child would drift and refit independently — N
+        # silently diverging artifacts behind one port.  Adaptation
+        # stays a single-process concern; multi-worker serves a pinned
+        # artifact.
+        print("--workers/--gateway and --adapt are mutually exclusive "
+              "(per-child refits would diverge)", file=sys.stderr)
         return 2
     try:
         repository = RuleRepository.load(args.repository)
@@ -1022,9 +1143,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     registry = None
     reg_router = None
+    reg_version = None
     if args.registry:
         try:
-            registry, reg_repository, reg_router, _ = (
+            registry, reg_repository, reg_router, reg_version = (
                 _registry_pinned_artifact(args)
             )
             if reg_repository is not None:
@@ -1102,6 +1224,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         adapter=adapter,
         policy=policy,
         automaton=args.automaton,
+        # Compiled once, here; the supervisor's forked children inherit
+        # this handler (and the stamped pin) without recompiling.
+        artifact_version=reg_version,
     )
     try:
         _attach_adapter_log(adapter, args)
@@ -1157,6 +1282,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     # leave a complete, flushed adaptation log behind.  The metrics
     # dump rides the same guarantee.
     try:
+        if args.http and multiworker:
+            return _serve_multiworker(handler, args)
         if args.http:
             return _serve_http(handler, args)
         return _serve_stdin(handler, args)
@@ -1565,6 +1692,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "(POST /extract, streaming POST /batch, "
                             "GET /healthz, GET /metrics; port 0 picks "
                             "a free port)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="pre-fork N HTTP ingress children behind one "
+                            "port (needs --http; SO_REUSEPORT kernel "
+                            "balancing where available, one inherited "
+                            "listener elsewhere)")
+    serve.add_argument("--gateway", action="store_true",
+                       help="the supervisor owns the public port and fans "
+                            "POST /batch across the workers in fixed-size "
+                            "slices, merged back in input order (needs "
+                            "--http)")
+    serve.add_argument("--gateway-slice", type=int, default=64,
+                       metavar="LINES",
+                       help="lines per gateway batch slice — the unit of "
+                            "fan-out and crash re-run")
+    serve.add_argument("--status-port", type=int, default=0,
+                       help="--workers without --gateway: port for the "
+                            "supervisor's aggregated /healthz and "
+                            "/metrics (0 picks a free port; gateway mode "
+                            "serves them on the main port)")
     serve.add_argument("--http-drain-timeout", type=float, default=30.0,
                        help="graceful-shutdown window: seconds in-flight "
                             "HTTP requests get to finish before their "

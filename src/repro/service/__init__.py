@@ -90,6 +90,7 @@ from repro.service.metrics import (
     ProgressEmitter,
     TokenBucket,
     default_registry,
+    merge_expositions,
     parse_exposition,
     render_metrics_table,
 )
@@ -121,10 +122,19 @@ from repro.service.shard import (
     ShardPlanner,
     ShardStatus,
     ShardWorker,
+    SliceCheckpoint,
     XmlShardMerger,
     incomplete_shards,
     shard_statuses,
     stable_shard,
+)
+from repro.service.supervisor import (
+    GatewayError,
+    ServeSupervisor,
+    SupervisorStats,
+    restart_backoff,
+    reuseport_available,
+    slice_body,
 )
 from repro.service.transport import (
     SharedMemoryPageTransport,
@@ -166,6 +176,7 @@ __all__ = [
     "CompilerStats",
     "EngineReport",
     "ExtractionAutomaton",
+    "GatewayError",
     "HttpFrontEnd",
     "HttpStats",
     "METRIC_SPECS",
@@ -192,6 +203,7 @@ __all__ = [
     "ServeHandler",
     "ServePolicy",
     "ServeStats",
+    "ServeSupervisor",
     "ShadowEvent",
     "SharedMemoryPageTransport",
     "ShardManifest",
@@ -200,9 +212,11 @@ __all__ = [
     "ShardPlanner",
     "ShardStatus",
     "ShardWorker",
+    "SliceCheckpoint",
     "Stage",
     "StagedChunk",
     "StreamingRuntime",
+    "SupervisorStats",
     "TRANSPORT_KINDS",
     "UNROUTABLE",
     "VersionManifest",
@@ -217,11 +231,15 @@ __all__ = [
     "make_adapter",
     "make_error_record",
     "make_unroutable_record",
+    "merge_expositions",
     "parse_exposition",
     "render_metrics_table",
+    "restart_backoff",
+    "reuseport_available",
     "serve_async",
     "serve_sync",
     "shard_statuses",
+    "slice_body",
     "stable_shard",
     "version_id",
     "wrapper_extractor",

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-import math
+import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Optional
@@ -454,11 +454,20 @@ class HttpFrontEnd:
         max_inflight: Optional[int] = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+        sock=None,
+        worker_id: Optional[str] = None,
     ) -> None:
         policy = _policy_of(handler)
         self.handler = handler
         self.host = host
         self.port = port
+        #: A pre-bound, already-listening socket to serve on instead of
+        #: binding ``host:port`` — the supervisor's fork-and-inherit
+        #: fallback hands each child the same listener this way.
+        self._sock = sock
+        #: Stamped by the supervisor so an operator hitting the shared
+        #: REUSEPORT port can tell which child answered /healthz.
+        self.worker_id = worker_id
         self.max_inflight = (
             max_inflight if max_inflight is not None else policy.max_inflight
         )
@@ -489,6 +498,7 @@ class HttpFrontEnd:
             "repro_http_drained_connections_total"
         )
         self._server: Optional[asyncio.AbstractServer] = None
+        self._extra_servers: list[asyncio.AbstractServer] = []
         self._pool: Optional[ThreadPoolExecutor] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stopped: Optional[asyncio.Event] = None
@@ -508,10 +518,29 @@ class HttpFrontEnd:
             max_workers=self.max_inflight,
             thread_name_prefix="http-serve",
         )
-        self._server = await asyncio.start_server(
-            self._on_connection, self.host, self.port
-        )
+        if self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._on_connection, sock=self._sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, self.host, self.port
+            )
         self.port = self._server.sockets[0].getsockname()[1]
+
+    async def add_listener(self, host: str = "127.0.0.1",
+                           port: int = 0) -> int:
+        """Bind one extra listener answering on the same handler.
+
+        The supervisor gives each child a private control listener this
+        way (the parent's aggregation and gateway traffic must reach a
+        *specific* child, which the shared REUSEPORT port cannot
+        guarantee).  Returns the bound port; closed by :meth:`shutdown`
+        alongside the primary listener.
+        """
+        server = await asyncio.start_server(self._on_connection, host, port)
+        self._extra_servers.append(server)
+        return server.sockets[0].getsockname()[1]
 
     def stop(self) -> None:
         """Release :meth:`wait_stopped` (safe from any thread, any time
@@ -552,6 +581,10 @@ class HttpFrontEnd:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for server in self._extra_servers:
+            server.close()
+            await server.wait_closed()
+        self._extra_servers = []
         for connection in list(self._connections.values()):
             if not connection.busy:
                 connection.writer.close()
@@ -751,14 +784,27 @@ class HttpFrontEnd:
             self.stats.rate_limited += 1
         else:
             self.stats.shed += 1
-        body_framer = _framed_body(request, reader, self.max_body_bytes)
-        await _read_whole_body(body_framer, self.max_body_bytes)
-        retry_after = max(1, math.ceil(decision.retry_after))
+        # Counted at decision time, before the first await: a shutdown
+        # (or client reset) racing the refusal mid-body must not leave
+        # the stderr summary and HttpStats claiming a rejection the
+        # /metrics series never saw.
+        self._count_request(request.target, decision.status)
+        framing_ok = True
+        try:
+            body_framer = _framed_body(request, reader, self.max_body_bytes)
+            await _read_whole_body(body_framer, self.max_body_bytes)
+        except HttpProtocolError:
+            # The refusal outranks the framing violation — and this
+            # request is already counted, so routing it through
+            # _refuse would tick the series twice.  Answer 429/503
+            # and stop reusing the connection.
+            framing_ok = False
+        retry_after = decision.retry_after_seconds
         payload = _error_body(
             f"{decision.status} {_REASONS[decision.status]}: "
             f"{decision.reason}; retry after {retry_after}s"
         )
-        keep_alive = request.keep_alive and not self._closing
+        keep_alive = framing_ok and request.keep_alive and not self._closing
         _write_payload_response(
             writer,
             decision.status,
@@ -766,7 +812,6 @@ class HttpFrontEnd:
             keep_alive,
             extra_headers=(("Retry-After", str(retry_after)),),
         )
-        self._count_request(request.target, decision.status)
         return keep_alive
 
     async def _handle_extract(self, request, reader, writer) -> bool:
@@ -930,12 +975,16 @@ class HttpFrontEnd:
             "drift_events": 0 if adapter is None else adapter.drift_events,
             "refits": 0 if adapter is None else adapter.refits,
             "max_inflight": self.max_inflight,
-            "registry_version": canary.get("registry_version"),
+            "registry_version": canary.get("registry_version")
+            or getattr(self.handler, "artifact_version", None),
             "shadow_version": canary.get("shadow_version"),
             "canary_promotions": canary.get("canary_promotions", 0),
             "canary_rollbacks": canary.get("canary_rollbacks", 0),
             "canary_shadow_pages": canary.get("canary_shadow_pages", 0),
         }
+        if self.worker_id is not None:
+            payload["worker_id"] = self.worker_id
+            payload["pid"] = os.getpid()
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         keep_alive = request.keep_alive and not self._closing
         _write_payload_response(writer, 200, body, keep_alive)

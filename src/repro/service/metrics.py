@@ -196,6 +196,22 @@ METRIC_SPECS: Tuple[MetricSpec, ...] = (
         "repro_canary_rollbacks_total", "counter", (),
         "Canary candidates rolled back with a logged reason.",
     ),
+    MetricSpec(
+        "repro_serve_workers_active", "gauge", (),
+        "Supervisor ingress children currently alive.",
+    ),
+    MetricSpec(
+        "repro_worker_restarts_total", "counter", ("worker",),
+        "Supervisor child restarts after unexpected exits, per slot.",
+    ),
+    MetricSpec(
+        "repro_worker_requests_total", "counter", ("worker",),
+        "HTTP requests answered, per supervisor child slot.",
+    ),
+    MetricSpec(
+        "repro_gateway_slices_total", "counter", ("outcome",),
+        "Gateway batch slices by outcome (ok or retried).",
+    ),
 )
 
 _SPEC_BY_NAME: Dict[str, MetricSpec] = {
@@ -716,6 +732,17 @@ class AdmissionDecision:
     #: ``Retry-After`` header, rounded up to whole seconds on the wire).
     retry_after: float = 0.0
 
+    @property
+    def retry_after_seconds(self) -> int:
+        """The on-the-wire ``Retry-After`` value: whole seconds, ceil.
+
+        Sub-second waits must round *up*, never truncate: a 429 with
+        ``Retry-After: 0`` invites an instant retry storm from clients
+        that honour the header literally.  The floor is therefore 1
+        even when the bucket reports a 0.0 wait.
+        """
+        return max(1, math.ceil(self.retry_after))
+
 
 #: Per-client token buckets kept before the oldest is evicted (an
 #: evicted client simply starts over with a full bucket).
@@ -1020,6 +1047,51 @@ def parse_exposition(text: str) -> Dict[str, Dict[str, float]]:
             ) from None
         samples.setdefault(base, {})[series] = value
     return samples
+
+
+def merge_expositions(texts: Sequence[str]) -> str:
+    """Sum several expositions into one fleet-wide exposition.
+
+    The supervisor's aggregated ``GET /metrics`` is built from this:
+    each ingress child renders its own registry, the parent sums every
+    series point-wise (counters add, gauges add — "open connections"
+    across the fleet *is* the sum — and histogram ``_bucket``/``_sum``/
+    ``_count`` lines add like counters) and re-renders one text body.
+    ``HELP``/``TYPE`` come from :data:`METRIC_SPECS` when the series is
+    declared there, else from the first input that carried them.
+
+    Raises:
+        ValueError: when any input is not valid exposition text.
+    """
+    merged: Dict[str, Dict[str, float]] = {}
+    typed: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    order: list[str] = []
+    for text in texts:
+        for line in text.splitlines():
+            if line.startswith("#"):
+                parts = line.split(None, 3)
+                if len(parts) == 4 and parts[1] == "TYPE":
+                    typed.setdefault(parts[2], parts[3])
+                elif len(parts) == 4 and parts[1] == "HELP":
+                    helps.setdefault(parts[2], parts[3])
+        for base, series_map in parse_exposition(text).items():
+            if base not in merged:
+                merged[base] = {}
+                order.append(base)
+            totals = merged[base]
+            for series, value in series_map.items():
+                totals[series] = totals.get(series, 0.0) + value
+    lines = []
+    for base in order:
+        spec = _SPEC_BY_NAME.get(base)
+        help_text = spec.help if spec else helps.get(base, base)
+        kind = spec.kind if spec else typed.get(base, "untyped")
+        lines.append(f"# HELP {base} {help_text}")
+        lines.append(f"# TYPE {base} {kind}")
+        for series in sorted(merged[base]):
+            lines.append(f"{series} {_format_value(merged[base][series])}")
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 def documented_names(table: str) -> list[str]:

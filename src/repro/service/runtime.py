@@ -949,9 +949,18 @@ class StreamingRuntime:
             staged = self._transport.stage(chunk)
             lease = staged.segment
             worker = _process_chunk_shm if lease is not None else _process_chunk
-            future = executor.submit(
-                worker, cluster, staged.payload, self.contain_errors
-            )
+            try:
+                future = executor.submit(
+                    worker, cluster, staged.payload, self.contain_errors
+                )
+            except BaseException:
+                # Stage succeeded but no future exists to carry the
+                # lease: without this release the segment would only
+                # fall to the close_all() sweep — or leak outright if
+                # the caller swallows the submit failure.
+                if lease is not None:
+                    self._transport.release(lease)
+                raise
         else:
             wrapper = self._wrappers[cluster]
             future = executor.submit(

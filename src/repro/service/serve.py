@@ -175,6 +175,7 @@ class ServeHandler:
         policy: Optional[ServePolicy] = None,
         metrics=None,
         automaton: bool = True,
+        artifact_version: Optional[str] = None,
     ) -> None:
         if adapter is not None and router is not None:
             raise ValueError("pass router or adapter, not both")
@@ -185,6 +186,11 @@ class ServeHandler:
         self.router = adapter if adapter is not None else router
         self.adapter = adapter
         self.cluster = cluster
+        #: The pinned registry version this handler serves, when the
+        #: artifact came out of a registry — the supervisor compiles
+        #: once in the parent and stamps the same version into every
+        #: forked child, so /healthz can prove fleet consistency.
+        self.artifact_version = artifact_version
         self.policy = policy if policy is not None else ServePolicy()
         self.metrics = metrics if metrics is not None else default_registry()
         self._m_request_seconds = self.metrics.from_spec(

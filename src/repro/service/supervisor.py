@@ -1,0 +1,1179 @@
+"""Pre-fork multi-worker supervisor for the HTTP serving tier.
+
+``serve --http --workers N`` puts every core of one box behind one
+port.  The parent process loads the repository and compiles the
+wrapper artifact *once* (the pinned registry version is stamped into
+the shared :class:`~repro.service.serve.ServeHandler`), then forks N
+ingress children that inherit the compiled artifact for free —
+copy-on-write, no per-worker compile, no version skew.
+
+Socket strategy, in preference order:
+
+* ``SO_REUSEPORT`` — each child binds its own listening socket on the
+  shared address and the kernel load-balances accepted connections
+  across them.  The parent holds a bound (never listening) probe
+  socket on the same address, so ``--http :0`` resolves one concrete
+  port that stays reserved across child restarts without the probe
+  ever stealing a connection.
+* fork-and-inherit fallback — where ``SO_REUSEPORT`` is unavailable
+  the parent binds and listens once and every child serves the
+  inherited socket (accept contention instead of kernel balancing,
+  but the same address semantics).
+
+The supervisor owns the lifecycle: a watcher reaps dead children and
+restarts them under bounded exponential backoff
+(:func:`restart_backoff`, giving up after
+:data:`MAX_CONSECUTIVE_FAILURES` rapid deaths of one slot); one
+SIGTERM fans out to every child and drains the fleet; the first SIGINT
+does the same (stop admitting everywhere), a second SIGINT aborts —
+the single-process contract, fleet-wide.  The parent also serves an
+aggregation endpoint: ``GET /healthz`` sums every child's health
+payload and ``GET /metrics`` merges the children's expositions with
+the supervisor's own series (``repro_serve_workers_active``,
+``repro_worker_restarts_total``, per-child
+``repro_worker_requests_total``).
+
+Gateway mode (``--gateway``) inverts who owns the public port: the
+children bind loopback-only and the parent listens on the public
+address, fanning ``POST /batch`` bodies across workers in fixed-size
+line slices (:func:`slice_body`).  Slice outputs are buffered whole
+and streamed back in input order; a slice whose worker dies
+mid-response is re-run from its
+:class:`~repro.service.shard.SliceCheckpoint` on another worker, so
+the merged stream is byte-identical to a single-process ``batch`` run
+even across a worker crash.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import os
+import signal
+import socket
+import sys
+import time
+from typing import Dict, Optional
+
+from repro.service.http import (
+    DEFAULT_DRAIN_TIMEOUT,
+    DEFAULT_MAX_BODY_BYTES,
+    HttpFrontEnd,
+    HttpProtocolError,
+    _REASONS,
+    _error_body,
+    _framed_body,
+    _read_request_head,
+    _read_whole_body,
+    _response_head,
+    _write_payload_response,
+)
+from repro.service.metrics import (
+    AdmissionController,
+    MetricsRegistry,
+    merge_expositions,
+    parse_exposition,
+)
+from repro.service.shard import SliceCheckpoint
+from repro.service.sink import make_error_record
+
+__all__ = [
+    "DEFAULT_SLICE_LINES",
+    "GatewayError",
+    "MAX_CONSECUTIVE_FAILURES",
+    "ServeSupervisor",
+    "SupervisorStats",
+    "restart_backoff",
+    "reuseport_available",
+    "slice_body",
+]
+
+#: Lines per gateway batch slice — the unit of fan-out, ordering and
+#: crash re-run.  Small enough to balance across workers, large enough
+#: to amortise one HTTP round-trip per slice.
+DEFAULT_SLICE_LINES = 64
+
+#: Re-runs one slice gets before the whole batch is declared failed.
+MAX_SLICE_ATTEMPTS = 5
+
+#: First-restart delay; doubles per consecutive rapid death.
+RESTART_BACKOFF_BASE = 0.1
+
+#: Restart delay ceiling (seconds).
+RESTART_BACKOFF_CAP = 5.0
+
+#: Consecutive rapid deaths of one slot before the supervisor stops
+#: restarting it (a child that cannot come up is a config bug, not a
+#: transient — backoff must not mask it forever).
+MAX_CONSECUTIVE_FAILURES = 8
+
+#: A child that survived this long resets its slot's failure streak.
+STABLE_SECONDS = 5.0
+
+#: Parent poll interval for ``waitpid(WNOHANG)`` reaping.
+_REAP_POLL_SECONDS = 0.1
+
+
+def reuseport_available() -> bool:
+    """Whether this platform accepts ``SO_REUSEPORT`` on TCP sockets.
+
+    Linux >= 3.9 and the modern BSDs do; elsewhere the supervisor
+    falls back to one inherited listening socket.
+    """
+    if not hasattr(socket, "SO_REUSEPORT"):
+        return False
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    except OSError:
+        return False
+    finally:
+        probe.close()
+    return True
+
+
+def restart_backoff(failures: int) -> float:
+    """Delay before restart attempt ``failures`` (1-based), capped.
+
+    0.1s, 0.2s, 0.4s ... :data:`RESTART_BACKOFF_CAP`: fast enough that
+    a transient crash barely dents capacity, slow enough that a
+    crash-looping child cannot busy-spin the supervisor.
+    """
+    return min(
+        RESTART_BACKOFF_CAP,
+        RESTART_BACKOFF_BASE * (2 ** max(0, failures - 1)),
+    )
+
+
+def slice_body(data: bytes, slice_lines: int) -> list[SliceCheckpoint]:
+    """Split one ``/batch`` body into line-aligned, re-runnable slices.
+
+    The slices partition ``data`` exactly (raw bytes, newlines
+    included; a final unterminated line rides in the last slice), so
+    each worker sees precisely the lines a single-process run would
+    have seen in that window — the foundation of the gateway's
+    byte-identity guarantee.
+    """
+    if slice_lines < 1:
+        raise ValueError("slice_lines must be >= 1")
+    slices: list[SliceCheckpoint] = []
+    start = 0
+    line_start = 0
+    while start < len(data):
+        end = start
+        lines = 0
+        while lines < slice_lines and end < len(data):
+            newline = data.find(b"\n", end)
+            end = len(data) if newline < 0 else newline + 1
+            lines += 1
+        slices.append(SliceCheckpoint(
+            index=len(slices), start_line=line_start, lines=lines,
+            payload=data[start:end],
+        ))
+        line_start += lines
+        start = end
+    return slices
+
+
+class GatewayError(Exception):
+    """A gateway batch could not be completed (workers gone/failing)."""
+
+
+@dataclasses.dataclass
+class SupervisorStats:
+    """What one supervised serve session did, fleet-wide."""
+
+    workers: int = 0
+    restarts: int = 0
+    #: Summed from the children's exit reports (clean exits only — a
+    #: SIGKILLed child takes its session counters with it).
+    connections: int = 0
+    requests: int = 0
+    pages: int = 0
+    served: int = 0
+    protocol_errors: int = 0
+    rate_limited: int = 0
+    shed: int = 0
+    drained_connections: int = 0
+    gateway_slices: int = 0
+    gateway_retries: int = 0
+
+
+class _Child:
+    """Parent-side book-keeping for one ingress child."""
+
+    def __init__(self, slot: int, pid: int, read_fd: int,
+                 failures: int = 0) -> None:
+        self.slot = slot
+        self.pid: Optional[int] = pid
+        self.read_fd: Optional[int] = read_fd
+        self.buffer = bytearray()
+        self.started = time.monotonic()
+        self.failures = failures
+        self.given_up = False
+        self.ready = False
+        self.port: Optional[int] = None
+        self.control_port: Optional[int] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.pid is not None
+
+
+class ServeSupervisor:
+    """The ``serve --http --workers N`` parent process.
+
+    Args:
+        handler: the pre-built, pre-compiled
+            :class:`~repro.service.serve.ServeHandler` every child
+            inherits through ``fork`` — compile once, serve N times.
+        host, port: the public bind address (port 0 picks one).
+        workers: ingress children to run.
+        gateway: parent owns the public port and fans ``POST /batch``
+            across workers in deterministic slices; children bind
+            loopback-only.
+        slice_lines: lines per gateway slice.
+        status_port: non-gateway mode only — where the parent serves
+            the aggregated ``/healthz`` and ``/metrics`` (0 picks a
+            free port; gateway mode serves them on the public port).
+        max_body_bytes, drain_timeout: per-child front-end knobs,
+            mirroring :class:`~repro.service.http.HttpFrontEnd`.
+        metrics: the supervisor's own registry (restart counters, the
+            active-workers gauge, gateway slice counters).  Kept
+            *separate* from the handler's registry on purpose: the
+            children inherited a fork-time copy of that one, so the
+            parent's aggregation must never render it twice.
+    """
+
+    def __init__(
+        self,
+        handler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        gateway: bool = False,
+        slice_lines: int = DEFAULT_SLICE_LINES,
+        status_port: int = 0,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if slice_lines < 1:
+            raise ValueError("slice_lines must be >= 1")
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.gateway = gateway
+        self.slice_lines = slice_lines
+        self.status_port = status_port
+        self.max_body_bytes = max_body_bytes
+        self.drain_timeout = drain_timeout
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_workers = self.metrics.from_spec("repro_serve_workers_active")
+        self._m_restarts = self.metrics.from_spec(
+            "repro_worker_restarts_total"
+        )
+        self._m_slices = self.metrics.from_spec("repro_gateway_slices_total")
+        policy = handler.policy
+        # Gateway mode: admission is enforced here, at the public
+        # ingress, with the handler's own policy — the children's
+        # controllers are disabled so the parent's slice fan-out is
+        # never rate-limited against itself.
+        self._admission = AdmissionController(
+            rate_limit=policy.rate_limit,
+            rate_burst=policy.rate_burst,
+            max_concurrent=policy.max_concurrent_requests,
+            metrics=self.metrics,
+        )
+        self.stats = SupervisorStats(workers=workers)
+        self.mode = ""  # "reuseport" | "inherit" | "gateway"
+        self.failed = False
+        self._children: Dict[int, _Child] = {}
+        self._family = socket.AF_INET
+        self._bind_addr: tuple = (host, port)
+        self._probe_sock: Optional[socket.socket] = None
+        self._shared_sock: Optional[socket.socket] = None
+        self._listen_sock: Optional[socket.socket] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._watcher: Optional[asyncio.Task] = None
+        self._restart_tasks: set[asyncio.Task] = set()
+        #: fds of the parent's live connections (accepted clients and
+        #: in-flight requests to children).  A restart fork would make
+        #: the new child inherit copies of them, and a client waiting
+        #: for the parent's FIN would then hang until that child died —
+        #: every fresh child closes these first thing instead.
+        self._client_fds: set[int] = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._stopping = False
+        self._aborted = False
+        self._shut_down = False
+        self._interrupts = 0
+        self._rr = 0
+
+    # ------------------------------------------------------------------ #
+    # Sockets
+    # ------------------------------------------------------------------ #
+
+    def _resolve_bind(self) -> None:
+        """Resolve the public address synchronously, pre-fork.
+
+        Children re-bind the resolved numeric address; resolving once
+        here keeps ``getaddrinfo`` (and the DNS executor threads
+        asyncio would spawn for it) out of every fork path.
+        """
+        info = socket.getaddrinfo(
+            self.host or None, self.port, type=socket.SOCK_STREAM,
+            flags=socket.AI_PASSIVE,
+        )
+        self._family, _, _, _, sockaddr = info[0]
+        self._bind_addr = sockaddr
+
+    def _bind_sockets(self) -> None:
+        self._resolve_bind()
+        if self.gateway:
+            self.mode = "gateway"
+            self._listen_sock = self._make_listener(self._bind_addr)
+            self.port = self._listen_sock.getsockname()[1]
+            self.status_port = self.port
+            return
+        if reuseport_available():
+            self.mode = "reuseport"
+            # Bound but never listening: reserves the port (and keeps
+            # it stable across child restarts) without ever joining
+            # the accept distribution group.
+            probe = socket.socket(self._family, socket.SOCK_STREAM)
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            probe.bind(self._bind_addr)
+            self._probe_sock = probe
+            self.port = probe.getsockname()[1]
+            self._bind_addr = probe.getsockname()
+        else:
+            self.mode = "inherit"
+            self._shared_sock = self._make_listener(self._bind_addr)
+            self.port = self._shared_sock.getsockname()[1]
+        status_addr = (self._bind_addr[0], self.status_port)
+        self._listen_sock = self._make_listener(status_addr)
+        self.status_port = self._listen_sock.getsockname()[1]
+
+    def _make_listener(self, sockaddr) -> socket.socket:
+        sock = socket.socket(self._family, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(sockaddr)
+        sock.listen(128)
+        sock.setblocking(False)
+        return sock
+
+    def _make_reuseport_socket(self) -> socket.socket:
+        sock = socket.socket(self._family, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind(self._bind_addr)
+        sock.listen(128)
+        sock.setblocking(False)
+        return sock
+
+    # ------------------------------------------------------------------ #
+    # Children
+    # ------------------------------------------------------------------ #
+
+    def _spawn(self, slot: int, failures: int = 0) -> None:
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # pragma: no cover - runs in the forked child
+            # -- child ------------------------------------------------- #
+            os.close(read_fd)
+            self._child_reset(write_fd)
+            self._child_main(slot, write_fd)  # never returns
+            os._exit(70)  # pragma: no cover - _child_main always exits
+        # -- parent ---------------------------------------------------- #
+        os.close(write_fd)
+        os.set_blocking(read_fd, False)
+        child = _Child(slot=slot, pid=pid, read_fd=read_fd,
+                       failures=failures)
+        self._children[slot] = child
+        assert self._loop is not None
+        self._loop.add_reader(read_fd, self._on_status_data, child)
+
+    def _child_reset(self, write_fd: int) -> None:  # pragma: no cover
+        """Strip the forked child of the parent's runtime plumbing.
+
+        Runs only in the just-forked child, where the coverage
+        tracer cannot report (``os._exit`` skips its atexit save)
+        — exercised by the subprocess integration tests instead.
+        """
+        for other in self._children.values():
+            if other.read_fd is not None:
+                try:
+                    os.close(other.read_fd)
+                except OSError:  # pragma: no cover - already closed
+                    pass
+        for fd in self._client_fds:
+            try:
+                os.close(fd)
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self._client_fds = set()
+        if self._listen_sock is not None:
+            self._listen_sock.close()
+        if self._probe_sock is not None:
+            self._probe_sock.close()
+        try:
+            signal.set_wakeup_fd(-1)
+        except (ValueError, OSError):  # pragma: no cover - no wakeup fd
+            pass
+        for signum in (signal.SIGINT, signal.SIGTERM, signal.SIGCHLD):
+            signal.signal(signum, signal.SIG_DFL)
+        # The fork happened inside the parent's running loop; clear the
+        # inherited "a loop is running" marker so the child can run its
+        # own fresh loop.
+        try:
+            asyncio.events._set_running_loop(None)
+        except AttributeError:  # pragma: no cover - private API moved
+            pass
+        asyncio.set_event_loop(None)
+
+    def _child_main(self, slot: int, write_fd: int) -> None:  # pragma: no cover
+        status = os.fdopen(write_fd, "w", buffering=1)
+        try:
+            code = asyncio.run(self._child_serve(slot, status))
+        except BaseException:  # noqa: BLE001 - child must never return
+            import traceback
+
+            traceback.print_exc(file=sys.stderr)
+            os._exit(70)
+        os._exit(code)
+
+    async def _child_serve(self, slot: int, status) -> int:  # pragma: no cover
+        host, port = self._bind_addr[0], self.port
+        sock = None
+        if self.mode == "inherit":
+            sock = self._shared_sock
+        elif self.mode == "reuseport":
+            sock = self._make_reuseport_socket()
+        else:  # gateway children are loopback-only; the parent fronts
+            host, port = "127.0.0.1", 0
+        if self.gateway:
+            # Admission moved to the parent's public ingress; a child
+            # must admit every slice the gateway sends it.
+            self.handler.admission = AdmissionController(
+                metrics=self.handler.metrics
+            )
+        front = HttpFrontEnd(
+            self.handler,
+            host=host,
+            port=port,
+            max_body_bytes=self.max_body_bytes,
+            drain_timeout=self.drain_timeout,
+            sock=sock,
+            worker_id=str(slot),
+        )
+        await front.start()
+        control_port = await front.add_listener("127.0.0.1", 0)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, front.stop)
+            except (NotImplementedError, ValueError, RuntimeError):
+                pass  # pragma: no cover - platform without loop signals
+        status.write(json.dumps({
+            "event": "ready", "slot": slot, "pid": os.getpid(),
+            "port": front.port, "control_port": control_port,
+        }) + "\n")
+        await front.wait_stopped()
+        stats = await front.shutdown()
+        status.write(json.dumps({
+            "event": "exit", "slot": slot,
+            "stats": dataclasses.asdict(stats),
+        }) + "\n")
+        status.close()
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # Status pipe + reaping
+    # ------------------------------------------------------------------ #
+
+    def _on_status_data(self, child: _Child) -> None:
+        assert self._loop is not None
+        if child.read_fd is None:  # pragma: no cover - late callback
+            return
+        try:
+            data = os.read(child.read_fd, 65536)
+        except BlockingIOError:  # pragma: no cover - spurious wakeup
+            return
+        except OSError:
+            data = b""
+        if not data:
+            self._loop.remove_reader(child.read_fd)
+            os.close(child.read_fd)
+            child.read_fd = None
+            return
+        child.buffer.extend(data)
+        while True:
+            newline = child.buffer.find(b"\n")
+            if newline < 0:
+                break
+            raw = bytes(child.buffer[:newline])
+            del child.buffer[:newline + 1]
+            try:
+                event = json.loads(raw)
+            except json.JSONDecodeError:  # pragma: no cover - noise
+                continue
+            self._on_child_event(child, event)
+
+    def _on_child_event(self, child: _Child, event: dict) -> None:
+        if event.get("event") == "ready":
+            child.ready = True
+            child.port = event.get("port")
+            child.control_port = event.get("control_port")
+            self._update_workers_gauge()
+        elif event.get("event") == "exit":
+            stats = event.get("stats") or {}
+            for field in (
+                "connections", "requests", "pages", "served",
+                "protocol_errors", "rate_limited", "shed",
+                "drained_connections",
+            ):
+                setattr(self.stats, field,
+                        getattr(self.stats, field)
+                        + int(stats.get(field, 0)))
+
+    def _update_workers_gauge(self) -> None:
+        self._m_workers.set(sum(
+            1 for child in self._children.values()
+            if child.ready and child.alive
+        ))
+
+    async def _watch(self) -> None:
+        while True:
+            await asyncio.sleep(_REAP_POLL_SECONDS)
+            for child in list(self._children.values()):
+                if child.pid is None:
+                    continue
+                try:
+                    pid, _ = os.waitpid(child.pid, os.WNOHANG)
+                except ChildProcessError:  # pragma: no cover - raced
+                    pid = child.pid
+                if pid == 0:
+                    continue
+                self._reap(child)
+            if self._stopping and not any(
+                child.alive for child in self._children.values()
+            ):
+                assert self._stopped is not None
+                self._stopped.set()
+                return
+
+    def _reap(self, child: _Child) -> None:
+        child.pid = None
+        child.ready = False
+        self._update_workers_gauge()
+        if self._stopping:
+            return
+        lived = time.monotonic() - child.started
+        child.failures = 1 if lived >= STABLE_SECONDS else child.failures + 1
+        if child.failures > MAX_CONSECUTIVE_FAILURES:
+            child.given_up = True
+            print(
+                f"supervisor: worker {child.slot} crash-looping; "
+                f"giving up after {MAX_CONSECUTIVE_FAILURES} restarts",
+                file=sys.stderr,
+            )
+            if all(c.given_up for c in self._children.values()):
+                self.failed = True
+                self._begin_drain()
+            return
+        self.stats.restarts += 1
+        self._m_restarts.labels(str(child.slot)).inc()
+        task = asyncio.ensure_future(
+            self._restart_later(child.slot, child.failures)
+        )
+        self._restart_tasks.add(task)
+        task.add_done_callback(self._restart_tasks.discard)
+
+    async def _restart_later(self, slot: int, failures: int) -> None:
+        await asyncio.sleep(restart_backoff(failures))
+        if not self._stopping:
+            self._spawn(slot, failures=failures)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Bind, fork the fleet, and start aggregating (non-blocking)."""
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self._bind_sockets()
+        for slot in range(self.workers):
+            self._spawn(slot)
+        self._watcher = asyncio.ensure_future(self._watch())
+        self._server = await asyncio.start_server(
+            self._on_connection, sock=self._listen_sock
+        )
+        await self._wait_ready()
+
+    async def _wait_ready(self, timeout: float = 60.0) -> None:
+        assert self._loop is not None
+        deadline = self._loop.time() + timeout
+        while self._loop.time() < deadline:
+            children = self._children.values()
+            if all(c.ready for c in children if c.alive) and any(
+                c.ready for c in children
+            ):
+                return
+            if self._stopping or self.failed:
+                return
+            await asyncio.sleep(0.05)
+        raise TimeoutError("supervisor children failed to come up")
+
+    def stop(self) -> None:
+        """Begin a fleet-wide graceful drain (safe from any thread)."""
+        if self._loop is None:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self._begin_drain)
+        except RuntimeError:  # pragma: no cover - loop already gone
+            pass
+
+    def interrupt(self) -> None:
+        """SIGINT contract: first call drains, the second aborts."""
+        self._interrupts += 1
+        if self._interrupts == 1:
+            self._begin_drain()
+        else:
+            self._abort()
+
+    def _begin_drain(self) -> None:
+        if self._stopping:
+            return
+        self._stopping = True
+        for task in self._restart_tasks:
+            task.cancel()
+        for child in self._children.values():
+            if child.alive:
+                try:
+                    os.kill(child.pid, signal.SIGTERM)
+                except ProcessLookupError:  # pragma: no cover - raced
+                    pass
+        if not any(child.alive for child in self._children.values()):
+            if self._stopped is not None:
+                self._stopped.set()
+
+    def _abort(self) -> None:
+        self._aborted = True
+        self._stopping = True
+        for child in self._children.values():
+            if child.alive:
+                try:
+                    os.kill(child.pid, signal.SIGKILL)
+                except ProcessLookupError:  # pragma: no cover - raced
+                    pass
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        """Block until the fleet has drained (the CLI's signal path)."""
+        assert self._stopped is not None, "start() first"
+        await self._stopped.wait()
+
+    async def shutdown(self) -> SupervisorStats:
+        """Tear everything down and return the fleet-wide stats."""
+        if self._shut_down:
+            return self.stats
+        self._shut_down = True
+        self._begin_drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Give the children the drain window, then force the issue.
+        assert self._loop is not None
+        deadline = self._loop.time() + self.drain_timeout + 5.0
+        while any(c.alive for c in self._children.values()):
+            if self._loop.time() > deadline:
+                self._abort()
+                deadline = self._loop.time() + 5.0
+            await asyncio.sleep(_REAP_POLL_SECONDS)
+            for child in list(self._children.values()):
+                if child.pid is None:
+                    continue
+                try:
+                    pid, _ = os.waitpid(child.pid, os.WNOHANG)
+                except ChildProcessError:
+                    pid = child.pid
+                if pid:
+                    self._reap(child)
+        if self._watcher is not None:
+            self._watcher.cancel()
+            try:
+                await self._watcher
+            except asyncio.CancelledError:
+                pass
+            self._watcher = None
+        for task in list(self._restart_tasks):
+            task.cancel()
+        for child in self._children.values():
+            if child.read_fd is not None:
+                # Pull any final exit report still sitting in the pipe.
+                self._on_status_data(child)
+                if child.read_fd is not None:
+                    self._loop.remove_reader(child.read_fd)
+                    os.close(child.read_fd)
+                    child.read_fd = None
+        for sock in (self._probe_sock, self._shared_sock):
+            if sock is not None:
+                sock.close()
+        self._probe_sock = None
+        self._shared_sock = None
+        if self._stopped is not None:
+            self._stopped.set()
+        return self.stats
+
+    # ------------------------------------------------------------------ #
+    # Parent HTTP surface (aggregation + gateway)
+    # ------------------------------------------------------------------ #
+
+    async def _on_connection(self, reader, writer) -> None:
+        fd = self._track_fd(writer)
+        try:
+            while not self._stopping:
+                request = await _read_request_head(reader)
+                if request is None:
+                    break
+                try:
+                    keep_alive = await self._dispatch(
+                        request, reader, writer
+                    )
+                except HttpProtocolError as exc:
+                    self._write_refusal(writer, exc)
+                    break
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except HttpProtocolError as exc:
+            self._write_refusal(writer, exc)
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass  # client hung up mid-exchange
+        finally:
+            self._client_fds.discard(fd)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    def _track_fd(self, writer) -> int:
+        sock = writer.get_extra_info("socket")
+        try:
+            fd = sock.fileno() if sock is not None else -1
+        except OSError:  # pragma: no cover - already closed
+            fd = -1
+        if fd >= 0:
+            self._client_fds.add(fd)
+        return fd
+
+    @staticmethod
+    def _write_refusal(writer, exc: HttpProtocolError) -> None:
+        body = _error_body(
+            f"{exc.status} {_REASONS[exc.status]}: {exc.detail}"
+        )
+        writer.write(_response_head(exc.status, [
+            ("Content-Type", "application/json; charset=utf-8"),
+            ("Content-Length", str(len(body))),
+            ("Connection", "close"),
+        ]) + body)
+
+    async def _dispatch(self, request, reader, writer) -> bool:
+        route = (request.method, request.target)
+        if route == ("GET", "/healthz"):
+            return await self._handle_healthz(request, reader, writer)
+        if route == ("GET", "/metrics"):
+            return await self._handle_metrics(request, reader, writer)
+        if self.gateway and route == ("POST", "/batch"):
+            return await self._admitted(
+                request, reader, writer, self._handle_batch
+            )
+        if self.gateway and route == ("POST", "/extract"):
+            return await self._admitted(
+                request, reader, writer, self._handle_extract
+            )
+        if request.target in ("/healthz", "/metrics"):
+            raise HttpProtocolError(
+                405, f"{request.target} accepts only GET"
+            )
+        if self.gateway and request.target in ("/extract", "/batch"):
+            raise HttpProtocolError(
+                405, f"{request.target} accepts only POST"
+            )
+        raise HttpProtocolError(404, f"no such endpoint {request.target!r}")
+
+    @staticmethod
+    def _client_of(writer) -> str:
+        peername = writer.get_extra_info("peername")
+        if isinstance(peername, (tuple, list)) and peername:
+            return str(peername[0])
+        return str(peername) if peername else "unknown"
+
+    async def _admitted(self, request, reader, writer, endpoint) -> bool:
+        decision = self._admission.admit(self._client_of(writer))
+        if not decision.admitted:
+            if decision.status == 429:
+                self.stats.rate_limited += 1
+            else:
+                self.stats.shed += 1
+            try:
+                body = _framed_body(request, reader, self.max_body_bytes)
+                await _read_whole_body(body, self.max_body_bytes)
+            except HttpProtocolError:
+                pass  # the refusal outranks the framing violation
+            retry_after = decision.retry_after_seconds
+            payload = _error_body(
+                f"{decision.status} {_REASONS[decision.status]}: "
+                f"{decision.reason}; retry after {retry_after}s"
+            )
+            _write_payload_response(
+                writer, decision.status, payload, False,
+                extra_headers=(("Retry-After", str(retry_after)),),
+            )
+            return False
+        try:
+            return await endpoint(request, reader, writer)
+        finally:
+            self._admission.release()
+
+    async def _consume_stray_body(self, request, reader) -> None:
+        if (
+            "content-length" in request.headers
+            or "transfer-encoding" in request.headers
+        ):
+            body = _framed_body(request, reader, self.max_body_bytes)
+            await _read_whole_body(body, self.max_body_bytes)
+
+    # -- aggregation --------------------------------------------------- #
+
+    def _ready_children(self) -> list[_Child]:
+        return [
+            self._children[slot]
+            for slot in sorted(self._children)
+            if self._children[slot].ready and self._children[slot].alive
+        ]
+
+    async def _gather_children(self, path: str) -> Dict[int, bytes]:
+        raw = (
+            f"GET {path} HTTP/1.1\r\nHost: supervisor\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        bodies: Dict[int, bytes] = {}
+        for child in self._ready_children():
+            try:
+                status, _, body = await asyncio.wait_for(
+                    self._child_request(child, raw), timeout=5.0
+                )
+            except (OSError, ValueError, asyncio.IncompleteReadError,
+                    asyncio.TimeoutError):
+                continue
+            if status == 200:
+                bodies[child.slot] = body
+        return bodies
+
+    async def _handle_healthz(self, request, reader, writer) -> bool:
+        await self._consume_stray_body(request, reader)
+        payloads: Dict[int, dict] = {}
+        for slot, body in (await self._gather_children("/healthz")).items():
+            try:
+                payloads[slot] = json.loads(body)
+            except json.JSONDecodeError:  # pragma: no cover - noise
+                continue
+        expected = [c for c in self._children.values() if not c.given_up]
+        healthy = sum(
+            1 for p in payloads.values() if p.get("status") == "ok"
+        )
+        if self._stopping:
+            status = "closing"
+        elif healthy == len(expected) and healthy == self.workers:
+            status = "ok"
+        else:
+            status = "degraded"
+        payload = {
+            "status": status,
+            "supervisor": True,
+            "gateway": self.gateway,
+            "mode": self.mode,
+            "workers": self.workers,
+            "workers_active": len(self._ready_children()),
+            "restarts": self.stats.restarts,
+            "registry_version": getattr(
+                self.handler, "artifact_version", None
+            ),
+            "gateway_slices": self.stats.gateway_slices,
+            "gateway_retries": self.stats.gateway_retries,
+            "workers_detail": {
+                str(slot): payloads[slot] for slot in sorted(payloads)
+            },
+        }
+        for field in (
+            "connections", "requests", "pages", "served",
+            "protocol_errors", "rate_limited", "shed",
+            "drained_connections",
+        ):
+            payload[field] = getattr(self.stats, field) + sum(
+                int(p.get(field, 0)) for p in payloads.values()
+            )
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        keep_alive = request.keep_alive and not self._stopping
+        _write_payload_response(writer, 200, body, keep_alive)
+        return keep_alive
+
+    async def _handle_metrics(self, request, reader, writer) -> bool:
+        await self._consume_stray_body(request, reader)
+        texts = [self.metrics.render()]
+        for text in (await self._gather_children("/metrics")).values():
+            decoded = text.decode("utf-8", errors="replace")
+            try:
+                parse_exposition(decoded)
+            except ValueError:  # pragma: no cover - corrupt child
+                continue
+            texts.append(decoded)
+        requests_lines = ["# TYPE repro_worker_requests_total counter"]
+        for slot, body in (await self._gather_children("/healthz")).items():
+            try:
+                health = json.loads(body)
+            except json.JSONDecodeError:  # pragma: no cover - noise
+                continue
+            requests_lines.append(
+                f'repro_worker_requests_total{{worker="{slot}"}} '
+                f'{int(health.get("requests", 0))}'
+            )
+        if len(requests_lines) > 1:
+            texts.append("\n".join(requests_lines) + "\n")
+        body = merge_expositions(texts).encode("utf-8")
+        keep_alive = request.keep_alive and not self._stopping
+        _write_payload_response(
+            writer, 200, body, keep_alive,
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+        return keep_alive
+
+    # -- gateway ------------------------------------------------------- #
+
+    async def _pick_worker(self, timeout: float = 30.0) -> Optional[_Child]:
+        assert self._loop is not None
+        deadline = self._loop.time() + timeout
+        while True:
+            ready = self._ready_children()
+            if ready:
+                child = ready[self._rr % len(ready)]
+                self._rr += 1
+                return child
+            if self._stopping or self._loop.time() > deadline:
+                return None
+            await asyncio.sleep(0.05)
+
+    async def _child_request(self, child: _Child, raw: bytes):
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection("127.0.0.1", child.control_port),
+            timeout=10.0,
+        )
+        fd = self._track_fd(writer)
+        try:
+            writer.write(raw)
+            await writer.drain()
+            return await _read_client_response(reader)
+        finally:
+            self._client_fds.discard(fd)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _run_slice(self, checkpoint: SliceCheckpoint) -> None:
+        while checkpoint.attempts < MAX_SLICE_ATTEMPTS:
+            child = await self._pick_worker()
+            if child is None:
+                raise GatewayError(
+                    f"no live worker for slice {checkpoint.index}"
+                )
+            checkpoint.begin_attempt()
+            head = (
+                "POST /batch HTTP/1.1\r\nHost: gateway\r\n"
+                f"Content-Length: {len(checkpoint.payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            try:
+                status, _, body = await self._child_request(
+                    child, head + checkpoint.payload
+                )
+            except (OSError, ValueError, asyncio.IncompleteReadError,
+                    asyncio.TimeoutError):
+                # The worker died (or was killed) mid-slice: the
+                # interrupted checkpoint drops partial output and the
+                # slice re-runs, whole, on another worker.
+                checkpoint.interrupt()
+                self._m_slices.labels("retried").inc()
+                self.stats.gateway_retries += 1
+                await asyncio.sleep(0.05)
+                continue
+            if status != 200:
+                raise GatewayError(
+                    f"worker {child.slot} answered {status} for "
+                    f"slice {checkpoint.index}"
+                )
+            records = body.split(b"\n")
+            if records and records[-1] == b"":
+                records.pop()
+            checkpoint.complete(records)
+            self._m_slices.labels("ok").inc()
+            self.stats.gateway_slices += 1
+            return
+        raise GatewayError(
+            f"slice {checkpoint.index} failed after "
+            f"{checkpoint.attempts} attempts"
+        )
+
+    async def _handle_batch(self, request, reader, writer) -> bool:
+        body_framer = _framed_body(request, reader, self.max_body_bytes)
+        if request.headers.get("expect", "").lower() == "100-continue":
+            writer.write(b"HTTP/1.1 100 Continue\r\n\r\n")
+        raw = await _read_whole_body(body_framer, self.max_body_bytes)
+        slices = slice_body(raw, self.slice_lines)
+        chunked = request.version == "HTTP/1.1"
+        if chunked:
+            writer.write(_response_head(200, [
+                ("Content-Type", "application/x-ndjson; charset=utf-8"),
+                ("Transfer-Encoding", "chunked"),
+                ("Connection",
+                 "keep-alive" if request.keep_alive else "close"),
+            ]))
+        else:
+            writer.write(_response_head(200, [
+                ("Content-Type", "application/x-ndjson; charset=utf-8"),
+                ("Connection", "close"),
+            ]))
+
+        def _write_line(data: bytes) -> None:
+            data += b"\n"
+            if chunked:
+                writer.write(b"%x\r\n" % len(data) + data + b"\r\n")
+            else:
+                writer.write(data)
+
+        semaphore = asyncio.Semaphore(max(2, 2 * self.workers))
+
+        async def _bounded(checkpoint: SliceCheckpoint) -> None:
+            async with semaphore:
+                await self._run_slice(checkpoint)
+
+        tasks = [
+            asyncio.ensure_future(_bounded(checkpoint))
+            for checkpoint in slices
+        ]
+        clean = True
+        try:
+            # Ordered emission: slice k's records go out only after
+            # every earlier slice's did — the deterministic merge.
+            for task, checkpoint in zip(tasks, slices):
+                try:
+                    await task
+                except (GatewayError, asyncio.CancelledError) as exc:
+                    clean = False
+                    _write_line(json.dumps(
+                        make_error_record(f"gateway: {exc}"),
+                        sort_keys=True,
+                    ).encode("utf-8"))
+                    break
+                for record in checkpoint.records:
+                    _write_line(record)
+                await writer.drain()
+        finally:
+            for task in tasks:
+                task.cancel()
+        if chunked:
+            writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        return (
+            clean
+            and chunked
+            and request.keep_alive
+            and not self._stopping
+        )
+
+    async def _handle_extract(self, request, reader, writer) -> bool:
+        body_framer = _framed_body(request, reader, self.max_body_bytes)
+        if request.headers.get("expect", "").lower() == "100-continue":
+            writer.write(b"HTTP/1.1 100 Continue\r\n\r\n")
+        raw = await _read_whole_body(body_framer, self.max_body_bytes)
+        head = (
+            "POST /extract HTTP/1.1\r\nHost: gateway\r\n"
+            f"Content-Length: {len(raw)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        for _ in range(MAX_SLICE_ATTEMPTS):
+            child = await self._pick_worker()
+            if child is None:
+                break
+            try:
+                status, _, body = await self._child_request(
+                    child, head + raw
+                )
+            except (OSError, ValueError, asyncio.IncompleteReadError,
+                    asyncio.TimeoutError):
+                await asyncio.sleep(0.05)
+                continue
+            keep_alive = request.keep_alive and not self._stopping
+            _write_payload_response(writer, status, body, keep_alive)
+            return keep_alive
+        raise HttpProtocolError(503, "no live worker for /extract")
+
+
+async def _read_client_response(reader) -> tuple:
+    """Parse one child HTTP response fully: ``(status, headers, body)``.
+
+    Raises :class:`asyncio.IncompleteReadError` when the connection
+    dies before the response is complete — the gateway's mid-slice
+    worker-death signal.
+    """
+    status_line = await reader.readline()
+    if not status_line:
+        raise asyncio.IncompleteReadError(b"", 1)
+    status = int(status_line.split(None, 2)[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise asyncio.IncompleteReadError(b"", 1)
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if status == 100:
+        # Interim response: the real one follows.
+        return await _read_client_response(reader)
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        body = bytearray()
+        while True:
+            size_line = await reader.readline()
+            if not size_line:
+                raise asyncio.IncompleteReadError(b"", 1)
+            size = int(size_line.decode("latin-1").strip().split(";")[0], 16)
+            if size == 0:
+                while True:
+                    trailer = await reader.readline()
+                    if trailer in (b"\r\n", b"\n", b""):
+                        break
+                break
+            chunk = await reader.readexactly(size + 2)
+            body.extend(chunk[:-2])
+        return status, headers, bytes(body)
+    length = headers.get("content-length")
+    if length is not None:
+        return status, headers, await reader.readexactly(int(length))
+    return status, headers, await reader.read()

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -148,8 +149,12 @@ class SharedMemoryPageTransport:
         self._available: Optional[bool] = None
         #: name -> [segment, lease count]; leases are currently one per
         #: staged chunk, but release() is written against the count so
-        #: a future multi-chunk segment changes nothing here.
+        #: a future multi-chunk segment changes nothing here.  Guarded
+        #: by ``_lock``: release() runs from executor callback threads
+        #: while close_all() runs from the draining thread, and both
+        #: must agree on who unlinks each segment exactly once.
         self._segments: dict = {}
+        self._lock = threading.Lock()
         self._counter = itertools.count()
         metrics = metrics if metrics is not None else default_registry()
         self._m_chunks = metrics.from_spec("repro_transport_chunks_total")
@@ -225,7 +230,8 @@ class SharedMemoryPageTransport:
             buf[position:position + len(data)] = data
             position += len(data)
         del buf
-        self._segments[name] = [segment, 1]
+        with self._lock:
+            self._segments[name] = [segment, 1]
         self._m_active.inc()
         self._m_chunks.labels("shm").inc()
         self._m_bytes.labels("shm").inc(offset)
@@ -255,26 +261,40 @@ class SharedMemoryPageTransport:
         """Drop one lease; unlink the segment when none remain.
 
         Idempotent per segment once fully released — the runtime's
-        per-future release and the ``finally`` sweep may both run.
+        per-future release and the ``finally`` sweep may both run,
+        possibly from different threads.  The dict mutation happens
+        under the lock, so exactly one caller wins the removal and
+        performs the single close/unlink.
         """
-        entry = self._segments.get(name)
-        if entry is None:
-            return
-        entry[1] -= 1
-        if entry[1] > 0:
-            return
-        del self._segments[name]
-        segment = entry[0]
+        with self._lock:
+            entry = self._segments.get(name)
+            if entry is None:
+                return
+            entry[1] -= 1
+            if entry[1] > 0:
+                return
+            del self._segments[name]
+        self._destroy(entry[0])
+
+    def close_all(self) -> None:
+        """Release every outstanding segment (the error-path sweep).
+
+        Safe to race against concurrent :meth:`release` calls from the
+        drain path: each segment is popped under the lock, so whichever
+        side removes it first is the only one that unlinks it.
+        """
+        while True:
+            with self._lock:
+                if not self._segments:
+                    return
+                name = next(iter(self._segments))
+                entry = self._segments.pop(name)
+            self._destroy(entry[0])
+
+    def _destroy(self, segment) -> None:
         segment.close()
         try:
             segment.unlink()
         except FileNotFoundError:  # pragma: no cover - already gone
             pass
         self._m_active.dec()
-
-    def close_all(self) -> None:
-        """Release every outstanding segment (the error-path sweep)."""
-        for name in list(self._segments):
-            entry = self._segments[name]
-            entry[1] = 1
-            self.release(name)

@@ -13,6 +13,7 @@ from test_service_http import _post, _read_response, _roundtrip, _with_front_end
 from repro.cli import main
 from repro.service.metrics import (
     AdmissionController,
+    AdmissionDecision,
     MetricsRegistry,
     TokenBucket,
     default_registry,
@@ -214,6 +215,69 @@ class TestAdmissionSelection:
     def test_constructor_validation(self, kwargs):
         with pytest.raises(ValueError):
             _controller(FakeClock(), **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# The wire Retry-After: whole seconds, rounded up, never 0
+# --------------------------------------------------------------------- #
+
+
+class TestRetryAfterSeconds:
+    @pytest.mark.parametrize("retry_after, wire", [
+        (0.0, 1),       # a "ready now" bucket still must not say 0
+        (0.001, 1),     # sub-second waits round up, not down
+        (0.5, 1),
+        (0.999, 1),
+        (1.0, 1),       # exact whole seconds pass through
+        (1.0001, 2),    # the boundary rounds up, not truncates
+        (2.25, 3),
+        (4.0, 4),
+    ])
+    def test_wire_value_is_ceiled_with_a_floor_of_one(
+        self, retry_after, wire
+    ):
+        decision = AdmissionDecision(
+            admitted=False, status=429, reason="rate-limited",
+            retry_after=retry_after,
+        )
+        assert decision.retry_after_seconds == wire
+
+    def test_sub_second_bucket_wait_never_reaches_the_wire_as_zero(
+        self, service_site, service_repository
+    ):
+        # Regression: a 10/s bucket reports a 0.1s wait; int() on that
+        # produced "Retry-After: 0" — an instant-retry storm invitation
+        # for clients that honour the header literally.
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        handler = _admission_handler(
+            service_repository, registry, clock,
+            rate_limit=10.0, rate_burst=1,
+        )
+        body = _line(
+            service_site.pages_with_hint("imdb-movies")[0]
+        ).encode("utf-8")
+
+        async def scenario(front):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", front.port
+            )
+            writer.write(_post("/extract", body))
+            await writer.drain()
+            admitted = await _read_response(reader)
+            writer.write(_post("/extract", body))
+            await writer.drain()
+            refused = await _read_response(reader)
+            writer.close()
+            return admitted, refused
+
+        (admitted, refused), _ = _with_front_end(handler, scenario)
+        assert admitted[0] == 200
+        status, headers, payload = refused
+        assert status == 429
+        # The bucket's true wait is 0.1s; the header must round UP.
+        assert headers["retry-after"] == "1"
+        assert "retry after 1s" in json.loads(payload)["error"]
 
 
 # --------------------------------------------------------------------- #
@@ -532,3 +596,161 @@ class TestDrainAgreement:
         err = capsys.readouterr().err
         assert "drained 1 connection(s) at shutdown" in err
         assert _counter_value(dump.read_text(encoding="utf-8")) - before == 1.0
+
+    def test_refusal_mid_drain_agrees_across_stats_and_metrics(
+        self, service_site, service_repository
+    ):
+        # Shutdown racing an in-flight refusal: the server has already
+        # *decided* to refuse (429 counted) and is still consuming the
+        # refused request's body when the drain begins.  The session
+        # stats, the admission counter and the drained counter must
+        # still tell one coherent story — the refusal is counted once,
+        # the connection is drained once, and the 429 that lands after
+        # ``_closing`` is set hangs up (no keep-alive into a closing
+        # server).
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        handler = _admission_handler(
+            service_repository, registry, clock,
+            rate_limit=1.0, rate_burst=1,
+        )
+        body = _line(service_site.pages_with_hint("imdb-movies")[0])
+        body = body.encode("utf-8")
+
+        async def scenario(front):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", front.port
+            )
+            # Request one drinks the only token...
+            writer.write(_post("/extract", body))
+            first = await _read_response(reader)
+            # ...request two is refused at decision time, but its body
+            # is withheld: the server is parked inside the refusal
+            # path, reading the framed body it must consume before the
+            # 429 can go out.
+            writer.write(
+                b"POST /extract HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: %d\r\n\r\n" % len(body) + body[:-10]
+            )
+            await writer.drain()
+            # The refusal is counted before its first await, so the
+            # stats surface is the signal that the refusal is now
+            # in flight — no sleeps, no guessed timings.
+            for _ in range(500):
+                if front.stats.rate_limited:
+                    break
+                await asyncio.sleep(0.01)
+            assert front.stats.rate_limited == 1
+            shutdown = asyncio.create_task(front.shutdown())
+            await asyncio.sleep(0.01)  # let the drain classify us busy
+            writer.write(body[-10:])
+            await writer.drain()
+            refused = await _read_response(reader)
+            stats = await shutdown
+            assert await reader.read() == b""  # server hung up cleanly
+            writer.close()
+            return first, refused, stats
+
+        (first, refused, stats), front = _with_front_end(handler, scenario)
+        assert first[0] == 200
+        status, headers, _ = refused
+        assert status == 429
+        assert headers["retry-after"] == "1"
+        assert headers.get("connection") == "close"  # mid-drain hang-up
+        parsed = parse_exposition(registry.render())
+        rejected = parsed["repro_admission_rejected_total"][
+            'repro_admission_rejected_total{reason="rate-limited"}'
+        ]
+        drained = parsed["repro_http_drained_connections_total"][
+            "repro_http_drained_connections_total"
+        ]
+        # One story, three surfaces: the returned stats, the front-end's
+        # own stats object, and the exposition.
+        assert stats.rate_limited == front.stats.rate_limited == 1
+        assert rejected == 1.0
+        assert stats.shed == front.stats.shed == 0
+        assert stats.drained_connections == 1
+        assert drained == 1.0
+
+    def test_cli_admission_line_agrees_with_the_metrics_dump(
+        self, served_site, tmp_path, capsys, monkeypatch
+    ):
+        # The stderr "admission:" summary, the HttpStats it is printed
+        # from, and the dumped exposition must report the same refusal
+        # counts even when the refusal races the shutdown.
+        site_dir, repo_path = served_site
+        dump = tmp_path / "serve.prom"
+        rejected_key = (
+            'repro_admission_rejected_total{reason="rate-limited"}'
+        )
+
+        def _rejected(text):
+            series = parse_exposition(text).get(
+                "repro_admission_rejected_total", {}
+            )
+            return series.get(rejected_key, 0.0)
+
+        before = _rejected(default_registry().render())
+        started = []
+        monkeypatch.setattr("repro.cli.SERVE_HTTP_STARTED", started.append)
+        codes = []
+        thread = threading.Thread(target=lambda: codes.append(main([
+            "serve", "--repository", str(repo_path),
+            "--cluster", "imdb-movies", "--http", "127.0.0.1:0",
+            "--rate-limit", "0.1", "--metrics", str(dump),
+        ])))
+        thread.start()
+        sock = None
+        try:
+            deadline = time.time() + 10
+            while not started and time.time() < deadline:
+                time.sleep(0.01)
+            assert started, "serve --http never came up"
+            front = started[0]
+            page = sorted(site_dir.glob("imdb-movies-*.html"))[0]
+            body = json.dumps({
+                "url": page.resolve().as_uri(),
+                "html": page.read_text(encoding="utf-8"),
+            }).encode("utf-8")
+            raw = (
+                b"POST /extract HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: %d\r\n\r\n" % len(body) + body
+            )
+            sock = socket.create_connection(
+                ("127.0.0.1", front.port), timeout=10
+            )
+            sock.settimeout(10)
+            # Request one drains the 0.1/s bucket; request two is
+            # refused on the same keep-alive connection, and the stop
+            # lands while that refusal is still in the pipe — the
+            # refusal is counted at decision time, so the stats field
+            # turning 1 is the cue that the 429 is in flight.
+            sock.sendall(raw + raw)
+            stats_deadline = time.time() + 10
+            while not front.stats.rate_limited and (
+                time.time() < stats_deadline
+            ):
+                time.sleep(0.01)
+            front.stop()
+            response = b""
+            try:
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    response += chunk
+            except socket.timeout:
+                pass
+            assert b"429" in response
+        finally:
+            for front in started:
+                front.stop()
+            thread.join(timeout=10)
+            if sock is not None:
+                sock.close()
+        assert not thread.is_alive()
+        assert codes == [0]
+        err = capsys.readouterr().err
+        assert "admission: 1 rate-limited, 0 shed" in err
+        assert started[0].stats.rate_limited == 1
+        assert _rejected(dump.read_text(encoding="utf-8")) - before == 1.0

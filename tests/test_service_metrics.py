@@ -3,7 +3,6 @@
 import io
 import json
 import signal
-import threading
 
 import pytest
 
@@ -15,6 +14,7 @@ from repro.service.metrics import (
     MetricsRegistry,
     ProgressEmitter,
     default_registry,
+    merge_expositions,
     parse_exposition,
     render_metrics_table,
 )
@@ -133,6 +133,97 @@ class TestExposition:
         registry = MetricsRegistry()
         registry.from_spec("repro_refits_total").inc(4)
         assert "repro_refits_total 4\n" in registry.render()
+
+
+class TestMergeExpositions:
+    """The supervisor's fleet-wide ``/metrics`` aggregation."""
+
+    def _worker_text(self, served, inflight):
+        registry = MetricsRegistry()
+        registry.from_spec("repro_pages_unroutable_total").inc(served)
+        registry.from_spec("repro_inflight_requests").set(inflight)
+        return registry.render()
+
+    def test_series_sum_pointwise_across_workers(self):
+        merged = merge_expositions(
+            [self._worker_text(3, 1), self._worker_text(5, 2)]
+        )
+        parsed = parse_exposition(merged)
+        assert parsed["repro_pages_unroutable_total"][
+            "repro_pages_unroutable_total"
+        ] == 8.0
+        # Gauges add too: fleet-wide in-flight *is* the sum.
+        assert parsed["repro_inflight_requests"][
+            "repro_inflight_requests"
+        ] == 3.0
+
+    def test_labelled_series_merge_per_label_and_sort(self):
+        left = MetricsRegistry()
+        left.from_spec("repro_pages_routed_total").labels("movies").inc(2)
+        left.from_spec("repro_pages_routed_total").labels("actors").inc(1)
+        right = MetricsRegistry()
+        right.from_spec("repro_pages_routed_total").labels("movies").inc(4)
+        merged = merge_expositions([left.render(), right.render()])
+        parsed = parse_exposition(merged)
+        series = parsed["repro_pages_routed_total"]
+        assert series[
+            'repro_pages_routed_total{cluster="movies"}'
+        ] == 6.0
+        assert series[
+            'repro_pages_routed_total{cluster="actors"}'
+        ] == 1.0
+        # Deterministic body: series render in sorted order.
+        lines = [
+            line for line in merged.splitlines()
+            if line.startswith("repro_pages_routed_total{")
+        ]
+        assert lines == sorted(lines)
+
+    def test_histograms_add_like_counters(self):
+        def one(value):
+            registry = MetricsRegistry()
+            registry.from_spec("repro_request_seconds").observe(value)
+            return registry.render()
+
+        parsed = parse_exposition(merge_expositions([one(0.004), one(0.4)]))
+        series = parsed["repro_request_seconds"]
+        assert series["repro_request_seconds_count"] == 2.0
+        assert series["repro_request_seconds_sum"] == pytest.approx(0.404)
+        assert series[
+            'repro_request_seconds_bucket{le="+Inf"}'
+        ] == 2.0
+
+    def test_help_and_type_come_from_the_spec(self):
+        merged = merge_expositions([self._worker_text(1, 0)])
+        spec = next(
+            s for s in METRIC_SPECS if s.name == "repro_pages_unroutable_total"
+        )
+        assert f"# HELP repro_pages_unroutable_total {spec.help}" in merged
+        assert f"# TYPE repro_pages_unroutable_total {spec.kind}" in merged
+
+    def test_undeclared_series_keep_their_first_inputs_comments(self):
+        foreign = (
+            "# HELP outside_total from another exporter\n"
+            "# TYPE outside_total counter\n"
+            "outside_total 2\n"
+        )
+        merged = merge_expositions([foreign, foreign])
+        assert "# HELP outside_total from another exporter" in merged
+        assert "# TYPE outside_total counter" in merged
+        assert "outside_total 4" in merged
+
+    def test_integer_totals_render_without_decimal_point(self):
+        merged = merge_expositions(
+            [self._worker_text(3, 0), self._worker_text(4, 0)]
+        )
+        assert "repro_pages_unroutable_total 7\n" in merged
+
+    def test_invalid_input_raises(self):
+        with pytest.raises(ValueError):
+            merge_expositions(["repro_pages_unroutable_total 1\n"])  # untyped
+
+    def test_empty_inputs_merge_to_empty(self):
+        assert merge_expositions([]) == ""
 
 
 class TestDocsTable:

@@ -1,6 +1,7 @@
 """Zero-copy page transport: staging, fallback and segment lifecycle."""
 
 import glob
+import threading
 
 import pytest
 
@@ -255,6 +256,98 @@ class TestRuntimeLifecycle:
         with pytest.raises(ValueError, match="transport"):
             StreamingRuntime(service_repository, executor="process",
                              transport="mmap")
+
+
+class TestSubmitFailureLeases:
+    def test_submit_raising_releases_the_staged_lease(
+        self, service_repository, service_site, monkeypatch
+    ):
+        # Regression: stage() succeeded, then executor.submit raised —
+        # no future exists to carry the lease, so the submit path must
+        # release it on the spot rather than leaving it to close_all.
+        runtime = StreamingRuntime(
+            service_repository, workers=2, executor="process",
+            chunk_size=4, transport="auto", metrics=MetricsRegistry(),
+        )
+        transport = runtime._transport
+        if not transport.available:
+            pytest.skip("no shared memory on this platform")
+
+        class _RejectingExecutor:
+            def submit(self, *args, **kwargs):
+                raise RuntimeError("pool rejected the chunk")
+
+            def shutdown(self, wait=True):
+                pass
+
+        monkeypatch.setattr(
+            runtime, "_make_executor", lambda: _RejectingExecutor()
+        )
+        # Neutralise the finally sweep: the test must observe the
+        # submit path's own release, not the error-path broom.
+        monkeypatch.setattr(transport, "close_all", lambda: None)
+        source = IterablePageSource(
+            service_site.pages_with_hint("imdb-movies")[:8]
+        )
+        with pytest.raises(RuntimeError, match="rejected"):
+            runtime.run_collect(source)
+        assert transport.active == 0
+        assert not _stray_segments()
+
+
+class TestConcurrentSweep:
+    def test_concurrent_release_and_close_all_destroy_each_once(self):
+        # Regression: release() from a drain thread racing close_all()
+        # from the teardown path must elect exactly one destroyer per
+        # segment — a double unlink decremented the active gauge twice
+        # (driving it negative) and double-closed the mapping.
+        metrics = MetricsRegistry()
+        transport = SharedMemoryPageTransport(
+            mode="auto", metrics=metrics
+        )
+        if not transport.available:
+            pytest.skip("no shared memory on this platform")
+        destroyed: list[str] = []
+        original_destroy = transport._destroy
+
+        def counting_destroy(segment):
+            destroyed.append(segment.name)
+            original_destroy(segment)
+
+        transport._destroy = counting_destroy
+        staged_total = 0
+        for _ in range(25):
+            names = [
+                transport.stage(_chunk(2)).segment for _ in range(4)
+            ]
+            assert all(names)
+            staged_total += len(names)
+            barrier = threading.Barrier(3)
+
+            def release_all(names=names):
+                barrier.wait()
+                for name in names:
+                    transport.release(name)
+
+            def sweep():
+                barrier.wait()
+                transport.close_all()
+
+            threads = [
+                threading.Thread(target=release_all),
+                threading.Thread(target=sweep),
+                threading.Thread(target=sweep),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert len(destroyed) == staged_total
+        assert len(set(destroyed)) == staged_total  # never twice
+        assert transport.active == 0
+        transport.close_all()  # idempotent once drained
+        assert "repro_shm_segments_active 0" in metrics.render()
+        assert not _stray_segments()
 
 
 class TestWarmAccounting:
