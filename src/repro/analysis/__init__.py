@@ -1,0 +1,69 @@
+"""Static analyzer for wrapper rule-sets, routers and registry artifacts.
+
+``repro.analysis`` is to *artifacts* what ruff is to the codebase: a
+pre-deploy pass that walks :class:`~repro.core.rule.MappingRule` /
+XPath ASTs, router profile-sets and registry versions, and reports
+defects as stable-coded findings (``RW101``–``RW501``) before they
+can ship.  See ``docs/lint.md`` for the error-code reference and
+``docs/operations.md`` for the deploy-gate runbook.
+
+The package splits into:
+
+* :mod:`repro.analysis.findings` — the declared code catalogue
+  (:data:`LINT_SPECS`), the :class:`Finding` model, severity gating
+  and the text/JSON renderers;
+* :mod:`repro.analysis.analyzer` — the checks themselves, from
+  single rules up to whole registries;
+* :mod:`repro.analysis.mutations` — the defect-injection harness CI
+  uses to prove each check actually fires.
+"""
+
+from repro.analysis.analyzer import (
+    analyze_artifact,
+    analyze_path,
+    analyze_registry,
+    analyze_repository,
+    analyze_router,
+    analyze_rule,
+    location_cost,
+    location_key,
+)
+from repro.analysis.findings import (
+    LINT_SPECS,
+    SEVERITIES,
+    Finding,
+    LintSpec,
+    gate_findings,
+    make_finding,
+    parse_report,
+    render_lint_table,
+    render_report,
+    render_text,
+    sort_findings,
+    spec_for,
+    worst_severity,
+)
+
+__all__ = [
+    "Finding",
+    "LINT_SPECS",
+    "LintSpec",
+    "SEVERITIES",
+    "analyze_artifact",
+    "analyze_path",
+    "analyze_registry",
+    "analyze_repository",
+    "analyze_router",
+    "analyze_rule",
+    "gate_findings",
+    "location_cost",
+    "location_key",
+    "make_finding",
+    "parse_report",
+    "render_lint_table",
+    "render_report",
+    "render_text",
+    "sort_findings",
+    "spec_for",
+    "worst_severity",
+]

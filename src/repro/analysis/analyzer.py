@@ -1,0 +1,495 @@
+"""Static analysis over rule-sets, router profile-sets and registries.
+
+The analyzer never executes a wrapper: every check walks the compiled
+XPath ASTs (:mod:`repro.xpath.ast`), the automaton's eligibility
+calculus (:mod:`repro.service.automaton`) or the router's scoring
+payloads, so a defect is reported *before* the artifact sees a page.
+Checks map one-to-one onto the declared codes in
+:data:`~repro.analysis.findings.LINT_SPECS`:
+
+======  ==============================================================
+RW101   a positional predicate no 1-based position can satisfy
+RW102   steps after a ``text()``/``comment()`` test or attribute step
+RW201   an alternative location its predecessors provably shadow
+RW202   the same location mapped by two different rules of a cluster
+RW301   a location the extraction automaton cannot serve (with the
+        eligibility calculus's exact reason)
+RW302   a location whose estimated scan cost dwarfs its cluster's
+RW401   router profiles that collide or route by a hair-thin margin
+RW501   a registry version whose stored bytes fail their content hash
+======  ==============================================================
+
+Entry points nest: :func:`analyze_rule` → :func:`analyze_repository` →
+:func:`analyze_artifact` (adds the router) → :func:`analyze_registry`
+(adds integrity) → :func:`analyze_path` (files and directories on
+disk).  All of them return plain lists of
+:class:`~repro.analysis.findings.Finding`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.repository import RuleRepository
+from repro.core.rule import MappingRule
+from repro.errors import RegistryError, RepositoryError
+from repro.service.automaton import location_ineligibility, step_constraint
+from repro.service.router import ClusterRouter
+from repro.xpath.ast import (
+    FilterPath,
+    LocationPath,
+    NodeTypeTest,
+    Step,
+)
+from repro.xpath.engine import compile_xpath
+
+from repro.analysis.findings import Finding, make_finding
+
+__all__ = [
+    "analyze_artifact",
+    "analyze_path",
+    "analyze_registry",
+    "analyze_repository",
+    "analyze_router",
+    "analyze_rule",
+    "location_cost",
+    "location_key",
+]
+
+# --------------------------------------------------------------------- #
+# Location structure helpers
+# --------------------------------------------------------------------- #
+
+
+def _location_steps(location: str) -> Tuple[Step, ...]:
+    """The steps of ``location`` (the trailing steps of a filter path)."""
+    ast = compile_xpath(location).ast
+    if isinstance(ast, LocationPath):
+        return ast.steps
+    if isinstance(ast, FilterPath):
+        return ast.steps
+    return ()
+
+
+def location_key(location: str) -> Tuple:
+    """A semantic equivalence key for a location expression.
+
+    Two locations with equal keys provably select the same nodes from
+    any context.  Positionally-constrained child steps normalise to
+    their :func:`~repro.service.automaton.step_constraint` bounds, so
+    spelling variants of the same selection — ``TD[2]`` and
+    ``TD[position()=2]``, or ``TR`` and ``TR[position()>=1]`` —
+    compare equal; anything the calculus cannot bound falls back to
+    the AST's canonical rendering (which already normalises
+    whitespace and abbreviations).
+    """
+    ast = compile_xpath(location).ast
+    if isinstance(ast, LocationPath):
+        parts: List = ["absolute" if ast.absolute else "relative"]
+        for step in ast.steps:
+            constraint = step_constraint(step)
+            if constraint is not None:
+                parts.append(("child", str(step.node_test), constraint))
+            else:
+                parts.append(("step", str(step)))
+        return tuple(parts)
+    return ("expr", str(ast))
+
+
+#: Per-step cost units of the RW302 scan-cost model.  Shaped after the
+#: evaluator's traversal orders: an automaton-eligible child step is a
+#: single sibling scan, a ``descendant-or-self`` step walks the whole
+#: subtree, other axes re-anchor, and a filter primary pays a full
+#:  expression evaluation.  Extra predicates add per-node work.
+_COST_CHILD = 1
+_COST_DESCENDANT = 12
+_COST_OTHER_AXIS = 4
+_COST_FILTER = 8
+_COST_EXTRA_PREDICATE = 2
+
+#: RW302 fires only when a location costs more than this floor *and*
+#: more than ``_COST_OUTLIER_FACTOR`` times the cluster median, over a
+#: cluster with at least ``_COST_MIN_POPULATION`` locations — small
+#: clusters have no meaningful cost distribution.
+_COST_FLOOR = 24
+_COST_OUTLIER_FACTOR = 3.0
+_COST_MIN_POPULATION = 4
+
+
+def location_cost(location: str) -> int:
+    """Estimated per-page scan cost of ``location`` (RW302's model)."""
+    ast = compile_xpath(location).ast
+    cost = 0
+    steps: Tuple[Step, ...] = ()
+    if isinstance(ast, LocationPath):
+        steps = ast.steps
+    elif isinstance(ast, FilterPath):
+        cost += _COST_FILTER + _COST_EXTRA_PREDICATE * len(ast.predicates)
+        steps = ast.steps
+    else:
+        return _COST_FILTER
+    for step in steps:
+        if step.axis == "child":
+            cost += _COST_CHILD
+        elif step.axis in ("descendant-or-self", "descendant"):
+            cost += _COST_DESCENDANT
+        else:
+            cost += _COST_OTHER_AXIS
+        if len(step.predicates) > 1:
+            cost += _COST_EXTRA_PREDICATE * (len(step.predicates) - 1)
+    return cost
+
+
+# --------------------------------------------------------------------- #
+# Per-rule checks: RW101, RW102, RW201, RW301
+# --------------------------------------------------------------------- #
+
+
+def _unsatisfiable_steps(location: str) -> List[Tuple[int, Step]]:
+    """``(1-based index, step)`` of each provably-empty step (RW101).
+
+    Positional satisfiability is axis-independent (``position()`` is
+    an integer >= 1 on every axis), so each step's predicates are run
+    through the automaton's bound calculus on a synthetic child step;
+    a bounded-empty range (``hi < lo``) can never match a node.
+    """
+    hits: List[Tuple[int, Step]] = []
+    for index, step in enumerate(_location_steps(location), start=1):
+        for predicate in step.predicates:
+            probe = Step("child", step.node_test, (predicate,))
+            constraint = step_constraint(probe)
+            if constraint is not None and constraint[1] < constraint[0]:
+                hits.append((index, step))
+                break
+    return hits
+
+
+def _void_steps(location: str) -> List[Tuple[int, Step, str]]:
+    """``(index, offending step, why)`` for steps after a leaf (RW102).
+
+    Text and comment nodes have no children or attributes, and an
+    attribute node has no children, so any step following a
+    ``text()``/``comment()`` test (or an attribute step, on a
+    downward axis) selects nothing — the location's tail is dead.
+    """
+    hits: List[Tuple[int, Step, str]] = []
+    steps = _location_steps(location)
+    for index, step in enumerate(steps[:-1], start=1):
+        following = steps[index]
+        test = step.node_test
+        if isinstance(test, NodeTypeTest) and test.node_type in (
+            "text",
+            "comment",
+        ):
+            hits.append((
+                index,
+                following,
+                f"{test.node_type}() nodes have no children",
+            ))
+        elif step.axis == "attribute" and following.axis in (
+            "child",
+            "descendant",
+            "descendant-or-self",
+            "attribute",
+        ):
+            hits.append((
+                index,
+                following,
+                "attribute nodes have no children",
+            ))
+    return hits
+
+
+def analyze_rule(
+    rule: MappingRule, cluster: str = "", target: str = ""
+) -> List[Finding]:
+    """All per-rule findings: RW101, RW102, RW201, RW301."""
+    findings: List[Finding] = []
+    seen_keys: Dict[Tuple, str] = {}
+    for position, location in enumerate(rule.locations):
+        label = (
+            "primary location"
+            if position == 0
+            else f"alternative {position}"
+        )
+        for index, step in _unsatisfiable_steps(location):
+            findings.append(make_finding(
+                "RW101",
+                f"step {index} ({step}) of the {label} has a position "
+                "predicate no node can satisfy — the location always "
+                "selects nothing",
+                target=target, cluster=cluster, rule=rule.name,
+                location=location,
+            ))
+        for index, following, why in _void_steps(location):
+            findings.append(make_finding(
+                "RW102",
+                f"step {index + 1} ({following}) of the {label} follows "
+                f"a leaf step: {why}",
+                target=target, cluster=cluster, rule=rule.name,
+                location=location,
+            ))
+        key = location_key(location)
+        earlier = seen_keys.get(key)
+        if earlier is not None and position > 0:
+            findings.append(make_finding(
+                "RW201",
+                f"alternative {position} selects exactly the same nodes "
+                f"as the earlier location {earlier!r}; first-match "
+                "semantics make it dead",
+                target=target, cluster=cluster, rule=rule.name,
+                location=location,
+            ))
+        else:
+            seen_keys.setdefault(key, location)
+        reason = location_ineligibility(compile_xpath(location))
+        if reason is not None:
+            findings.append(make_finding(
+                "RW301",
+                f"the {label} cannot ride the extraction automaton: "
+                f"{reason}",
+                target=target, cluster=cluster, rule=rule.name,
+                location=location,
+            ))
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# Cross-rule / cluster checks: RW202, RW302
+# --------------------------------------------------------------------- #
+
+
+def _duplicate_locations(
+    rules: List[MappingRule], cluster: str, target: str
+) -> List[Finding]:
+    """RW202: two rules of one cluster mapping the same primary location."""
+    findings: List[Finding] = []
+    by_key: Dict[Tuple, Tuple[str, str]] = {}
+    for rule in rules:
+        key = location_key(rule.primary_location)
+        earlier = by_key.get(key)
+        if earlier is not None:
+            earlier_rule, earlier_location = earlier
+            findings.append(make_finding(
+                "RW202",
+                f"primary location duplicates rule {earlier_rule!r} "
+                f"({earlier_location!r}) — both components extract the "
+                "same nodes",
+                target=target, cluster=cluster, rule=rule.name,
+                location=rule.primary_location,
+            ))
+        else:
+            by_key[key] = (rule.name, rule.primary_location)
+    return findings
+
+
+def _cost_outliers(
+    rules: List[MappingRule], cluster: str, target: str
+) -> List[Finding]:
+    """RW302: locations whose estimated cost dwarfs the cluster median."""
+    costed: List[Tuple[int, MappingRule, str]] = [
+        (location_cost(location), rule, location)
+        for rule in rules
+        for location in rule.locations
+    ]
+    if len(costed) < _COST_MIN_POPULATION:
+        return []
+    ordered = sorted(cost for cost, _, _ in costed)
+    median = ordered[len(ordered) // 2]
+    findings: List[Finding] = []
+    for cost, rule, location in costed:
+        if cost >= _COST_FLOOR and cost > _COST_OUTLIER_FACTOR * median:
+            findings.append(make_finding(
+                "RW302",
+                f"estimated scan cost {cost} vs cluster median {median} "
+                "— this location dominates per-page evaluation",
+                target=target, cluster=cluster, rule=rule.name,
+                location=location,
+            ))
+    return findings
+
+
+def analyze_repository(
+    repository: RuleRepository, target: str = ""
+) -> List[Finding]:
+    """All rule-set findings of every cluster in ``repository``."""
+    findings: List[Finding] = []
+    for cluster in repository.clusters():
+        rules = repository.rules(cluster)
+        for rule in rules:
+            findings.extend(analyze_rule(rule, cluster=cluster, target=target))
+        findings.extend(_duplicate_locations(rules, cluster, target))
+        findings.extend(_cost_outliers(rules, cluster, target))
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# Router checks: RW401
+# --------------------------------------------------------------------- #
+
+#: A profile whose own centroid another profile scores within this
+#: margin routes by tie-break noise rather than signal.  The five
+#: synthetic families separate by a comfortable multiple of this, so
+#: the check stays silent on healthy fits.
+_AMBIGUITY_MARGIN = 0.02
+
+
+def analyze_router(
+    router: Optional[ClusterRouter], target: str = ""
+) -> List[Finding]:
+    """RW401: profile collisions and ambiguous routing margins.
+
+    Each profile's own centroid (rebuilt as a page signature) is scored
+    against every profile.  A healthy profile wins its own centroid
+    with room to spare; a rival scoring it within
+    :data:`_AMBIGUITY_MARGIN` — or an outright scoring-payload
+    duplicate — means pages of that cluster route by tie-break.
+    """
+    if router is None:
+        return []
+    from repro.clustering.features import PageSignature
+
+    findings: List[Finding] = []
+    profiles = list(router.profiles)
+    payloads = [
+        (profile.url_signatures, profile.keywords, profile.paths)
+        for profile in profiles
+    ]
+    for index, profile in enumerate(profiles):
+        for other_index in range(index):
+            if payloads[other_index] == payloads[index]:
+                findings.append(make_finding(
+                    "RW401",
+                    f"profile {profile.name!r} has exactly the same "
+                    f"scoring payload as {profiles[other_index].name!r} "
+                    "— routing between them is pure tie-break",
+                    target=target, location=profile.name,
+                ))
+    collided = {f.location for f in findings}
+    for profile in profiles:
+        if profile.name in collided or len(profiles) < 2:
+            continue
+        centroid = PageSignature(
+            url_signature=min(profile.url_signatures, default=""),
+            keywords=profile.keywords,
+            paths=profile.paths,
+        )
+        own = profile.score(centroid)
+        rival_name, rival_score = "", float("-inf")
+        for other in profiles:
+            if other.name == profile.name:
+                continue
+            score = other.score(centroid)
+            if score > rival_score:
+                rival_name, rival_score = other.name, score
+        if rival_score >= own - _AMBIGUITY_MARGIN:
+            findings.append(make_finding(
+                "RW401",
+                f"profile {rival_name!r} scores {profile.name!r}'s own "
+                f"centroid at {rival_score:.3f} vs {own:.3f} — margin "
+                f"{own - rival_score:.3f} is inside the ambiguity "
+                f"threshold {_AMBIGUITY_MARGIN}",
+                target=target, location=profile.name,
+            ))
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# Whole artifacts, registries, paths
+# --------------------------------------------------------------------- #
+
+
+def analyze_artifact(
+    repository: RuleRepository,
+    router: Optional[ClusterRouter] = None,
+    target: str = "",
+) -> List[Finding]:
+    """Everything the analyzer can say about one deployable artifact."""
+    findings = analyze_repository(repository, target=target)
+    findings.extend(analyze_router(router, target=target))
+    return findings
+
+
+def analyze_registry(
+    registry, versions: Optional[List[str]] = None
+) -> List[Finding]:
+    """Lint registry versions: RW501 integrity plus artifact findings.
+
+    Args:
+        registry: an :class:`~repro.service.registry.store.
+            ArtifactRegistry`.
+        versions: version ids to lint (default: every stored id).
+
+    A version that fails to load — content-hash mismatch, truncation,
+    foreign format, missing pieces — yields one RW501 finding carrying
+    the registry's own diagnostic; healthy versions get the full
+    artifact analysis under their version id as the target.
+    """
+    findings: List[Finding] = []
+    for version in (
+        registry.version_ids() if versions is None else versions
+    ):
+        try:
+            repository, router, _ = registry.load(version)
+        except RegistryError as exc:
+            findings.append(make_finding(
+                "RW501",
+                f"version fails integrity verification: {exc}",
+                target=version,
+            ))
+            continue
+        findings.extend(
+            analyze_artifact(repository, router, target=version)
+        )
+    return findings
+
+
+def _load_payload_file(path: Path):
+    """``(repository, router-or-None)`` from one JSON file.
+
+    Accepts both on-disk shapes the system writes: a bare repository
+    (:meth:`~repro.core.repository.RuleRepository.save`) and a full
+    registry artifact payload (``artifact.json``).
+    """
+    import json
+
+    from repro.service.registry.artifacts import (
+        repository_from_payload,
+        router_from_payload,
+    )
+
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise RepositoryError(f"cannot read {path}: {exc}") from exc
+    if isinstance(data, dict) and "repository" in data:
+        return repository_from_payload(data), router_from_payload(data)
+    return RuleRepository.from_dict(data), None
+
+
+def analyze_path(path: Union[str, Path]) -> List[Finding]:
+    """Lint rule-set files on disk: one file or a directory of them.
+
+    A directory is a *cluster dir*: every ``*.json`` inside (sorted,
+    non-recursive) is linted as a rule-set or artifact file.  Files
+    that do not parse yield an RW501 finding (the on-disk artifact has
+    drifted from any shape the system ever wrote) rather than raising,
+    so one broken file cannot hide the findings of its siblings.
+    """
+    path = Path(path)
+    if path.is_dir():
+        findings: List[Finding] = []
+        for entry in sorted(path.glob("*.json")):
+            findings.extend(analyze_path(entry))
+        return findings
+    target = str(path)
+    try:
+        repository, router = _load_payload_file(path)
+    except (RepositoryError, RegistryError) as exc:
+        return [make_finding(
+            "RW501",
+            f"file is not a readable rule-set artifact: {exc}",
+            target=target,
+        )]
+    return analyze_artifact(repository, router, target=target)

@@ -34,7 +34,14 @@ Subcommands mirror the Figure-1 pipeline:
                     workers take ``--registry DIR`` to deploy its
                     pinned version, and ``serve --adapt
                     --canary-fraction`` shadow-tests every refit
-                    candidate before promoting (or rolling back) it.
+                    candidate before promoting (or rolling back) it;
+* ``lint``        — statically analyze rule-set files, cluster
+                    directories or registry versions with the
+                    :mod:`repro.analysis` analyzer; findings carry
+                    stable ``RW*`` codes (``docs/lint.md``) and the
+                    same gate refuses ``registry``-bound publishes of
+                    error-severity artifacts unless
+                    ``--allow-findings`` overrides it.
 
 Every data-path subcommand is a composition over the same
 :class:`~repro.service.runtime.StreamingRuntime`; see
@@ -59,7 +66,7 @@ import sys
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
-from repro.errors import RegistryError, RepositoryError
+from repro.errors import LintGateError, RegistryError, RepositoryError
 from repro.clustering.cluster import PageClusterer
 from repro.core.builder import MappingRuleBuilder
 from repro.core.oracle import InteractiveOracle, ScriptedOracle
@@ -378,9 +385,19 @@ def _registry_pinned_artifact(args):
     return registry, repository, router, pinned
 
 
-def _publish_initial(registry, repository, router) -> str:
-    """Seed an empty registry with the artifact this run deploys."""
-    manifest = registry.publish(repository, router, source="initial")
+def _publish_initial(
+    registry, repository, router, allow_findings: bool = False
+) -> str:
+    """Seed an empty registry with the artifact this run deploys.
+
+    Publishing runs the lint gate: error-severity analyzer findings
+    raise :class:`~repro.errors.LintGateError` (a ``RegistryError``
+    the callers' error paths already handle) unless the run passed
+    ``--allow-findings``.
+    """
+    manifest = registry.publish(
+        repository, router, source="initial", allow_findings=allow_findings
+    )
     registry.pin(manifest.version)
     print(
         f"registry: published and pinned initial version "
@@ -388,6 +405,14 @@ def _publish_initial(registry, repository, router) -> str:
         file=sys.stderr,
     )
     return manifest.version
+
+
+def _print_lint_refusal(exc: LintGateError) -> None:
+    """Render a publish refusal: the findings first, then the next move."""
+    from repro.analysis import render_text
+
+    print(render_text(exc.findings), file=sys.stderr)
+    print(f"{exc} (pass --allow-findings to deploy anyway)", file=sys.stderr)
 
 
 def _dump_metrics(path: str) -> None:
@@ -506,7 +531,14 @@ def cmd_batch(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
     if registry is not None and registry.pinned() is None:
-        _publish_initial(registry, repository, router)
+        try:
+            _publish_initial(
+                registry, repository, router,
+                allow_findings=args.allow_findings,
+            )
+        except LintGateError as exc:
+            _print_lint_refusal(exc)
+            return 2
     adapter = None
     if args.adapt:
         adapter = _make_adapter(args, router)
@@ -660,7 +692,14 @@ def _load_shard_inputs(args) -> Optional[tuple]:
                 file=sys.stderr,
             )
     if registry is not None and artifact_version is None:
-        artifact_version = _publish_initial(registry, repository, router)
+        try:
+            artifact_version = _publish_initial(
+                registry, repository, router,
+                allow_findings=args.allow_findings,
+            )
+        except LintGateError as exc:
+            _print_lint_refusal(exc)
+            return None
     return directory, plan, repository, router, artifact_version
 
 
@@ -936,7 +975,9 @@ def _parse_http_address(value: str) -> tuple[str, int]:
         if not 0 <= port <= 65535:
             raise ValueError
     except ValueError:
-        raise ValueError(f"--http port must be 0..65535, got {port_text!r}")
+        raise ValueError(
+            f"--http port must be 0..65535, got {port_text!r}"
+        ) from None
     if host.startswith("[") and host.endswith("]"):
         host = host[1:-1]
     return host or "127.0.0.1", port
@@ -1248,11 +1289,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 low_margin=args.drift_margin,
                 extract=wrapper_extractor(handler.runtime),
                 log=adapter.log,
+                allow_findings=args.allow_findings,
             )
             deployer.ensure_baseline()
             adapter.deployer = deployer
         elif registry is not None and registry.pinned() is None:
-            _publish_initial(registry, repository, router)
+            _publish_initial(
+            registry, repository, router,
+            allow_findings=args.allow_findings,
+        )
+    except LintGateError as exc:
+        _print_lint_refusal(exc)
+        return 2
     except (ValueError, RegistryError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -1450,6 +1498,69 @@ def cmd_registry_rollback(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Statically analyze rule-set artifacts; exit 1 on gated findings.
+
+    Targets are rule-set/artifact JSON files, cluster directories of
+    them, and/or registry versions (``--registry``, every version
+    unless ``--version`` narrows it).  Exit codes follow the compiler
+    convention: 0 clean at the gate, 1 findings at or above the gate
+    severity, 2 usage or I/O errors.
+    """
+    from repro.analysis import (
+        analyze_path,
+        analyze_registry,
+        gate_findings,
+        render_report,
+        render_text,
+    )
+
+    if not args.paths and not args.registry:
+        print(
+            "nothing to lint: give rule-set paths and/or --registry DIR",
+            file=sys.stderr,
+        )
+        return 2
+    findings = []
+    try:
+        if args.registry:
+            from repro.service import ArtifactRegistry
+
+            registry = ArtifactRegistry(args.registry)
+            versions = args.versions or None
+            if versions:
+                missing = [v for v in versions if not registry.exists(v)]
+                if missing:
+                    print(
+                        f"no such version(s): {', '.join(missing)}",
+                        file=sys.stderr,
+                    )
+                    return 2
+            findings.extend(analyze_registry(registry, versions))
+        for path in args.paths:
+            target = Path(path)
+            if not target.exists():
+                print(f"no such file or directory: {path}", file=sys.stderr)
+                return 2
+            findings.extend(analyze_path(target))
+    except RegistryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    gated = gate_findings(findings, args.severity)
+    if args.json:
+        print(render_report(findings, gate=args.severity))
+    else:
+        text = render_text(findings)
+        if text:
+            print(text)
+        print(
+            f"lint: {len(findings)} finding(s), {len(gated)} at or "
+            f"above {args.severity}",
+            file=sys.stderr,
+        )
+    return 1 if gated else 0
+
+
 # ----------------------------------------------------------------------- #
 # Parser
 # ----------------------------------------------------------------------- #
@@ -1497,6 +1608,10 @@ def _registry_arguments(parser, canary: bool = False) -> None:
                              "deploy its pinned version (an empty "
                              "registry is seeded with the artifact "
                              "this run would deploy)")
+    parser.add_argument("--allow-findings", action="store_true",
+                        help="publish artifacts past the lint gate "
+                             "even with error-severity analyzer "
+                             "findings (see docs/lint.md)")
     if canary:
         parser.add_argument("--canary-fraction", type=float, default=0.0,
                             help="fraction of served pages shadow-routed "
@@ -1787,6 +1902,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     r_rollback.add_argument("directory")
     r_rollback.set_defaults(func=cmd_registry_rollback)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically analyze rule-set artifacts (RW error codes)",
+        description="Walk rule-set files, cluster directories and/or "
+                    "registry versions and report findings with stable "
+                    "RW codes (docs/lint.md). Exit 0 when clean at the "
+                    "gate severity, 1 on gated findings, 2 on usage or "
+                    "I/O errors.",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="rule-set/artifact JSON files or directories "
+                           "of them")
+    lint.add_argument("--registry", default="",
+                      help="also lint versions of this registry "
+                           "directory (integrity included)")
+    lint.add_argument("--version", action="append", dest="versions",
+                      metavar="VERSION",
+                      help="limit --registry linting to this version "
+                           "(repeatable; default: all versions)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the machine-readable findings report "
+                           "instead of text")
+    lint.add_argument("--severity", default="warning",
+                      choices=["info", "warning", "error"],
+                      help="findings at or above this severity fail "
+                           "the lint (default: warning)")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -119,6 +119,19 @@ class RegistryFormatError(RegistryError):
     """Raised for registry files written by a foreign/unsupported format."""
 
 
+class LintGateError(RegistryError):
+    """Raised when the publish-time lint gate refuses an artifact.
+
+    Carries the error-severity findings that triggered the refusal so
+    callers (CLI, canary controller) can render or log them; pass
+    ``allow_findings=True`` to publish anyway.
+    """
+
+    def __init__(self, message: str, findings: tuple = ()):
+        super().__init__(message)
+        self.findings = tuple(findings)
+
+
 class ShardError(ReproError):
     """Base class for shard planning/execution/merge errors."""
 

@@ -62,7 +62,9 @@ __all__ = [
     "ExtractionAutomaton",
     "automaton_steps",
     "child_step_eligible",
+    "location_ineligibility",
     "step_constraint",
+    "step_ineligibility",
 ]
 
 #: "No upper bound" for a positional constraint (sibling counts are
@@ -152,12 +154,83 @@ def step_constraint(step: Step) -> Optional[Tuple[int, int, int]]:
     return None
 
 
+#: Comparison operators :func:`_range_constraint` can turn into index
+#: bounds; anything else on a ``position()`` predicate is ineligible.
+_SUPPORTED_OPS = frozenset(_FLIP)
+
+
+def step_ineligibility(step: Step) -> Optional[str]:
+    """Why ``step`` cannot ride the automaton, or ``None`` if it can.
+
+    The exact complement of :func:`step_constraint`: returns ``None``
+    precisely when the step yields a constraint, and otherwise a
+    one-line human reason (surfaced verbatim by the ``RW301`` analyzer
+    finding in :mod:`repro.analysis`).
+    """
+    if step.axis != "child":
+        return (
+            f"axis {step.axis}:: re-anchors the scan and needs the "
+            "generic evaluator"
+        )
+    if len(step.predicates) > 1:
+        return "more than one predicate on a single step"
+    if not step.predicates:
+        return None
+    predicate = step.predicates[0]
+    if isinstance(predicate, NumberLiteral):
+        return None
+    if isinstance(predicate, BinaryOp):
+        sides = (
+            (predicate.left, predicate.right),
+            (predicate.right, predicate.left),
+        )
+        for position_side, literal_side in sides:
+            if _is_position(position_side):
+                if not isinstance(literal_side, NumberLiteral):
+                    return (
+                        "position() compared against a non-literal "
+                        "expression"
+                    )
+                if predicate.op not in _SUPPORTED_OPS:
+                    return (
+                        f"operator {predicate.op!r} on position() has no "
+                        "index-bound form"
+                    )
+                return None
+    return (
+        "predicate is not positional (value tests need the generic "
+        "evaluator)"
+    )
+
+
+def location_ineligibility(xpath: XPath) -> Optional[str]:
+    """Why a location cannot ride the automaton, or ``None`` if it can.
+
+    The exact complement of :func:`automaton_steps`: ``None`` is
+    returned precisely for the locations that compile into the
+    single-pass scan.
+    """
+    ast = xpath.ast
+    if not isinstance(ast, LocationPath):
+        return "not a location path (filter expressions re-anchor the context)"
+    if ast.absolute:
+        return "absolute path re-anchors at the document root"
+    if not ast.steps:
+        return "empty location path selects only the context node"
+    for index, step in enumerate(ast.steps, start=1):
+        reason = step_ineligibility(step)
+        if reason is not None:
+            return f"step {index} ({step}): {reason}"
+    return None
+
+
 def automaton_steps(xpath: XPath) -> Optional[Tuple[Step, ...]]:
     """The step tuple of an automaton-eligible location, or ``None``.
 
     Only relative location paths whose every step yields a
     :func:`step_constraint` can ride the single-pass scan; other
     shapes re-anchor the context or need the generic evaluator.
+    :func:`location_ineligibility` names the disqualifying shape.
     """
     ast = xpath.ast
     if not isinstance(ast, LocationPath) or ast.absolute or not ast.steps:

@@ -184,6 +184,10 @@ class CompilerStats:
     automaton_states: int = 0       # distinct automaton states
     automaton_transitions: int = 0  # dispatch-table entries
     automaton_location_steps: int = 0  # steps across automaton locations
+    #: Static-analyzer findings for this cluster's rule-set, passed
+    #: through by deploy paths that lint what they compile (registry
+    #: compiles); 0 for direct in-memory builds that skip analysis.
+    lint_findings: int = 0
 
     @property
     def steps_shared(self) -> int:
@@ -214,6 +218,7 @@ class CompilerStats:
             "automaton_transitions": self.automaton_transitions,
             "automaton_location_steps": self.automaton_location_steps,
             "automaton_steps_saved": self.automaton_steps_saved,
+            "lint_findings": self.lint_findings,
         }
 
 
@@ -387,6 +392,7 @@ def compile_wrapper(
     postprocessor: Optional[PostProcessor] = None,
     version: Optional[str] = None,
     automaton: bool = True,
+    lint_findings: int = 0,
 ) -> CompiledWrapper:
     """Compile ``cluster``'s recorded rules into a serving wrapper.
 
@@ -396,6 +402,9 @@ def compile_wrapper(
         automaton: compile eligible locations into the single-pass
             :class:`ExtractionAutomaton` (``False`` keeps the trie-only
             path for A/B benchmarking).
+        lint_findings: static-analyzer finding count for this cluster,
+            recorded on :attr:`CompilerStats.lint_findings` by deploy
+            paths that lint what they compile (the registry).
 
     Raises:
         ExtractionError: when the cluster has no recorded rules (same
@@ -467,6 +476,7 @@ def compile_wrapper(
         automaton_location_steps=(
             auto_stats.location_steps if auto_stats else 0
         ),
+        lint_findings=lint_findings,
     )
     return CompiledWrapper(
         cluster,

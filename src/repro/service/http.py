@@ -157,8 +157,8 @@ class _Request:
 async def _read_line(reader, limit: int, context: str) -> bytes:
     try:
         line = await reader.readline()
-    except (ValueError, asyncio.LimitOverrunError):
-        raise HttpProtocolError(431, f"{context} too long")
+    except (ValueError, asyncio.LimitOverrunError) as exc:
+        raise HttpProtocolError(431, f"{context} too long") from exc
     if len(line) > limit:
         raise HttpProtocolError(431, f"{context} too long")
     return line
@@ -250,10 +250,10 @@ class _ChunkedBody:
             size_text = size_line.decode("latin-1").strip().split(";")[0]
             try:
                 size = int(size_text, 16)
-            except ValueError:
+            except ValueError as exc:
                 raise HttpProtocolError(
                     400, f"malformed chunk size {size_text!r}"
-                )
+                ) from exc
             if size == 0:
                 # Trailer section: skip until the blank line, within
                 # the same budget that bounds a header block.
@@ -312,7 +312,7 @@ def _framed_body(request: _Request, reader, max_bytes: int):
     except ValueError:
         raise HttpProtocolError(
             400, f"malformed Content-Length {length_text!r}"
-        )
+        ) from None
     if length > max_bytes:
         raise HttpProtocolError(
             413, f"body of {length} bytes exceeds the {max_bytes} cap"

@@ -212,6 +212,11 @@ METRIC_SPECS: Tuple[MetricSpec, ...] = (
         "repro_gateway_slices_total", "counter", ("outcome",),
         "Gateway batch slices by outcome (ok or retried).",
     ),
+    MetricSpec(
+        "repro_lint_findings_total", "counter", ("code",),
+        "Analyzer findings surfaced by publish-time lint gates, by "
+        "RW code (see docs/lint.md).",
+    ),
 )
 
 _SPEC_BY_NAME: Dict[str, MetricSpec] = {

@@ -27,6 +27,7 @@ from repro.service.registry.artifacts import (
 )
 from repro.service.registry.canary import (
     CanaryController,
+    LintRefusalEvent,
     PromoteEvent,
     RollbackEvent,
     ShadowEvent,
@@ -44,6 +45,7 @@ __all__ = [
     "VERSION_ID_LENGTH",
     "ArtifactRegistry",
     "CanaryController",
+    "LintRefusalEvent",
     "PromoteEvent",
     "RollbackEvent",
     "ShadowEvent",

@@ -33,6 +33,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.errors import LintGateError
 from repro.service.metrics import default_registry
 from repro.service.registry.store import ArtifactRegistry
 from repro.service.router import ClusterRouter, RouteDecision, UNROUTABLE
@@ -86,6 +87,24 @@ class RollbackEvent:
         return {"event": "rollback", **self.__dict__}
 
 
+@dataclass(frozen=True)
+class LintRefusalEvent:
+    """The lint gate refused to publish a refit candidate."""
+
+    parent: Optional[str]
+    trigger_kind: str
+    trigger_key: str
+    codes: tuple
+    findings: int
+    reason: str
+
+    def to_dict(self) -> dict:
+        """The JSON payload recorded in the audit log."""
+        data = dict(self.__dict__)
+        data["codes"] = list(self.codes)
+        return {"event": "lint_refusal", **data}
+
+
 class CanaryController:
     """Stages refit candidates as shadows and promotes or rolls back.
 
@@ -114,6 +133,11 @@ class CanaryController:
         metrics: a :class:`~repro.service.metrics.MetricsRegistry`
             receiving the shadow-page/promotion/rollback counters
             (default: the process-wide registry).
+        allow_findings: forward error-severity analyzer findings past
+            the registry's publish-time lint gate (the CLI's
+            ``--allow-findings``).  Off by default: a refit candidate
+            with error findings is *refused* — the refusal is recorded
+            in the adaptation log and the incumbent keeps serving.
     """
 
     def __init__(
@@ -129,6 +153,7 @@ class CanaryController:
         extract: Optional[Callable] = None,
         log=None,
         metrics=None,
+        allow_findings: bool = False,
     ) -> None:
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"canary fraction must be in [0, 1]: {fraction}")
@@ -144,11 +169,13 @@ class CanaryController:
         self.low_margin = low_margin
         self.extract = extract
         self.log = log
+        self.allow_findings = allow_findings
         self.active_version: Optional[str] = None
         self.candidate: Optional[ClusterRouter] = None
         self.candidate_version: Optional[str] = None
         self.promotions = 0
         self.rollbacks = 0
+        self.lint_refusals = 0
         self.shadow_pages = 0
         self.shadow_extractions = 0
         registry_m = metrics if metrics is not None else default_registry()
@@ -192,6 +219,7 @@ class CanaryController:
                 self.router,
                 source=source,
                 fit_pages=fit_pages,
+                allow_findings=self.allow_findings,
             )
             self.registry.pin(manifest.version)
             self.active_version = manifest.version
@@ -207,18 +235,43 @@ class CanaryController:
         event) and opens a fresh comparison window.  Staging over an
         unresolved candidate replaces it — the newest refit reflects
         the most data, so the older shadow is simply superseded.
+
+        Publishing runs the registry's lint gate: a candidate with
+        error-severity analyzer findings is refused (unless the
+        controller was built with ``allow_findings``) — the refusal is
+        logged to the adaptation log, the incumbent keeps serving, and
+        no shadow window opens for the defective candidate.
         """
         with self._lock:
             version = None
             if self.registry is not None:
-                manifest = self.registry.publish(
-                    self.repository,
-                    candidate,
-                    parent=self.active_version,
-                    source="refit",
-                    fit_pages=refit.reservoir_pages + refit.unroutable_pages,
-                    trigger=trigger.to_dict(),
-                )
+                try:
+                    manifest = self.registry.publish(
+                        self.repository,
+                        candidate,
+                        parent=self.active_version,
+                        source="refit",
+                        fit_pages=(
+                            refit.reservoir_pages + refit.unroutable_pages
+                        ),
+                        trigger=trigger.to_dict(),
+                        allow_findings=self.allow_findings,
+                    )
+                except LintGateError as exc:
+                    self.lint_refusals += 1
+                    self._record(
+                        LintRefusalEvent(
+                            parent=self.active_version,
+                            trigger_kind=trigger.kind,
+                            trigger_key=trigger.key,
+                            codes=tuple(sorted(
+                                {f.code for f in exc.findings}
+                            )),
+                            findings=len(exc.findings),
+                            reason=str(exc),
+                        )
+                    )
+                    return
                 version = manifest.version
             self.candidate = candidate
             self.candidate_version = version
@@ -432,6 +485,7 @@ class CanaryController:
                 "canary_rollbacks": self.rollbacks,
                 "canary_shadow_pages": self.shadow_pages,
                 "canary_staged": self.candidate is not None,
+                "lint_refusals": self.lint_refusals,
             }
 
 

@@ -40,6 +40,7 @@ from typing import Optional, Union
 
 from repro.core.repository import RuleRepository
 from repro.errors import (
+    LintGateError,
     RegistryCorruptError,
     RegistryError,
     RegistryFormatError,
@@ -67,6 +68,37 @@ _MANIFEST_FILE = "manifest.json"
 
 def _utc_now() -> str:
     return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def _lint_gate(
+    repository: RuleRepository,
+    router: Optional[ClusterRouter],
+    allow_findings: bool,
+) -> None:
+    """Run the static analyzer over a publish candidate.
+
+    Counts every finding in ``repro_lint_findings_total{code}`` and
+    raises :class:`LintGateError` when error-severity findings exist
+    and ``allow_findings`` is not set.  Imports lazily: the analyzer
+    depends on registry serialization, so a top-level import would be
+    a cycle — and non-publishing registry readers never pay for it.
+    """
+    from repro.analysis import analyze_artifact
+    from repro.service.metrics import default_registry
+
+    findings = analyze_artifact(repository, router)
+    if findings:
+        counter = default_registry().from_spec("repro_lint_findings_total")
+        for finding in findings:
+            counter.labels(finding.code).inc()
+    errors = [f for f in findings if f.severity == "error"]
+    if errors and not allow_findings:
+        raise LintGateError(
+            f"lint gate: {len(errors)} error-severity finding(s) "
+            f"({', '.join(sorted({f.code for f in errors}))}); "
+            "fix the artifact or publish with allow_findings",
+            findings=tuple(errors),
+        )
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
@@ -180,6 +212,8 @@ class ArtifactRegistry:
         source: str = "import",
         fit_pages: int = 0,
         trigger: Optional[dict] = None,
+        lint: bool = True,
+        allow_findings: bool = False,
     ) -> VersionManifest:
         """Store one artifact; returns its (possibly pre-existing) manifest.
 
@@ -188,7 +222,16 @@ class ArtifactRegistry:
         the existing manifest — metadata of the first publisher wins.
         The artifact file lands before the manifest, so a reader that
         can see a manifest can always load its artifact.
+
+        Publishing runs the rule-set static analyzer first (``lint``
+        disables it for trusted import paths like shard merges).
+        Error-severity findings refuse the publish with a
+        :class:`~repro.errors.LintGateError` carrying them, unless
+        ``allow_findings`` overrides the gate; every finding — allowed
+        or not — is counted in ``repro_lint_findings_total{code}``.
         """
+        if lint:
+            _lint_gate(repository, router, allow_findings)
         payload = artifact_payload(repository, router)
         text = canonical_json(payload)
         digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
@@ -316,16 +359,29 @@ class ArtifactRegistry:
 
         The deploy path: ``cluster name ->`` :class:`~repro.service.
         compiler.CompiledWrapper` with :attr:`~repro.service.compiler.
-        CompiledWrapper.version` recording the provenance.
+        CompiledWrapper.version` recording the provenance.  Each
+        wrapper's stats carry the analyzer's finding count for its
+        cluster (``lint_findings``), so ``registry show --stats`` and
+        progress compile events surface analyzer results next to
+        ``automaton_slots``/``steps_saved``.
         """
+        from repro.analysis import analyze_artifact
         from repro.service.compiler import compile_wrapper
 
-        repository, _, manifest = self.load(version)
+        repository, router, manifest = self.load(version)
+        findings = analyze_artifact(repository, router, target=version)
+        per_cluster: dict = {}
+        for finding in findings:
+            if finding.cluster:
+                per_cluster[finding.cluster] = (
+                    per_cluster.get(finding.cluster, 0) + 1
+                )
         return {
             cluster: compile_wrapper(
                 repository, cluster,
                 postprocessor=postprocessor,
                 version=manifest.version,
+                lint_findings=per_cluster.get(cluster, 0),
             )
             for cluster in repository.clusters()
         }

@@ -347,7 +347,7 @@ class ClusterRouter:
         absorbed: Dict[str, list[PageSignature]] = {}
         for signature in unroutable:
             best_profile = max(
-                current, key=lambda p: p.score(signature)
+                current, key=lambda p, s=signature: p.score(s)
             )
             absorbed.setdefault(best_profile.name, []).append(signature)
         updated: list[str] = []

@@ -210,7 +210,9 @@ class ShardPlan:
         try:
             data = json.loads(Path(path).read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:
-            raise ShardPlanError(f"cannot load shard plan {path}: {exc}")
+            raise ShardPlanError(
+                f"cannot load shard plan {path}: {exc}"
+            ) from exc
         return cls.from_dict(data)
 
 
@@ -339,7 +341,9 @@ class ShardManifest:
         try:
             data = json.loads(Path(path).read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:
-            raise ShardMergeError(f"cannot load shard manifest {path}: {exc}")
+            raise ShardMergeError(
+                f"cannot load shard manifest {path}: {exc}"
+            ) from exc
         return cls.from_dict(data)
 
 
@@ -723,7 +727,7 @@ class ShardMerger:
                 except (json.JSONDecodeError, KeyError, TypeError) as exc:
                     raise ShardMergeError(
                         f"{path}:{line_number}: not a shard record: {exc}"
-                    )
+                    ) from exc
                 if not isinstance(index, int) or index < 0:
                     raise ShardMergeError(
                         f"{path}:{line_number}: bad submission index "
@@ -949,7 +953,7 @@ class XmlShardMerger:
             except ValueError as exc:
                 raise ShardMergeError(
                     f"{path}:{line_number}: not a submission index: {exc}"
-                )
+                ) from exc
             if index <= previous:
                 raise ShardMergeError(
                     f"{path}:{line_number}: out-of-order shard sidecar "

@@ -554,7 +554,9 @@ class ServeSupervisor:
                 if child.pid is None:
                     continue
                 try:
-                    pid, _ = os.waitpid(child.pid, os.WNOHANG)
+                    pid, _ = os.waitpid(  # sc: ok (WNOHANG)
+                        child.pid, os.WNOHANG
+                    )
                 except ChildProcessError:  # pragma: no cover - raced
                     pid = child.pid
                 if pid == 0:
@@ -702,7 +704,9 @@ class ServeSupervisor:
                 if child.pid is None:
                     continue
                 try:
-                    pid, _ = os.waitpid(child.pid, os.WNOHANG)
+                    pid, _ = os.waitpid(  # sc: ok (WNOHANG)
+                        child.pid, os.WNOHANG
+                    )
                 except ChildProcessError:
                     pid = child.pid
                 if pid:

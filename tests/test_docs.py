@@ -6,6 +6,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.analysis import LINT_SPECS, render_lint_table
 from repro.service import METRIC_SPECS, render_metrics_table
 
 ROOT = Path(__file__).resolve().parent.parent
@@ -80,6 +81,27 @@ class TestMetricsDocSync:
             if f"`{spec.name}`" not in text
         ]
         assert not missing, f"undocumented series: {missing}"
+
+
+class TestLintDocSync:
+    def test_generated_table_matches_the_catalogue(self):
+        # Same gate as the metrics table: the section between the
+        # markers is byte-identical to render_lint_table() — the
+        # regeneration command sits at the top of docs/lint.md.
+        text = (ROOT / "docs" / "lint.md").read_text("utf-8")
+        begin = "<!-- lint-table:begin -->\n"
+        end = "<!-- lint-table:end -->"
+        assert begin in text and end in text
+        section = text.split(begin, 1)[1].split(end, 1)[0]
+        assert section == render_lint_table()
+
+    def test_every_declared_code_is_documented(self):
+        text = (ROOT / "docs" / "lint.md").read_text("utf-8")
+        missing = [
+            spec.code for spec in LINT_SPECS
+            if f"`{spec.code}`" not in text
+        ]
+        assert not missing, f"undocumented lint codes: {missing}"
 
 
 class TestOperationsRunbook:

@@ -237,7 +237,7 @@ class TestCompilerStats:
             "rules", "trie_rules", "primary_steps", "trie_nodes",
             "steps_shared", "automaton_slots", "automaton_states",
             "automaton_transitions", "automaton_location_steps",
-            "automaton_steps_saved",
+            "automaton_steps_saved", "lint_findings",
         }
         assert payload["automaton_steps_saved"] == (
             payload["automaton_location_steps"]

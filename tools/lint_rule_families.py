@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""CI gate: induced rule families lint clean, mutations all fire.
+
+Two assertions back the analyzer's usefulness claim, and this script
+enforces both (CI's ``lint-rules`` job runs it from the repository
+root):
+
+1. **No false positives** — every rule set the builder induces for
+   the five site-generator families, plus each family's fitted
+   router, lints *clean* at the default ``warning`` gate.  Info-level
+   diagnostics (RW3xx) are allowed and recorded.
+2. **No false negatives** — the mutation harness
+   (:mod:`repro.analysis.mutations`) injects one defect of every
+   class into a known-good family and the analyzer must report
+   exactly the expected code: nothing missing, nothing spurious.
+
+The full findings inventory is written as one JSON document (default
+``lint-findings.json``, override with the first argument) and
+uploaded as a CI artifact.  Exit status: 0 all gates hold, 1
+otherwise.
+
+Run it locally the same way CI does::
+
+    PYTHONPATH=src python tools/lint_rule_families.py [OUT.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.analysis import (
+    analyze_artifact,
+    gate_findings,
+    sort_findings,
+)
+from repro.analysis.mutations import verify_mutations
+from repro.core.builder import MappingRuleBuilder
+from repro.core.oracle import ScriptedOracle
+from repro.core.repository import RuleRepository
+from repro.service.router import ClusterRouter
+from repro.sites import (
+    generate_imdb_site,
+    generate_news_site,
+    generate_shop_site,
+    generate_stocks_site,
+)
+from repro.sites.variation import DEPTH_COMPONENTS, generate_depth_cluster
+
+#: The five families the acceptance gate covers — the same corpora the
+#: registry round-trip tests use (tests/test_service_registry.py).
+FAMILIES = [
+    (
+        "imdb-movies",
+        lambda: generate_imdb_site(
+            n_movies=12, n_actors=4, n_search=2, seed=4
+        ).pages_with_hint("imdb-movies"),
+        ["title", "rating", "genres"],
+    ),
+    (
+        "shop-products",
+        lambda: generate_shop_site(12, seed=4).pages_with_hint(
+            "shop-products"
+        ),
+        ["product-name", "price", "old-price", "features"],
+    ),
+    (
+        "news-articles",
+        lambda: generate_news_site(12, seed=4).pages_with_hint(
+            "news-articles"
+        ),
+        ["headline", "byline", "date"],
+    ),
+    (
+        "stock-quotes",
+        lambda: generate_stocks_site(10, seed=4).pages_with_hint(
+            "stock-quotes"
+        ),
+        ["company", "last-price", "change", "intraday-prices"],
+    ),
+    (
+        "depth-1",
+        lambda: generate_depth_cluster(1, n_pages=16, seed=3),
+        list(DEPTH_COMPONENTS),
+    ),
+]
+
+#: The family the mutation harness mutates (any clean family works;
+#: news has single- and multi-location rules, so every injector finds
+#: an eligible target).
+MUTATION_FAMILY = "news-articles"
+
+
+def _build(cluster: str, pages, components):
+    repository = RuleRepository()
+    report = MappingRuleBuilder(
+        pages[:8], ScriptedOracle(), repository=repository,
+        cluster_name=cluster, seed=1,
+    ).build_all(components)
+    if report.failed_components:
+        raise RuntimeError(
+            f"{cluster}: builder failed {report.failed_components}"
+        )
+    router = ClusterRouter.fit({cluster: pages[:8]}, threshold=0.8)
+    return repository, router
+
+
+def main(argv) -> int:
+    out_path = Path(argv[1]) if len(argv) > 1 else Path(
+        "lint-findings.json"
+    )
+    failures = []
+    inventory = {"families": {}, "mutations": []}
+    mutation_target = None
+    for cluster, factory, components in FAMILIES:
+        repository, router = _build(cluster, factory(), components)
+        if cluster == MUTATION_FAMILY:
+            mutation_target = (repository, router)
+        findings = sort_findings(analyze_artifact(repository, router))
+        gated = gate_findings(findings, "warning")
+        inventory["families"][cluster] = {
+            "findings": [f.to_dict() for f in findings],
+            "clean": not gated,
+        }
+        if gated:
+            failures.append(
+                f"{cluster}: {len(gated)} finding(s) at or above "
+                f"warning: {sorted({f.code for f in gated})}"
+            )
+        print(
+            f"{cluster}: {len(findings)} finding(s), "
+            f"{len(gated)} gated", file=sys.stderr,
+        )
+    assert mutation_target is not None
+    with tempfile.TemporaryDirectory(prefix="lint-mutations-") as scratch:
+        outcomes = verify_mutations(*mutation_target, Path(scratch))
+    for outcome in outcomes:
+        inventory["mutations"].append({
+            "mutation": outcome.mutation.name,
+            "expected_code": outcome.mutation.code,
+            "fired": outcome.fired,
+            "spurious": [f.to_dict() for f in outcome.spurious],
+            "ok": outcome.ok,
+        })
+        status = "ok" if outcome.ok else "FAILED"
+        print(
+            f"mutation {outcome.mutation.name} "
+            f"({outcome.mutation.code}): {status}", file=sys.stderr,
+        )
+        if not outcome.ok:
+            failures.append(
+                f"mutation {outcome.mutation.name}: expected "
+                f"{outcome.mutation.code}, fired={outcome.fired}, "
+                f"spurious={[f.code for f in outcome.spurious]}"
+            )
+    inventory["ok"] = not failures
+    out_path.write_text(
+        json.dumps(inventory, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"findings inventory written to {out_path}", file=sys.stderr)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
